@@ -1,0 +1,156 @@
+#include "bench/common/experiment.h"
+
+#include "common/rng.h"
+
+namespace pq::bench {
+
+ExperimentRun::ExperimentRun(const RunConfig& cfg) : cfg_(cfg) {
+  const auto pp = traffic::paper_params(cfg.kind);
+  core::PipelineConfig pcfg;
+  pcfg.windows.m0 = cfg.m0.value_or(pp.m0);
+  pcfg.windows.alpha = cfg.alpha.value_or(pp.alpha);
+  pcfg.windows.k = cfg.k.value_or(pp.k);
+  pcfg.windows.num_windows = cfg.num_windows.value_or(pp.num_windows);
+  pcfg.monitor.max_depth_cells = cfg.capacity_cells;
+  pcfg.dq_depth_threshold_cells = cfg.dq_depth_threshold_cells;
+
+  pipeline_ = std::make_unique<core::PrintQueuePipeline>(pcfg);
+  pipeline_->enable_port(0);
+  analysis_ = std::make_unique<control::AnalysisProgram>(
+      *pipeline_, control::AnalysisConfig{});
+
+  sim::PortConfig port_cfg;
+  port_cfg.line_rate_gbps = cfg.line_rate_gbps;
+  port_cfg.capacity_cells = cfg.capacity_cells;
+  port_ = std::make_unique<sim::EgressPort>(port_cfg);
+  port_->add_hook(pipeline_.get());
+
+  const Duration period = pipeline_->windows().layout().set_period_ns();
+  if (cfg.with_baselines) {
+    hashpipe_ = std::make_unique<baseline::IntervalAdapter>(
+        std::make_unique<baseline::HashPipe>(
+            baseline::HashPipeParams{.stages = 5, .slots_per_stage = 4096}),
+        period);
+    baseline::FlowRadarParams fr;
+    fr.cells = 4096 * 5;
+    flowradar_ = std::make_unique<baseline::IntervalAdapter>(
+        std::make_unique<baseline::FlowRadar>(fr), period);
+    port_->add_hook(hashpipe_.get());
+    port_->add_hook(flowradar_.get());
+  }
+
+  port_->run(traffic::generate_trace(cfg.kind, cfg.duration_ns, cfg.seed));
+  analysis_->finalize(port_->stats().last_departure + 1);
+  if (hashpipe_) hashpipe_->finalize();
+  if (flowradar_) flowradar_->finalize();
+  truth_ = std::make_unique<ground::GroundTruth>(port_->records());
+}
+
+double ExperimentRun::avg_interarrival_ns() const {
+  const auto& recs = port_->records();
+  if (recs.size() < 2) return 0.0;
+  const Timestamp span =
+      recs.back().deq_timestamp() - recs.front().deq_timestamp();
+  return static_cast<double>(span) / static_cast<double>(recs.size() - 1);
+}
+
+std::optional<ground::PrecisionRecall> ExperimentRun::aq_accuracy(
+    const wire::TelemetryRecord& victim) const {
+  const Timestamp t1 = victim.enq_timestamp;
+  const Timestamp t2 = victim.deq_timestamp();
+  const auto gt = truth_->direct_culprits(t1, t2);
+  if (gt.empty()) return std::nullopt;
+  return ground::flow_count_accuracy(analysis_->query_time_windows(0, t1, t2),
+                                     gt);
+}
+
+std::optional<ground::PrecisionRecall> ExperimentRun::baseline_accuracy(
+    const baseline::IntervalAdapter& adapter,
+    const wire::TelemetryRecord& victim) const {
+  const Timestamp t1 = victim.enq_timestamp;
+  const Timestamp t2 = victim.deq_timestamp();
+  const auto gt = truth_->direct_culprits(t1, t2);
+  if (gt.empty()) return std::nullopt;
+  return ground::flow_count_accuracy(adapter.query(t1, t2), gt);
+}
+
+std::optional<ground::PrecisionRecall> ExperimentRun::dq_accuracy(
+    const control::DqCapture& capture) const {
+  const Timestamp t1 = capture.notification.enq_timestamp;
+  const Timestamp t2 = capture.notification.deq_timestamp;
+  const auto gt = truth_->direct_culprits(t1, t2);
+  if (gt.empty()) return std::nullopt;
+  return ground::flow_count_accuracy(
+      analysis_->query_dq_capture(capture, t1, t2), gt);
+}
+
+namespace {
+
+template <typename Eval>
+std::vector<BinResult> evaluate_bins(
+    const ExperimentRun& run,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& bins,
+    std::size_t victims_per_bin, std::uint64_t sample_seed, Eval&& eval) {
+  Rng rng(sample_seed);
+  const auto victims =
+      ground::sample_victims(run.records(), bins, victims_per_bin, rng);
+  std::vector<BinResult> out(bins.size());
+  for (std::uint32_t b = 0; b < bins.size(); ++b) {
+    out[b].label = depth_bin_label(bins[b].first, bins[b].second);
+  }
+  for (const auto& v : victims) {
+    const auto pr = eval(v.record);
+    if (!pr) continue;
+    auto& bin = out[v.depth_bin];
+    bin.precision.add(pr->precision);
+    bin.recall.add(pr->recall);
+    bin.precision_samples.push_back(pr->precision);
+    bin.recall_samples.push_back(pr->recall);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<BinResult> evaluate_aq_bins(
+    const ExperimentRun& run,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& bins,
+    std::size_t victims_per_bin, std::uint64_t sample_seed) {
+  return evaluate_bins(run, bins, victims_per_bin, sample_seed,
+                       [&](const wire::TelemetryRecord& v) {
+                         return run.aq_accuracy(v);
+                       });
+}
+
+std::vector<BinResult> evaluate_baseline_bins(
+    const ExperimentRun& run, const baseline::IntervalAdapter& adapter,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& bins,
+    std::size_t victims_per_bin, std::uint64_t sample_seed) {
+  return evaluate_bins(run, bins, victims_per_bin, sample_seed,
+                       [&](const wire::TelemetryRecord& v) {
+                         return run.baseline_accuracy(adapter, v);
+                       });
+}
+
+std::string depth_bin_label(std::uint32_t lo, std::uint32_t hi) {
+  auto fmt = [](std::uint32_t v) {
+    return v % 1000 == 0 ? std::to_string(v / 1000) + "k"
+                         : std::to_string(v);
+  };
+  if (hi >= 0x0fffffffu) return ">" + fmt(lo);
+  return fmt(lo) + "-" + fmt(hi);
+}
+
+const char* trace_name(traffic::TraceKind kind) {
+  switch (kind) {
+    case traffic::TraceKind::kUW:
+      return "UW";
+    case traffic::TraceKind::kWS:
+      return "WS";
+    case traffic::TraceKind::kDM:
+      return "DM";
+  }
+  return "?";
+}
+
+}  // namespace pq::bench

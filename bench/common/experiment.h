@@ -1,0 +1,120 @@
+// Shared experiment scaffolding for the paper-reproduction benches: build a
+// workload, run it through the egress-port simulator with the PrintQueue
+// pipeline (and optionally the baselines) attached, then evaluate query
+// accuracy against telemetry-derived ground truth.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/flowradar.h"
+#include "baseline/hashpipe.h"
+#include "baseline/interval_adapter.h"
+#include "common/stats.h"
+#include "control/analysis_program.h"
+#include "ground/ground_truth.h"
+#include "ground/metrics.h"
+#include "sim/egress_port.h"
+#include "traffic/trace_gen.h"
+
+namespace pq::bench {
+
+struct RunConfig {
+  traffic::TraceKind kind = traffic::TraceKind::kUW;
+  Duration duration_ns = 30'000'000;
+  std::uint64_t seed = 1;
+
+  /// Time-window parameters; defaults follow the paper (Section 7.1) for
+  /// the chosen trace. Set any field to override.
+  std::optional<std::uint32_t> alpha;
+  std::optional<std::uint32_t> k;
+  std::optional<std::uint32_t> num_windows;
+  std::optional<std::uint32_t> m0;
+
+  double line_rate_gbps = 10.0;
+  std::uint32_t capacity_cells = 25000;
+
+  /// Data-plane query trigger (0 = disabled).
+  std::uint32_t dq_depth_threshold_cells = 0;
+
+  /// Attach the comparison systems (HashPipe / FlowRadar), reset at the
+  /// time-window set period, 4096 x 5 entries as in the paper.
+  bool with_baselines = false;
+};
+
+/// One fully-run experiment; query helpers operate on its results.
+class ExperimentRun {
+ public:
+  explicit ExperimentRun(const RunConfig& cfg);
+
+  const RunConfig& config() const { return cfg_; }
+  const std::vector<wire::TelemetryRecord>& records() const {
+    return port_->records();
+  }
+  core::PrintQueuePipeline& pipeline() { return *pipeline_; }
+  const core::PrintQueuePipeline& pipeline() const { return *pipeline_; }
+  const control::AnalysisProgram& analysis() const { return *analysis_; }
+  control::AnalysisProgram& analysis() { return *analysis_; }
+  sim::EgressPort& port() { return *port_; }
+  const ground::GroundTruth& truth() const { return *truth_; }
+  baseline::IntervalAdapter* hashpipe() { return hashpipe_.get(); }
+  baseline::IntervalAdapter* flowradar() { return flowradar_.get(); }
+
+  /// Average packet inter-arrival during the run (for storage models).
+  double avg_interarrival_ns() const;
+
+  // --- accuracy evaluation ---
+
+  /// PrintQueue asynchronous query accuracy for one victim's direct
+  /// culprits; nullopt when the victim has no culprits.
+  std::optional<ground::PrecisionRecall> aq_accuracy(
+      const wire::TelemetryRecord& victim) const;
+
+  /// Baseline (prorated fixed-interval) accuracy for one victim.
+  std::optional<ground::PrecisionRecall> baseline_accuracy(
+      const baseline::IntervalAdapter& adapter,
+      const wire::TelemetryRecord& victim) const;
+
+  /// Data-plane-query accuracy for one capture.
+  std::optional<ground::PrecisionRecall> dq_accuracy(
+      const control::DqCapture& capture) const;
+
+ private:
+  RunConfig cfg_;
+  std::unique_ptr<core::PrintQueuePipeline> pipeline_;
+  std::unique_ptr<control::AnalysisProgram> analysis_;
+  std::unique_ptr<sim::EgressPort> port_;
+  std::unique_ptr<ground::GroundTruth> truth_;
+  std::unique_ptr<baseline::IntervalAdapter> hashpipe_;
+  std::unique_ptr<baseline::IntervalAdapter> flowradar_;
+};
+
+/// Mean accuracy aggregates per queue-depth bin.
+struct BinResult {
+  std::string label;
+  OnlineStats precision;
+  OnlineStats recall;
+  std::vector<double> precision_samples;
+  std::vector<double> recall_samples;
+};
+
+/// Evaluates AQ accuracy over sampled victims in the paper's depth bins.
+std::vector<BinResult> evaluate_aq_bins(
+    const ExperimentRun& run,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& bins,
+    std::size_t victims_per_bin, std::uint64_t sample_seed);
+
+/// Same, for a baseline adapter.
+std::vector<BinResult> evaluate_baseline_bins(
+    const ExperimentRun& run, const baseline::IntervalAdapter& adapter,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& bins,
+    std::size_t victims_per_bin, std::uint64_t sample_seed);
+
+/// Human-readable bin labels matching Fig. 9's x-axis.
+std::string depth_bin_label(std::uint32_t lo, std::uint32_t hi);
+
+const char* trace_name(traffic::TraceKind kind);
+
+}  // namespace pq::bench

@@ -1,0 +1,63 @@
+// Minimal fixed-width table printer for the bench binaries' paper-style
+// output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pq::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      std::printf("  ");
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& v = c < cells.size() ? cells[c] : "";
+        std::printf("%-*s  ", static_cast<int>(widths[c]), v.c_str());
+      }
+      std::printf("\n");
+    };
+    line(headers_);
+    std::vector<std::string> dashes;
+    for (auto w : widths) dashes.push_back(std::string(w, '-'));
+    line(dashes);
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2e", v);
+  return buf;
+}
+
+}  // namespace pq::bench

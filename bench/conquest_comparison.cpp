@@ -1,0 +1,139 @@
+// ConQuest versus PrintQueue (the paper's Section 8 discussion, made
+// quantitative). ConQuest answers "is the current packet's flow a main
+// contributor to the queue *right now*?" with a short ring of snapshots;
+// PrintQueue answers the reverse lookup: "which flows delayed *this
+// victim*?" over arbitrary intervals.
+//
+// The experiment: run the UW workload past both systems, then pose
+// victim-centric culprit queries at increasing diagnosis lag (how long
+// after the victim dequeued the operator asks). ConQuest can only answer
+// while the victim's interval is still inside its snapshot ring; its
+// answerable fraction collapses with lag, while PrintQueue's checkpointed
+// windows keep answering for the whole run.
+#include <cstdio>
+
+#include "baseline/conquest.h"
+#include "bench/common/experiment.h"
+#include "bench/common/table.h"
+
+namespace pq::bench {
+namespace {
+
+void run() {
+  RunConfig cfg;
+  cfg.kind = traffic::TraceKind::kUW;
+  cfg.duration_ns = 40'000'000;
+  cfg.seed = 42;
+
+  core::PipelineConfig pcfg;
+  const auto pp = traffic::paper_params(cfg.kind);
+  pcfg.windows.m0 = pp.m0;
+  pcfg.windows.alpha = pp.alpha;
+  pcfg.windows.k = pp.k;
+  pcfg.windows.num_windows = pp.num_windows;
+  pcfg.monitor.max_depth_cells = 25000;
+  core::PrintQueuePipeline pipeline(pcfg);
+  pipeline.enable_port(0);
+  control::AnalysisProgram analysis(pipeline, {});
+
+  // ConQuest sized to comparable SRAM: 4 snapshots x 2 x 8192 counters
+  // x 4 B x ... ~ 256 KB vs the windows' 4 x 4096 x 16 B = 256 KB/bank.
+  baseline::ConQuestParams cq_params;
+  cq_params.num_snapshots = 4;
+  cq_params.rows = 2;
+  cq_params.columns = 8192;
+  cq_params.snapshot_window_ns = 1u << 18;  // = the windows' base period
+  baseline::ConQuest conquest(cq_params);
+
+  sim::PortConfig port_cfg;
+  port_cfg.capacity_cells = 25000;
+  sim::EgressPort port(port_cfg);
+  port.add_hook(&pipeline);
+  port.run(traffic::generate_trace(cfg.kind, cfg.duration_ns, cfg.seed));
+  analysis.finalize(port.stats().last_departure + 1);
+  ground::GroundTruth truth(port.records());
+
+  std::printf("ConQuest ring: %u snapshots x %u us = %.2f ms of history; "
+              "PrintQueue set period: %.2f ms + checkpoints for the full "
+              "run\n\n",
+              cq_params.num_snapshots,
+              static_cast<unsigned>(cq_params.snapshot_window_ns / 1000),
+              conquest.history_ns() / 1e6,
+              pipeline.windows().layout().set_period_ns() / 1e6);
+
+  Rng rng(7);
+  const auto victims = ground::sample_victims(
+      port.records(), {{2000, 25000}}, 120, rng);
+
+  // ConQuest must be asked *at* the diagnosis moment — its ring reflects
+  // only the most recent history. Replay the egress stream once per lag,
+  // feeding the ring and evaluating each victim's query when the stream
+  // reaches its ask time.
+  Table t({"diagnosis lag", "ConQuest answerable", "ConQuest recall",
+           "PrintQueue recall", "n"});
+  for (Duration lag : {Duration{0}, Duration{500'000}, Duration{2'000'000},
+                       Duration{10'000'000}}) {
+    struct Pending {
+      Timestamp ask_at, t1, t2;
+    };
+    std::vector<Pending> asks;
+    for (const auto& v : victims) {
+      asks.push_back({v.record.deq_timestamp() + lag,
+                      v.record.enq_timestamp, v.record.deq_timestamp()});
+    }
+    std::sort(asks.begin(), asks.end(),
+              [](const Pending& a, const Pending& b) {
+                return a.ask_at < b.ask_at;
+              });
+
+    baseline::ConQuest ring(cq_params);
+    OnlineStats cq_recall, pq_recall;
+    int answerable = 0, total = 0;
+    std::size_t next_ask = 0;
+    auto serve_until = [&](Timestamp now) {
+      for (; next_ask < asks.size() && asks[next_ask].ask_at <= now;
+           ++next_ask) {
+        const auto& a = asks[next_ask];
+        const auto gt = truth.direct_culprits(a.t1, a.t2);
+        if (gt.empty()) continue;
+        ++total;
+        pq_recall.add(ground::flow_count_accuracy(
+                          analysis.query_time_windows(0, a.t1, a.t2), gt)
+                          .recall);
+        if (!ring.covers(a.t1, a.ask_at)) continue;
+        ++answerable;
+        core::FlowCounts est;
+        for (const auto& [flow, n] : gt) {
+          const auto bytes = ring.query_flow(flow, a.ask_at,
+                                             a.ask_at - a.t1);
+          // UW mean packet size ~110 B converts bytes to packets.
+          if (bytes > 0) est[flow] = static_cast<double>(bytes) / 110.0;
+        }
+        cq_recall.add(ground::flow_count_accuracy(est, gt).recall);
+      }
+    };
+    for (const auto& rec : port.records()) {
+      serve_until(rec.deq_timestamp());
+      ring.on_packet(rec.flow, rec.size_bytes, rec.deq_timestamp());
+    }
+    serve_until(~Timestamp{0});
+
+    t.row({fmt(static_cast<double>(lag) / 1e6, 1) + " ms",
+           total ? fmt(100.0 * answerable / total, 0) + "%" : "-",
+           cq_recall.count() ? fmt(cq_recall.mean()) : "-",
+           fmt(pq_recall.mean()), std::to_string(total)});
+  }
+  t.print();
+  std::printf("\nNote: ConQuest is given the victim's true culprit flow IDs "
+              "to look up (a CMS cannot enumerate flows), so its numbers "
+              "are an upper bound.\n");
+}
+
+}  // namespace
+}  // namespace pq::bench
+
+int main() {
+  std::printf("== ConQuest vs PrintQueue: victim-centric reverse lookup ==\n");
+  pq::bench::run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces paper Fig. 9: precision and recall versus queue depth under
+// the UW, WS, and DM workloads, for both asynchronous queries (AQ, executed
+// against periodic checkpoints) and data-plane queries (DQ, executed
+// against the frozen special registers at trigger time).
+//
+// Expected shape (Section 7.1): DQ stays consistently high (>0.9 in the
+// paper) with a slight decline at the deepest bins; AQ is lower and *rises*
+// with the query interval; UW is the hardest trace (10x more packets, the
+// larger compression factor alpha = 2).
+#include <cstdio>
+
+#include "bench/common/experiment.h"
+#include "bench/common/table.h"
+
+namespace pq::bench {
+namespace {
+
+Duration duration_for(traffic::TraceKind kind) {
+  // WS/DM run at ~0.84 Mpps vs UW's ~9.1 Mpps; give them a longer horizon
+  // so every depth bin is populated.
+  return kind == traffic::TraceKind::kUW ? 40'000'000 : 120'000'000;
+}
+
+void run_trace(traffic::TraceKind kind) {
+  const auto bins = ground::paper_depth_bins();
+
+  // --- Asynchronous queries: one run, victims sampled per bin. ---
+  RunConfig cfg;
+  cfg.kind = kind;
+  cfg.duration_ns = duration_for(kind);
+  cfg.seed = 42;
+  ExperimentRun run(cfg);
+  const auto aq = evaluate_aq_bins(run, bins, 100, /*sample_seed=*/7);
+
+  // --- Data-plane queries: one run per bin with a matching depth
+  // trigger; accuracy measured on the triggering victims in that bin. ---
+  std::vector<OnlineStats> dq_p(bins.size()), dq_r(bins.size());
+  for (std::uint32_t b = 0; b < bins.size(); ++b) {
+    RunConfig dq_cfg = cfg;
+    dq_cfg.dq_depth_threshold_cells = bins[b].first;
+    ExperimentRun dq_run(dq_cfg);
+    for (const auto& cap : dq_run.analysis().dq_captures(0)) {
+      const auto depth = cap.notification.enq_qdepth;
+      if (depth < bins[b].first || depth >= bins[b].second) continue;
+      if (const auto pr = dq_run.dq_accuracy(cap)) {
+        dq_p[b].add(pr->precision);
+        dq_r[b].add(pr->recall);
+      }
+    }
+  }
+
+  std::printf("\n[%s] %zu packets, avg inter-arrival %.0f ns\n",
+              trace_name(kind), run.records().size(),
+              run.avg_interarrival_ns());
+  Table t({"depth bin", "AQ precision", "AQ recall", "DQ precision",
+           "DQ recall", "AQ n", "DQ n"});
+  for (std::uint32_t b = 0; b < bins.size(); ++b) {
+    t.row({aq[b].label,
+           aq[b].precision.count() ? fmt(aq[b].precision.mean()) : "-",
+           aq[b].recall.count() ? fmt(aq[b].recall.mean()) : "-",
+           dq_p[b].count() ? fmt(dq_p[b].mean()) : "-",
+           dq_r[b].count() ? fmt(dq_r[b].mean()) : "-",
+           std::to_string(aq[b].precision.count()),
+           std::to_string(dq_p[b].count())});
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace pq::bench
+
+int main() {
+  std::printf("== Fig. 9: precision/recall vs queue depth (AQ and DQ) ==\n");
+  std::printf("Paper parameters: UW m0=6 alpha=2; WS/DM m0=10 alpha=1; "
+              "k=12 T=4\n");
+  for (auto kind :
+       {pq::traffic::TraceKind::kUW, pq::traffic::TraceKind::kWS,
+        pq::traffic::TraceKind::kDM}) {
+    pq::bench::run_trace(kind);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces paper Fig. 10: CDFs of per-victim precision and recall for
+// PrintQueue, HashPipe, and FlowRadar under the UW trace, split by query
+// interval (queue-depth band): 1k-5k, 5k-15k, and >15k cells.
+//
+// Expected shape: PrintQueue's CDF sits to the right (higher accuracy) of
+// both baselines in every band, most visibly at larger intervals.
+#include <cstdio>
+
+#include "bench/common/experiment.h"
+#include "bench/common/table.h"
+
+namespace pq::bench {
+namespace {
+
+void print_cdf_row(Table& t, const std::string& sys, const std::string& what,
+                   std::vector<double> samples) {
+  std::vector<std::string> cells{sys, what};
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    cells.push_back(samples.empty() ? "-" : fmt(quantile(samples, q)));
+  }
+  cells.push_back(std::to_string(samples.size()));
+  t.row(std::move(cells));
+}
+
+}  // namespace
+}  // namespace pq::bench
+
+int main() {
+  using namespace pq::bench;
+  std::printf("== Fig. 10: accuracy CDFs by depth band (UW trace) ==\n");
+  std::printf("PrintQueue 4096x4 windows vs HashPipe 4096x5 vs FlowRadar "
+              "4096x5; quantiles of the per-victim accuracy CDF.\n");
+
+  RunConfig cfg;
+  cfg.kind = pq::traffic::TraceKind::kUW;
+  cfg.duration_ns = 40'000'000;
+  cfg.seed = 42;
+  cfg.with_baselines = true;
+  ExperimentRun run(cfg);
+
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> bands = {
+      {1000, 5000}, {5000, 15000}, {15000, 0xffffffffu}};
+
+  for (const auto& band : bands) {
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> one{band};
+    const auto pq_res = evaluate_aq_bins(run, one, 150, 7);
+    const auto hp_res =
+        evaluate_baseline_bins(run, *run.hashpipe(), one, 150, 7);
+    const auto fr_res =
+        evaluate_baseline_bins(run, *run.flowradar(), one, 150, 7);
+
+    std::printf("\n[depth band %s]\n",
+                depth_bin_label(band.first, band.second).c_str());
+    Table t({"system", "metric", "p10", "p25", "p50", "p75", "p90", "n"});
+    print_cdf_row(t, "PrintQueue", "precision", pq_res[0].precision_samples);
+    print_cdf_row(t, "HashPipe", "precision", hp_res[0].precision_samples);
+    print_cdf_row(t, "FlowRadar", "precision", fr_res[0].precision_samples);
+    print_cdf_row(t, "PrintQueue", "recall", pq_res[0].recall_samples);
+    print_cdf_row(t, "HashPipe", "recall", hp_res[0].recall_samples);
+    print_cdf_row(t, "FlowRadar", "recall", fr_res[0].recall_samples);
+    t.print();
+  }
+  return 0;
+}

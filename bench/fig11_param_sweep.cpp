@@ -1,0 +1,62 @@
+// Reproduces paper Fig. 11: PrintQueue versus HashPipe/FlowRadar median
+// accuracy per queue-depth bin under UW traces, for three parameter sets:
+//   (a) alpha=2, k=12, T=4   (b) alpha=2, k=12, T=5   (c) alpha=3, k=12, T=4
+//
+// Expected shape: PrintQueue wins at larger query intervals everywhere;
+// higher alpha or T sacrifices small-interval accuracy (heavier compression
+// of the windows those queries land in).
+#include <cstdio>
+
+#include "bench/common/experiment.h"
+#include "bench/common/table.h"
+
+namespace pq::bench {
+namespace {
+
+struct ParamSet {
+  std::uint32_t alpha, k, T;
+};
+
+void run_params(const ParamSet& ps) {
+  RunConfig cfg;
+  cfg.kind = pq::traffic::TraceKind::kUW;
+  cfg.duration_ns = 40'000'000;
+  cfg.seed = 42;
+  cfg.alpha = ps.alpha;
+  cfg.k = ps.k;
+  cfg.num_windows = ps.T;
+  cfg.with_baselines = true;
+  ExperimentRun run(cfg);
+
+  const auto bins = ground::paper_depth_bins();
+  const auto pq_res = evaluate_aq_bins(run, bins, 100, 7);
+  const auto hp_res = evaluate_baseline_bins(run, *run.hashpipe(), bins, 100, 7);
+  const auto fr_res = evaluate_baseline_bins(run, *run.flowradar(), bins, 100, 7);
+
+  std::printf("\n[alpha=%u, k=%u, T=%u]  (median accuracy per bin)\n",
+              ps.alpha, ps.k, ps.T);
+  Table t({"depth bin", "PQ P", "PQ R", "HP P", "HP R", "FR P", "FR R"});
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    auto med = [](const std::vector<double>& v) {
+      return v.empty() ? std::string("-") : fmt(median(v));
+    };
+    t.row({pq_res[b].label, med(pq_res[b].precision_samples),
+           med(pq_res[b].recall_samples), med(hp_res[b].precision_samples),
+           med(hp_res[b].recall_samples), med(fr_res[b].precision_samples),
+           med(fr_res[b].recall_samples)});
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace pq::bench
+
+int main() {
+  std::printf("== Fig. 11: parameter sweep vs baselines (UW trace) ==\n");
+  for (const auto& ps : {pq::bench::ParamSet{2, 12, 4},
+                         pq::bench::ParamSet{2, 12, 5},
+                         pq::bench::ParamSet{3, 12, 4}}) {
+    pq::bench::run_params(ps);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces paper Fig. 13: control-plane storage bandwidth (MB/s of
+// register checkpointing over PCIe) versus asynchronous-query precision and
+// recall for configurations alpha_k_T, under the UW trace. Configurations
+// above the data-exchange limit (~100 MB/s, the measured capability of the
+// paper's analysis program) are infeasible: registers would age out before
+// they can be read.
+//
+// Expected shape: larger alpha and larger T reduce bandwidth exponentially
+// but cost accuracy; k shifts neither axis much (it scales the set period
+// and register count together).
+#include <cstdio>
+
+#include "bench/common/experiment.h"
+#include "bench/common/table.h"
+#include "control/resource_model.h"
+
+namespace pq::bench {
+namespace {
+
+void run() {
+  Table t({"alpha_k_T", "MB/s", "feasible", "precision", "recall", "n"});
+  for (std::uint32_t alpha : {1u, 2u, 3u}) {
+    for (std::uint32_t k : {11u, 12u}) {
+      for (std::uint32_t T : {3u, 4u, 5u}) {
+        RunConfig cfg;
+        cfg.kind = pq::traffic::TraceKind::kUW;
+        cfg.duration_ns = 40'000'000;
+        cfg.seed = 42;
+        cfg.alpha = alpha;
+        cfg.k = k;
+        cfg.num_windows = T;
+        ExperimentRun run(cfg);
+
+        core::TimeWindowParams params;
+        params.m0 = 6;
+        params.alpha = alpha;
+        params.k = k;
+        params.num_windows = T;
+        const double mbps = control::polling_mbytes_per_sec(params);
+
+        OnlineStats p, r;
+        Rng rng(7);
+        const auto victims = ground::sample_victims(
+            run.records(), ground::paper_depth_bins(), 60, rng);
+        for (const auto& v : victims) {
+          if (const auto pr = run.aq_accuracy(v.record)) {
+            p.add(pr->precision);
+            r.add(pr->recall);
+          }
+        }
+        char label[32];
+        std::snprintf(label, sizeof label, "%u_%u_%u", alpha, k, T);
+        t.row({label, fmt(mbps, 1),
+               control::polling_feasible(params) ? "yes" : "NO",
+               fmt(p.mean()), fmt(r.mean()),
+               std::to_string(p.count())});
+      }
+    }
+  }
+  t.print();
+  std::printf("\ndata exchange limit: %.0f MB/s\n",
+              control::kDataExchangeLimitMBps);
+}
+
+}  // namespace
+}  // namespace pq::bench
+
+int main() {
+  std::printf("== Fig. 13: polling bandwidth vs accuracy (UW trace) ==\n");
+  pq::bench::run();
+  return 0;
+}

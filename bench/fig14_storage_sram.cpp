@@ -1,0 +1,100 @@
+// Reproduces paper Fig. 14:
+//  (a) ratio of linear (NetSight/BurstRadar-style per-packet record)
+//      storage to PrintQueue's exponential storage, versus the covered
+//      duration, for alpha in {1,2,3} (T sized to cover the duration).
+//  (b) data-plane SRAM utilisation of the time windows across k_T
+//      configurations.
+//
+// Expected shape: the ratio grows with the covered duration, reaching one
+// to three orders of magnitude; SRAM usage is exponential in k, linear in
+// T, and a moderate fraction of the chip for paper-scale parameters.
+#include <cstdio>
+
+#include "bench/common/table.h"
+#include "control/resource_model.h"
+#include "core/time_windows.h"
+
+namespace pq::bench {
+namespace {
+
+core::TimeWindowParams params(std::uint32_t alpha, std::uint32_t k,
+                              std::uint32_t T) {
+  core::TimeWindowParams p;
+  p.m0 = 6;
+  p.alpha = alpha;
+  p.k = k;
+  p.num_windows = T;
+  return p;
+}
+
+void part_a() {
+  std::printf("\n(a) linear : exponential storage ratio "
+              "(UW-like 110 ns packet inter-arrival)\n");
+  Table t({"duration", "alpha=1", "alpha=2", "alpha=3"});
+  for (std::uint32_t log_dur : {20u, 22u, 24u, 26u, 28u, 30u}) {
+    const Duration dur = 1ull << log_dur;
+    std::vector<std::string> row{"2^" + std::to_string(log_dur) + " ns"};
+    for (std::uint32_t alpha : {1u, 2u, 3u}) {
+      // Deepen T until the window set covers the duration (max 12).
+      std::uint32_t T = 1;
+      while (T < 12 &&
+             core::TtsLayout(params(alpha, 12, T)).set_period_ns() < dur) {
+        ++T;
+      }
+      row.push_back(fmt(control::linear_exponential_ratio(
+                            params(alpha, 12, T), dur, 110.0),
+                        1) +
+                    " (T=" + std::to_string(T) + ")");
+    }
+    t.row(std::move(row));
+  }
+  t.print();
+}
+
+void part_b() {
+  std::printf("\n(b) time-window SRAM utilisation "
+              "(4 register banks, 16 B cells, %.1f MB budget)\n",
+              control::TofinoResourceModel::kTotalSramBytes / 1048576.0);
+  Table t({"k_T", "SRAM bytes", "utilisation"});
+  auto add = [&](std::uint32_t k, std::uint32_t T) {
+    core::TimeWindowSet tw(params(1, k, T));
+    t.row({std::to_string(k) + "_" + std::to_string(T),
+           std::to_string(tw.sram_bytes()),
+           fmt(100.0 * control::TofinoResourceModel::sram_utilization(
+                           tw.sram_bytes()),
+               2) +
+               "%"});
+  };
+  for (std::uint32_t k : {9u, 10u, 11u, 12u}) add(k, 5);
+  for (std::uint32_t T : {4u, 3u, 2u}) add(12, T);
+  t.print();
+}
+
+}  // namespace
+}  // namespace pq::bench
+
+namespace pq::bench {
+namespace {
+
+void part_c() {
+  std::printf("\n(c) MAU stage usage (paper: 4 + 2 per window; monitor's 6 "
+              "overlap; Tofino has 12)\n");
+  Table t({"T", "window stages", "fits 12-stage pipeline"});
+  for (std::uint32_t T : {2u, 3u, 4u, 5u}) {
+    const auto u = control::mau_stage_usage(params(1, 12, T));
+    t.row({std::to_string(T), std::to_string(u.window_stages),
+           control::stages_feasible(params(1, 12, T)) ? "yes" : "NO"});
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace pq::bench
+
+int main() {
+  std::printf("== Fig. 14: storage overhead comparison and SRAM usage ==\n");
+  pq::bench::part_a();
+  pq::bench::part_b();
+  pq::bench::part_c();
+  return 0;
+}

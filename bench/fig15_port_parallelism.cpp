@@ -1,0 +1,119 @@
+// Reproduces paper Fig. 15: asynchronous-query accuracy and total
+// data-plane SRAM utilisation as PrintQueue is activated on more ports
+// simultaneously (WS traces). As in the paper, alpha and k are tightened as
+// the port count grows so the total register budget stays affordable:
+//   1 port:  alpha=1, k=12     2 ports: alpha=1, k=11
+//   4/8/10 ports: alpha=2, k=10
+//
+// Expected shape: accuracy declines gently as the per-port structures
+// shrink; SRAM grows with the (rounded-up power of two) port count.
+#include <cstdio>
+
+#include "bench/common/experiment.h"
+#include "bench/common/table.h"
+#include "control/resource_model.h"
+#include "sim/switch.h"
+#include "traffic/distributions.h"
+
+namespace pq::bench {
+namespace {
+
+struct PortSetup {
+  std::uint32_t ports, alpha, k;
+};
+
+void run_setup(const PortSetup& setup, Table& t) {
+  core::PipelineConfig pcfg;
+  pcfg.windows.m0 = 10;  // WS parameters (Section 7.1)
+  pcfg.windows.alpha = setup.alpha;
+  pcfg.windows.k = setup.k;
+  pcfg.windows.num_windows = 4;
+  pcfg.windows.num_ports = setup.ports;
+  pcfg.monitor.max_depth_cells = 25000;
+  // Multi-port deployments coarsen the queue-monitor stack (Section 5:
+  // depth / buffer-allocation granularity) to keep its footprint linear
+  // in the port count without dominating SRAM.
+  pcfg.monitor.granularity_cells = 8;
+  pcfg.monitor.num_ports = setup.ports;
+  core::PrintQueuePipeline pipeline(pcfg);
+  for (std::uint32_t p = 0; p < setup.ports; ++p) pipeline.enable_port(p);
+  control::AnalysisProgram analysis(pipeline, {});
+
+  std::vector<sim::PortConfig> port_cfgs(setup.ports);
+  for (std::uint32_t p = 0; p < setup.ports; ++p) {
+    port_cfgs[p].port_id = p;
+    port_cfgs[p].line_rate_gbps = 10.0;
+    port_cfgs[p].capacity_cells = 25000;
+    // Ground truth only needed on the measured port.
+    port_cfgs[p].collect_records = (p == 0);
+    port_cfgs[p].collect_depth_series = false;
+  }
+  sim::Switch sw(std::move(port_cfgs));
+  sw.set_forwarding([](const Packet& p) { return p.egress_hint; });
+  sw.add_hook_all(&pipeline);
+
+  // Independent WS traffic per port.
+  std::vector<std::vector<Packet>> parts;
+  for (std::uint32_t p = 0; p < setup.ports; ++p) {
+    traffic::FlowTraceConfig tcfg;
+    tcfg.flow_sizes = &traffic::web_search_flow_sizes();
+    // Long enough to cover several set periods of the largest config
+    // (alpha=2, k=10, m0=10 has t_set ~ 22 ms; alpha=1, k=12 ~ 63 ms).
+    tcfg.duration_ns = 250'000'000;
+    tcfg.seed = 42 + p;
+    tcfg.flow_id_base = p * 1'000'000;
+    auto pkts = traffic::generate_flow_trace(tcfg);
+    for (auto& pk : pkts) pk.egress_hint = p;
+    parts.push_back(std::move(pkts));
+  }
+  sw.run(traffic::merge_traces(std::move(parts)));
+  analysis.finalize(sw.port(0).stats().last_departure + 1);
+
+  // Accuracy on port 0.
+  ground::GroundTruth truth(sw.port(0).records());
+  OnlineStats prec, rec;
+  Rng rng(7);
+  const auto victims = ground::sample_victims(
+      sw.port(0).records(), ground::paper_depth_bins(), 60, rng);
+  for (const auto& v : victims) {
+    const Timestamp t1 = v.record.enq_timestamp;
+    const Timestamp t2 = v.record.deq_timestamp();
+    const auto gt = truth.direct_culprits(t1, t2);
+    if (gt.empty()) continue;
+    const auto pr = ground::flow_count_accuracy(
+        analysis.query_time_windows(0, t1, t2), gt);
+    prec.add(pr.precision);
+    rec.add(pr.recall);
+  }
+
+  char label[32];
+  std::snprintf(label, sizeof label, "alpha=%u k=%u", setup.alpha, setup.k);
+  t.row({std::to_string(setup.ports), label, fmt(prec.mean()),
+         fmt(rec.mean()),
+         fmt(100.0 * control::TofinoResourceModel::sram_utilization(
+                         pipeline.windows().sram_bytes()),
+             1) +
+             "%",
+         fmt(100.0 * control::TofinoResourceModel::sram_utilization(
+                         pipeline.monitor().sram_bytes()),
+             1) +
+             "%",
+         std::to_string(prec.count())});
+}
+
+}  // namespace
+}  // namespace pq::bench
+
+int main() {
+  std::printf("== Fig. 15: accuracy vs number of active ports (WS) ==\n");
+  pq::bench::Table t({"ports", "config", "precision", "recall",
+                      "windows SRAM", "monitor SRAM", "n"});
+  for (const auto& s :
+       {pq::bench::PortSetup{1, 1, 12}, pq::bench::PortSetup{2, 1, 11},
+        pq::bench::PortSetup{4, 2, 10}, pq::bench::PortSetup{8, 2, 10},
+        pq::bench::PortSetup{10, 2, 10}}) {
+    pq::bench::run_setup(s, t);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Micro-benchmarks of the data-plane structures and the query path
+// (google-benchmark). The paper reports that the Python analysis front end
+// executes ~100 queries/second; the C++ analysis program here is orders of
+// magnitude faster, and per-packet updates are tens of nanoseconds — in
+// line with what a Tofino stage does in constant time per packet.
+#include <benchmark/benchmark.h>
+
+#include "baseline/flowradar.h"
+#include "baseline/hashpipe.h"
+#include "bench/common/experiment.h"
+#include "core/pipeline.h"
+#include "core/window_filter.h"
+
+namespace pq {
+namespace {
+
+core::TimeWindowParams window_params(std::uint32_t alpha) {
+  core::TimeWindowParams p;
+  p.m0 = 6;
+  p.alpha = alpha;
+  p.k = 12;
+  p.num_windows = 4;
+  return p;
+}
+
+void BM_TimeWindows_OnPacket(benchmark::State& state) {
+  core::TimeWindowSet tw(
+      window_params(static_cast<std::uint32_t>(state.range(0))));
+  Rng rng(1);
+  Timestamp t = 0;
+  for (auto _ : state) {
+    t += 64 + rng.uniform_below(64);
+    tw.on_packet(0, make_flow(static_cast<std::uint32_t>(t) & 1023), t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimeWindows_OnPacket)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_QueueMonitor_OnPacket(benchmark::State& state) {
+  core::QueueMonitorParams p;
+  p.max_depth_cells = 25000;
+  core::QueueMonitor qm(p);
+  Rng rng(2);
+  std::uint32_t depth = 1000;
+  for (auto _ : state) {
+    depth = static_cast<std::uint32_t>(
+        std::clamp<std::int64_t>(static_cast<std::int64_t>(depth) +
+                                     static_cast<std::int64_t>(
+                                         rng.uniform_below(41)) -
+                                     20,
+                                 0, 24999));
+    qm.on_packet(0, make_flow(depth & 255), depth);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueueMonitor_OnPacket);
+
+void BM_Pipeline_OnEgress(benchmark::State& state) {
+  core::PipelineConfig cfg;
+  cfg.windows = window_params(2);
+  cfg.monitor.max_depth_cells = 25000;
+  core::PrintQueuePipeline pipe(cfg);
+  pipe.enable_port(0);
+  Rng rng(3);
+  sim::EgressContext ctx;
+  ctx.egress_port = 0;
+  ctx.size_bytes = 100;
+  ctx.packet_cells = 2;
+  Timestamp t = 0;
+  for (auto _ : state) {
+    t += 64 + rng.uniform_below(64);
+    ctx.flow = make_flow(static_cast<std::uint32_t>(rng.uniform_below(4096)));
+    ctx.enq_timestamp = t;
+    ctx.deq_timedelta = rng.uniform_below(100000);
+    ctx.enq_qdepth = static_cast<std::uint32_t>(rng.uniform_below(20000));
+    pipe.on_egress(ctx);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Pipeline_OnEgress);
+
+void BM_HashPipe_Insert(benchmark::State& state) {
+  baseline::HashPipe hp({.stages = 5, .slots_per_stage = 4096});
+  Rng rng(4);
+  for (auto _ : state) {
+    hp.insert(make_flow(static_cast<std::uint32_t>(rng.uniform_below(8192))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashPipe_Insert);
+
+void BM_FlowRadar_Insert(benchmark::State& state) {
+  baseline::FlowRadarParams p;
+  p.cells = 4096 * 5;
+  baseline::FlowRadar fr(p);
+  Rng rng(5);
+  for (auto _ : state) {
+    fr.insert(make_flow(static_cast<std::uint32_t>(rng.uniform_below(8192))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowRadar_Insert);
+
+/// Full asynchronous query (filter + coefficient recovery) on a realistic
+/// snapshot — the analysis-program step the paper's Python front end does
+/// at ~100/s.
+void BM_AnalysisProgram_Query(benchmark::State& state) {
+  bench::RunConfig cfg;
+  cfg.kind = traffic::TraceKind::kUW;
+  cfg.duration_ns = 10'000'000;
+  bench::ExperimentRun run(cfg);
+  Rng rng(6);
+  const auto& recs = run.records();
+  for (auto _ : state) {
+    const auto& victim = recs[rng.uniform_below(recs.size())];
+    benchmark::DoNotOptimize(run.analysis().query_time_windows(
+        0, victim.enq_timestamp, victim.deq_timestamp()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalysisProgram_Query)->Unit(benchmark::kMicrosecond);
+
+void BM_QueueMonitor_CulpritWalk(benchmark::State& state) {
+  core::QueueMonitorParams p;
+  p.max_depth_cells = 25000;
+  core::QueueMonitor qm(p);
+  Rng rng(7);
+  std::uint32_t depth = 0;
+  for (int i = 0; i < 100000; ++i) {
+    depth = static_cast<std::uint32_t>(rng.uniform_below(25000));
+    qm.on_packet(0, make_flow(depth & 255), depth);
+  }
+  const auto snapshot = qm.read_bank(qm.active_bank(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::original_culprits(snapshot));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueueMonitor_CulpritWalk)->Unit(benchmark::kMicrosecond);
+
+void BM_FlowRadar_Decode(benchmark::State& state) {
+  baseline::FlowRadarParams p;
+  p.cells = 4096 * 5;
+  baseline::FlowRadar fr(p);
+  Rng rng(8);
+  for (int i = 0; i < 50000; ++i) {
+    fr.insert(make_flow(static_cast<std::uint32_t>(rng.uniform_below(3000))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fr.read());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowRadar_Decode)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pq
+
+BENCHMARK_MAIN();

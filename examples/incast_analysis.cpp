@@ -1,0 +1,106 @@
+// Incast analysis: why *indirect* culprits matter (paper Section 2).
+//
+// In TCP incast, many synchronized senders answer one request at once. By
+// the time a straggler suffers, most of the burst has already left the
+// queue: the flows that *directly* delay the victim are only the tail of
+// the burst. The indirect culprits — everything dequeued since the queue
+// last drained — reveal the synchronized pattern: dozens of flows of
+// near-identical size, all starting together, with spare capacity around
+// the burst that desynchronized sends could have used.
+#include <cstdio>
+
+#include "control/analysis_program.h"
+#include "ground/ground_truth.h"
+#include "sim/egress_port.h"
+#include "traffic/scenarios.h"
+#include "traffic/trace_gen.h"
+
+int main() {
+  using namespace pq;
+
+  core::PipelineConfig pq_cfg;
+  pq_cfg.windows.m0 = 8;  // MTU-heavy traffic: 256 ns base cells
+  pq_cfg.windows.alpha = 1;
+  pq_cfg.windows.k = 12;
+  pq_cfg.windows.num_windows = 4;
+  pq_cfg.monitor.max_depth_cells = 25000;
+  core::PrintQueuePipeline pipeline(pq_cfg);
+  pipeline.enable_port(0);
+  // Incast bursts are short and the link is nearly idle afterwards, so
+  // unpassed window-0 cells go stale quickly (the passing rule needs
+  // follow-on traffic). Checkpoint every millisecond instead of once per
+  // set period so the burst is captured while still in fresh windows.
+  control::AnalysisConfig acfg;
+  acfg.poll_period_ns = 1'000'000;
+  control::AnalysisProgram analysis(pipeline, acfg);
+
+  sim::PortConfig port_cfg;
+  sim::EgressPort port(port_cfg);
+  port.add_hook(&pipeline);
+
+  // 48 senders, 96 kB each, synchronized within 4 us (a classic
+  // partition-aggregate response), plus one lone probe flow as the victim.
+  Rng rng(21);
+  traffic::IncastConfig incast;
+  incast.start = 1'000'000;
+  incast.senders = 48;
+  incast.bytes_per_sender = 96 * 1024;
+  incast.sender_gbps = 5.0;
+  incast.sync_jitter_ns = 4'000;
+  traffic::ProbeConfig probe;
+  probe.start = 0;
+  probe.duration_ns = 8'000'000;
+  probe.rate_gbps = 0.02;
+  probe.packet_bytes = 512;
+  probe.flow_id_base = 900'000;
+
+  port.run(traffic::merge_traces({traffic::generate_incast(incast, rng),
+                                  traffic::generate_probe(probe)}));
+  analysis.finalize(port.stats().last_departure + 1);
+  ground::GroundTruth truth(port.records());
+
+  // The victim: the probe packet with the worst delay.
+  const wire::TelemetryRecord* victim = nullptr;
+  for (const auto& rec : port.records()) {
+    if (rec.flow != make_flow(900'000)) continue;
+    if (victim == nullptr || rec.deq_timedelta > victim->deq_timedelta) {
+      victim = &rec;
+    }
+  }
+  std::printf("probe packet queued %.1f us behind %u cells\n",
+              victim->deq_timedelta / 1e3, victim->enq_qdepth);
+
+  const auto direct = analysis.query_time_windows(
+      0, victim->enq_timestamp, victim->deq_timestamp());
+  const Timestamp regime = truth.regime_start(victim->enq_timestamp);
+  const auto indirect =
+      analysis.query_time_windows(0, regime, victim->enq_timestamp);
+
+  auto summarize = [](const char* name, const core::FlowCounts& counts) {
+    double total = 0, max_flow = 0;
+    for (const auto& [f, n] : counts) {
+      total += n;
+      max_flow = std::max(max_flow, n);
+    }
+    std::printf("\n%s: %zu flows, %.0f packets total\n", name, counts.size(),
+                total);
+    if (!counts.empty()) {
+      const double mean = total / static_cast<double>(counts.size());
+      std::printf("  per-flow mean %.1f, max %.0f -> max/mean %.2f\n", mean,
+                  max_flow, mean > 0 ? max_flow / mean : 0.0);
+    }
+  };
+
+  // Direct culprits: only the burst's tail, a partial picture.
+  summarize("direct culprits", direct);
+  // Indirect culprits: the whole regime. Near-uniform per-flow counts
+  // across ~48 flows are the signature of a synchronized incast.
+  summarize("indirect culprits (full congestion regime)", indirect);
+
+  std::printf("\ndiagnosis: %zu flows with near-equal contributions began "
+              "within the same regime -> synchronized senders; "
+              "desynchronizing them would spread the burst over the regime's"
+              " spare capacity.\n",
+              indirect.size());
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Per-queue diagnosis behind a strict-priority scheduler (paper Section 5:
+// "multiple queues are tracked individually" — Fig. 1's motivating example
+// is exactly a low-priority victim continuously delayed by higher-priority
+// traffic).
+//
+// Two service classes share a 10 Gb/s port: class 0 (high) carries bursty
+// RPC traffic, class 1 (low) carries a batch transfer. The batch transfer's
+// packets are starved. The time windows (scheduler-agnostic) find the
+// direct culprits across the whole port; the per-queue monitors show that
+// the buildup lives entirely in the low-priority queue while the
+// high-priority queue stays shallow — the signature of priority starvation
+// rather than plain overload.
+#include <cstdio>
+
+#include "control/analysis_program.h"
+#include "sim/egress_port.h"
+#include "traffic/scenarios.h"
+#include "traffic/trace_gen.h"
+
+int main() {
+  using namespace pq;
+
+  core::PipelineConfig cfg;
+  cfg.windows.m0 = 6;
+  cfg.windows.alpha = 1;
+  cfg.windows.k = 12;
+  cfg.windows.num_windows = 4;
+  cfg.monitor.max_depth_cells = 25000;
+  cfg.queues_per_port = 2;  // track each priority class separately
+  core::PrintQueuePipeline pipeline(cfg);
+  const auto prefix = pipeline.enable_port(0);
+  control::AnalysisProgram analysis(pipeline, {});
+
+  sim::PortConfig port_cfg;
+  port_cfg.scheduler = sim::SchedulerKind::kStrictPriority;
+  port_cfg.num_classes = 2;
+  sim::EgressPort port(port_cfg);
+  port.add_hook(&pipeline);
+
+  // High-priority RPC traffic: bursty, ~7 Gb/s average.
+  traffic::PacketTraceConfig rpc;
+  rpc.duration_ns = 20'000'000;
+  rpc.avg_load = 0.7;
+  rpc.seed = 11;
+  auto rpc_pkts = traffic::generate_uw_trace(rpc);
+  for (auto& p : rpc_pkts) p.priority = 0;
+
+  // Low-priority batch transfer at 4 Gb/s: mathematically fits the link's
+  // leftover capacity on average, but strict priority starves it whenever
+  // the RPC traffic bursts.
+  traffic::ProbeConfig batch;
+  batch.duration_ns = 20'000'000;
+  batch.rate_gbps = 4.0;
+  batch.packet_bytes = 1500;
+  batch.flow_id_base = 42;
+  auto batch_pkts = traffic::generate_probe(batch);
+  for (auto& p : batch_pkts) p.priority = 1;
+
+  port.run(traffic::merge_traces({std::move(rpc_pkts),
+                                  std::move(batch_pkts)}));
+  analysis.finalize(port.stats().last_departure + 1);
+
+  // The victim: the worst-delayed batch packet.
+  const wire::TelemetryRecord* victim = nullptr;
+  for (const auto& r : port.records()) {
+    if (r.flow != make_flow(42)) continue;
+    if (victim == nullptr || r.deq_timedelta > victim->deq_timedelta) {
+      victim = &r;
+    }
+  }
+  std::printf("batch packet queued %.1f us (port depth %u cells at "
+              "enqueue)\n",
+              victim->deq_timedelta / 1e3, victim->enq_qdepth);
+
+  // Direct culprits via the (scheduler-agnostic) time windows. With a
+  // mixed 64 B / MTU packet population the absolute count calibration is
+  // rough, but the per-flow *shares* — what the operator acts on — are
+  // robust.
+  const auto direct = analysis.query_time_windows(
+      prefix, victim->enq_timestamp, victim->deq_timestamp());
+  double rpc_share = 0, total = 0;
+  for (const auto& [flow, n] : direct) {
+    total += n;
+    if (flow != make_flow(42)) rpc_share += n;
+  }
+  std::printf("direct culprits: %zu flows, %.1f%% of the blame on the "
+              "high-priority class\n",
+              direct.size(), total > 0 ? 100.0 * rpc_share / total : 0.0);
+
+  // Per-queue original culprits: where does the buildup live?
+  for (std::uint8_t q = 0; q < 2; ++q) {
+    const auto culprits = analysis.query_queue_monitor(
+        pipeline.monitor_partition(prefix, q), victim->deq_timestamp());
+    std::uint32_t top = 0;
+    for (const auto& c : culprits) top = std::max(top, c.level);
+    std::printf("queue %u (%s): buildup to %u cells across %zu stack "
+                "entries\n",
+                q, q == 0 ? "high priority" : "low priority", top,
+                culprits.size());
+  }
+  std::printf("\ndiagnosis: the low-priority queue holds the entire "
+              "standing buildup while the high-priority queue stays "
+              "shallow -> classic priority starvation, not link "
+              "overload.\n");
+  return 0;
+}

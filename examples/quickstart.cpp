@@ -1,0 +1,103 @@
+// Quickstart: attach PrintQueue to a simulated 10 Gb/s egress port, run
+// some congested traffic through it, pick a delayed packet, and ask the
+// three diagnosis questions the paper poses:
+//   1. which flows directly delayed this packet?   (time windows)
+//   2. which flows occupied the whole congestion regime? (time windows)
+//   3. which packets originally built the queue up?     (queue monitor)
+#include <cstdio>
+
+#include "control/analysis_program.h"
+#include "ground/ground_truth.h"
+#include "sim/egress_port.h"
+#include "traffic/trace_gen.h"
+
+int main() {
+  using namespace pq;
+
+  // 1. Configure the PrintQueue data plane: four time windows of 4096
+  //    cells (k=12), compression factor alpha=2, 64 ns base cells (m0=6) —
+  //    the paper's parameters for small-packet data-center traffic.
+  core::PipelineConfig pq_cfg;
+  pq_cfg.windows.m0 = 6;
+  pq_cfg.windows.alpha = 2;
+  pq_cfg.windows.k = 12;
+  pq_cfg.windows.num_windows = 4;
+  pq_cfg.monitor.max_depth_cells = 25000;
+  core::PrintQueuePipeline pipeline(pq_cfg);
+  pipeline.enable_port(0);  // the ingress flow table gates per port
+
+  // 2. The control-plane analysis program checkpoints the registers once
+  //    per set period and executes queries.
+  control::AnalysisProgram analysis(pipeline, {});
+
+  // 3. A simulated egress port stands in for the Tofino traffic manager;
+  //    the pipeline hooks its dequeue path exactly where the P4 program
+  //    would run.
+  sim::PortConfig port_cfg;
+  port_cfg.line_rate_gbps = 10.0;
+  port_cfg.capacity_cells = 25000;  // 2 MB buffer in 80 B cells
+  sim::EgressPort port(port_cfg);
+  port.add_hook(&pipeline);
+
+  // 4. Run 20 ms of bursty data-center traffic.
+  auto packets =
+      traffic::generate_trace(traffic::TraceKind::kUW, 20'000'000, 1);
+  std::printf("replaying %zu packets through the switch...\n",
+              packets.size());
+  port.run(std::move(packets));
+  analysis.finalize(port.stats().last_departure + 1);
+
+  // 5. Pick a victim: the packet with the worst queuing delay.
+  const wire::TelemetryRecord* victim = nullptr;
+  for (const auto& rec : port.records()) {
+    if (victim == nullptr || rec.deq_timedelta > victim->deq_timedelta) {
+      victim = &rec;
+    }
+  }
+  std::printf("\nvictim: %s\n  enqueued at %.3f ms, queued for %.1f us "
+              "behind %u cells\n",
+              to_string(victim->flow).c_str(),
+              victim->enq_timestamp / 1e6, victim->deq_timedelta / 1e3,
+              victim->enq_qdepth);
+
+  // 6. Direct culprits: flows dequeued during the victim's queuing.
+  const auto direct = analysis.query_time_windows(
+      0, victim->enq_timestamp, victim->deq_timestamp());
+  std::printf("\ntop direct culprits (estimated packets in "
+              "[enqueue, dequeue)):\n");
+  for (const auto& [flow, count] : core::top_k_flows(direct, 5)) {
+    std::printf("  %-40s %8.1f\n", to_string(flow).c_str(), count);
+  }
+
+  // 7. Indirect culprits: everything since the congestion regime began.
+  ground::GroundTruth truth(port.records());
+  const Timestamp regime = truth.regime_start(victim->enq_timestamp);
+  const auto indirect =
+      analysis.query_time_windows(0, regime, victim->enq_timestamp);
+  std::printf("\ncongestion regime began %.1f us before the victim; "
+              "top indirect culprits:\n",
+              (victim->enq_timestamp - regime) / 1e3);
+  for (const auto& [flow, count] : core::top_k_flows(indirect, 5)) {
+    std::printf("  %-40s %8.1f\n", to_string(flow).c_str(), count);
+  }
+
+  // 8. Original causes: who built the queue to its current level.
+  const auto culprits =
+      analysis.query_queue_monitor(0, victim->deq_timestamp());
+  const auto original = core::culprit_counts(culprits);
+  std::printf("\noriginal causes of the buildup (queue monitor):\n");
+  for (const auto& [flow, count] : core::top_k_flows(original, 5)) {
+    std::printf("  %-40s %8.0f packets\n", to_string(flow).c_str(), count);
+  }
+
+  // 9. Sanity: compare the direct-culprit estimate with ground truth.
+  const auto gt = truth.direct_culprits(victim->enq_timestamp,
+                                        victim->deq_timestamp());
+  double est_total = 0, true_total = 0;
+  for (const auto& [f, n] : direct) est_total += n;
+  for (const auto& [f, n] : gt) true_total += n;
+  std::printf("\nestimated %.0f culprit packets vs %.0f actual "
+              "(%zu vs %zu flows)\n",
+              est_total, true_total, direct.size(), gt.size());
+  return 0;
+}

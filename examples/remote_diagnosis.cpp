@@ -1,0 +1,76 @@
+// Remote diagnosis via the asynchronous query interface (paper Fig. 3):
+// a higher-layer application — say, a network-wide troubleshooting service
+// reacting to a customer complaint — sends serialized query requests to
+// the switch's analysis program and decodes the responses. This example
+// plays both sides of the exchange.
+#include <cstdio>
+
+#include "control/query_service.h"
+#include "sim/egress_port.h"
+#include "traffic/trace_gen.h"
+
+int main() {
+  using namespace pq;
+
+  // --- switch side: PrintQueue running on a congested port ---
+  core::PipelineConfig cfg;
+  cfg.windows.m0 = 6;
+  cfg.windows.alpha = 2;
+  cfg.windows.k = 12;
+  cfg.windows.num_windows = 4;
+  cfg.monitor.max_depth_cells = 25000;
+  core::PrintQueuePipeline pipeline(cfg);
+  pipeline.enable_port(0);
+  control::AnalysisProgram analysis(pipeline, {});
+  control::QueryService service(analysis);
+
+  sim::PortConfig port_cfg;
+  sim::EgressPort port(port_cfg);
+  port.add_hook(&pipeline);
+  port.run(traffic::generate_trace(traffic::TraceKind::kUW, 15'000'000, 5));
+  analysis.finalize(port.stats().last_departure + 1);
+
+  // --- application side: a complaint arrives about slowness "around 8 ms
+  // into the incident". Ask the switch what occupied the port then. ---
+  const Timestamp complaint_t = 8'000'000;
+
+  control::QueryRequest req;
+  req.type = control::QueryType::kTimeWindows;
+  req.port_prefix = 0;
+  req.t1 = complaint_t - 200'000;  // a 200 us window before the complaint
+  req.t2 = complaint_t;
+  const auto request_bytes = control::encode_request(req);
+  std::printf("application -> switch: %zu-byte time-window query for "
+              "[%.3f, %.3f] ms\n",
+              request_bytes.size(), req.t1 / 1e6, req.t2 / 1e6);
+
+  const auto response_bytes = service.handle(request_bytes);
+  const auto resp = control::decode_response(response_bytes);
+  std::printf("switch -> application: %zu bytes, status %u, %zu flows\n",
+              response_bytes.size(), static_cast<unsigned>(resp.status),
+              resp.counts.size());
+
+  std::printf("\ntop flows occupying the port before the complaint:\n");
+  for (const auto& [flow, count] : core::top_k_flows(resp.counts, 6)) {
+    std::printf("  %-44s %9.1f pkts\n", to_string(flow).c_str(), count);
+  }
+
+  // Follow-up: who originally built up the queue?
+  control::QueryRequest mon_req;
+  mon_req.type = control::QueryType::kQueueMonitor;
+  mon_req.port_prefix = 0;
+  mon_req.t1 = complaint_t;
+  const auto mon_resp =
+      control::decode_response(service.handle(control::encode_request(mon_req)));
+  std::printf("\noriginal causes of the buildup (%zu stack entries):\n",
+              mon_resp.culprits.size());
+  const auto counts = core::culprit_counts(mon_resp.culprits);
+  for (const auto& [flow, count] : core::top_k_flows(counts, 4)) {
+    std::printf("  %-44s %9.0f packets\n", to_string(flow).c_str(), count);
+  }
+
+  std::printf("\nservice stats: %llu served, %llu rejected\n",
+              static_cast<unsigned long long>(service.requests_served()),
+              static_cast<unsigned long long>(service.requests_rejected()));
+  return 0;
+}

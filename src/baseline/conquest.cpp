@@ -1,0 +1,100 @@
+#include "baseline/conquest.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace pq::baseline {
+
+ConQuest::ConQuest(const ConQuestParams& params)
+    : params_(params), hash_(params.seed) {
+  if (params_.num_snapshots < 2 || params_.rows == 0 ||
+      params_.columns == 0 || params_.snapshot_window_ns == 0) {
+    throw std::invalid_argument("ConQuestParams out of range");
+  }
+  ring_.resize(params_.num_snapshots);
+  for (auto& s : ring_) {
+    s.counters.assign(static_cast<std::size_t>(params_.rows) *
+                          params_.columns,
+                      0);
+  }
+}
+
+void ConQuest::rotate_to(std::uint64_t window_id) {
+  if (started_ && window_id <= current_window_) return;
+  // Advance one window at a time so every slot's window_id stays exact;
+  // skipping far ahead cleans everything on the way (idle periods).
+  if (!started_) {
+    current_window_ = window_id;
+    started_ = true;
+  }
+  while (current_window_ < window_id) {
+    ++current_window_;
+    Snapshot& s = ring_[current_window_ % ring_.size()];
+    // The slot about to become the active writer is cleaned (in hardware
+    // this happens incrementally during its read phase).
+    if (s.dirty) std::fill(s.counters.begin(), s.counters.end(), 0);
+    s.window_id = current_window_;
+    s.dirty = false;
+  }
+  ring_[current_window_ % ring_.size()].window_id = current_window_;
+}
+
+void ConQuest::on_packet(const FlowId& flow, std::uint32_t bytes,
+                         Timestamp now) {
+  rotate_to(window_of(now));
+  Snapshot& s = ring_[current_window_ % ring_.size()];
+  s.window_id = current_window_;
+  s.dirty = true;
+  for (std::uint32_t r = 0; r < params_.rows; ++r) {
+    s.counters[static_cast<std::size_t>(r) * params_.columns +
+               hash_.index(r, flow, params_.columns)] += bytes;
+  }
+}
+
+std::uint64_t ConQuest::read_sketch(const Snapshot& s,
+                                    const FlowId& flow) const {
+  std::uint64_t est = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t r = 0; r < params_.rows; ++r) {
+    est = std::min<std::uint64_t>(
+        est, s.counters[static_cast<std::size_t>(r) * params_.columns +
+                        hash_.index(r, flow, params_.columns)]);
+  }
+  return est;
+}
+
+std::uint64_t ConQuest::query_flow(const FlowId& flow, Timestamp now,
+                                   Duration lookback_ns) const {
+  if (!started_) return 0;
+  const std::uint64_t now_window = window_of(now);
+  const std::uint64_t windows_back =
+      std::min<std::uint64_t>(
+          (lookback_ns + params_.snapshot_window_ns - 1) /
+              params_.snapshot_window_ns,
+          params_.num_snapshots - 1);
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 1; i <= windows_back; ++i) {
+    if (now_window < i) break;
+    const std::uint64_t w = now_window - i;
+    const Snapshot& s = ring_[w % ring_.size()];
+    if (s.window_id != w || !s.dirty) continue;  // rotated away or clean
+    total += read_sketch(s, flow);
+  }
+  return total;
+}
+
+bool ConQuest::covers(Timestamp t1, Timestamp now) const {
+  if (!started_) return false;
+  const std::uint64_t now_window = window_of(now);
+  const std::uint64_t t1_window = window_of(t1);
+  // t1's snapshot must still be resident (not yet reused as the writer).
+  return now_window >= t1_window &&
+         now_window - t1_window <= params_.num_snapshots - 1;
+}
+
+std::uint64_t ConQuest::sram_bytes() const {
+  return static_cast<std::uint64_t>(params_.num_snapshots) * params_.rows *
+         params_.columns * 4;
+}
+
+}  // namespace pq::baseline

@@ -1,0 +1,83 @@
+// ConQuest-style queue-composition snapshots (Chen et al., CoNEXT'19),
+// the closest related system (paper Section 8).
+//
+// ConQuest maintains R count-min-sketch snapshots in a time-based round
+// robin: the active snapshot absorbs arriving packets for one snapshot
+// window h, then rotates to read-only while the oldest is cleaned for
+// reuse. At any instant, summing a flow's estimates over the ceil(d/h)
+// most recent read-only snapshots approximates the flow's bytes currently
+// in a queue of delay d — answering "is the current packet's flow a main
+// contributor to the queue right now?".
+//
+// What it cannot answer (the PrintQueue paper's point): the reverse
+// lookup. Given a *victim* packet, its culprits lie in [enq, deq] — an
+// interval that rotates out of the snapshot ring after R*h. PrintQueue's
+// time windows keep exponentially-compressed history instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace pq::baseline {
+
+struct ConQuestParams {
+  std::uint32_t num_snapshots = 4;    ///< R
+  std::uint32_t rows = 2;             ///< CMS depth
+  std::uint32_t columns = 1024;       ///< CMS width per row
+  Duration snapshot_window_ns = 262'144;  ///< h: ~ typical delay / R
+  std::uint64_t seed = 0xC0C0;
+};
+
+class ConQuest {
+ public:
+  explicit ConQuest(const ConQuestParams& params);
+
+  const ConQuestParams& params() const { return params_; }
+
+  /// Records a packet of `flow` with `bytes` arriving at time `now`.
+  /// Rotation and cleaning are driven by `now` (monotone per caller).
+  void on_packet(const FlowId& flow, std::uint32_t bytes, Timestamp now);
+
+  /// Estimated bytes of `flow` across the snapshots covering the last
+  /// `lookback_ns` before `now` (clamped to the ring's capacity).
+  std::uint64_t query_flow(const FlowId& flow, Timestamp now,
+                           Duration lookback_ns) const;
+
+  /// True when `[t1, t2)` is still (fully) covered by retained snapshots —
+  /// i.e. a culprit query for that interval is answerable at `now`.
+  bool covers(Timestamp t1, Timestamp now) const;
+
+  /// Total history the ring can ever cover: (R - 1) windows (one snapshot
+  /// is always the active writer).
+  Duration history_ns() const {
+    return static_cast<Duration>(params_.num_snapshots - 1) *
+           params_.snapshot_window_ns;
+  }
+
+  /// Data-plane SRAM for the ring (4-byte counters).
+  std::uint64_t sram_bytes() const;
+
+ private:
+  struct Snapshot {
+    std::vector<std::uint32_t> counters;  ///< rows * columns
+    std::uint64_t window_id = 0;          ///< which time slice it holds
+    bool dirty = false;
+  };
+
+  std::uint64_t window_of(Timestamp t) const {
+    return t / params_.snapshot_window_ns;
+  }
+  void rotate_to(std::uint64_t window_id);
+  std::uint64_t read_sketch(const Snapshot& s, const FlowId& flow) const;
+
+  ConQuestParams params_;
+  HashFamily hash_;
+  std::vector<Snapshot> ring_;
+  std::uint64_t current_window_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace pq::baseline

@@ -1,0 +1,28 @@
+// Common interface for the fixed-interval flow counters PrintQueue is
+// compared against (paper Section 7.1): they ingest every packet, are read
+// out and reset at fixed intervals, and report per-flow packet counts.
+#pragma once
+
+#include "common/types.h"
+#include "core/window_filter.h"  // FlowCounts
+
+namespace pq::baseline {
+
+class FlowCounter {
+ public:
+  virtual ~FlowCounter() = default;
+
+  /// Records one packet of `flow`.
+  virtual void insert(const FlowId& flow) = 0;
+
+  /// Reads out the current per-flow counts (possibly approximate).
+  virtual core::FlowCounts read() const = 0;
+
+  /// Clears all state for the next monitoring interval.
+  virtual void reset() = 0;
+
+  /// Data-plane SRAM footprint (for the paper's comparable-memory setup).
+  virtual std::uint64_t sram_bytes() const = 0;
+};
+
+}  // namespace pq::baseline

@@ -1,0 +1,115 @@
+#include "baseline/flowradar.h"
+
+#include <stdexcept>
+
+namespace pq::baseline {
+
+FlowId flow_xor(const FlowId& a, const FlowId& b) {
+  return FlowId{
+      .src_ip = a.src_ip ^ b.src_ip,
+      .dst_ip = a.dst_ip ^ b.dst_ip,
+      .src_port = static_cast<std::uint16_t>(a.src_port ^ b.src_port),
+      .dst_port = static_cast<std::uint16_t>(a.dst_port ^ b.dst_port),
+      .proto = static_cast<std::uint8_t>(a.proto ^ b.proto),
+  };
+}
+
+FlowRadar::FlowRadar(const FlowRadarParams& params)
+    : params_(params), hash_(params.seed) {
+  if (params_.cells == 0 || params_.num_hashes == 0 ||
+      params_.bloom_bits == 0 || params_.bloom_hashes == 0) {
+    throw std::invalid_argument("FlowRadar params out of range");
+  }
+  table_.assign(params_.cells, Cell{});
+  bloom_.assign(params_.bloom_bits, false);
+}
+
+bool FlowRadar::bloom_contains(const FlowId& flow) const {
+  for (std::uint32_t i = 0; i < params_.bloom_hashes; ++i) {
+    if (!bloom_[hash_.index(100 + i, flow, params_.bloom_bits)]) return false;
+  }
+  return true;
+}
+
+bool FlowRadar::bloom_test_and_set(const FlowId& flow) {
+  bool present = true;
+  for (std::uint32_t i = 0; i < params_.bloom_hashes; ++i) {
+    const auto bit = hash_.index(100 + i, flow, params_.bloom_bits);
+    if (!bloom_[bit]) {
+      present = false;
+      bloom_[bit] = true;
+    }
+  }
+  return present;
+}
+
+std::uint32_t FlowRadar::cell_index(std::uint32_t i,
+                                    const FlowId& flow) const {
+  // The counting table is split into k disjoint partitions so a flow's k
+  // cells are always distinct (otherwise XOR self-cancellation corrupts the
+  // encoding).
+  const std::uint32_t sub = params_.cells / params_.num_hashes;
+  return i * sub + hash_.index(i, flow, sub);
+}
+
+void FlowRadar::insert(const FlowId& flow) {
+  const bool seen = bloom_test_and_set(flow);
+  for (std::uint32_t i = 0; i < params_.num_hashes; ++i) {
+    Cell& c = table_[cell_index(i, flow)];
+    if (!seen) {
+      c.flow_xor = flow_xor(c.flow_xor, flow);
+      ++c.flow_count;
+    }
+    ++c.packet_count;
+  }
+}
+
+core::FlowCounts FlowRadar::read() const {
+  // Peel pure cells from a working copy (SingleDecode of the paper).
+  std::vector<Cell> work = table_;
+  core::FlowCounts counts;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::uint32_t j = 0; j < work.size(); ++j) {
+      if (work[j].flow_count != 1) continue;
+      const FlowId flow = work[j].flow_xor;
+      const auto packets = work[j].packet_count;
+      // Under overload a cell can look pure while holding an XOR of
+      // several flows. Verify the candidate against the Bloom filter and
+      // the consistency of its k cells before peeling; otherwise skip it
+      // so corrupt counts never enter the result.
+      if (!bloom_contains(flow)) continue;
+      bool consistent = true;
+      for (std::uint32_t i = 0; i < params_.num_hashes && consistent; ++i) {
+        const Cell& c = work[cell_index(i, flow)];
+        consistent = c.flow_count >= 1 && c.packet_count >= packets;
+      }
+      if (!consistent) continue;
+      counts[flow] += static_cast<double>(packets);
+      for (std::uint32_t i = 0; i < params_.num_hashes; ++i) {
+        Cell& c = work[cell_index(i, flow)];
+        c.flow_xor = flow_xor(c.flow_xor, flow);
+        --c.flow_count;
+        c.packet_count -= packets;
+      }
+      progress = true;
+    }
+  }
+  std::uint64_t undecoded = 0;
+  for (const auto& c : work) undecoded += c.flow_count;
+  last_undecoded_ = undecoded / params_.num_hashes;
+  return counts;
+}
+
+void FlowRadar::reset() {
+  std::fill(table_.begin(), table_.end(), Cell{});
+  std::fill(bloom_.begin(), bloom_.end(), false);
+}
+
+std::uint64_t FlowRadar::sram_bytes() const {
+  return static_cast<std::uint64_t>(params_.cells) * kCellBytesOnSwitch +
+         params_.bloom_bits / 8;
+}
+
+}  // namespace pq::baseline

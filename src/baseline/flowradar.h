@@ -1,0 +1,63 @@
+// FlowRadar (Li et al., NSDI'16): an encoded flowset — every packet updates
+// k cells of a counting table (flow XOR, flow count, packet count) guarded
+// by a Bloom filter that detects the first packet of each flow. Decoding
+// iteratively peels "pure" cells (flow_count == 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/flow_counter.h"
+#include "common/hash.h"
+
+namespace pq::baseline {
+
+struct FlowRadarParams {
+  std::uint32_t cells = 4096 * 5;   ///< counting-table size (paper: 4096 x 5)
+  std::uint32_t num_hashes = 3;     ///< k
+  std::uint32_t bloom_bits = 4096 * 32;
+  std::uint32_t bloom_hashes = 6;
+  std::uint64_t seed = 0xF10C;
+};
+
+class FlowRadar final : public FlowCounter {
+ public:
+  explicit FlowRadar(const FlowRadarParams& params);
+
+  void insert(const FlowId& flow) override;
+
+  /// Decodes the flowset. Flows that cannot be peeled (decode failure under
+  /// overload) are omitted — the system's real failure mode.
+  core::FlowCounts read() const override;
+  void reset() override;
+  std::uint64_t sram_bytes() const override;
+
+  /// Number of flows the last read() failed to decode.
+  std::uint64_t last_undecoded() const { return last_undecoded_; }
+
+  /// Cell layout on the switch: 104-bit flow XOR + 32-bit flow count +
+  /// 32-bit packet count, rounded to 21 bytes; Bloom bits are extra.
+  static constexpr std::uint64_t kCellBytesOnSwitch = 21;
+
+ private:
+  struct Cell {
+    FlowId flow_xor;
+    std::uint32_t flow_count = 0;
+    std::uint64_t packet_count = 0;
+  };
+
+  bool bloom_test_and_set(const FlowId& flow);
+  bool bloom_contains(const FlowId& flow) const;
+  std::uint32_t cell_index(std::uint32_t i, const FlowId& flow) const;
+
+  FlowRadarParams params_;
+  HashFamily hash_;
+  std::vector<Cell> table_;
+  std::vector<bool> bloom_;
+  mutable std::uint64_t last_undecoded_ = 0;
+};
+
+/// XOR-composition of 5-tuples used by the encoded flowset.
+FlowId flow_xor(const FlowId& a, const FlowId& b);
+
+}  // namespace pq::baseline

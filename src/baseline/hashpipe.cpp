@@ -1,0 +1,67 @@
+#include "baseline/hashpipe.h"
+
+#include <stdexcept>
+
+namespace pq::baseline {
+
+HashPipe::HashPipe(const HashPipeParams& params)
+    : params_(params), hash_(params.seed) {
+  if (params_.stages == 0 || params_.slots_per_stage == 0) {
+    throw std::invalid_argument("HashPipe needs stages and slots");
+  }
+  stages_.assign(params_.stages,
+                 std::vector<Slot>(params_.slots_per_stage));
+}
+
+void HashPipe::insert(const FlowId& flow) {
+  // Stage 0: always insert, evicting any resident entry.
+  {
+    Slot& s = stages_[0][hash_.index(0, flow, params_.slots_per_stage)];
+    if (s.count != 0 && s.flow == flow) {
+      ++s.count;
+      return;
+    }
+    Slot carried = s;
+    s.flow = flow;
+    s.count = 1;
+    if (carried.count == 0) return;
+    // Walk the carried entry down the pipeline.
+    for (std::uint32_t d = 1; d < params_.stages; ++d) {
+      Slot& t =
+          stages_[d][hash_.index(d, carried.flow, params_.slots_per_stage)];
+      if (t.count == 0) {
+        t = carried;
+        return;
+      }
+      if (t.flow == carried.flow) {
+        t.count += carried.count;
+        return;
+      }
+      if (carried.count > t.count) std::swap(carried, t);
+      // The smaller entry continues; after the last stage it is dropped.
+    }
+  }
+}
+
+core::FlowCounts HashPipe::read() const {
+  core::FlowCounts counts;
+  for (const auto& stage : stages_) {
+    for (const auto& s : stage) {
+      if (s.count != 0) counts[s.flow] += static_cast<double>(s.count);
+    }
+  }
+  return counts;
+}
+
+void HashPipe::reset() {
+  for (auto& stage : stages_) {
+    std::fill(stage.begin(), stage.end(), Slot{});
+  }
+}
+
+std::uint64_t HashPipe::sram_bytes() const {
+  return static_cast<std::uint64_t>(params_.stages) * params_.slots_per_stage *
+         kSlotBytesOnSwitch;
+}
+
+}  // namespace pq::baseline

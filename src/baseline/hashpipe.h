@@ -1,0 +1,45 @@
+// HashPipe (Sivaraman et al., SOSR'17): heavy-hitter detection entirely in
+// the data plane with d pipelined stages of (key, count) slots. Always
+// inserts at the first stage; evicted entries travel down the pipeline and
+// displace smaller counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/flow_counter.h"
+#include "common/hash.h"
+
+namespace pq::baseline {
+
+struct HashPipeParams {
+  std::uint32_t stages = 5;            ///< d
+  std::uint32_t slots_per_stage = 4096;///< w (paper comparison: 4096 x 5)
+  std::uint64_t seed = 0xA11CE;
+};
+
+class HashPipe final : public FlowCounter {
+ public:
+  explicit HashPipe(const HashPipeParams& params);
+
+  void insert(const FlowId& flow) override;
+  core::FlowCounts read() const override;
+  void reset() override;
+  std::uint64_t sram_bytes() const override;
+
+  /// Slot layout on the switch: 64-bit key digest + pointer-free 5-tuple
+  /// storage + 32-bit count, 16 bytes (matching the time-window cell).
+  static constexpr std::uint64_t kSlotBytesOnSwitch = 16;
+
+ private:
+  struct Slot {
+    FlowId flow;
+    std::uint64_t count = 0;  ///< 0 means empty
+  };
+
+  HashPipeParams params_;
+  HashFamily hash_;
+  std::vector<std::vector<Slot>> stages_;
+};
+
+}  // namespace pq::baseline

@@ -1,0 +1,58 @@
+#include "baseline/interval_adapter.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pq::baseline {
+
+IntervalAdapter::IntervalAdapter(std::unique_ptr<FlowCounter> counter,
+                                 Duration period_ns, std::uint32_t egress_port)
+    : counter_(std::move(counter)),
+      period_ns_(period_ns),
+      egress_port_(egress_port) {
+  if (counter_ == nullptr || period_ns_ == 0) {
+    throw std::invalid_argument("IntervalAdapter needs a counter and period");
+  }
+}
+
+void IntervalAdapter::roll(Timestamp now) {
+  while (now >= period_start_ + period_ns_) {
+    periods_.push_back(
+        {period_start_, period_start_ + period_ns_, counter_->read()});
+    counter_->reset();
+    period_start_ += period_ns_;
+  }
+}
+
+void IntervalAdapter::on_egress(const sim::EgressContext& ctx) {
+  if (ctx.egress_port != egress_port_) return;
+  const Timestamp now = ctx.deq_timestamp();
+  roll(now);
+  counter_->insert(ctx.flow);
+  last_seen_ = now;
+}
+
+void IntervalAdapter::finalize() {
+  if (finalized_) return;
+  periods_.push_back({period_start_,
+                      std::max(last_seen_ + 1, period_start_ + period_ns_),
+                      counter_->read()});
+  counter_->reset();
+  finalized_ = true;
+}
+
+core::FlowCounts IntervalAdapter::query(Timestamp t1, Timestamp t2) const {
+  core::FlowCounts out;
+  if (t2 <= t1) return out;
+  for (const auto& p : periods_) {
+    const Timestamp lo = std::max(t1, p.lo);
+    const Timestamp hi = std::min(t2, p.hi);
+    if (hi <= lo) continue;
+    const double frac = static_cast<double>(hi - lo) /
+                        static_cast<double>(p.hi - p.lo);
+    for (const auto& [flow, n] : p.counts) out[flow] += n * frac;
+  }
+  return out;
+}
+
+}  // namespace pq::baseline

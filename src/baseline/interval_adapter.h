@@ -1,0 +1,52 @@
+// Runs a FlowCounter the way the paper evaluates HashPipe and FlowRadar
+// against PrintQueue (Section 7.1): the counter ingests every dequeued
+// packet, is read out and reset once per fixed interval (set to
+// PrintQueue's set period), and interval queries prorate each period's
+// counts by the overlap fraction.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baseline/flow_counter.h"
+#include "sim/hooks.h"
+
+namespace pq::baseline {
+
+class IntervalAdapter final : public sim::EgressHook {
+ public:
+  /// Takes ownership of `counter`; resets it every `period_ns`. Only
+  /// packets on `egress_port` are counted (like PrintQueue's port gating).
+  IntervalAdapter(std::unique_ptr<FlowCounter> counter, Duration period_ns,
+                  std::uint32_t egress_port = 0);
+
+  void on_egress(const sim::EgressContext& ctx) override;
+
+  /// Flushes the current partial period (call once after the run).
+  void finalize();
+
+  /// Prorated per-flow estimate over [t1, t2): each stored period
+  /// contributes its counts scaled by overlap / period length.
+  core::FlowCounts query(Timestamp t1, Timestamp t2) const;
+
+  std::uint64_t sram_bytes() const { return counter_->sram_bytes(); }
+  std::size_t periods_stored() const { return periods_.size(); }
+
+ private:
+  struct Period {
+    Timestamp lo = 0;
+    Timestamp hi = 0;
+    core::FlowCounts counts;
+  };
+  void roll(Timestamp now);
+
+  std::unique_ptr<FlowCounter> counter_;
+  Duration period_ns_;
+  std::uint32_t egress_port_;
+  Timestamp period_start_ = 0;
+  bool finalized_ = false;
+  Timestamp last_seen_ = 0;
+  std::vector<Period> periods_;
+};
+
+}  // namespace pq::baseline

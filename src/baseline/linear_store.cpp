@@ -1,0 +1,19 @@
+#include "baseline/linear_store.h"
+
+namespace pq::baseline {
+
+void LinearStore::insert(const FlowId& flow, Timestamp deq_ts) {
+  ring_.push_back({flow, deq_ts});
+  ++inserted_;
+  if (capacity_ != 0 && ring_.size() > capacity_) ring_.pop_front();
+}
+
+core::FlowCounts LinearStore::query(Timestamp t1, Timestamp t2) const {
+  core::FlowCounts counts;
+  for (const auto& r : ring_) {
+    if (r.deq_ts >= t1 && r.deq_ts < t2) counts[r.flow] += 1.0;
+  }
+  return counts;
+}
+
+}  // namespace pq::baseline

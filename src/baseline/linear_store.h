@@ -1,0 +1,42 @@
+// Linear per-packet storage baseline (NetSight/BurstRadar-style): every
+// dequeued packet appends a fixed-size record. Queries over any interval are
+// exact while records last, but storage grows linearly with traffic — the
+// comparison point of paper Fig. 14(a).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.h"
+#include "core/window_filter.h"  // FlowCounts
+
+namespace pq::baseline {
+
+class LinearStore {
+ public:
+  /// `capacity` = maximum retained records (0 = unbounded).
+  explicit LinearStore(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void insert(const FlowId& flow, Timestamp deq_ts);
+
+  /// Exact per-flow counts of retained packets dequeued in [t1, t2).
+  core::FlowCounts query(Timestamp t1, Timestamp t2) const;
+
+  std::uint64_t records_inserted() const { return inserted_; }
+  std::size_t records_retained() const { return ring_.size(); }
+
+  /// NetSight-style postcard: 16 bytes per packet.
+  static constexpr std::uint64_t kRecordBytes = 16;
+  std::uint64_t bytes_inserted() const { return inserted_ * kRecordBytes; }
+
+ private:
+  struct Record {
+    FlowId flow;
+    Timestamp deq_ts = 0;
+  };
+  std::size_t capacity_;
+  std::deque<Record> ring_;
+  std::uint64_t inserted_ = 0;
+};
+
+}  // namespace pq::baseline

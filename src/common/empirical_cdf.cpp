@@ -1,0 +1,65 @@
+#include "common/empirical_cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pq {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<Point> points)
+    : points_(std::move(points)) {
+  if (points_.size() < 2) {
+    throw std::invalid_argument("EmpiricalCdf needs at least two points");
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].prob < points_[i - 1].prob ||
+        points_[i].value < points_[i - 1].value) {
+      throw std::invalid_argument("EmpiricalCdf points must be monotone");
+    }
+  }
+  if (points_.front().prob < 0.0 || points_.back().prob != 1.0) {
+    throw std::invalid_argument("EmpiricalCdf must end at probability 1");
+  }
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  p = std::clamp(p, points_.front().prob, 1.0);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), p,
+      [](const Point& pt, double pr) { return pt.prob < pr; });
+  if (it == points_.begin()) return it->value;
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  if (hi.prob == lo.prob) return hi.value;
+  const double f = (p - lo.prob) / (hi.prob - lo.prob);
+  return lo.value + f * (hi.value - lo.value);
+}
+
+double EmpiricalCdf::sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+double EmpiricalCdf::mean() const {
+  // Integrate value over probability: sum of trapezoids between knots, plus a
+  // point mass at the first knot if the CDF starts above 0.
+  double m = points_.front().value * points_.front().prob;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double dp = points_[i].prob - points_[i - 1].prob;
+    m += 0.5 * (points_[i].value + points_[i - 1].value) * dp;
+  }
+  return m;
+}
+
+std::vector<EmpiricalCdf::Point> build_cdf(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<EmpiricalCdf::Point> out;
+  const auto n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (!out.empty() && out.back().value == samples[i]) {
+      out.back().prob = static_cast<double>(i + 1) / n;
+    } else {
+      out.push_back({samples[i], static_cast<double>(i + 1) / n});
+    }
+  }
+  return out;
+}
+
+}  // namespace pq

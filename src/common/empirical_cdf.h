@@ -1,0 +1,46 @@
+// Piecewise-linear empirical CDF for sampling flow sizes from published
+// distributions (DCTCP web-search, VL2 data-mining) and for reporting result
+// CDFs (paper Fig. 10).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pq {
+
+/// A monotone piecewise-linear CDF defined by (value, cumulative probability)
+/// knots. Sampling inverts the CDF with linear interpolation between knots,
+/// the standard technique used by pFabric/Homa-style workload generators.
+class EmpiricalCdf {
+ public:
+  struct Point {
+    double value = 0;
+    double prob = 0;  ///< cumulative probability in [0, 1]
+  };
+
+  /// Points must be sorted by `prob`, start at prob >= 0 and end at prob == 1.
+  /// Throws std::invalid_argument otherwise.
+  explicit EmpiricalCdf(std::vector<Point> points);
+
+  /// Inverse-CDF sample.
+  double sample(Rng& rng) const;
+
+  /// Value at cumulative probability p (p clamped to [0,1]).
+  double quantile(double p) const;
+
+  /// Expected value of the distribution (exact for the piecewise-linear CDF).
+  double mean() const;
+
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Builds a reporting CDF from raw samples: returns (value, cum-prob) knots at
+/// each distinct sample value. Used by benches to print Fig. 10-style curves.
+std::vector<EmpiricalCdf::Point> build_cdf(std::vector<double> samples);
+
+}  // namespace pq

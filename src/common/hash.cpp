@@ -1,0 +1,32 @@
+#include "common/hash.h"
+
+namespace pq {
+
+std::uint64_t fnv1a(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t flow_signature(const FlowId& f) {
+  std::uint64_t a = (static_cast<std::uint64_t>(f.src_ip) << 32) | f.dst_ip;
+  std::uint64_t b = (static_cast<std::uint64_t>(f.src_port) << 24) |
+                    (static_cast<std::uint64_t>(f.dst_port) << 8) | f.proto;
+  return mix64(a ^ mix64(b));
+}
+
+std::string to_string(const FlowId& f) {
+  auto ip = [](std::uint32_t v) {
+    return std::to_string((v >> 24) & 0xff) + '.' +
+           std::to_string((v >> 16) & 0xff) + '.' +
+           std::to_string((v >> 8) & 0xff) + '.' + std::to_string(v & 0xff);
+  };
+  return ip(f.src_ip) + ':' + std::to_string(f.src_port) + "->" + ip(f.dst_ip) +
+         ':' + std::to_string(f.dst_port) + '/' + std::to_string(f.proto);
+}
+
+}  // namespace pq

@@ -1,0 +1,45 @@
+// Hash utilities: a 64-bit mixer and an indexed hash family for sketches.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pq {
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function. Used both to
+/// derive flow signatures and to seed RNG streams.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over an arbitrary byte range; used for wire-format checksumming of
+/// trace files (not for sketch indexing, where mix64 is preferred).
+std::uint64_t fnv1a(const void* data, std::size_t len);
+
+/// A family of pairwise-distinct hash functions over flow IDs, as required by
+/// FlowRadar's k-ary encoded flowset and HashPipe's per-stage hashing.
+/// `HashFamily(seed)(i, flow)` returns the i-th function applied to `flow`.
+class HashFamily {
+ public:
+  explicit HashFamily(std::uint64_t seed) : seed_(seed) {}
+
+  /// i-th hash of the flow, full 64-bit output.
+  std::uint64_t operator()(std::uint32_t i, const FlowId& flow) const {
+    return mix64(flow_signature(flow) ^ mix64(seed_ + 0x51ed2701u * (i + 1)));
+  }
+
+  /// i-th hash reduced to a table index in [0, buckets).
+  std::uint32_t index(std::uint32_t i, const FlowId& flow,
+                      std::uint32_t buckets) const {
+    return static_cast<std::uint32_t>((*this)(i, flow) % buckets);
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace pq

@@ -1,0 +1,39 @@
+// Lightweight descriptive statistics used by the evaluation harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pq {
+
+/// Streaming mean/variance/min/max (Welford). Cheap enough to keep per
+/// experiment cell.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile of a sample set (copies + sorts; fine at bench scale).
+/// q in [0,1]; returns 0 for an empty sample.
+double quantile(std::vector<double> samples, double q);
+
+/// Median shorthand used by Fig. 11-style summaries.
+inline double median(std::vector<double> samples) {
+  return quantile(std::move(samples), 0.5);
+}
+
+}  // namespace pq

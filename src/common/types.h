@@ -1,0 +1,94 @@
+// Core value types shared by every PrintQueue module.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pq {
+
+/// Nanoseconds since simulation start. The hardware prototype uses a 32-bit
+/// nanosecond clock; modules that model the hardware faithfully (time windows)
+/// can optionally operate on the low 32 bits of this value.
+using Timestamp = std::uint64_t;
+
+/// A span of nanoseconds.
+using Duration = std::uint64_t;
+
+/// Tofino buffer-allocation granularity: queue depth is counted in cells of
+/// this many bytes, which is what `enq_qdepth` reports (paper Figs. 9-11 use
+/// depths of 1k..20k+ cells).
+inline constexpr std::uint32_t kCellBytes = 80;
+
+/// Smallest / largest Ethernet frame payload sizes we generate.
+inline constexpr std::uint32_t kMinPacketBytes = 64;
+inline constexpr std::uint32_t kMtuBytes = 1500;
+
+/// Converts a packet size in bytes to its cell footprint (ceiling division).
+constexpr std::uint32_t bytes_to_cells(std::uint32_t bytes) {
+  return (bytes + kCellBytes - 1) / kCellBytes;
+}
+
+/// Transmission delay of `bytes` at `rate_gbps` in nanoseconds (rounded up so
+/// that a positive size never maps to a zero delay).
+constexpr Duration tx_delay_ns(std::uint64_t bytes, double rate_gbps) {
+  const double ns = static_cast<double>(bytes) * 8.0 / rate_gbps;
+  const auto whole = static_cast<Duration>(ns);
+  return whole + (static_cast<double>(whole) < ns ? 1 : 0);
+}
+
+/// 5-tuple flow identity, the unit of culprit attribution (paper Section 3).
+struct FlowId {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+
+  friend auto operator<=>(const FlowId&, const FlowId&) = default;
+};
+
+/// Packs the 5-tuple into a stable 64-bit signature. This mirrors what a
+/// register-constrained data plane stores per cell (the paper keeps full flow
+/// IDs across multiple register arrays; a 64-bit signature is the software
+/// equivalent and is collision-checked in tests).
+std::uint64_t flow_signature(const FlowId& f);
+
+/// Human-readable "a.b.c.d:p -> a.b.c.d:p/proto" rendering for diagnostics.
+std::string to_string(const FlowId& f);
+
+/// Convenience factory used throughout tests and generators: builds a
+/// distinct, deterministic 5-tuple from a small integer.
+constexpr FlowId make_flow(std::uint32_t n, std::uint8_t proto = 6) {
+  return FlowId{
+      .src_ip = 0x0a000000u | (n & 0xffffu),
+      .dst_ip = 0x0a800000u | ((n >> 16) & 0xffffu) | ((n & 0xffu) << 8),
+      .src_port = static_cast<std::uint16_t>(1024 + (n % 50000)),
+      .dst_port = static_cast<std::uint16_t>(80 + (n % 16)),
+      .proto = proto,
+  };
+}
+
+/// A packet as seen by the simulator's ingress: identity, size, arrival time,
+/// and scheduling class. `id` is a globally unique sequence number used to
+/// join simulator output with ground truth. `egress_hint` lets a workload
+/// generator pin packets to an egress port (multi-port experiments); the
+/// switch's default forwarding ignores it and hashes the destination IP.
+struct Packet {
+  FlowId flow;
+  std::uint32_t size_bytes = kMinPacketBytes;
+  Timestamp arrival_ns = 0;
+  std::uint8_t priority = 0;  ///< 0 = highest for strict-priority scheduling.
+  std::uint32_t egress_hint = 0;
+  std::uint64_t id = 0;
+};
+
+}  // namespace pq
+
+template <>
+struct std::hash<pq::FlowId> {
+  std::size_t operator()(const pq::FlowId& f) const noexcept {
+    return static_cast<std::size_t>(pq::flow_signature(f));
+  }
+};

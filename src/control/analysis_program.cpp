@@ -1,0 +1,181 @@
+#include "control/analysis_program.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/window_filter.h"
+
+namespace pq::control {
+
+AnalysisProgram::AnalysisProgram(core::PrintQueuePipeline& pipeline,
+                                 AnalysisConfig cfg)
+    : pipe_(pipeline), cfg_(cfg) {
+  poll_period_ = cfg_.poll_period_ns != 0
+                     ? cfg_.poll_period_ns
+                     : pipe_.windows().layout().set_period_ns();
+  next_poll_ = poll_period_;
+  window_snaps_.resize(pipe_.windows().port_partitions());
+  monitor_snaps_.resize(pipe_.monitor().port_partitions());
+  dq_captures_.resize(pipe_.windows().port_partitions());
+  pipe_.set_observer(this);
+}
+
+void AnalysisProgram::on_time(Timestamp now) {
+  if (dq_pending_unlock_ && now >= dq_unlock_at_) {
+    pipe_.windows().end_dataplane_query();
+    pipe_.monitor().end_dataplane_query();
+    dq_pending_unlock_ = false;
+  }
+  if (now >= next_poll_) {
+    // After a long idle gap, intermediate polls would only capture the
+    // same two ping-pong banks over and over (anything older has been
+    // overwritten anyway), so flush at most both banks and jump the
+    // schedule forward to the current grid point.
+    const std::uint64_t due = (now - next_poll_) / poll_period_ + 1;
+    const std::uint64_t todo = due < 2 ? due : 2;
+    for (std::uint64_t i = 0; i < todo; ++i) poll(now);
+    next_poll_ += due * poll_period_;
+  }
+}
+
+void AnalysisProgram::poll(Timestamp now) {
+  const std::uint32_t wbank = pipe_.windows().flip_periodic();
+  const std::uint32_t mbank = pipe_.monitor().flip_periodic();
+  const auto& wp = pipe_.windows().params();
+  for (std::uint32_t port = 0; port < window_snaps_.size(); ++port) {
+    window_snaps_[port].push_back(
+        {now, pipe_.windows().read_bank(wbank, port)});
+    bytes_polled_ += (1ull << wp.k) * wp.num_windows *
+                     core::TimeWindowSet::kCellBytesOnSwitch;
+  }
+  // Monitor partitions are (port, queue) pairs when multi-queue tracking
+  // is enabled, so they are polled independently of the window partitions.
+  for (std::uint32_t part = 0; part < monitor_snaps_.size(); ++part) {
+    monitor_snaps_[part].push_back(
+        {now, pipe_.monitor().read_bank(mbank, part)});
+    bytes_polled_ += pipe_.monitor().params().levels() *
+                     core::QueueMonitor::kEntryBytesOnSwitch;
+  }
+  ++polls_;
+}
+
+void AnalysisProgram::on_dq_trigger(const core::DqNotification& n) {
+  DqCapture cap;
+  cap.notification = n;
+  cap.windows = pipe_.windows().read_bank(n.window_bank, n.port_prefix);
+  cap.monitor = pipe_.monitor().read_bank(n.monitor_bank, n.port_prefix);
+  dq_captures_.at(n.port_prefix).push_back(std::move(cap));
+  dq_unlock_at_ = n.deq_timestamp + cfg_.dq_read_time_ns;
+  dq_pending_unlock_ = true;
+}
+
+void AnalysisProgram::finalize(Timestamp end_time) {
+  if (dq_pending_unlock_) {
+    pipe_.windows().end_dataplane_query();
+    pipe_.monitor().end_dataplane_query();
+    dq_pending_unlock_ = false;
+  }
+  poll(std::max(end_time, next_poll_ - poll_period_ + 1));
+}
+
+core::CoefficientTable AnalysisProgram::coefficients(
+    std::uint32_t port_prefix) const {
+  const auto& p = pipe_.windows().params();
+  double z0 = cfg_.z0_override;
+  if (z0 <= 0.0) {
+    const double gap = pipe_.avg_deq_gap_ns(port_prefix);
+    z0 = gap > 0.0 ? core::z0_from_interarrival(p.m0, gap) : 1.0;
+  }
+  return core::CoefficientTable::compute(z0, p.alpha, p.num_windows);
+}
+
+core::FlowCounts AnalysisProgram::query_time_windows(
+    std::uint32_t port_prefix, Timestamp t1, Timestamp t2) const {
+  core::FlowCounts counts;
+  const auto& snaps = window_snaps_.at(port_prefix);
+  if (snaps.empty() || t2 <= t1) return counts;
+
+  const auto& layout = pipe_.windows().layout();
+  const auto coeffs = coefficients(port_prefix);
+  const Duration t_set = layout.set_period_ns();
+
+  // First snapshot that still contains data up to t2 (taken at or after t2);
+  // fall back to the newest one.
+  std::size_t idx = snaps.size() - 1;
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    if (snaps[i].taken_at >= t2) {
+      idx = i;
+      break;
+    }
+  }
+
+  // Walk backwards through checkpoints, each contributing the piece of the
+  // interval it covers most recently (no double counting).
+  Timestamp remaining_hi = t2;
+  for (std::size_t i = idx + 1; i-- > 0 && remaining_hi > t1;) {
+    const auto& snap = snaps[i];
+    const Timestamp cover_lo =
+        snap.taken_at > t_set ? snap.taken_at - t_set : 0;
+    const Timestamp qlo = std::max(t1, cover_lo);
+    const Timestamp qhi = std::min(remaining_hi, snap.taken_at);
+    if (qhi <= qlo) {
+      if (snap.taken_at <= t1) break;
+      continue;
+    }
+    const auto filtered = core::filter_stale_cells(
+        snap.state, layout, cfg_.salvage_stale_cells, snap.taken_at);
+    core::merge_counts(
+        counts, core::estimate_flow_counts(filtered, layout, coeffs, qlo, qhi));
+    remaining_hi = qlo;
+  }
+  return counts;
+}
+
+std::vector<core::OriginalCulprit> AnalysisProgram::query_queue_monitor(
+    std::uint32_t port_prefix, Timestamp t) const {
+  const auto& snaps = monitor_snaps_.at(port_prefix);
+  if (snaps.empty()) return {};
+  // The snapshot closest in time to the query point.
+  const MonitorSnapshot* best = &snaps.front();
+  for (const auto& s : snaps) {
+    const auto dist = s.taken_at > t ? s.taken_at - t : t - s.taken_at;
+    const auto best_dist =
+        best->taken_at > t ? best->taken_at - t : t - best->taken_at;
+    if (dist < best_dist) best = &s;
+  }
+  return core::original_culprits(best->state);
+}
+
+const std::vector<DqCapture>& AnalysisProgram::dq_captures(
+    std::uint32_t port_prefix) const {
+  return dq_captures_.at(port_prefix);
+}
+
+core::FlowCounts AnalysisProgram::query_dq_capture(const DqCapture& capture,
+                                                   Timestamp t1,
+                                                   Timestamp t2) const {
+  const auto& layout = pipe_.windows().layout();
+  const auto coeffs = coefficients(capture.notification.port_prefix);
+  const auto filtered = core::filter_stale_cells(
+      capture.windows, layout, cfg_.salvage_stale_cells,
+      capture.notification.deq_timestamp);
+  return core::estimate_flow_counts(filtered, layout, coeffs, t1, t2);
+}
+
+std::vector<core::OriginalCulprit> AnalysisProgram::query_dq_monitor(
+    const DqCapture& capture) const {
+  return core::original_culprits(capture.monitor);
+}
+
+const std::vector<WindowSnapshot>& AnalysisProgram::window_snapshots(
+    std::uint32_t port_prefix) const {
+  return window_snaps_.at(port_prefix);
+}
+
+const std::vector<MonitorSnapshot>& AnalysisProgram::monitor_snapshots(
+    std::uint32_t port_prefix) const {
+  return monitor_snaps_.at(port_prefix);
+}
+
+}  // namespace pq::control

@@ -1,0 +1,117 @@
+// The control-plane analysis program (paper Section 6). It runs on the
+// switch CPU and (1) configures ports, (2) periodically freezes and reads
+// the register banks, (3) services asynchronous and data-plane queries.
+//
+// In this reproduction it is driven in simulated packet time through the
+// PipelineObserver interface: the pipeline reports each packet's dequeue
+// time, and polls fire whenever the poll period elapses — the software
+// equivalent of the paper's periodic polling thread.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "control/snapshots.h"
+#include "core/coefficients.h"
+#include "core/pipeline.h"
+
+namespace pq::control {
+
+struct AnalysisConfig {
+  /// Poll period; 0 means exactly the time-window set period t_set (the
+  /// paper's requirement: at least one checkpoint per t_set).
+  Duration poll_period_ns = 0;
+
+  /// Window 0 fill probability for coefficient recovery. 0 means derive it
+  /// at query time from the pipeline's measured average dequeue gap
+  /// (Theorem 3's d).
+  double z0_override = 0.0;
+
+  /// How long a data-plane query keeps the special registers locked (models
+  /// the control plane's read latency; concurrent triggers are ignored).
+  Duration dq_read_time_ns = 1'000'000;
+
+  /// Extension beyond the paper: recover stale-but-decodable window-0
+  /// cells (exact single-packet records) for spans no deeper window
+  /// covers. Helps when traffic turns sparse after a burst, where the
+  /// passing rule starves and Algorithm 3 would discard the history.
+  bool salvage_stale_cells = false;
+};
+
+class AnalysisProgram final : public core::PipelineObserver {
+ public:
+  /// Attaches to a pipeline (registers itself as the observer).
+  AnalysisProgram(core::PrintQueuePipeline& pipeline, AnalysisConfig cfg);
+
+  // --- PipelineObserver ---
+  void on_time(Timestamp now) override;
+  void on_dq_trigger(const core::DqNotification& n) override;
+
+  /// Takes a final checkpoint so data from the tail of a run is readable.
+  void finalize(Timestamp end_time);
+
+  // --- Asynchronous queries (Section 6.3) ---
+
+  /// Per-flow packet-count estimate for packets dequeued on `port_prefix`
+  /// within [t1, t2). Splits the interval across checkpoints and windows and
+  /// applies coefficient recovery.
+  core::FlowCounts query_time_windows(std::uint32_t port_prefix, Timestamp t1,
+                                      Timestamp t2) const;
+
+  /// Original causes of congestion at the instant closest to `t`.
+  /// With multi-queue tracking, pass the monitor partition from
+  /// PrintQueuePipeline::monitor_partition(port_prefix, queue_id).
+  std::vector<core::OriginalCulprit> query_queue_monitor(
+      std::uint32_t port_prefix, Timestamp t) const;
+
+  // --- Data-plane query results (Section 6.2) ---
+
+  const std::vector<DqCapture>& dq_captures(std::uint32_t port_prefix) const;
+
+  /// Executes the time-window query for a capture over [t1, t2); by default
+  /// the capture's own victim interval.
+  core::FlowCounts query_dq_capture(const DqCapture& capture, Timestamp t1,
+                                    Timestamp t2) const;
+
+  /// Original-culprit query against a capture's frozen monitor.
+  std::vector<core::OriginalCulprit> query_dq_monitor(
+      const DqCapture& capture) const;
+
+  // --- Introspection (benches, tests) ---
+  const std::vector<WindowSnapshot>& window_snapshots(
+      std::uint32_t port_prefix) const;
+  const std::vector<MonitorSnapshot>& monitor_snapshots(
+      std::uint32_t port_prefix) const;
+  Duration poll_period_ns() const { return poll_period_; }
+  std::uint64_t polls_performed() const { return polls_; }
+
+  /// The coefficient table a query on this port would use right now.
+  core::CoefficientTable coefficients(std::uint32_t port_prefix) const;
+
+  /// Overrides window 0's fill probability for coefficient recovery (0
+  /// restores the measured-gap default). Useful when the query span mixes
+  /// congested and idle periods, where the long-run average packet rate is
+  /// the better Theorem 3 `d` than the busy-period service time.
+  void set_z0_override(double z0) { cfg_.z0_override = z0; }
+
+  /// Total register bytes copied by periodic polling so far (I/O model).
+  std::uint64_t bytes_polled() const { return bytes_polled_; }
+
+ private:
+  void poll(Timestamp now);
+
+  core::PrintQueuePipeline& pipe_;
+  AnalysisConfig cfg_;
+  Duration poll_period_ = 0;
+  Timestamp next_poll_ = 0;
+  Timestamp dq_unlock_at_ = 0;
+  bool dq_pending_unlock_ = false;
+  std::uint64_t polls_ = 0;
+  std::uint64_t bytes_polled_ = 0;
+
+  std::vector<std::vector<WindowSnapshot>> window_snaps_;   // [port]
+  std::vector<std::vector<MonitorSnapshot>> monitor_snaps_; // [port]
+  std::vector<std::vector<DqCapture>> dq_captures_;         // [port]
+};
+
+}  // namespace pq::control

@@ -1,0 +1,140 @@
+#include "control/query_service.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "wire/bytes.h"
+
+namespace pq::control {
+
+namespace {
+
+void put_flow(std::vector<std::uint8_t>& buf, const FlowId& f) {
+  wire::put_u32(buf, f.src_ip);
+  wire::put_u32(buf, f.dst_ip);
+  wire::put_u16(buf, f.src_port);
+  wire::put_u16(buf, f.dst_port);
+  wire::put_u8(buf, f.proto);
+}
+
+FlowId get_flow(wire::ByteReader& r) {
+  FlowId f;
+  f.src_ip = r.u32();
+  f.dst_ip = r.u32();
+  f.src_port = r.u16();
+  f.dst_port = r.u16();
+  f.proto = r.u8();
+  return f;
+}
+
+void put_f64(std::vector<std::uint8_t>& buf, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  wire::put_u64(buf, bits);
+}
+
+double get_f64(wire::ByteReader& r) {
+  const std::uint64_t bits = r.u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const QueryRequest& req) {
+  std::vector<std::uint8_t> buf;
+  wire::put_u32(buf, kQueryRequestMagic);
+  wire::put_u8(buf, static_cast<std::uint8_t>(req.type));
+  wire::put_u32(buf, req.port_prefix);
+  wire::put_u64(buf, req.t1);
+  wire::put_u64(buf, req.t2);
+  return buf;
+}
+
+std::vector<std::uint8_t> encode_response(const QueryResponse& resp) {
+  std::vector<std::uint8_t> buf;
+  wire::put_u32(buf, kQueryResponseMagic);
+  wire::put_u8(buf, static_cast<std::uint8_t>(resp.type));
+  wire::put_u8(buf, static_cast<std::uint8_t>(resp.status));
+  if (resp.type == QueryType::kTimeWindows) {
+    wire::put_u32(buf, static_cast<std::uint32_t>(resp.counts.size()));
+    for (const auto& [flow, n] : resp.counts) {
+      put_flow(buf, flow);
+      put_f64(buf, n);
+    }
+  } else {
+    wire::put_u32(buf, static_cast<std::uint32_t>(resp.culprits.size()));
+    for (const auto& c : resp.culprits) {
+      put_flow(buf, c.flow);
+      wire::put_u32(buf, c.level);
+      wire::put_u64(buf, c.seq);
+    }
+  }
+  return buf;
+}
+
+QueryResponse decode_response(std::span<const std::uint8_t> buf) {
+  QueryResponse resp;
+  wire::ByteReader r(buf);
+  if (r.u32() != kQueryResponseMagic) {
+    resp.status = QueryStatus::kMalformed;
+    return resp;
+  }
+  resp.type = static_cast<QueryType>(r.u8());
+  resp.status = static_cast<QueryStatus>(r.u8());
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    if (resp.type == QueryType::kTimeWindows) {
+      const FlowId flow = get_flow(r);
+      resp.counts[flow] = get_f64(r);
+    } else {
+      core::OriginalCulprit c;
+      c.flow = get_flow(r);
+      c.level = r.u32();
+      c.seq = r.u64();
+      resp.culprits.push_back(c);
+    }
+  }
+  if (!r.ok()) {
+    resp.status = QueryStatus::kMalformed;
+    resp.counts.clear();
+    resp.culprits.clear();
+  }
+  return resp;
+}
+
+std::vector<std::uint8_t> QueryService::handle(
+    std::span<const std::uint8_t> request) {
+  QueryResponse resp;
+  wire::ByteReader r(request);
+  const std::uint32_t magic = r.u32();
+  const auto type = static_cast<QueryType>(r.u8());
+  const std::uint32_t port = r.u32();
+  const Timestamp t1 = r.u64();
+  const Timestamp t2 = r.u64();
+
+  if (!r.ok() || magic != kQueryRequestMagic) {
+    resp.status = QueryStatus::kMalformed;
+    ++rejected_;
+    return encode_response(resp);
+  }
+  resp.type = type;
+  switch (type) {
+    case QueryType::kTimeWindows:
+      resp.counts = analysis_.query_time_windows(port, t1, t2);
+      break;
+    case QueryType::kQueueMonitor:
+      resp.culprits = analysis_.query_queue_monitor(port, t1);
+      break;
+    default:
+      resp.status = QueryStatus::kUnknownType;
+      ++rejected_;
+      return encode_response(resp);
+  }
+  ++served_;
+  return encode_response(resp);
+}
+
+}  // namespace pq::control

@@ -1,0 +1,80 @@
+// The asynchronous remote-query interface of the paper's Fig. 3: "higher-
+// layer applications query the culprits ... by sending a request to the
+// analysis program". This module defines the compact binary request/
+// response protocol and a dispatcher that executes requests against an
+// AnalysisProgram.
+//
+// Wire format (all integers big-endian):
+//   request:  magic 'PQRQ' | u8 type | u32 port | u64 t1 | u64 t2
+//     type 1 = time-window interval query  ([t1, t2) -> per-flow counts)
+//     type 2 = queue-monitor point query   (t1 -> original culprits)
+//   response: magic 'PQRS' | u8 type | u8 status | u32 n | n entries
+//     entry (type 1): FlowId (13 B) | f64 count
+//     entry (type 2): FlowId (13 B) | u32 level | u64 seq
+//   status: 0 = ok, 1 = malformed request, 2 = unknown type
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "control/analysis_program.h"
+
+namespace pq::control {
+
+inline constexpr std::uint32_t kQueryRequestMagic = 0x50515251;   // PQRQ
+inline constexpr std::uint32_t kQueryResponseMagic = 0x50515253;  // PQRS
+
+enum class QueryType : std::uint8_t {
+  kTimeWindows = 1,
+  kQueueMonitor = 2,
+};
+
+enum class QueryStatus : std::uint8_t {
+  kOk = 0,
+  kMalformed = 1,
+  kUnknownType = 2,
+};
+
+struct QueryRequest {
+  QueryType type = QueryType::kTimeWindows;
+  std::uint32_t port_prefix = 0;
+  Timestamp t1 = 0;
+  Timestamp t2 = 0;
+};
+
+struct QueryResponse {
+  QueryType type = QueryType::kTimeWindows;
+  QueryStatus status = QueryStatus::kOk;
+  core::FlowCounts counts;                        ///< type 1
+  std::vector<core::OriginalCulprit> culprits;    ///< type 2
+};
+
+/// Request codec (used by clients).
+std::vector<std::uint8_t> encode_request(const QueryRequest& req);
+
+/// Response codec (used by clients; the service encodes internally).
+std::vector<std::uint8_t> encode_response(const QueryResponse& resp);
+QueryResponse decode_response(std::span<const std::uint8_t> buf);
+
+/// Executes serialized requests against an analysis program. One instance
+/// per switch; stateless between calls.
+class QueryService {
+ public:
+  explicit QueryService(const AnalysisProgram& analysis)
+      : analysis_(analysis) {}
+
+  /// Parses, executes, and serializes in one step. Malformed input yields
+  /// a status-only response, never a crash.
+  std::vector<std::uint8_t> handle(std::span<const std::uint8_t> request);
+
+  std::uint64_t requests_served() const { return served_; }
+  std::uint64_t requests_rejected() const { return rejected_; }
+
+ private:
+  const AnalysisProgram& analysis_;
+  std::uint64_t served_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace pq::control

@@ -1,0 +1,283 @@
+#include "control/register_records.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/hash.h"
+#include "core/window_filter.h"
+#include "wire/bytes.h"
+
+namespace pq::control {
+
+namespace {
+
+void put_flow(std::vector<std::uint8_t>& buf, const FlowId& f) {
+  wire::put_u32(buf, f.src_ip);
+  wire::put_u32(buf, f.dst_ip);
+  wire::put_u16(buf, f.src_port);
+  wire::put_u16(buf, f.dst_port);
+  wire::put_u8(buf, f.proto);
+}
+
+FlowId get_flow(wire::ByteReader& r) {
+  FlowId f;
+  f.src_ip = r.u32();
+  f.dst_ip = r.u32();
+  f.src_port = r.u16();
+  f.dst_port = r.u16();
+  f.proto = r.u8();
+  return f;
+}
+
+void put_window_state(std::vector<std::uint8_t>& buf,
+                      const core::WindowState& state) {
+  wire::put_u32(buf, static_cast<std::uint32_t>(state.size()));
+  for (const auto& window : state) {
+    wire::put_u32(buf, static_cast<std::uint32_t>(window.size()));
+    for (const auto& cell : window) {
+      wire::put_u8(buf, cell.occupied ? 1 : 0);
+      if (cell.occupied) {
+        put_flow(buf, cell.flow);
+        wire::put_u64(buf, cell.cycle_id);
+      }
+    }
+  }
+}
+
+core::WindowState get_window_state(wire::ByteReader& r) {
+  core::WindowState state(r.u32());
+  for (auto& window : state) {
+    window.resize(r.u32());
+    for (auto& cell : window) {
+      cell.occupied = r.u8() != 0;
+      if (cell.occupied) {
+        cell.flow = get_flow(r);
+        cell.cycle_id = r.u64();
+      }
+    }
+  }
+  return state;
+}
+
+void put_monitor_state(std::vector<std::uint8_t>& buf,
+                       const core::MonitorState& state) {
+  wire::put_u32(buf, state.top);
+  wire::put_u32(buf, static_cast<std::uint32_t>(state.entries.size()));
+  for (const auto& e : state.entries) {
+    const std::uint8_t flags = static_cast<std::uint8_t>(
+        (e.inc.valid ? 1 : 0) | (e.dec.valid ? 2 : 0));
+    wire::put_u8(buf, flags);
+    if (e.inc.valid) {
+      put_flow(buf, e.inc.flow);
+      wire::put_u64(buf, e.inc.seq);
+    }
+    if (e.dec.valid) {
+      put_flow(buf, e.dec.flow);
+      wire::put_u64(buf, e.dec.seq);
+    }
+  }
+}
+
+core::MonitorState get_monitor_state(wire::ByteReader& r) {
+  core::MonitorState state;
+  state.top = r.u32();
+  state.entries.resize(r.u32());
+  for (auto& e : state.entries) {
+    const std::uint8_t flags = r.u8();
+    if (flags & 1) {
+      e.inc.valid = true;
+      e.inc.flow = get_flow(r);
+      e.inc.seq = r.u64();
+    }
+    if (flags & 2) {
+      e.dec.valid = true;
+      e.dec.flow = get_flow(r);
+      e.dec.seq = r.u64();
+    }
+  }
+  return state;
+}
+
+void put_f64(std::vector<std::uint8_t>& buf, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  wire::put_u64(buf, bits);
+}
+
+double get_f64(wire::ByteReader& r) {
+  const std::uint64_t bits = r.u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+RegisterRecords collect_records(const core::PrintQueuePipeline& pipeline,
+                                const AnalysisProgram& analysis) {
+  RegisterRecords out;
+  out.window_params = pipeline.windows().params();
+  out.monitor_levels = pipeline.monitor().params().levels();
+  const std::uint32_t wports = pipeline.windows().port_partitions();
+  const std::uint32_t mports = pipeline.monitor().port_partitions();
+  for (std::uint32_t p = 0; p < wports; ++p) {
+    out.window_snapshots.push_back(analysis.window_snapshots(p));
+  }
+  for (std::uint32_t p = 0; p < mports; ++p) {
+    out.monitor_snapshots.push_back(analysis.monitor_snapshots(p));
+  }
+  const auto coeffs = analysis.coefficients(0);
+  out.z0 = coeffs.z(0);
+  return out;
+}
+
+void write_records(std::ostream& out, const RegisterRecords& records) {
+  std::vector<std::uint8_t> buf;
+  wire::put_u32(buf, kRecordsMagic);
+  const auto& p = records.window_params;
+  wire::put_u32(buf, p.m0);
+  wire::put_u32(buf, p.alpha);
+  wire::put_u32(buf, p.k);
+  wire::put_u32(buf, p.num_windows);
+  wire::put_u32(buf, p.num_ports);
+  wire::put_u8(buf, p.wrap32 ? 1 : 0);
+  wire::put_u32(buf, records.monitor_levels);
+  put_f64(buf, records.z0);
+
+  wire::put_u32(buf, static_cast<std::uint32_t>(
+                         records.window_snapshots.size()));
+  for (const auto& per_port : records.window_snapshots) {
+    wire::put_u32(buf, static_cast<std::uint32_t>(per_port.size()));
+    for (const auto& snap : per_port) {
+      wire::put_u64(buf, snap.taken_at);
+      put_window_state(buf, snap.state);
+    }
+  }
+  wire::put_u32(buf, static_cast<std::uint32_t>(
+                         records.monitor_snapshots.size()));
+  for (const auto& per_port : records.monitor_snapshots) {
+    wire::put_u32(buf, static_cast<std::uint32_t>(per_port.size()));
+    for (const auto& snap : per_port) {
+      wire::put_u64(buf, snap.taken_at);
+      put_monitor_state(buf, snap.state);
+    }
+  }
+  wire::put_u64(buf, fnv1a(buf.data(), buf.size()));
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+  if (!out) throw std::runtime_error("register records write failed");
+}
+
+RegisterRecords read_records(std::istream& in) {
+  std::vector<std::uint8_t> buf(std::istreambuf_iterator<char>(in), {});
+  if (buf.size() < 12) throw std::runtime_error("records truncated");
+  {
+    wire::ByteReader tail(
+        std::span<const std::uint8_t>(buf).subspan(buf.size() - 8));
+    if (fnv1a(buf.data(), buf.size() - 8) != tail.u64()) {
+      throw std::runtime_error("records checksum mismatch");
+    }
+  }
+  wire::ByteReader r(std::span<const std::uint8_t>(buf.data(),
+                                                   buf.size() - 8));
+  if (r.u32() != kRecordsMagic) throw std::runtime_error("bad records magic");
+  RegisterRecords out;
+  out.window_params.m0 = r.u32();
+  out.window_params.alpha = r.u32();
+  out.window_params.k = r.u32();
+  out.window_params.num_windows = r.u32();
+  out.window_params.num_ports = r.u32();
+  out.window_params.wrap32 = r.u8() != 0;
+  out.monitor_levels = r.u32();
+  out.z0 = get_f64(r);
+
+  out.window_snapshots.resize(r.u32());
+  for (auto& per_port : out.window_snapshots) {
+    per_port.resize(r.u32());
+    for (auto& snap : per_port) {
+      snap.taken_at = r.u64();
+      snap.state = get_window_state(r);
+    }
+  }
+  out.monitor_snapshots.resize(r.u32());
+  for (auto& per_port : out.monitor_snapshots) {
+    per_port.resize(r.u32());
+    for (auto& snap : per_port) {
+      snap.taken_at = r.u64();
+      snap.state = get_monitor_state(r);
+    }
+  }
+  if (!r.ok()) throw std::runtime_error("records truncated");
+  return out;
+}
+
+void write_records_file(const std::string& path,
+                        const RegisterRecords& records) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_records(out, records);
+}
+
+RegisterRecords read_records_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_records(in);
+}
+
+core::FlowCounts offline_query_time_windows(const RegisterRecords& records,
+                                            std::uint32_t port_prefix,
+                                            Timestamp t1, Timestamp t2) {
+  core::FlowCounts counts;
+  const auto& snaps = records.window_snapshots.at(port_prefix);
+  if (snaps.empty() || t2 <= t1) return counts;
+  const core::TtsLayout layout(records.window_params);
+  const auto coeffs = core::CoefficientTable::compute(
+      records.z0, records.window_params.alpha,
+      records.window_params.num_windows);
+  const Duration t_set = layout.set_period_ns();
+
+  std::size_t idx = snaps.size() - 1;
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    if (snaps[i].taken_at >= t2) {
+      idx = i;
+      break;
+    }
+  }
+  Timestamp remaining_hi = t2;
+  for (std::size_t i = idx + 1; i-- > 0 && remaining_hi > t1;) {
+    const auto& snap = snaps[i];
+    const Timestamp cover_lo =
+        snap.taken_at > t_set ? snap.taken_at - t_set : 0;
+    const Timestamp qlo = std::max(t1, cover_lo);
+    const Timestamp qhi = std::min(remaining_hi, snap.taken_at);
+    if (qhi <= qlo) {
+      if (snap.taken_at <= t1) break;
+      continue;
+    }
+    const auto filtered = core::filter_stale_cells(snap.state, layout,
+                                                    false, snap.taken_at);
+    core::merge_counts(counts, core::estimate_flow_counts(filtered, layout,
+                                                          coeffs, qlo, qhi));
+    remaining_hi = qlo;
+  }
+  return counts;
+}
+
+std::vector<core::OriginalCulprit> offline_query_queue_monitor(
+    const RegisterRecords& records, std::uint32_t port_prefix, Timestamp t) {
+  const auto& snaps = records.monitor_snapshots.at(port_prefix);
+  if (snaps.empty()) return {};
+  const MonitorSnapshot* best = &snaps.front();
+  for (const auto& s : snaps) {
+    const auto dist = s.taken_at > t ? s.taken_at - t : t - s.taken_at;
+    const auto best_dist =
+        best->taken_at > t ? best->taken_at - t : t - best->taken_at;
+    if (dist < best_dist) best = &s;
+  }
+  return core::original_culprits(best->state);
+}
+
+}  // namespace pq::control

@@ -1,0 +1,51 @@
+// On-disk persistence for checkpointed register state — the paper
+// artifact's "register records". The analysis program's snapshots (time
+// windows and queue monitor, per port, with timestamps) serialize to a
+// single binary blob with a trailing checksum, so collection and analysis
+// can run as separate processes (or machines).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "control/analysis_program.h"
+#include "control/snapshots.h"
+
+namespace pq::control {
+
+inline constexpr std::uint32_t kRecordsMagic = 0x50515252;  // "PQRR"
+
+/// Everything needed to answer queries offline: the layout parameters and
+/// the per-port snapshot sequences.
+struct RegisterRecords {
+  core::TimeWindowParams window_params;
+  std::uint32_t monitor_levels = 0;
+  std::vector<std::vector<WindowSnapshot>> window_snapshots;    // [port]
+  std::vector<std::vector<MonitorSnapshot>> monitor_snapshots;  // [port]
+  double z0 = 1.0;  ///< calibration captured at save time
+};
+
+/// Collects the current state of an analysis program into a RegisterRecords
+/// bundle (copies; the program keeps running).
+RegisterRecords collect_records(const core::PrintQueuePipeline& pipeline,
+                                const AnalysisProgram& analysis);
+
+/// Serialization. Throws std::runtime_error on I/O failure, truncation,
+/// magic or checksum mismatch.
+void write_records(std::ostream& out, const RegisterRecords& records);
+RegisterRecords read_records(std::istream& in);
+void write_records_file(const std::string& path,
+                        const RegisterRecords& records);
+RegisterRecords read_records_file(const std::string& path);
+
+/// Offline query execution against a loaded bundle: the same interval
+/// estimation the analysis program performs, without a live pipeline.
+core::FlowCounts offline_query_time_windows(const RegisterRecords& records,
+                                            std::uint32_t port_prefix,
+                                            Timestamp t1, Timestamp t2);
+std::vector<core::OriginalCulprit> offline_query_queue_monitor(
+    const RegisterRecords& records, std::uint32_t port_prefix, Timestamp t);
+
+}  // namespace pq::control

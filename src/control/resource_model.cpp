@@ -1,0 +1,75 @@
+#include "control/resource_model.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/tts_layout.h"
+
+namespace pq::control {
+
+double polling_mbytes_per_sec(const core::TimeWindowParams& params) {
+  const core::TtsLayout layout(params);
+  const std::uint32_t ports =
+      params.num_ports <= 1 ? 1 : std::bit_ceil(params.num_ports);
+  const double bytes_per_poll =
+      static_cast<double>(params.num_windows) *
+      static_cast<double>(1ull << params.k) * static_cast<double>(ports) *
+      static_cast<double>(core::TimeWindowSet::kCellBytesOnSwitch);
+  const double polls_per_sec =
+      1e9 / static_cast<double>(layout.set_period_ns());
+  return bytes_per_poll * polls_per_sec / (1024.0 * 1024.0);
+}
+
+bool polling_feasible(const core::TimeWindowParams& params,
+                      double limit_mbps) {
+  return polling_mbytes_per_sec(params) <= limit_mbps;
+}
+
+std::uint64_t linear_storage_bytes(Duration duration_ns,
+                                   double avg_interarrival_ns,
+                                   std::uint64_t record_bytes) {
+  const double packets =
+      static_cast<double>(duration_ns) / std::max(1.0, avg_interarrival_ns);
+  return static_cast<std::uint64_t>(packets * static_cast<double>(record_bytes));
+}
+
+std::uint64_t exponential_storage_bytes(const core::TimeWindowParams& params,
+                                        Duration duration_ns) {
+  const core::TtsLayout layout(params);
+  Duration covered = 0;
+  std::uint64_t cells = 0;
+  for (std::uint32_t i = 0; i < params.num_windows && covered < duration_ns;
+       ++i) {
+    covered += layout.window_period_ns(i);
+    cells += 1ull << params.k;
+  }
+  return cells * core::TimeWindowSet::kCellBytesOnSwitch;
+}
+
+double linear_exponential_ratio(const core::TimeWindowParams& params,
+                                Duration duration_ns,
+                                double avg_interarrival_ns) {
+  const auto lin =
+      linear_storage_bytes(duration_ns, avg_interarrival_ns,
+                           core::TimeWindowSet::kCellBytesOnSwitch);
+  const auto exp = exponential_storage_bytes(params, duration_ns);
+  return exp == 0 ? 0.0
+                  : static_cast<double>(lin) / static_cast<double>(exp);
+}
+
+StageUsage mau_stage_usage(const core::TimeWindowParams& params) {
+  StageUsage u;
+  u.window_stages = 4 + 2 * params.num_windows;
+  u.monitor_stages = 6;
+  // The monitor's six stages overlap with the windows' (paper Section 7),
+  // so the pipeline needs the larger of the two plus no extra.
+  u.total = std::max(u.window_stages, u.monitor_stages);
+  return u;
+}
+
+bool stages_feasible(const core::TimeWindowParams& params,
+                     std::uint32_t pipeline_stages) {
+  return mau_stage_usage(params).total <= pipeline_stages;
+}
+
+}  // namespace pq::control

@@ -1,0 +1,69 @@
+// Hardware resource models used by the overhead experiments:
+//  - Tofino data-plane SRAM budget (Fig. 14(b), Fig. 15, Section 7.2)
+//  - control-plane polling bandwidth over PCIe (Fig. 13)
+//  - linear-storage comparison against NetSight/BurstRadar (Fig. 14(a))
+#pragma once
+
+#include <cstdint>
+
+#include "core/queue_monitor.h"
+#include "core/time_windows.h"
+
+namespace pq::control {
+
+/// Tofino-1-style budget: 12 MAU stages x 80 SRAM blocks x 16 KB.
+/// With this budget a single-port queue monitor of 20k entries costs 12.8%
+/// of data-plane SRAM, matching the paper's reported 12.81%.
+struct TofinoResourceModel {
+  static constexpr std::uint64_t kTotalSramBytes = 12ull * 80 * 16 * 1024;
+
+  static double sram_utilization(std::uint64_t bytes) {
+    return static_cast<double>(bytes) /
+           static_cast<double>(kTotalSramBytes);
+  }
+};
+
+/// Bytes per second the control plane must move to checkpoint every set
+/// period (both banks of every enabled port's time windows).
+double polling_mbytes_per_sec(const core::TimeWindowParams& params);
+
+/// The paper's measured analysis-program ceiling (the "data exchange limit"
+/// line of Fig. 13), in MB/s.
+inline constexpr double kDataExchangeLimitMBps = 100.0;
+
+/// Whether a configuration's polling requirement fits under the limit.
+bool polling_feasible(const core::TimeWindowParams& params,
+                      double limit_mbps = kDataExchangeLimitMBps);
+
+/// Storage needed by a linear (per-packet record) scheme to cover
+/// `duration_ns` at one packet per `avg_interarrival_ns`, NetSight-style
+/// 16-byte postcards.
+std::uint64_t linear_storage_bytes(Duration duration_ns,
+                                   double avg_interarrival_ns,
+                                   std::uint64_t record_bytes = 16);
+
+/// Storage PrintQueue needs to cover `duration_ns`: the cells of the
+/// shallowest window prefix whose cumulative span reaches the duration.
+std::uint64_t exponential_storage_bytes(const core::TimeWindowParams& params,
+                                        Duration duration_ns);
+
+/// Fig. 14(a): linear-to-exponential storage ratio for a covered duration.
+double linear_exponential_ratio(const core::TimeWindowParams& params,
+                                Duration duration_ns,
+                                double avg_interarrival_ns);
+
+/// MAU pipeline-stage accounting (paper Section 7: "Time windows need 4
+/// MAU stages for preparations and two additional stages for each time
+/// window. The queue monitor uses six, but these can be overlapped").
+struct StageUsage {
+  std::uint32_t window_stages = 0;   ///< 4 + 2*T
+  std::uint32_t monitor_stages = 6;  ///< overlappable with the above
+  std::uint32_t total = 0;           ///< max of the two pipelines' needs
+};
+StageUsage mau_stage_usage(const core::TimeWindowParams& params);
+
+/// Whether the configuration fits a 12-stage Tofino pipeline.
+bool stages_feasible(const core::TimeWindowParams& params,
+                     std::uint32_t pipeline_stages = 12);
+
+}  // namespace pq::control

@@ -1,0 +1,32 @@
+// Checkpointed register state stored by the control plane (paper Fig. 3:
+// "Register Records"), one snapshot per periodic poll and per port.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/pipeline.h"
+#include "core/queue_monitor.h"
+#include "core/time_windows.h"
+
+namespace pq::control {
+
+struct WindowSnapshot {
+  Timestamp taken_at = 0;  ///< time of the freeze; covers (taken_at - t_set, taken_at]
+  core::WindowState state;
+};
+
+struct MonitorSnapshot {
+  Timestamp taken_at = 0;
+  core::MonitorState state;
+};
+
+/// State captured for a data-plane-triggered query: the frozen special
+/// register set plus the triggering packet's notification.
+struct DqCapture {
+  core::DqNotification notification;
+  core::WindowState windows;
+  core::MonitorState monitor;
+};
+
+}  // namespace pq::control

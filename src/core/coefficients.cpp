@@ -1,0 +1,70 @@
+#include "core/coefficients.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pq::core {
+
+CoefficientTable CoefficientTable::compute(double z0, std::uint32_t alpha,
+                                           std::uint32_t num_windows) {
+  if (num_windows == 0 || alpha == 0) {
+    throw std::invalid_argument("CoefficientTable needs windows and alpha");
+  }
+  z0 = std::clamp(z0, 1e-9, 1.0);
+
+  CoefficientTable t;
+  t.alpha_ = alpha;
+  t.coeff_.reserve(num_windows);
+  t.z_.reserve(num_windows);
+  t.coeff_.push_back(1.0);  // window 0 is exact
+  t.z_.push_back(z0);
+
+  // Algorithm 2: acc *= z * (1 - p^(2^alpha)) / (1 - p) / 2^alpha, with
+  // p = 1 - z^2 recomputed per window from the propagated z. The quotient
+  // is evaluated as the geometric sum 1 + p + ... + p^(2^alpha - 1), which
+  // stays numerically stable as p -> 1 (tiny z).
+  double z = z0;
+  double acc = 1.0;
+  const std::uint64_t fan_in = 1ull << alpha;
+  for (std::uint32_t i = 1; i < num_windows; ++i) {
+    const double p = 1.0 - z * z;
+    double geom = 0.0;
+    double p_pow = 1.0;
+    for (std::uint64_t m = 0; m < fan_in; ++m) {
+      geom += p_pow;
+      p_pow *= p;  // ends as p^(2^alpha)
+    }
+    acc *= z * geom / static_cast<double>(fan_in);
+    t.coeff_.push_back(acc);
+    z = 1.0 - p_pow;
+    t.z_.push_back(z);
+  }
+  return t;
+}
+
+CoefficientTable CoefficientTable::identity(std::uint32_t num_windows) {
+  CoefficientTable t;
+  t.alpha_ = 1;
+  t.coeff_.assign(num_windows, 1.0);
+  t.z_.assign(num_windows, 1.0);
+  return t;
+}
+
+double z0_from_interarrival(std::uint32_t m0, double avg_interarrival_ns) {
+  if (avg_interarrival_ns <= 0.0) {
+    throw std::invalid_argument("z0_from_interarrival needs a positive d");
+  }
+  const double z =
+      std::pow(2.0, static_cast<double>(m0)) / avg_interarrival_ns;
+  return std::clamp(z, 1e-9, 1.0);
+}
+
+double service_time_ns(double mean_packet_bytes, double line_rate_gbps) {
+  if (mean_packet_bytes <= 0.0 || line_rate_gbps <= 0.0) {
+    throw std::invalid_argument("service_time_ns needs positive arguments");
+  }
+  return mean_packet_bytes * 8.0 / line_rate_gbps;
+}
+
+}  // namespace pq::core

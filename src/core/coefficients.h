@@ -1,0 +1,48 @@
+// Coefficient recovery (paper Section 4.3, Algorithm 2).
+//
+// Window i only retains a fraction of the packets that traversed it; by
+// Theorem 2 that fraction is a deterministic function of z (the probability
+// that a cell receives a new packet each window period). coefficient[i] is
+// the expected ratio of the count observed in window i to the true count,
+// so dividing an observed per-flow count by coefficient[i] recovers an
+// unbiased estimate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pq::core {
+
+class CoefficientTable {
+ public:
+  /// Runs Algorithm 2. `z0` is window 0's cell-fill probability (Theorem 3:
+  /// 2^m0 / d, with d the average packet service time at line rate during
+  /// congestion), clamped to (0, 1].
+  static CoefficientTable compute(double z0, std::uint32_t alpha,
+                                  std::uint32_t num_windows);
+
+  /// All-ones table: raw observed counts with no recovery (ablation).
+  static CoefficientTable identity(std::uint32_t num_windows);
+
+  /// coefficient[i]: expected observed/true count ratio for window i.
+  double coefficient(std::uint32_t window) const { return coeff_.at(window); }
+
+  /// z for window i (the fill probability Theorem 2 propagates).
+  double z(std::uint32_t window) const { return z_.at(window); }
+
+  std::size_t size() const { return coeff_.size(); }
+
+ private:
+  std::vector<double> coeff_;
+  std::vector<double> z_;
+  std::uint32_t alpha_ = 1;
+};
+
+/// Theorem 3's z for window 0: 2^m0 / d, clamped to (0, 1].
+double z0_from_interarrival(std::uint32_t m0, double avg_interarrival_ns);
+
+/// Average service time of a packet of `mean_packet_bytes` at line rate —
+/// the `d` used when no measured inter-arrival time is supplied.
+double service_time_ns(double mean_packet_bytes, double line_rate_gbps);
+
+}  // namespace pq::core

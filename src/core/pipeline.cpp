@@ -1,0 +1,118 @@
+#include "core/pipeline.h"
+
+#include <stdexcept>
+
+namespace pq::core {
+
+namespace {
+
+core::QueueMonitorParams scaled_monitor(const PipelineConfig& cfg) {
+  QueueMonitorParams p = cfg.monitor;
+  if (cfg.queues_per_port > 1) {
+    // One monitor partition per (port, queue); the partition count rounds
+    // up to a power of two inside QueueMonitor.
+    p.num_ports = p.num_ports * cfg.queues_per_port;
+  }
+  return p;
+}
+
+}  // namespace
+
+PrintQueuePipeline::PrintQueuePipeline(const PipelineConfig& cfg)
+    : cfg_(cfg), windows_(cfg.windows), monitor_(scaled_monitor(cfg)) {
+  if (cfg_.queues_per_port == 0) {
+    throw std::invalid_argument("queues_per_port must be >= 1");
+  }
+  gaps_.resize(windows_.port_partitions());
+}
+
+std::uint32_t PrintQueuePipeline::enable_port(std::uint32_t egress_port) {
+  if (auto it = port_table_.find(egress_port); it != port_table_.end()) {
+    return it->second;
+  }
+  if (next_prefix_ >= windows_.port_partitions() ||
+      (next_prefix_ + 1) * cfg_.queues_per_port >
+          monitor_.port_partitions()) {
+    throw std::length_error("PrintQueuePipeline: port partitions exhausted");
+  }
+  const std::uint32_t prefix = next_prefix_++;
+  port_table_.emplace(egress_port, prefix);
+  return prefix;
+}
+
+std::optional<std::uint32_t> PrintQueuePipeline::port_prefix(
+    std::uint32_t egress_port) const {
+  if (auto it = port_table_.find(egress_port); it != port_table_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+void PrintQueuePipeline::on_egress(const sim::EgressContext& ctx) {
+  // Ingress flow table: no match means PrintQueue ignores the packet.
+  const auto prefix = port_prefix(ctx.egress_port);
+  if (!prefix) return;
+  ++packets_seen_;
+
+  const Timestamp deq_ts = ctx.deq_timestamp();
+  windows_.on_packet(*prefix, ctx.flow, deq_ts);
+  if (cfg_.queues_per_port > 1) {
+    monitor_.on_packet(monitor_partition(*prefix, ctx.queue_id), ctx.flow,
+                       ctx.enq_queue_qdepth + ctx.packet_cells);
+  } else {
+    monitor_.on_packet(*prefix, ctx.flow,
+                       ctx.enq_qdepth + ctx.packet_cells);
+  }
+
+  // Theorem 3's d is the packet service time at line rate *during
+  // congestion*; only gaps observed while the queue is non-empty qualify
+  // (idle gaps would deflate z0 and corrupt coefficient recovery).
+  GapTracker& g = gaps_[*prefix];
+  if (g.has_last && deq_ts > g.last && ctx.enq_qdepth > 0) {
+    const double gap = static_cast<double>(deq_ts - g.last);
+    g.ewma = g.ewma == 0.0 ? gap : g.ewma + (gap - g.ewma) / 64.0;
+  }
+  g.last = deq_ts;
+  g.has_last = true;
+
+  if (observer_ != nullptr) observer_->on_time(deq_ts);
+
+  const bool delay_hit = cfg_.dq_delay_threshold_ns != 0 &&
+                         ctx.deq_timedelta >= cfg_.dq_delay_threshold_ns;
+  const bool depth_hit = cfg_.dq_depth_threshold_cells != 0 &&
+                         ctx.enq_qdepth >= cfg_.dq_depth_threshold_cells;
+  const bool probe_hit =
+      cfg_.dq_probe_flow.has_value() && ctx.flow == *cfg_.dq_probe_flow;
+  if (delay_hit || depth_hit || probe_hit) {
+    if (windows_.dataplane_query_locked() ||
+        monitor_.dataplane_query_locked()) {
+      ++dq_ignored_;  // concurrent reads are ignored (paper Section 6.2)
+      return;
+    }
+    const int wbank = windows_.begin_dataplane_query();
+    const int mbank = monitor_.begin_dataplane_query();
+    ++dq_fired_;
+    if (observer_ != nullptr) {
+      DqNotification n;
+      n.port_prefix = *prefix;
+      n.victim_flow = ctx.flow;
+      n.enq_timestamp = ctx.enq_timestamp;
+      n.deq_timestamp = deq_ts;
+      n.enq_qdepth = ctx.enq_qdepth;
+      n.window_bank = static_cast<std::uint32_t>(wbank);
+      n.monitor_bank = static_cast<std::uint32_t>(mbank);
+      observer_->on_dq_trigger(n);
+    } else {
+      // No control plane attached: release immediately so the data plane
+      // does not stay locked forever.
+      windows_.end_dataplane_query();
+      monitor_.end_dataplane_query();
+    }
+  }
+}
+
+double PrintQueuePipeline::avg_deq_gap_ns(std::uint32_t port_prefix) const {
+  return gaps_.at(port_prefix).ewma;
+}
+
+}  // namespace pq::core

@@ -1,0 +1,122 @@
+// The PrintQueue data-plane pipeline: the egress hook that feeds every
+// dequeued packet into the time windows and the queue monitor, gates
+// activation per egress port (the ingress flow table of Section 6.1), and
+// raises data-plane query triggers (Section 6.2, on-demand reads).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/queue_monitor.h"
+#include "core/time_windows.h"
+#include "sim/hooks.h"
+
+namespace pq::core {
+
+struct PipelineConfig {
+  TimeWindowParams windows;
+  QueueMonitorParams monitor;
+
+  /// Track each scheduling class's queue separately in the monitor (paper
+  /// Section 5: "multiple queues are tracked individually"; the monitor
+  /// "can track each priority or rank separately"). With N > 1, monitor
+  /// partitions are (port, queue) pairs and updates use the per-queue
+  /// depth. Time windows are unaffected (they are scheduler-agnostic).
+  std::uint8_t queues_per_port = 1;
+
+  /// Data-plane query triggers; 0 disables a trigger. A packet whose queuing
+  /// delay or observed depth reaches a threshold freezes the current
+  /// register set and notifies the control plane.
+  Duration dq_delay_threshold_ns = 0;
+  std::uint32_t dq_depth_threshold_cells = 0;
+
+  /// Probe trigger (Section 6.2: "a special end-host-generated probe"):
+  /// every packet of this flow fires a data-plane query regardless of its
+  /// delay or depth. Disabled when unset.
+  std::optional<FlowId> dq_probe_flow;
+};
+
+/// Notification sent to the control plane when a data-plane query fires;
+/// the victim's enqueue/dequeue timestamps become the query interval.
+struct DqNotification {
+  std::uint32_t port_prefix = 0;
+  FlowId victim_flow;
+  Timestamp enq_timestamp = 0;
+  Timestamp deq_timestamp = 0;
+  std::uint32_t enq_qdepth = 0;
+  /// Frozen special-bank indices to read.
+  std::uint32_t window_bank = 0;
+  std::uint32_t monitor_bank = 0;
+};
+
+/// Implemented by the control plane (AnalysisProgram).
+class PipelineObserver {
+ public:
+  virtual ~PipelineObserver() = default;
+  /// Called with each packet's dequeue time; drives periodic polling.
+  virtual void on_time(Timestamp now) = 0;
+  /// Called when a data-plane query trigger fires.
+  virtual void on_dq_trigger(const DqNotification& n) = 0;
+};
+
+class PrintQueuePipeline final : public sim::EgressHook {
+ public:
+  explicit PrintQueuePipeline(const PipelineConfig& cfg);
+
+  /// Activates PrintQueue on an egress port, assigning it the next register
+  /// partition. Throws std::length_error when partitions are exhausted.
+  std::uint32_t enable_port(std::uint32_t egress_port);
+
+  /// The ingress flow table lookup: partition prefix for a port, or nullopt
+  /// if PrintQueue is not enabled there (packet ignored).
+  std::optional<std::uint32_t> port_prefix(std::uint32_t egress_port) const;
+
+  /// Monitor partition for a (port prefix, queue) pair.
+  std::uint32_t monitor_partition(std::uint32_t port_prefix,
+                                  std::uint8_t queue_id) const {
+    const std::uint8_t q = std::min<std::uint8_t>(
+        queue_id, static_cast<std::uint8_t>(cfg_.queues_per_port - 1));
+    return port_prefix * cfg_.queues_per_port + q;
+  }
+
+  void set_observer(PipelineObserver* obs) { observer_ = obs; }
+
+  void on_egress(const sim::EgressContext& ctx) override;
+
+  TimeWindowSet& windows() { return windows_; }
+  const TimeWindowSet& windows() const { return windows_; }
+  QueueMonitor& monitor() { return monitor_; }
+  const QueueMonitor& monitor() const { return monitor_; }
+  const PipelineConfig& config() const { return cfg_; }
+
+  /// EWMA of dequeue inter-departure gaps per port partition — the measured
+  /// `d` for coefficient calibration (Theorem 3).
+  double avg_deq_gap_ns(std::uint32_t port_prefix) const;
+
+  std::uint64_t packets_seen() const { return packets_seen_; }
+  std::uint64_t dq_triggers_fired() const { return dq_fired_; }
+  std::uint64_t dq_triggers_ignored() const { return dq_ignored_; }
+
+ private:
+  PipelineConfig cfg_;
+  TimeWindowSet windows_;
+  QueueMonitor monitor_;
+  PipelineObserver* observer_ = nullptr;
+
+  std::unordered_map<std::uint32_t, std::uint32_t> port_table_;
+  std::uint32_t next_prefix_ = 0;
+
+  struct GapTracker {
+    Timestamp last = 0;
+    bool has_last = false;
+    double ewma = 0.0;
+  };
+  std::vector<GapTracker> gaps_;
+
+  std::uint64_t packets_seen_ = 0;
+  std::uint64_t dq_fired_ = 0;
+  std::uint64_t dq_ignored_ = 0;
+};
+
+}  // namespace pq::core

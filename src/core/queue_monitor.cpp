@@ -1,0 +1,110 @@
+#include "core/queue_monitor.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace pq::core {
+
+QueueMonitor::QueueMonitor(const QueueMonitorParams& params)
+    : params_(params) {
+  params_.validate();
+  port_partitions_ = params_.num_ports <= 1 ? 1 : std::bit_ceil(params_.num_ports);
+  const std::size_t flat =
+      static_cast<std::size_t>(port_partitions_) * params_.levels();
+  for (auto& bank : banks_) {
+    bank.entries.assign(flat, MonitorEntry{});
+    bank.ports.assign(port_partitions_, PortState{});
+  }
+  seq_.assign(port_partitions_, 0);
+}
+
+void QueueMonitor::on_packet(std::uint32_t port_prefix, const FlowId& flow,
+                             std::uint32_t depth_after_cells) {
+  Bank& bank = banks_[active_bank()];
+  PortState& ps = bank.ports.at(port_prefix);
+
+  const std::uint32_t level =
+      std::min(depth_after_cells / params_.granularity_cells,
+               params_.levels() - 1);
+  const std::size_t base =
+      static_cast<std::size_t>(port_prefix) * params_.levels();
+
+  if (level > ps.last_level) {
+    MonitorHalf& h = bank.entries[base + level].inc;
+    h.flow = flow;
+    h.seq = ++seq_[port_prefix];
+    h.valid = true;
+  } else if (level < ps.last_level) {
+    MonitorHalf& h = bank.entries[base + level].dec;
+    h.flow = flow;
+    h.seq = ++seq_[port_prefix];
+    h.valid = true;
+  }
+  ps.last_level = level;
+  ps.top = level;
+}
+
+std::uint32_t QueueMonitor::flip_periodic() {
+  const std::uint32_t frozen = active_bank();
+  flip_bit_ ^= 1;
+  // The newly active bank resumes from the frozen bank's cursor so the
+  // depth-change detection stays continuous across the flip.
+  Bank& fresh = banks_[active_bank()];
+  fresh.ports = banks_[frozen].ports;
+  return frozen;
+}
+
+int QueueMonitor::begin_dataplane_query() {
+  if (dq_locked_) return -1;
+  const std::uint32_t frozen = active_bank();
+  dq_bit_ ^= 1;
+  dq_locked_ = true;
+  banks_[active_bank()].ports = banks_[frozen].ports;
+  return static_cast<int>(frozen);
+}
+
+void QueueMonitor::end_dataplane_query() { dq_locked_ = false; }
+
+MonitorState QueueMonitor::read_bank(std::uint32_t bank,
+                                     std::uint32_t port_prefix) const {
+  const Bank& b = banks_.at(bank);
+  const std::size_t base =
+      static_cast<std::size_t>(port_prefix) * params_.levels();
+  MonitorState out;
+  out.entries.assign(b.entries.begin() + static_cast<std::ptrdiff_t>(base),
+                     b.entries.begin() +
+                         static_cast<std::ptrdiff_t>(base + params_.levels()));
+  out.top = b.ports.at(port_prefix).top;
+  return out;
+}
+
+std::uint64_t QueueMonitor::sram_bytes() const {
+  return 4ull * port_partitions_ * params_.levels() * kEntryBytesOnSwitch;
+}
+
+std::vector<OriginalCulprit> original_culprits(const MonitorState& state) {
+  std::vector<OriginalCulprit> out;
+  if (state.entries.empty()) return out;
+  std::uint64_t running_max = 0;
+  const std::uint32_t top =
+      std::min<std::uint32_t>(state.top,
+                              static_cast<std::uint32_t>(state.entries.size()) -
+                                  1);
+  for (std::uint32_t level = 0; level <= top; ++level) {
+    const MonitorEntry& e = state.entries[level];
+    if (e.inc.valid && e.inc.seq > running_max) {
+      out.push_back({e.inc.flow, level, e.inc.seq});
+    }
+    if (e.inc.valid) running_max = std::max(running_max, e.inc.seq);
+    if (e.dec.valid) running_max = std::max(running_max, e.dec.seq);
+  }
+  return out;
+}
+
+FlowCounts culprit_counts(const std::vector<OriginalCulprit>& culprits) {
+  FlowCounts counts;
+  for (const auto& c : culprits) counts[c.flow] += 1.0;
+  return counts;
+}
+
+}  // namespace pq::core

@@ -1,0 +1,115 @@
+// Queue monitor (paper Section 5): a sparse stack over queue depth that
+// retains, for each depth level, the last packet whose arrival raised the
+// queue to that level (upper half) and the last packet that observed the
+// queue drained back down to it (lower half), each tagged with a
+// monotonically increasing sequence number. Walking the stack from 0 to the
+// top pointer and keeping entries whose sequence numbers exceed everything
+// below reconstructs the original causes of the current congestion.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.h"
+#include "core/window_filter.h"  // FlowCounts
+
+namespace pq::core {
+
+struct QueueMonitorParams {
+  std::uint32_t max_depth_cells = 25000;
+  std::uint32_t granularity_cells = 1;  ///< cells per stack level
+  std::uint32_t num_ports = 1;          ///< rounded up to a power of two
+
+  void validate() const {
+    if (max_depth_cells == 0 || granularity_cells == 0 || num_ports == 0) {
+      throw std::invalid_argument("QueueMonitorParams out of range");
+    }
+  }
+
+  std::uint32_t levels() const {
+    return max_depth_cells / granularity_cells + 1;
+  }
+};
+
+/// One half of a stack entry (depth increase or decrease).
+struct MonitorHalf {
+  FlowId flow;
+  std::uint64_t seq = 0;
+  bool valid = false;
+};
+
+struct MonitorEntry {
+  MonitorHalf inc;
+  MonitorHalf dec;
+};
+
+/// A control-plane copy of one port's monitor state.
+struct MonitorState {
+  std::vector<MonitorEntry> entries;
+  std::uint32_t top = 0;  ///< stack-top pointer (latest depth level)
+};
+
+/// An original culprit extracted from the stack walk.
+struct OriginalCulprit {
+  FlowId flow;
+  std::uint32_t level = 0;
+  std::uint64_t seq = 0;
+};
+
+class QueueMonitor {
+ public:
+  explicit QueueMonitor(const QueueMonitorParams& params);
+
+  const QueueMonitorParams& params() const { return params_; }
+  std::uint32_t port_partitions() const { return port_partitions_; }
+
+  /// Per-packet update in the egress stage. `depth_after_cells` is the queue
+  /// depth including this packet (enq_qdepth + its own cells).
+  void on_packet(std::uint32_t port_prefix, const FlowId& flow,
+                 std::uint32_t depth_after_cells);
+
+  // Register-bank control, mirroring the time windows (Fig. 8).
+  std::uint32_t flip_periodic();
+  int begin_dataplane_query();
+  void end_dataplane_query();
+  bool dataplane_query_locked() const { return dq_locked_; }
+  std::uint32_t active_bank() const { return (dq_bit_ << 1) | flip_bit_; }
+
+  MonitorState read_bank(std::uint32_t bank, std::uint32_t port_prefix) const;
+
+  /// Data-plane SRAM footprint across all four banks (resource model).
+  std::uint64_t sram_bytes() const;
+
+  /// Per-entry register cost on the switch: two halves of
+  /// (64-bit flow signature + 32-bit sequence number).
+  static constexpr std::uint64_t kEntryBytesOnSwitch = 24;
+
+ private:
+  struct PortState {
+    std::uint32_t top = 0;
+    std::uint32_t last_level = 0;
+  };
+  struct Bank {
+    std::vector<MonitorEntry> entries;  ///< ports * levels, flat
+    std::vector<PortState> ports;
+  };
+
+  QueueMonitorParams params_;
+  std::uint32_t port_partitions_ = 1;
+  std::uint32_t dq_bit_ = 0;
+  std::uint32_t flip_bit_ = 0;
+  bool dq_locked_ = false;
+  std::vector<std::uint64_t> seq_;  ///< per-port, shared across banks
+  std::array<Bank, 4> banks_;
+};
+
+/// The filtering walk of Section 5/6.3: entries are considered only if their
+/// sequence number exceeds every sequence number at lower levels.
+std::vector<OriginalCulprit> original_culprits(const MonitorState& state);
+
+/// Aggregates culprits to per-flow packet counts (Fig. 16(b)).
+FlowCounts culprit_counts(const std::vector<OriginalCulprit>& culprits);
+
+}  // namespace pq::core

@@ -1,0 +1,112 @@
+#include "core/time_windows.h"
+
+#include <bit>
+
+namespace pq::core {
+
+namespace {
+
+std::uint32_t round_up_pow2(std::uint32_t v) {
+  return v <= 1 ? 1 : std::bit_ceil(v);
+}
+
+}  // namespace
+
+TimeWindowSet::TimeWindowSet(const TimeWindowParams& params)
+    : layout_(params),
+      port_partitions_(round_up_pow2(params.num_ports)) {
+  const std::uint64_t cells_per_window =
+      static_cast<std::uint64_t>(port_partitions_) << params.k;
+  for (auto& bank : banks_) {
+    bank.assign(params.num_windows, std::vector<WindowCell>(cells_per_window));
+  }
+  stats_.stored.assign(params.num_windows, 0);
+  stats_.passed.assign(params.num_windows, 0);
+  stats_.dropped.assign(params.num_windows, 0);
+}
+
+void TimeWindowSet::on_packet(std::uint32_t port_prefix, const FlowId& flow,
+                              Timestamp deq_timestamp) {
+  const auto& p = layout_.params();
+  const std::uint32_t bank = active_bank();
+
+  // Algorithm 1. The per-window cycle width shrinks by alpha bits per level;
+  // with wrap32, cycle differences are taken modulo that width so behaviour
+  // matches the hardware's finite registers.
+  std::uint64_t tts = layout_.tts0(deq_timestamp);
+  FlowId cur_flow = flow;
+  for (std::uint32_t i = 0; i < p.num_windows; ++i) {
+    const std::uint64_t index = layout_.index_of(tts);
+    const std::uint64_t cycle = layout_.cycle_of(tts);
+
+    WindowCell& c = cell(bank, i, port_prefix, index);
+    const WindowCell evicted = c;
+    c.flow = cur_flow;
+    c.cycle_id = cycle;
+    c.occupied = true;
+    ++stats_.stored[i];
+
+    if (!evicted.occupied) break;
+    if (p.ablate_passing) {
+      ++stats_.dropped[i];
+      break;
+    }
+
+    std::uint64_t diff = cycle - evicted.cycle_id;
+    if (p.wrap32) {
+      const std::uint32_t cycle_bits_total =
+          layout_.tts_bits() > p.k + p.alpha * i
+              ? layout_.tts_bits() - p.k - p.alpha * i
+              : 1;
+      if (cycle_bits_total < 64) diff &= (1ull << cycle_bits_total) - 1;
+    }
+    if (diff == 1) {
+      // Pass the evicted packet: reconstruct its TTS and age it by alpha.
+      ++stats_.passed[i];
+      cur_flow = evicted.flow;
+      tts = layout_.combine(evicted.cycle_id, index) >> p.alpha;
+    } else {
+      ++stats_.dropped[i];
+      break;
+    }
+  }
+}
+
+std::uint32_t TimeWindowSet::flip_periodic() {
+  const std::uint32_t frozen = active_bank();
+  flip_bit_ ^= 1;
+  return frozen;
+}
+
+int TimeWindowSet::begin_dataplane_query() {
+  if (dq_locked_) return -1;
+  const std::uint32_t frozen = active_bank();
+  dq_bit_ ^= 1;
+  dq_locked_ = true;
+  return static_cast<int>(frozen);
+}
+
+void TimeWindowSet::end_dataplane_query() { dq_locked_ = false; }
+
+WindowState TimeWindowSet::read_bank(std::uint32_t bank,
+                                     std::uint32_t port_prefix) const {
+  const auto& p = layout_.params();
+  WindowState out(p.num_windows);
+  const std::uint64_t base = static_cast<std::uint64_t>(port_prefix) << p.k;
+  const std::uint64_t n = 1ull << p.k;
+  for (std::uint32_t i = 0; i < p.num_windows; ++i) {
+    const auto& win = banks_.at(bank)[i];
+    out[i].assign(win.begin() + static_cast<std::ptrdiff_t>(base),
+                  win.begin() + static_cast<std::ptrdiff_t>(base + n));
+  }
+  return out;
+}
+
+std::uint64_t TimeWindowSet::sram_bytes() const {
+  const auto& p = layout_.params();
+  return 4ull * p.num_windows *
+         (static_cast<std::uint64_t>(port_partitions_) << p.k) *
+         kCellBytesOnSwitch;
+}
+
+}  // namespace pq::core

@@ -1,0 +1,106 @@
+// Time windows (paper Section 4): a hierarchical, probabilistic record of
+// dequeued packets. Window 0 stores every packet exactly; each deeper window
+// covers a 2^alpha-times longer period in the same number of cells.
+//
+// The structure is modelled at register granularity, including the four
+// register banks selected by the two high index bits (paper Fig. 8): the
+// data plane writes bank (dpq, flip); periodic polling flips `flip`; a
+// data-plane query flips `dpq` and locks the special set until read.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/tts_layout.h"
+
+namespace pq::core {
+
+/// One register cell: the stored packet's flow ID and its cycle ID.
+/// `occupied` models the initial all-zero register state.
+struct WindowCell {
+  FlowId flow;
+  std::uint64_t cycle_id = 0;
+  bool occupied = false;
+};
+
+/// A full copy of one bank's cell state for one port: windows[i][j] is cell j
+/// of time window i. Snapshots taken by the control plane have this shape.
+using WindowState = std::vector<std::vector<WindowCell>>;
+
+/// Update statistics, useful for validating Theorems 1-3.
+struct WindowStats {
+  std::vector<std::uint64_t> stored;  ///< new packets stored per window
+  std::vector<std::uint64_t> passed;  ///< evictions passed to next window
+  std::vector<std::uint64_t> dropped; ///< evictions dropped
+};
+
+class TimeWindowSet {
+ public:
+  explicit TimeWindowSet(const TimeWindowParams& params);
+
+  const TtsLayout& layout() const { return layout_; }
+  const TimeWindowParams& params() const { return layout_.params(); }
+
+  /// Number of port partitions actually allocated (power of two).
+  std::uint32_t port_partitions() const { return port_partitions_; }
+
+  /// Algorithm 1: record one dequeued packet in the active bank.
+  /// `port_prefix` selects the port partition (the q bits of Fig. 8).
+  void on_packet(std::uint32_t port_prefix, const FlowId& flow,
+                 Timestamp deq_timestamp);
+
+  // --- Register bank control (Fig. 8) ---
+
+  /// Periodic checkpoint: flips the second-highest index bit. Returns the
+  /// index of the bank that is now frozen for reading.
+  std::uint32_t flip_periodic();
+
+  /// Starts a data-plane query: flips the highest index bit and locks.
+  /// Returns the frozen special bank index, or -1 if a query is already in
+  /// progress (concurrent reads are ignored, per the paper).
+  int begin_dataplane_query();
+
+  /// Ends the data-plane query read, unlocking the special mechanism.
+  void end_dataplane_query();
+
+  bool dataplane_query_locked() const { return dq_locked_; }
+  std::uint32_t active_bank() const { return bank_index(dq_bit_, flip_bit_); }
+
+  /// Copies the state of `bank` for one port partition (a control-plane
+  /// register read).
+  WindowState read_bank(std::uint32_t bank, std::uint32_t port_prefix) const;
+
+  const WindowStats& stats() const { return stats_; }
+
+  /// Bytes of data-plane SRAM this structure would occupy on Tofino
+  /// (all four banks; used by the resource model).
+  std::uint64_t sram_bytes() const;
+
+  /// Size of one register cell as laid out on the switch: 32-bit src/dst IP,
+  /// 32-bit port/proto signature, and a 32-bit cycle ID.
+  static constexpr std::uint64_t kCellBytesOnSwitch = 16;
+
+ private:
+  static std::uint32_t bank_index(std::uint32_t dq, std::uint32_t flip) {
+    return (dq << 1) | flip;
+  }
+  WindowCell& cell(std::uint32_t bank, std::uint32_t window,
+                   std::uint32_t port_prefix, std::uint64_t index) {
+    return banks_[bank][window][(static_cast<std::uint64_t>(port_prefix)
+                                 << layout_.params().k) | index];
+  }
+
+  TtsLayout layout_;
+  std::uint32_t port_partitions_ = 1;
+  std::uint32_t dq_bit_ = 0;
+  std::uint32_t flip_bit_ = 0;
+  bool dq_locked_ = false;
+
+  /// banks_[bank][window] is a flat array of port_partitions_ << k cells.
+  std::array<std::vector<std::vector<WindowCell>>, 4> banks_;
+  WindowStats stats_;
+};
+
+}  // namespace pq::core

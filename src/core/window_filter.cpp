@@ -1,0 +1,215 @@
+#include "core/window_filter.h"
+
+#include <algorithm>
+
+namespace pq::core {
+
+namespace {
+
+/// Bit width of window w's TTS (shrinks by alpha per level).
+std::uint32_t window_tts_bits(const TtsLayout& layout, std::uint32_t w) {
+  const auto& p = layout.params();
+  const std::uint32_t consumed = p.alpha * w;
+  return layout.tts_bits() > consumed ? layout.tts_bits() - consumed : 1;
+}
+
+std::uint64_t bits_mask(std::uint32_t bits) {
+  return bits >= 64 ? ~0ull : (1ull << bits) - 1;
+}
+
+}  // namespace
+
+Timestamp FilteredWindows::lift(Timestamp wrapped_raw) const {
+  if (!wrapped) return wrapped_raw;
+  // The true time lies at most one 32-bit lap behind the anchor (the
+  // checkpoint/capture instant), so subtracting the wrapped backward
+  // distance recovers the epoch.
+  return anchor - ((anchor - wrapped_raw) & 0xffffffffull);
+}
+
+FilteredWindows filter_stale_cells(const WindowState& state,
+                                   const TtsLayout& layout,
+                                   bool collect_salvage,
+                                   Timestamp anchor_hint) {
+  const auto& p = layout.params();
+  FilteredWindows out;
+  out.windows.resize(state.size());
+  if (state.empty()) return out;
+  out.wrapped = p.wrap32;
+  out.anchor = anchor_hint;
+
+  // LatestCell(windows[0]): the occupied cell with the largest TTS. With a
+  // wrapping clock "largest" means "closest behind the anchor instant"
+  // (the checkpoint time, which is at or after every stored packet).
+  std::uint64_t latest_tts = 0;
+  bool found = false;
+  const std::uint64_t w0_mask = bits_mask(window_tts_bits(layout, 0));
+  const std::uint64_t anchor_tts = (anchor_hint >> p.m0) & w0_mask;
+  std::uint64_t best_dist = ~0ull;
+  for (std::uint64_t j = 0; j < state[0].size(); ++j) {
+    const WindowCell& c = state[0][j];
+    if (!c.occupied) continue;
+    const std::uint64_t tts = layout.combine(c.cycle_id, j);
+    if (p.wrap32) {
+      const std::uint64_t dist = (anchor_tts - tts) & w0_mask;
+      if (!found || dist < best_dist) {
+        best_dist = dist;
+        latest_tts = tts;
+      }
+    } else if (!found || tts > latest_tts) {
+      latest_tts = tts;
+    }
+    found = true;
+  }
+  if (!found) return out;
+  out.empty = false;
+
+  std::uint64_t tts = latest_tts;
+  for (std::uint32_t i = 0; i < state.size(); ++i) {
+    const std::uint64_t idx = layout.index_of(tts);
+    const std::uint64_t cid = layout.cycle_of(tts);
+    auto& win = out.windows[i];
+
+    const std::uint32_t tbits = window_tts_bits(layout, i);
+    const std::uint64_t cycle_mask =
+        tbits > p.k ? bits_mask(tbits - p.k) : 1;
+
+    for (std::uint64_t j = 0; j < state[i].size(); ++j) {
+      const WindowCell& c = state[i][j];
+      if (!c.occupied) continue;
+      // Keep cells within one window period of the latest cell: same cycle
+      // at or below the latest index, previous cycle above it. Cycle
+      // arithmetic wraps with the clock.
+      const bool keep =
+          (j <= idx) ? (c.cycle_id == cid)
+                     : (((c.cycle_id + 1) & cycle_mask) == cid);
+      if (keep) {
+        win.cells.push_back({c.flow, layout.combine(c.cycle_id, j)});
+      } else if (collect_salvage && i == 0) {
+        // Stale but decodable: the cycle ID pins the exact time span.
+        out.window0_salvage.push_back(
+            {c.flow, layout.combine(c.cycle_id, j)});
+      }
+    }
+
+    // Coverage of window i ends just after its newest representable cell.
+    const auto span = layout.cell_span(i, tts);
+    win.cover_hi = out.lift(span.hi);
+    win.cover_lo = win.cover_hi >= layout.window_period_ns(i)
+                       ? win.cover_hi - layout.window_period_ns(i)
+                       : 0;
+
+    // Step to the next window: the most recently passed cell is one full
+    // window period older, compressed by alpha.
+    const std::uint64_t cells = 1ull << p.k;
+    if (p.wrap32) {
+      tts = ((tts - cells) & bits_mask(tbits)) >> p.alpha;
+    } else {
+      tts = tts >= cells ? (tts - cells) >> p.alpha : 0;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Cell span lifted into the unwrapped 64-bit domain.
+TtsLayout::Span lifted_span(const FilteredWindows& filtered,
+                            const TtsLayout& layout, std::uint32_t window,
+                            std::uint64_t tts) {
+  auto span = layout.cell_span(window, tts);
+  if (filtered.wrapped) {
+    // Lift the end, then derive the start: lifting both independently
+    // could straddle an epoch boundary.
+    const Timestamp hi = filtered.lift(span.hi & 0xffffffffull);
+    span.hi = hi;
+    span.lo = hi - layout.cell_period_ns(window);
+  }
+  return span;
+}
+
+}  // namespace
+
+FlowCounts estimate_flow_counts(const FilteredWindows& filtered,
+                                const TtsLayout& layout,
+                                const CoefficientTable& coeffs, Timestamp t1,
+                                Timestamp t2) {
+  FlowCounts counts;
+  if (filtered.empty || t2 <= t1) return counts;
+
+  for (std::uint32_t i = 0; i < filtered.windows.size(); ++i) {
+    const auto& win = filtered.windows[i];
+    // The query piece this window is responsible for (windows tile time, so
+    // pieces are disjoint across windows).
+    const Timestamp lo = std::max<Timestamp>(t1, win.cover_lo);
+    const Timestamp hi = std::min<Timestamp>(t2, win.cover_hi);
+    if (hi <= lo) continue;
+
+    if (i >= coeffs.size() || coeffs.coefficient(i) <= 0.0) continue;
+    const double scale = 1.0 / coeffs.coefficient(i);
+
+    FlowCounts piece;
+    double piece_total = 0.0;
+    for (const auto& cell : win.cells) {
+      const auto span = lifted_span(filtered, layout, i, cell.tts);
+      const Timestamp olo = std::max(lo, span.lo);
+      const Timestamp ohi = std::min(hi, span.hi);
+      if (ohi <= olo) continue;
+      const double frac = static_cast<double>(ohi - olo) /
+                          static_cast<double>(span.hi - span.lo);
+      piece[cell.flow] += frac * scale;
+      piece_total += frac * scale;
+    }
+    // Physical sanity: window 0's cell period is chosen at or below the
+    // minimum packet service time ("no cell-level collisions", paper
+    // Section 4.1), so a piece can never contain more than one packet per
+    // 2^m0 ns. Recovery redistributes survivors, so the bound applies to
+    // the piece total; proportional normalisation keeps per-flow shares
+    // intact. A no-op for well-configured layouts; it tames the
+    // super-exponential 1/coefficient blow-up when m0 is misconfigured
+    // far below the real packet spacing.
+    const double budget = static_cast<double>(hi - lo) /
+                          static_cast<double>(layout.cell_period_ns(0));
+    const double norm =
+        (budget > 0.0 && piece_total > budget) ? budget / piece_total : 1.0;
+    for (const auto& [flow, n] : piece) counts[flow] += n * norm;
+  }
+
+  // Salvage extension: stale window-0 cells are exact single-packet
+  // records. Count one only where it overlaps the query and no valid
+  // deeper window already estimates that span (no double counting).
+  for (const auto& cell : filtered.window0_salvage) {
+    const auto span = lifted_span(filtered, layout, 0, cell.tts);
+    const Timestamp olo = std::max(t1, span.lo);
+    const Timestamp ohi = std::min(t2, span.hi);
+    if (ohi <= olo) continue;
+    bool covered = false;
+    for (std::uint32_t i = 1; i < filtered.windows.size() && !covered; ++i) {
+      const auto& win = filtered.windows[i];
+      covered = !win.cells.empty() && span.lo < win.cover_hi &&
+                span.hi > win.cover_lo;
+    }
+    if (!covered) {
+      counts[cell.flow] += static_cast<double>(ohi - olo) /
+                           static_cast<double>(span.hi - span.lo);
+    }
+  }
+  return counts;
+}
+
+void merge_counts(FlowCounts& dst, const FlowCounts& src) {
+  for (const auto& [flow, n] : src) dst[flow] += n;
+}
+
+std::vector<std::pair<FlowId, double>> top_k_flows(const FlowCounts& counts,
+                                                   std::size_t k) {
+  std::vector<std::pair<FlowId, double>> v(counts.begin(), counts.end());
+  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (v.size() > k) v.resize(k);
+  return v;
+}
+
+}  // namespace pq::core

@@ -1,0 +1,88 @@
+// Control-plane query path for time windows: stale-cell filtering (paper
+// Algorithm 3) and per-flow count estimation over an arbitrary interval
+// (paper Section 6.3).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/coefficients.h"
+#include "core/time_windows.h"
+
+namespace pq::core {
+
+/// Per-flow packet-count estimate (the query result type).
+using FlowCounts = std::unordered_map<FlowId, double>;
+
+/// A surviving cell after filtering: the stored flow and the cell's full TTS
+/// (cycle << k | index) in its window's units.
+struct ValidCell {
+  FlowId flow;
+  std::uint64_t tts = 0;
+};
+
+/// The filtered view of one snapshot: per window, the surviving cells and the
+/// window's coverage interval in raw nanoseconds. Windows tile time going
+/// backwards from the latest packet: window 0 covers the most recent window
+/// period, window 1 the 2^alpha-times longer period before it, and so on.
+struct FilteredWindows {
+  struct Window {
+    std::vector<ValidCell> cells;
+    Timestamp cover_lo = 0;
+    Timestamp cover_hi = 0;  ///< exclusive
+  };
+  std::vector<Window> windows;
+  bool empty = true;  ///< true when window 0 held no packets at all
+
+  /// Extension (see below): stale-but-occupied window-0 cells with their
+  /// exact TTS, recoverable because cycle IDs pinpoint their time span.
+  std::vector<ValidCell> window0_salvage;
+
+  /// Wrap handling: with a 32-bit clock, cell spans are lifted into the
+  /// unwrapped 64-bit domain using the anchor (the checkpoint or capture
+  /// instant, which is at or after every stored packet and within one lap).
+  bool wrapped = false;
+  Timestamp anchor = 0;
+  Timestamp lift(Timestamp wrapped_raw) const;
+};
+
+/// Algorithm 3: removes cells that are not within one window period of the
+/// most recent cell, walking the TTS chain into deeper windows.
+///
+/// Extension beyond the paper: with `collect_salvage`, stale window-0
+/// cells are retained separately instead of discarded. Under sustained
+/// line rate every cell is overwritten (and passed) each period, so
+/// Algorithm 3 loses nothing; under *sparse* traffic, unpassed cells rot
+/// in place — but their cycle IDs still identify their exact time span,
+/// so they are perfectly recoverable single-packet records. The estimator
+/// counts a salvaged cell only where no deeper window provides coverage,
+/// avoiding double counting.
+/// `anchor_hint` (the snapshot/capture time) is required when the layout
+/// uses the wrapping 32-bit clock; it selects the latest cell and lifts
+/// spans across epoch boundaries. Ignored otherwise.
+FilteredWindows filter_stale_cells(const WindowState& state,
+                                   const TtsLayout& layout,
+                                   bool collect_salvage = false,
+                                   Timestamp anchor_hint = 0);
+
+/// Estimates per-flow packet counts over [t1, t2): each window contributes
+/// its disjoint coverage piece, cells are prorated by span overlap, and
+/// deeper windows are scaled up by 1/coefficient[i] (Theorem 2 recovery).
+/// Salvaged window-0 cells (if collected) are added at exact weight for
+/// spans no valid deeper window covers.
+FlowCounts estimate_flow_counts(const FilteredWindows& filtered,
+                                const TtsLayout& layout,
+                                const CoefficientTable& coeffs, Timestamp t1,
+                                Timestamp t2);
+
+/// Merges `src` into `dst` (summing counts); used when a query interval
+/// spans several checkpoints.
+void merge_counts(FlowCounts& dst, const FlowCounts& src);
+
+/// Top-k flows by estimated count (ties broken by flow ID for determinism).
+std::vector<std::pair<FlowId, double>> top_k_flows(const FlowCounts& counts,
+                                                   std::size_t k);
+
+}  // namespace pq::core

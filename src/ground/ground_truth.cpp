@@ -1,0 +1,134 @@
+#include "ground/ground_truth.h"
+
+#include <algorithm>
+
+namespace pq::ground {
+
+GroundTruth::GroundTruth(std::vector<TelemetryRecord> records)
+    : by_deq_(std::move(records)) {
+  std::stable_sort(by_deq_.begin(), by_deq_.end(),
+                   [](const TelemetryRecord& a, const TelemetryRecord& b) {
+                     return a.deq_timestamp() < b.deq_timestamp();
+                   });
+  deq_times_.reserve(by_deq_.size());
+  for (const auto& r : by_deq_) deq_times_.push_back(r.deq_timestamp());
+
+  events_.reserve(by_deq_.size() * 2);
+  for (std::uint32_t i = 0; i < by_deq_.size(); ++i) {
+    const auto& r = by_deq_[i];
+    const auto cells = bytes_to_cells(r.size_bytes);
+    events_.push_back({r.enq_timestamp, true, cells, i});
+    events_.push_back({r.deq_timestamp(), false, cells, i});
+  }
+  // Tie-break at equal timestamps, mirroring the simulator: dequeues decided
+  // at t precede the enqueue that triggered them — except a zero-delay
+  // packet's own dequeue, which can only follow its enqueue. Ordering
+  // categories: 0 = dequeue of an earlier-enqueued packet, 1 = enqueue,
+  // 2 = same-instant dequeue. This keeps the running depth non-negative.
+  auto category = [this](const Event& e) {
+    if (e.is_enq) return 1;
+    return by_deq_[e.record].enq_timestamp == e.t ? 2 : 0;
+  };
+  std::stable_sort(events_.begin(), events_.end(),
+                   [&](const Event& a, const Event& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     return category(a) < category(b);
+                   });
+  depth_after_.reserve(events_.size());
+  std::uint32_t depth = 0;
+  for (const auto& e : events_) {
+    depth = e.is_enq ? depth + e.cells : depth - e.cells;
+    depth_after_.push_back(depth);
+  }
+}
+
+FlowCounts GroundTruth::direct_culprits(Timestamp t1, Timestamp t2) const {
+  FlowCounts counts;
+  auto lo = std::lower_bound(deq_times_.begin(), deq_times_.end(), t1);
+  auto hi = std::lower_bound(deq_times_.begin(), deq_times_.end(), t2);
+  for (auto it = lo; it != hi; ++it) {
+    counts[by_deq_[static_cast<std::size_t>(it - deq_times_.begin())].flow] +=
+        1.0;
+  }
+  return counts;
+}
+
+Timestamp GroundTruth::regime_start(Timestamp t) const {
+  // Last event at or before t after which the queue was empty.
+  Timestamp start = 0;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (events_[i].t > t) break;
+    if (depth_after_[i] == 0) start = events_[i].t;
+  }
+  return start;
+}
+
+FlowCounts GroundTruth::indirect_culprits(Timestamp victim_enq) const {
+  // A packet dequeued exactly when the queue last drained to zero is not a
+  // culprit (the paper requires depth > 0 over the whole [deq, victim_enq]).
+  const Timestamp start = regime_start(victim_enq);
+  return direct_culprits(start == 0 ? 0 : start + 1, victim_enq);
+}
+
+std::uint32_t GroundTruth::depth_at(Timestamp t) const {
+  // Index of the last event with time <= t.
+  auto it = std::upper_bound(
+      events_.begin(), events_.end(), t,
+      [](Timestamp v, const Event& e) { return v < e.t; });
+  if (it == events_.begin()) return 0;
+  return depth_after_[static_cast<std::size_t>(it - events_.begin()) - 1];
+}
+
+FlowCounts GroundTruth::original_culprits(Timestamp t) const {
+  // Replay the event timeline up to t, maintaining the stack of depth
+  // segments and the packet that created each.
+  struct Segment {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    std::uint32_t record = 0;
+  };
+  std::vector<Segment> stack;
+  std::uint32_t depth = 0;
+  for (std::size_t i = 0; i < events_.size() && events_[i].t <= t; ++i) {
+    const Event& e = events_[i];
+    if (e.is_enq) {
+      stack.push_back({depth, depth + e.cells, e.record});
+      depth += e.cells;
+    } else {
+      depth -= e.cells;
+      while (!stack.empty() && stack.back().lo >= depth) stack.pop_back();
+      if (!stack.empty() && stack.back().hi > depth) stack.back().hi = depth;
+    }
+  }
+  FlowCounts counts;
+  for (const auto& s : stack) counts[by_deq_[s.record].flow] += 1.0;
+  return counts;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> paper_depth_bins() {
+  return {{1000, 2000},  {2000, 5000},   {5000, 10000},
+          {10000, 15000}, {15000, 20000}, {20000, 0xffffffffu}};
+}
+
+std::vector<Victim> sample_victims(
+    const std::vector<TelemetryRecord>& records,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& bins,
+    std::size_t per_bin, Rng& rng) {
+  std::vector<Victim> out;
+  for (std::uint32_t b = 0; b < bins.size(); ++b) {
+    std::vector<const TelemetryRecord*> in_bin;
+    for (const auto& r : records) {
+      if (r.enq_qdepth >= bins[b].first && r.enq_qdepth < bins[b].second) {
+        in_bin.push_back(&r);
+      }
+    }
+    if (in_bin.empty()) continue;
+    for (std::size_t i = 0; i < per_bin; ++i) {
+      const auto* r = in_bin[rng.uniform_below(in_bin.size())];
+      out.push_back({*r, b});
+    }
+  }
+  return out;
+}
+
+}  // namespace pq::ground

@@ -1,0 +1,84 @@
+// Ground truth for culprit attribution, computed purely from collected
+// telemetry records (the paper's methodology: the switch stamps every packet
+// and a DPDK receiver logs the stamps; truth is then derived offline).
+//
+// Implements the paper's three culprit definitions (Section 2):
+//   direct    — packets dequeued within [victim.enq, victim.deq)
+//   indirect  — packets dequeued within [regime_start, victim.enq) while the
+//               queue stayed non-empty
+//   original  — packets whose arrival raised the queue to its level at a
+//               given instant (exact stack reconstruction)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/window_filter.h"  // FlowCounts
+#include "wire/telemetry.h"
+
+namespace pq::ground {
+
+using core::FlowCounts;
+using wire::TelemetryRecord;
+
+class GroundTruth {
+ public:
+  /// Builds indexes over one egress port's records. Tie-breaking matches the
+  /// simulator: at equal timestamps, dequeues precede enqueues.
+  explicit GroundTruth(std::vector<TelemetryRecord> records);
+
+  /// Per-flow counts of packets dequeued in [t1, t2).
+  FlowCounts direct_culprits(Timestamp t1, Timestamp t2) const;
+
+  /// Per-flow counts of indirect culprits for a victim enqueued at
+  /// `victim_enq`: dequeued in [regime_start(victim_enq), victim_enq).
+  FlowCounts indirect_culprits(Timestamp victim_enq) const;
+
+  /// Latest time <= t at which the reconstructed queue depth was zero
+  /// (0 when the queue never drained before t).
+  Timestamp regime_start(Timestamp t) const;
+
+  /// Exact original culprits at time t: for each depth segment of the queue
+  /// at t, the packet whose arrival created it. Counts are packets per flow.
+  FlowCounts original_culprits(Timestamp t) const;
+
+  /// Reconstructed queue depth (cells) just after time t.
+  std::uint32_t depth_at(Timestamp t) const;
+
+  const std::vector<TelemetryRecord>& records_by_deq() const {
+    return by_deq_;
+  }
+
+ private:
+  struct Event {
+    Timestamp t = 0;
+    bool is_enq = false;   ///< dequeues sort first at equal t
+    std::uint32_t cells = 0;
+    std::uint32_t record = 0;  ///< index into by_deq_
+  };
+
+  std::vector<TelemetryRecord> by_deq_;  ///< sorted by dequeue time
+  std::vector<Event> events_;            ///< merged enq/deq event timeline
+  std::vector<Timestamp> deq_times_;     ///< parallel to by_deq_
+  std::vector<std::uint32_t> depth_after_;  ///< depth after each event
+};
+
+/// One sampled victim for an accuracy experiment.
+struct Victim {
+  TelemetryRecord record;
+  std::uint32_t depth_bin = 0;
+};
+
+/// The paper's queue-depth bins (Fig. 9): 1-2k, 2-5k, 5-10k, 10-15k,
+/// 15-20k, >20k (cells).
+std::vector<std::pair<std::uint32_t, std::uint32_t>> paper_depth_bins();
+
+/// Samples up to `per_bin` victims per depth bin, uniformly at random among
+/// records whose enq_qdepth falls in the bin.
+std::vector<Victim> sample_victims(
+    const std::vector<TelemetryRecord>& records,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& bins,
+    std::size_t per_bin, Rng& rng);
+
+}  // namespace pq::ground

@@ -1,0 +1,52 @@
+#include "ground/metrics.h"
+
+#include <algorithm>
+
+namespace pq::ground {
+
+PrecisionRecall flow_count_accuracy(const core::FlowCounts& estimate,
+                                    const core::FlowCounts& truth) {
+  double tp = 0.0, est_sum = 0.0, truth_sum = 0.0;
+  for (const auto& [flow, n] : estimate) {
+    est_sum += n;
+    if (auto it = truth.find(flow); it != truth.end()) {
+      tp += std::min(n, it->second);
+    }
+  }
+  for (const auto& [flow, n] : truth) truth_sum += n;
+
+  PrecisionRecall pr;
+  pr.precision = est_sum > 0.0 ? tp / est_sum : (truth_sum == 0.0 ? 1.0 : 0.0);
+  pr.recall = truth_sum > 0.0 ? tp / truth_sum : 1.0;
+  return pr;
+}
+
+PrecisionRecall top_k_accuracy(const core::FlowCounts& estimate,
+                               const core::FlowCounts& truth, std::size_t k) {
+  if (k == 0) return flow_count_accuracy(estimate, truth);
+
+  const auto est_top = core::top_k_flows(estimate, k);
+  const auto truth_top = core::top_k_flows(truth, k);
+
+  double tp_p = 0.0, est_sum = 0.0;
+  for (const auto& [flow, n] : est_top) {
+    est_sum += n;
+    if (auto it = truth.find(flow); it != truth.end()) {
+      tp_p += std::min(n, it->second);
+    }
+  }
+  double tp_r = 0.0, truth_sum = 0.0;
+  for (const auto& [flow, n] : truth_top) {
+    truth_sum += n;
+    if (auto it = estimate.find(flow); it != estimate.end()) {
+      tp_r += std::min(n, it->second);
+    }
+  }
+  PrecisionRecall pr;
+  pr.precision =
+      est_sum > 0.0 ? tp_p / est_sum : (truth_sum == 0.0 ? 1.0 : 0.0);
+  pr.recall = truth_sum > 0.0 ? tp_r / truth_sum : 1.0;
+  return pr;
+}
+
+}  // namespace pq::ground

@@ -1,0 +1,35 @@
+// Accuracy metrics, exactly as defined in the paper's methodology
+// (Section 7.1): per flow, the true positives are min(estimate, truth);
+// precision is the TP sum over the cumulative estimate; recall is the TP sum
+// over the cumulative truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/window_filter.h"  // FlowCounts
+
+namespace pq::ground {
+
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+
+  double f1() const {
+    const double s = precision + recall;
+    return s > 0.0 ? 2.0 * precision * recall / s : 0.0;
+  }
+};
+
+/// Paper Section 7.1 accuracy. Both-empty yields precision = recall = 1
+/// (a correct "no culprits" answer).
+PrecisionRecall flow_count_accuracy(const core::FlowCounts& estimate,
+                                    const core::FlowCounts& truth);
+
+/// Fig. 12-style accuracy restricted to the heaviest flows: precision over
+/// the estimate's top-k flows, recall over the truth's top-k flows.
+/// k == 0 means all flows.
+PrecisionRecall top_k_accuracy(const core::FlowCounts& estimate,
+                               const core::FlowCounts& truth, std::size_t k);
+
+}  // namespace pq::ground

@@ -1,0 +1,49 @@
+// The Packet Header Vector (PHV) for the PrintQueue P4 program: the
+// per-packet metadata bus that MAU stages read and write. Mirrors the
+// fields the paper's P4 implementation carries between stages.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pq::p4 {
+
+/// Everything a packet carries through the egress pipeline. Stages may
+/// only communicate through these fields (plus stateful registers) — the
+/// same restriction the hardware imposes.
+struct Phv {
+  // Intrinsic metadata from the traffic manager (paper Table 1).
+  std::uint32_t egress_spec = 0;
+  Timestamp enq_timestamp = 0;
+  Duration deq_timedelta = 0;
+  std::uint32_t enq_qdepth = 0;
+  std::uint16_t packet_cells = 0;
+
+  // Parsed headers.
+  FlowId flow;
+
+  // Derived in the preparation stages.
+  Timestamp deq_timestamp = 0;
+  std::uint64_t flow_sig = 0;      ///< working signature (becomes the carry)
+  std::uint64_t orig_flow_sig = 0; ///< the packet's own signature
+  std::uint64_t tts = 0;          ///< trimmed timestamp, reshifted per window
+  std::uint32_t port_prefix = 0;  ///< from the ingress flow table
+  bool active = false;            ///< PrintQueue enabled for this packet
+
+  // Per-window carry state (the "evicted packet" travelling down).
+  std::uint64_t carry_sig = 0;
+  std::uint64_t carry_cycle = 0;
+  std::uint64_t cell_index = 0;
+  std::uint64_t cycle_id = 0;
+  bool pass = false;  ///< evicted record continues to the next window
+
+  // Queue-monitor scratch fields.
+  std::uint32_t qm_level = 0;
+  std::uint32_t qm_last_level = 0;
+  std::uint64_t qm_seq = 0;
+  enum class Direction : std::uint8_t { kNone, kUp, kDown } qm_dir =
+      Direction::kNone;
+};
+
+}  // namespace pq::p4

@@ -1,0 +1,140 @@
+#include "p4model/printqueue_program.h"
+
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace pq::p4 {
+
+PrintQueueProgram::PrintQueueProgram(const ProgramParams& params)
+    : layout_(params.windows),
+      params_(params),
+      monitor_(params.monitor_levels) {
+  if (params.windows.wrap32) {
+    throw std::invalid_argument(
+        "PrintQueueProgram models the non-wrapping layout; wrap arithmetic "
+        "is exercised through pq::core::TimeWindowSet");
+  }
+  if (params.monitor_levels == 0 || params.monitor_granularity == 0) {
+    throw std::invalid_argument("monitor parameters out of range");
+  }
+  const std::size_t cells = 1ull << params.windows.k;
+  for (std::uint32_t i = 0; i < params.windows.num_windows; ++i) {
+    windows_.push_back(std::make_unique<WindowRegisters>(i, cells));
+  }
+}
+
+void PrintQueueProgram::process(Phv& phv) {
+  ++epoch_;  // one register touch allowed per array per epoch
+
+  // --- preparation stages (4) ---
+  stage_prepare_timestamps(phv);
+  stage_prepare_signature(phv);
+  stage_prepare_tts(phv);
+  stage_port_table(phv);
+  if (!phv.active) return;
+
+  // --- time windows: two stages per window ---
+  for (std::uint32_t w = 0; w < layout_.params().num_windows; ++w) {
+    stage_window_cycle(phv, w);
+    stage_window_flow(phv, w);
+    if (!phv.pass) break;
+    // Recompute the carried record's TTS for the next window (ALU work,
+    // no register access — folded into the same physical stages).
+    phv.tts = layout_.combine(phv.carry_cycle, phv.cell_index) >>
+              layout_.params().alpha;
+    phv.flow_sig = phv.carry_sig;
+  }
+
+  // --- queue monitor: six stages, overlapped with the above ---
+  stage_qm_level(phv);
+  stage_qm_last(phv);
+  stage_qm_direction(phv);
+  stage_qm_seq(phv);
+  stage_qm_entry(phv);
+  stage_qm_top(phv);
+}
+
+void PrintQueueProgram::stage_prepare_timestamps(Phv& phv) {
+  phv.deq_timestamp = phv.enq_timestamp + phv.deq_timedelta;
+}
+
+void PrintQueueProgram::stage_prepare_signature(Phv& phv) {
+  phv.flow_sig = flow_signature(phv.flow);
+  phv.orig_flow_sig = phv.flow_sig;
+}
+
+void PrintQueueProgram::stage_prepare_tts(Phv& phv) {
+  phv.tts = phv.deq_timestamp >> layout_.params().m0;
+}
+
+void PrintQueueProgram::stage_port_table(Phv& phv) {
+  // Single-partition model: every packet matches prefix 0 (the partitioned
+  // match table is modelled in pq::core::PrintQueuePipeline).
+  phv.port_prefix = 0;
+  phv.active = true;
+}
+
+void PrintQueueProgram::stage_window_cycle(Phv& phv, std::uint32_t w) {
+  phv.cell_index = layout_.index_of(phv.tts);
+  phv.cycle_id = layout_.cycle_of(phv.tts);
+  const std::uint64_t old_cycle = windows_[w]->cycle_ids.exchange(
+      static_cast<std::size_t>(phv.cell_index), phv.cycle_id, epoch_);
+  phv.carry_cycle = old_cycle;
+  // Pass decision part 1: the evicted record is exactly one cycle older.
+  phv.pass = (phv.cycle_id - old_cycle == 1);
+}
+
+void PrintQueueProgram::stage_window_flow(Phv& phv, std::uint32_t w) {
+  const std::uint64_t old_sig = windows_[w]->flow_sigs.exchange(
+      static_cast<std::size_t>(phv.cell_index), phv.flow_sig, epoch_);
+  phv.carry_sig = old_sig;
+  // Pass decision part 2: an all-zero lane means the cell was empty.
+  phv.pass = phv.pass && old_sig != 0;
+}
+
+void PrintQueueProgram::stage_qm_level(Phv& phv) {
+  const std::uint32_t depth = phv.enq_qdepth + phv.packet_cells;
+  phv.qm_level = std::min<std::uint32_t>(
+      depth / params_.monitor_granularity, params_.monitor_levels - 1);
+}
+
+void PrintQueueProgram::stage_qm_last(Phv& phv) {
+  phv.qm_last_level =
+      monitor_.last_level.exchange(0, phv.qm_level, epoch_);
+}
+
+void PrintQueueProgram::stage_qm_direction(Phv& phv) {
+  if (phv.qm_level > phv.qm_last_level) {
+    phv.qm_dir = Phv::Direction::kUp;
+  } else if (phv.qm_level < phv.qm_last_level) {
+    phv.qm_dir = Phv::Direction::kDown;
+  } else {
+    phv.qm_dir = Phv::Direction::kNone;
+  }
+}
+
+void PrintQueueProgram::stage_qm_seq(Phv& phv) {
+  phv.qm_seq = monitor_.seq.rmw(0, epoch_, [&](std::uint64_t& v) {
+    if (phv.qm_dir != Phv::Direction::kNone) ++v;
+    return v;
+  });
+}
+
+void PrintQueueProgram::stage_qm_entry(Phv& phv) {
+  // Both lanes of the matching half live in this stage; each array is
+  // touched at most once per packet (the untouched half's arrays idle).
+  if (phv.qm_dir == Phv::Direction::kUp) {
+    monitor_.inc_flow.exchange(phv.qm_level, phv.orig_flow_sig, epoch_);
+    monitor_.inc_seq.exchange(phv.qm_level, phv.qm_seq, epoch_);
+  } else if (phv.qm_dir == Phv::Direction::kDown) {
+    monitor_.dec_flow.exchange(phv.qm_level, phv.orig_flow_sig, epoch_);
+    monitor_.dec_seq.exchange(phv.qm_level, phv.qm_seq, epoch_);
+  }
+}
+
+void PrintQueueProgram::stage_qm_top(Phv& phv) {
+  monitor_.top.exchange(0, phv.qm_level, epoch_);
+}
+
+}  // namespace pq::p4

@@ -1,0 +1,63 @@
+// Stateful register arrays with the Tofino access discipline: each array
+// may be touched at most once per packet, by exactly one stage, with a
+// single read-modify-write. Violations are programming errors and throw —
+// that is the constraint that shapes the whole PrintQueue design (e.g. the
+// one-shot passing rule).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pq::p4 {
+
+/// One register array. `T` is the cell type (hardware: up to 64 bits per
+/// lane; we allow a small struct to stand for paired lanes in one stage).
+template <typename T>
+class RegisterArray {
+ public:
+  RegisterArray(std::string name, std::size_t size)
+      : name_(std::move(name)), cells_(size) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return cells_.size(); }
+
+  /// Single read-modify-write for the current packet: returns the old
+  /// value and stores the new one. Throws std::logic_error when accessed
+  /// twice for the same packet epoch.
+  T exchange(std::size_t index, const T& value, std::uint64_t packet_epoch) {
+    touch(packet_epoch);
+    T old = cells_.at(index);
+    cells_.at(index) = value;
+    return old;
+  }
+
+  /// RMW with an arbitrary update function (models a stateful ALU): the
+  /// function receives a mutable reference and returns the PHV-bound
+  /// result.
+  template <typename Fn>
+  auto rmw(std::size_t index, std::uint64_t packet_epoch, Fn&& fn) {
+    touch(packet_epoch);
+    return fn(cells_.at(index));
+  }
+
+  /// Control-plane read: not subject to the per-packet discipline.
+  const T& peek(std::size_t index) const { return cells_.at(index); }
+  const std::vector<T>& contents() const { return cells_; }
+
+ private:
+  void touch(std::uint64_t packet_epoch) {
+    if (last_epoch_ == packet_epoch) {
+      throw std::logic_error("register '" + name_ +
+                             "' accessed twice for one packet");
+    }
+    last_epoch_ = packet_epoch;
+  }
+
+  std::string name_;
+  std::vector<T> cells_;
+  std::uint64_t last_epoch_ = ~0ull;
+};
+
+}  // namespace pq::p4

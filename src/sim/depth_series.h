@@ -1,0 +1,94 @@
+// Compact queue-depth-over-time recorder, used for Fig. 16(a)-style plots
+// and for busy-period (congestion regime) book-keeping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pq::sim {
+
+/// Step function of queue depth: one sample per change point. `depth_at`
+/// resolves an arbitrary time by binary search.
+class DepthSeries {
+ public:
+  struct Sample {
+    Timestamp t = 0;
+    std::uint32_t depth_cells = 0;
+  };
+
+  void record(Timestamp t, std::uint32_t depth_cells) {
+    if (!samples_.empty() && samples_.back().t == t) {
+      samples_.back().depth_cells = depth_cells;
+      return;
+    }
+    samples_.push_back({t, depth_cells});
+  }
+
+  /// Depth in force at time t (0 before the first sample).
+  std::uint32_t depth_at(Timestamp t) const;
+
+  /// Latest time <= t at which depth was zero; 0 if the queue was never
+  /// empty before t (i.e. the regime began at simulation start).
+  Timestamp regime_start(Timestamp t) const;
+
+  /// Peak depth within [t1, t2].
+  std::uint32_t peak_depth(Timestamp t1, Timestamp t2) const;
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Downsampled copy with at most `max_points` change points (for printing).
+  std::vector<Sample> downsample(std::size_t max_points) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+inline std::uint32_t DepthSeries::depth_at(Timestamp t) const {
+  if (samples_.empty() || t < samples_.front().t) return 0;
+  std::size_t lo = 0, hi = samples_.size();
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (samples_[mid].t <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return samples_[lo].depth_cells;
+}
+
+inline Timestamp DepthSeries::regime_start(Timestamp t) const {
+  Timestamp start = 0;
+  for (const auto& s : samples_) {
+    if (s.t > t) break;
+    if (s.depth_cells == 0) start = s.t;
+  }
+  return start;
+}
+
+inline std::uint32_t DepthSeries::peak_depth(Timestamp t1, Timestamp t2) const {
+  std::uint32_t peak = depth_at(t1);
+  for (const auto& s : samples_) {
+    if (s.t < t1) continue;
+    if (s.t > t2) break;
+    peak = std::max(peak, s.depth_cells);
+  }
+  return peak;
+}
+
+inline std::vector<DepthSeries::Sample> DepthSeries::downsample(
+    std::size_t max_points) const {
+  if (samples_.size() <= max_points || max_points == 0) return samples_;
+  std::vector<Sample> out;
+  const double stride =
+      static_cast<double>(samples_.size()) / static_cast<double>(max_points);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    out.push_back(samples_[static_cast<std::size_t>(i * stride)]);
+  }
+  out.push_back(samples_.back());
+  return out;
+}
+
+}  // namespace pq::sim

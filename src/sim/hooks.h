@@ -1,0 +1,40 @@
+// The egress-pipeline hook: the seam where PrintQueue's data plane attaches
+// to the simulated switch, mirroring where the P4 program runs on Tofino
+// (after the traffic manager, at dequeue time).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pq::sim {
+
+/// Everything the egress pipeline sees for one packet: the Table 1 metadata
+/// plus the parsed flow ID. `enq_qdepth` is the queue depth (in cells) the
+/// packet observed when it was enqueued; `deq_timestamp()` is when it left
+/// the queue for the wire.
+struct EgressContext {
+  FlowId flow;
+  std::uint32_t egress_port = 0;
+  std::uint32_t size_bytes = 0;
+  std::uint16_t packet_cells = 0;
+  std::uint32_t enq_qdepth = 0;        ///< whole-port depth at enqueue
+  std::uint32_t enq_queue_qdepth = 0;  ///< this packet's own class/queue
+  std::uint8_t queue_id = 0;           ///< scheduling class within the port
+  Timestamp enq_timestamp = 0;
+  Duration deq_timedelta = 0;
+  std::uint8_t priority = 0;
+  std::uint64_t packet_id = 0;
+
+  Timestamp deq_timestamp() const { return enq_timestamp + deq_timedelta; }
+};
+
+/// Implemented by PrintQueue's data-plane pipeline (and by test probes).
+/// Called once per dequeued packet, in dequeue order.
+class EgressHook {
+ public:
+  virtual ~EgressHook() = default;
+  virtual void on_egress(const EgressContext& ctx) = 0;
+};
+
+}  // namespace pq::sim

@@ -1,0 +1,108 @@
+#include "sim/scheduler.h"
+
+#include <stdexcept>
+
+namespace pq::sim {
+
+void FifoScheduler::enqueue(QueuedPacket p) { q_.push_back(std::move(p)); }
+
+std::optional<QueuedPacket> FifoScheduler::dequeue() {
+  if (q_.empty()) return std::nullopt;
+  QueuedPacket p = std::move(q_.front());
+  q_.pop_front();
+  return p;
+}
+
+StrictPriorityScheduler::StrictPriorityScheduler(std::uint8_t num_classes)
+    : classes_(num_classes) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("StrictPriorityScheduler needs >= 1 class");
+  }
+}
+
+void StrictPriorityScheduler::enqueue(QueuedPacket p) {
+  const std::size_t cls =
+      std::min<std::size_t>(p.pkt.priority, classes_.size() - 1);
+  classes_[cls].push_back(std::move(p));
+  ++count_;
+}
+
+std::optional<QueuedPacket> StrictPriorityScheduler::dequeue() {
+  for (auto& cls : classes_) {
+    if (!cls.empty()) {
+      QueuedPacket p = std::move(cls.front());
+      cls.pop_front();
+      --count_;
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+DrrScheduler::DrrScheduler(std::uint8_t num_classes,
+                           std::uint32_t quantum_bytes)
+    : classes_(num_classes), quantum_(quantum_bytes) {
+  if (num_classes == 0 || quantum_bytes == 0) {
+    throw std::invalid_argument("DrrScheduler needs classes and a quantum");
+  }
+}
+
+void DrrScheduler::enqueue(QueuedPacket p) {
+  const std::size_t cls =
+      std::min<std::size_t>(p.pkt.priority, classes_.size() - 1);
+  classes_[cls].q.push_back(std::move(p));
+  ++count_;
+}
+
+std::optional<QueuedPacket> DrrScheduler::dequeue() {
+  if (count_ == 0) return std::nullopt;
+  // Classic DRR: each class receives exactly one quantum per round-robin
+  // visit and keeps sending while its deficit covers the head packet; when
+  // the deficit runs out the cursor moves on.
+  for (;;) {
+    ClassState& cls = classes_[cursor_];
+    if (cls.q.empty()) {
+      cls.deficit = 0;
+      advance_cursor();
+      continue;
+    }
+    if (!topped_up_) {
+      cls.deficit += quantum_;
+      topped_up_ = true;
+    }
+    if (cls.deficit < cls.q.front().pkt.size_bytes) {
+      advance_cursor();
+      continue;
+    }
+    QueuedPacket p = std::move(cls.q.front());
+    cls.q.pop_front();
+    cls.deficit -= p.pkt.size_bytes;
+    --count_;
+    if (cls.q.empty()) {
+      cls.deficit = 0;
+      advance_cursor();
+    }
+    return p;
+  }
+}
+
+void DrrScheduler::advance_cursor() {
+  cursor_ = (cursor_ + 1) % classes_.size();
+  topped_up_ = false;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          std::uint8_t num_classes,
+                                          std::uint32_t quantum_bytes) {
+  switch (kind) {
+    case SchedulerKind::kFifo:
+      return std::make_unique<FifoScheduler>();
+    case SchedulerKind::kStrictPriority:
+      return std::make_unique<StrictPriorityScheduler>(num_classes);
+    case SchedulerKind::kDrr:
+      return std::make_unique<DrrScheduler>(num_classes, quantum_bytes);
+  }
+  throw std::invalid_argument("unknown scheduler kind");
+}
+
+}  // namespace pq::sim

@@ -1,0 +1,101 @@
+// Packet schedulers for the egress port. PrintQueue's mechanisms are
+// scheduler-agnostic (paper Sections 2 and 5), so the simulator offers FIFO,
+// strict priority, and deficit round robin behind one interface.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pq::sim {
+
+/// A packet waiting in the traffic manager, together with the enqueue-side
+/// metadata that will accompany it through the egress pipeline.
+struct QueuedPacket {
+  Packet pkt;
+  Timestamp enq_timestamp = 0;
+  std::uint32_t enq_qdepth = 0;        ///< port depth (cells) at enqueue
+  std::uint32_t enq_queue_qdepth = 0;  ///< own class's depth at enqueue
+};
+
+/// Scheduling discipline over a single egress port's buffered packets.
+/// The port owns exactly one scheduler; depth accounting (cells) is done by
+/// the port, not the scheduler.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual void enqueue(QueuedPacket p) = 0;
+
+  /// Removes and returns the next packet to transmit; nullopt when empty.
+  virtual std::optional<QueuedPacket> dequeue() = 0;
+
+  virtual bool empty() const = 0;
+  virtual std::size_t packet_count() const = 0;
+};
+
+/// First-in first-out: the discipline used in all of the paper's experiments.
+class FifoScheduler final : public Scheduler {
+ public:
+  void enqueue(QueuedPacket p) override;
+  std::optional<QueuedPacket> dequeue() override;
+  bool empty() const override { return q_.empty(); }
+  std::size_t packet_count() const override { return q_.size(); }
+
+ private:
+  std::deque<QueuedPacket> q_;
+};
+
+/// Strict priority across classes (priority 0 served first), FIFO within a
+/// class. This is the scenario of paper Fig. 1, where high-priority traffic
+/// continuously delays a low-priority victim.
+class StrictPriorityScheduler final : public Scheduler {
+ public:
+  explicit StrictPriorityScheduler(std::uint8_t num_classes);
+
+  void enqueue(QueuedPacket p) override;
+  std::optional<QueuedPacket> dequeue() override;
+  bool empty() const override { return count_ == 0; }
+  std::size_t packet_count() const override { return count_; }
+
+ private:
+  std::vector<std::deque<QueuedPacket>> classes_;
+  std::size_t count_ = 0;
+};
+
+/// Deficit round robin across classes with a per-class byte quantum;
+/// approximates fair queuing in O(1) per operation.
+class DrrScheduler final : public Scheduler {
+ public:
+  DrrScheduler(std::uint8_t num_classes, std::uint32_t quantum_bytes);
+
+  void enqueue(QueuedPacket p) override;
+  std::optional<QueuedPacket> dequeue() override;
+  bool empty() const override { return count_ == 0; }
+  std::size_t packet_count() const override { return count_; }
+
+ private:
+  struct ClassState {
+    std::deque<QueuedPacket> q;
+    std::uint64_t deficit = 0;
+  };
+  void advance_cursor();
+
+  std::vector<ClassState> classes_;
+  std::uint32_t quantum_;
+  std::size_t cursor_ = 0;
+  bool topped_up_ = false;
+  std::size_t count_ = 0;
+};
+
+/// Factory helpers so configs can name a discipline.
+enum class SchedulerKind { kFifo, kStrictPriority, kDrr };
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          std::uint8_t num_classes = 8,
+                                          std::uint32_t quantum_bytes = 1600);
+
+}  // namespace pq::sim

@@ -1,0 +1,51 @@
+#include "sim/switch.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace pq::sim {
+
+Switch::Switch(std::vector<PortConfig> port_configs) {
+  if (port_configs.empty()) {
+    throw std::invalid_argument("Switch needs at least one port");
+  }
+  ports_.reserve(port_configs.size());
+  for (auto& cfg : port_configs) {
+    ports_.push_back(std::make_unique<EgressPort>(cfg));
+  }
+  const auto n = ports_.size();
+  fwd_ = [n](const Packet& p) {
+    return static_cast<std::uint32_t>(mix64(p.flow.dst_ip) % n);
+  };
+}
+
+void Switch::set_forwarding(std::function<std::uint32_t(const Packet&)> fwd) {
+  fwd_ = std::move(fwd);
+}
+
+void Switch::add_hook(std::uint32_t port_index, EgressHook* hook) {
+  ports_.at(port_index)->add_hook(hook);
+}
+
+void Switch::add_hook_all(EgressHook* hook) {
+  for (auto& p : ports_) p->add_hook(hook);
+}
+
+void Switch::run(std::vector<Packet> packets) {
+  std::stable_sort(packets.begin(), packets.end(),
+                   [](const Packet& a, const Packet& b) {
+                     return a.arrival_ns < b.arrival_ns;
+                   });
+  for (const auto& pkt : packets) {
+    const std::uint32_t out = fwd_(pkt);
+    if (out >= ports_.size()) {
+      throw std::out_of_range("forwarding returned an invalid port");
+    }
+    ports_[out]->offer(pkt);
+  }
+  for (auto& p : ports_) p->drain();
+}
+
+}  // namespace pq::sim

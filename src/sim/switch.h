@@ -1,0 +1,42 @@
+// A multi-port switch: forwarding (ingress) + one EgressPort per output.
+// Queuing is per egress port, as in the paper's architecture (Fig. 3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/egress_port.h"
+
+namespace pq::sim {
+
+/// Forwards each packet to an egress port, then runs the per-port queue
+/// models. The default forwarding function hashes the destination IP, which
+/// is how the multi-port experiments (paper Fig. 15) spread traffic.
+class Switch {
+ public:
+  explicit Switch(std::vector<PortConfig> port_configs);
+
+  /// Replaces the forwarding function (packet -> egress port index).
+  void set_forwarding(std::function<std::uint32_t(const Packet&)> fwd);
+
+  /// Attaches a hook to one port, or to every port with `add_hook_all`
+  /// (PrintQueue's pipeline is one object shared across ports).
+  void add_hook(std::uint32_t port_index, EgressHook* hook);
+  void add_hook_all(EgressHook* hook);
+
+  /// Offers packets in global arrival order and drains all ports.
+  void run(std::vector<Packet> packets);
+
+  EgressPort& port(std::uint32_t index) { return *ports_.at(index); }
+  const EgressPort& port(std::uint32_t index) const {
+    return *ports_.at(index);
+  }
+  std::size_t num_ports() const { return ports_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<EgressPort>> ports_;
+  std::function<std::uint32_t(const Packet&)> fwd_;
+};
+
+}  // namespace pq::sim

@@ -1,0 +1,127 @@
+#include "traffic/case_study.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace pq::traffic {
+
+namespace {
+
+/// A paced source whose rate can be adjusted while running.
+struct RateSource {
+  FlowId flow;
+  std::uint32_t packet_bytes = 1500;
+  double rate_gbps = 1.0;
+  Timestamp next_emit = 0;
+  std::uint64_t emitted = 0;
+  bool active = false;
+
+  Packet emit(Rng& rng) {
+    Packet p;
+    p.flow = flow;
+    p.size_bytes = packet_bytes;
+    p.arrival_ns = next_emit;
+    // Sub-packet-time jitter in the pacing gap randomises queue entry
+    // (paper Section 4.3) without violating global arrival ordering.
+    next_emit += tx_delay_ns(packet_bytes, rate_gbps) + rng.uniform_below(32);
+    ++emitted;
+    return p;
+  }
+};
+
+}  // namespace
+
+CaseStudyResult run_case_study(const CaseStudyConfig& cfg,
+                               sim::EgressPort& port) {
+  Rng rng(cfg.seed);
+  CaseStudyResult result;
+
+  RateSource background{.flow = make_flow(1, 6),
+                        .packet_bytes = cfg.background_packet_bytes,
+                        .rate_gbps = cfg.background_start_gbps,
+                        .next_emit = 0,
+                        .active = true};
+  RateSource burst{.flow = make_flow(2, 17),
+                   .packet_bytes = cfg.burst_packet_bytes,
+                   .rate_gbps = cfg.burst_rate_gbps,
+                   .next_emit = cfg.burst_start_ns,
+                   .active = true};
+  RateSource new_tcp{.flow = make_flow(3, 6),
+                     .packet_bytes = cfg.new_tcp_packet_bytes,
+                     .rate_gbps = cfg.new_tcp_gbps,
+                     .next_emit = cfg.new_tcp_start_ns,
+                     .active = true};
+  result.background_flow = background.flow;
+  result.burst_flow = burst.flow;
+  result.new_tcp_flow = new_tcp.flow;
+
+  std::size_t drops_seen = 0;
+  Timestamp next_rtt_tick = cfg.rtt_ns;
+  bool depth_signal_this_rtt = false;
+
+  std::uint64_t last_id = 0;
+  for (;;) {
+    RateSource* next = nullptr;
+    Timestamp t = std::numeric_limits<Timestamp>::max();
+    for (RateSource* s : {&background, &burst, &new_tcp}) {
+      if (s->active && s->next_emit < t) {
+        t = s->next_emit;
+        next = s;
+      }
+    }
+    if (next == nullptr || t >= cfg.duration_ns) break;
+
+    Packet p = next->emit(rng);
+    p.id = ++last_id;
+    port.offer(p);
+
+    if (next == &burst && burst.emitted >= cfg.burst_packets) {
+      burst.active = false;
+      result.burst_end_ns = p.arrival_ns;
+    }
+
+    // AIMD control for the background flow, evaluated in packet time.
+    if (port.depth_cells() > cfg.depth_signal_cells) {
+      depth_signal_this_rtt = true;
+    }
+    while (p.arrival_ns >= next_rtt_tick) {
+      bool dropped = false;
+      const auto& drops = port.drops();
+      for (std::size_t i = drops_seen; i < drops.size(); ++i) {
+        if (drops[i].flow == background.flow) dropped = true;
+      }
+      result.background_drops +=
+          static_cast<std::uint64_t>(drops.size() - drops_seen);
+      drops_seen = drops.size();
+
+      if (dropped) {
+        background.rate_gbps *= cfg.backoff_on_drop;
+      } else if (depth_signal_this_rtt) {
+        background.rate_gbps *= cfg.backoff_on_depth;
+      } else {
+        background.rate_gbps = std::min(
+            cfg.background_cap_gbps,
+            background.rate_gbps + cfg.additive_step_gbps);
+      }
+      background.rate_gbps = std::max(0.5, background.rate_gbps);
+      depth_signal_this_rtt = false;
+      next_rtt_tick += cfg.rtt_ns;
+    }
+  }
+  port.drain();
+
+  // Locate the end of the burst-induced congestion regime: the first time
+  // after the burst at which the queue fully drained.
+  result.regime_end_ns = result.burst_end_ns;
+  for (const auto& s : port.depth_series().samples()) {
+    if (s.t > result.burst_end_ns && s.depth_cells == 0) {
+      result.regime_end_ns = s.t;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace pq::traffic

@@ -1,0 +1,56 @@
+#include "traffic/distributions.h"
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace pq::traffic {
+
+const EmpiricalCdf& web_search_flow_sizes() {
+  // DCTCP (SIGCOMM'10) Fig. 4 web-search distribution, the discretisation
+  // used by pFabric and successors.
+  static const EmpiricalCdf cdf({
+      {6'000, 0.00},
+      {10'000, 0.15},
+      {20'000, 0.20},
+      {30'000, 0.30},
+      {50'000, 0.40},
+      {80'000, 0.53},
+      {200'000, 0.60},
+      {1'000'000, 0.70},
+      {2'000'000, 0.80},
+      {5'000'000, 0.90},
+      {10'000'000, 0.97},
+      {30'000'000, 1.00},
+  });
+  return cdf;
+}
+
+const EmpiricalCdf& data_mining_flow_sizes() {
+  // VL2 (SIGCOMM'09) data-mining distribution, pFabric discretisation:
+  // 80% of flows under 10 kB, elephants up to 1 GB.
+  static const EmpiricalCdf cdf({
+      {100, 0.00},
+      {180, 0.10},
+      {250, 0.20},
+      {560, 0.30},
+      {900, 0.40},
+      {1'100, 0.50},
+      {1'870, 0.60},
+      {3'160, 0.70},
+      {10'000, 0.80},
+      {400'000, 0.90},
+      {3'160'000, 0.95},
+      {100'000'000, 0.98},
+      {1'000'000'000, 1.00},
+  });
+  return cdf;
+}
+
+std::uint32_t next_segment_bytes(std::uint64_t remaining_flow_bytes) {
+  if (remaining_flow_bytes >= kMtuBytes) return kMtuBytes;
+  return std::max<std::uint32_t>(
+      kMinPacketBytes, static_cast<std::uint32_t>(remaining_flow_bytes));
+}
+
+}  // namespace pq::traffic

@@ -1,0 +1,26 @@
+// Flow-size distributions used by the paper's workloads:
+//  - Web Search (WS): the DCTCP web-search cluster distribution [3]
+//  - Data Mining (DM): the VL2 data-mining cluster distribution [9]
+// Both are the standard piecewise CDFs used by pFabric-style simulators.
+// The UW workload (University of Wisconsin trace [4]) is synthesised in
+// trace_gen.h from its published characteristics instead (the raw pcaps are
+// not redistributable): ~100 B average packets, extremely long-tailed flow
+// popularity where the 100th-largest flow carries <1% of the largest.
+#pragma once
+
+#include "common/empirical_cdf.h"
+
+namespace pq::traffic {
+
+/// DCTCP web-search flow sizes (bytes). Mean ~1.6 MB, median ~70 kB.
+const EmpiricalCdf& web_search_flow_sizes();
+
+/// VL2 data-mining flow sizes (bytes). Most flows are mice; a few are
+/// multi-hundred-MB elephants.
+const EmpiricalCdf& data_mining_flow_sizes();
+
+/// Packet size (bytes) for a remaining number of flow bytes: full MTU
+/// segments with a short tail, the way tcpreplay emits the WS/DM traces.
+std::uint32_t next_segment_bytes(std::uint64_t remaining_flow_bytes);
+
+}  // namespace pq::traffic

@@ -1,0 +1,68 @@
+#include "traffic/scenarios.h"
+
+namespace pq::traffic {
+
+std::vector<Packet> generate_microburst(const MicroburstConfig& cfg,
+                                        Rng& rng) {
+  std::vector<Packet> out;
+  out.reserve(cfg.packets);
+  const Duration gap = tx_delay_ns(cfg.packet_bytes, cfg.rate_gbps);
+  Timestamp t = cfg.start;
+  for (std::uint32_t i = 0; i < cfg.packets; ++i) {
+    Packet p;
+    p.flow = make_flow(
+        cfg.flow_id_base + static_cast<std::uint32_t>(
+                               rng.uniform_below(std::max(1u, cfg.flows))),
+        cfg.proto);
+    p.size_bytes = cfg.packet_bytes;
+    p.arrival_ns = t;
+    p.priority = cfg.priority;
+    out.push_back(p);
+    t += gap;
+  }
+  return out;
+}
+
+std::vector<Packet> generate_incast(const IncastConfig& cfg, Rng& rng) {
+  std::vector<Packet> out;
+  for (std::uint32_t s = 0; s < cfg.senders; ++s) {
+    const FlowId flow = make_flow(cfg.flow_id_base + s);
+    Timestamp t = cfg.start;
+    if (cfg.sync_jitter_ns > 0) {
+      t += rng.uniform_below(cfg.sync_jitter_ns);
+    }
+    std::uint64_t remaining = cfg.bytes_per_sender;
+    while (remaining > 0) {
+      const std::uint32_t seg =
+          remaining >= kMtuBytes
+              ? kMtuBytes
+              : std::max<std::uint32_t>(kMinPacketBytes,
+                                        static_cast<std::uint32_t>(remaining));
+      Packet p;
+      p.flow = flow;
+      p.size_bytes = seg;
+      p.arrival_ns = t;
+      p.priority = cfg.priority;
+      out.push_back(p);
+      remaining = seg >= remaining ? 0 : remaining - seg;
+      t += tx_delay_ns(seg, cfg.sender_gbps);
+    }
+  }
+  return out;
+}
+
+std::vector<Packet> generate_probe(const ProbeConfig& cfg) {
+  std::vector<Packet> out;
+  const Duration gap = tx_delay_ns(cfg.packet_bytes, cfg.rate_gbps);
+  for (Timestamp t = cfg.start; t < cfg.start + cfg.duration_ns; t += gap) {
+    Packet p;
+    p.flow = make_flow(cfg.flow_id_base);
+    p.size_bytes = cfg.packet_bytes;
+    p.arrival_ns = t;
+    p.priority = cfg.priority;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace pq::traffic

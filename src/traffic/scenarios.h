@@ -1,0 +1,54 @@
+// Hand-crafted traffic scenarios: microbursts (Section 2), TCP incast
+// (the indirect-culprit motivating example), and low-rate probe flows used
+// as victims in examples and tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace pq::traffic {
+
+/// A short, intense burst: `packets` packets from `flows` flows at
+/// `rate_gbps` starting at `start`. The paper's microbursts last tens to
+/// hundreds of microseconds.
+struct MicroburstConfig {
+  Timestamp start = 0;
+  double rate_gbps = 40.0;
+  std::uint32_t packets = 2000;
+  std::uint32_t flows = 8;
+  std::uint32_t packet_bytes = kMtuBytes;
+  std::uint32_t flow_id_base = 100000;
+  std::uint8_t priority = 0;
+  std::uint8_t proto = 17;  ///< UDP datagrams by default
+};
+std::vector<Packet> generate_microburst(const MicroburstConfig& cfg, Rng& rng);
+
+/// TCP-incast-like pattern: `senders` flows each transmitting
+/// `bytes_per_sender` starting within `sync_jitter_ns` of `start`,
+/// individually paced at `sender_gbps`.
+struct IncastConfig {
+  Timestamp start = 0;
+  std::uint32_t senders = 32;
+  std::uint64_t bytes_per_sender = 64 * 1024;
+  double sender_gbps = 10.0;
+  Duration sync_jitter_ns = 2'000;
+  std::uint32_t flow_id_base = 200000;
+  std::uint8_t priority = 0;
+};
+std::vector<Packet> generate_incast(const IncastConfig& cfg, Rng& rng);
+
+/// A constant-rate probe flow whose packets act as victims to query for.
+struct ProbeConfig {
+  Timestamp start = 0;
+  Duration duration_ns = 10'000'000;
+  double rate_gbps = 0.05;
+  std::uint32_t packet_bytes = 256;
+  std::uint32_t flow_id_base = 300000;
+  std::uint8_t priority = 0;
+};
+std::vector<Packet> generate_probe(const ProbeConfig& cfg);
+
+}  // namespace pq::traffic

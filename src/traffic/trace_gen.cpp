@@ -1,0 +1,257 @@
+#include "traffic/trace_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "traffic/distributions.h"
+
+namespace pq::traffic {
+
+namespace {
+
+/// UW packet sizes: a small-packet-dominated mixture with mean ~110 B,
+/// matching the trace's ~9.1 Mpps at 10 Gb/s.
+std::uint32_t uw_packet_bytes(Rng& rng) {
+  const double u = rng.uniform();
+  if (u < 0.60) return 64;
+  if (u < 0.85) return 100;
+  if (u < 0.95) return 200;
+  if (u < 0.985) return 256;
+  return kMtuBytes;
+}
+
+void assign_ids(std::vector<Packet>& pkts) {
+  std::uint64_t id = 1;
+  for (auto& p : pkts) p.id = id++;
+}
+
+}  // namespace
+
+std::vector<Packet> generate_uw_trace(const PacketTraceConfig& cfg) {
+  if (cfg.avg_load <= 0.0 || cfg.duration_ns == 0) {
+    throw std::invalid_argument("generate_uw_trace: bad load or duration");
+  }
+  Rng rng(cfg.seed);
+  ZipfSampler zipf(cfg.flow_pool, cfg.zipf_s);
+
+  // Mean packet size of the mixture above; arrival rate follows from load.
+  constexpr double kMeanBytes =
+      0.60 * 64 + 0.25 * 100 + 0.10 * 200 + 0.035 * 256 + 0.015 * 1500;
+  const double pkts_per_ns =
+      cfg.avg_load * cfg.line_rate_gbps / (8.0 * kMeanBytes);
+
+  std::vector<Packet> out;
+  out.reserve(static_cast<std::size_t>(
+      pkts_per_ns * static_cast<double>(cfg.duration_ns) * 1.1));
+
+  double t = 0.0;
+  bool burst_on = !cfg.bursty;
+  double phase_end = 0.0;
+  // Keep the long-run average at avg_load: the on/off factors and durations
+  // are normalised so on_frac*on + off_frac*off == 1.
+  const double on_frac =
+      static_cast<double>(cfg.mean_on_ns) /
+      static_cast<double>(cfg.mean_on_ns + cfg.mean_off_ns);
+  const double raw_avg =
+      on_frac * cfg.on_factor + (1.0 - on_frac) * cfg.off_factor;
+  const double norm = cfg.bursty ? 1.0 / raw_avg : 1.0;
+
+  if (cfg.bursty) {
+    burst_on = rng.chance(on_frac);
+    phase_end = rng.exponential(
+        static_cast<double>(burst_on ? cfg.mean_on_ns : cfg.mean_off_ns));
+  }
+
+  ZipfSampler transient_zipf(std::max<std::size_t>(
+                                 1, cfg.transient_flows_per_burst),
+                             1.2);
+  std::uint32_t burst_index = 0;
+  while (t < static_cast<double>(cfg.duration_ns)) {
+    double factor = 1.0;
+    if (cfg.bursty) {
+      while (t >= phase_end) {
+        burst_on = !burst_on;
+        if (burst_on) ++burst_index;
+        phase_end = t + rng.exponential(static_cast<double>(
+                            burst_on ? cfg.mean_on_ns : cfg.mean_off_ns));
+      }
+      factor = norm * (burst_on ? cfg.on_factor : cfg.off_factor);
+    }
+    t += rng.exponential(1.0 / (pkts_per_ns * factor));
+    if (t >= static_cast<double>(cfg.duration_ns)) break;
+
+    Packet p;
+    if (cfg.mice_frac > 0.0 && rng.chance(cfg.mice_frac)) {
+      // Ephemeral mouse: effectively a unique flow.
+      p.flow = make_flow(cfg.flow_id_base + 0x200000u +
+                         static_cast<std::uint32_t>(
+                             rng.uniform_below(cfg.mice_population)));
+    } else if (cfg.bursty && burst_on && rng.chance(cfg.transient_frac)) {
+      // A flow that exists only for this burst.
+      const std::uint32_t local =
+          static_cast<std::uint32_t>(transient_zipf(rng));
+      p.flow = make_flow(cfg.flow_id_base + 0x80000u +
+                         burst_index * cfg.transient_flows_per_burst + local);
+    } else {
+      const auto rank = static_cast<std::uint32_t>(zipf(rng));
+      if (rank < cfg.persistent_ranks || cfg.epoch_ns == 0) {
+        p.flow = make_flow(cfg.flow_id_base + rank);
+      } else {
+        // Mid-rank traffic rotates among the persistent flow population:
+        // each epoch a different flow holds each heavy rank, so per-flow
+        // activity is concentrated in time while the population (and thus
+        // the baselines' table occupancy) stays bounded.
+        const auto epoch = static_cast<std::uint64_t>(
+            static_cast<Timestamp>(t) / cfg.epoch_ns);
+        const auto span = static_cast<std::uint32_t>(cfg.flow_pool) -
+                          cfg.persistent_ranks;
+        const std::uint32_t rotated =
+            cfg.persistent_ranks +
+            static_cast<std::uint32_t>(
+                (rank - cfg.persistent_ranks + mix64(epoch) % span) % span);
+        p.flow = make_flow(cfg.flow_id_base + rotated);
+      }
+    }
+    p.size_bytes = uw_packet_bytes(rng);
+    p.arrival_ns = static_cast<Timestamp>(t);
+    out.push_back(p);
+  }
+  assign_ids(out);
+  return out;
+}
+
+std::vector<Packet> generate_flow_trace(const FlowTraceConfig& cfg) {
+  if (cfg.flow_sizes == nullptr) {
+    throw std::invalid_argument("generate_flow_trace: flow_sizes required");
+  }
+  if (cfg.concurrent_flows == 0 || cfg.avg_load <= 0.0) {
+    throw std::invalid_argument("generate_flow_trace: bad pool or load");
+  }
+  Rng rng(cfg.seed);
+
+  struct ActiveFlow {
+    FlowId id;
+    std::uint64_t remaining = 0;
+  };
+  std::vector<ActiveFlow> pool(cfg.concurrent_flows);
+  std::uint32_t next_flow = 0;
+  auto respawn = [&](ActiveFlow& f) {
+    f.id = make_flow(cfg.flow_id_base + next_flow++);
+    f.remaining = static_cast<std::uint64_t>(cfg.flow_sizes->sample(rng));
+  };
+  for (auto& f : pool) {
+    respawn(f);
+    // Warm start: flows are already partway through, as in a trace excerpt.
+    f.remaining = 1 + rng.uniform_below(std::max<std::uint64_t>(
+                          1, f.remaining));
+  }
+
+  const double on_frac =
+      static_cast<double>(cfg.mean_on_ns) /
+      static_cast<double>(cfg.mean_on_ns + cfg.mean_off_ns);
+  const double raw_avg =
+      on_frac * cfg.on_factor + (1.0 - on_frac) * cfg.off_factor;
+  const double norm = cfg.bursty ? 1.0 / raw_avg : 1.0;
+  bool burst_on = !cfg.bursty || rng.chance(on_frac);
+  double phase_end =
+      cfg.bursty ? rng.exponential(static_cast<double>(
+                       burst_on ? cfg.mean_on_ns : cfg.mean_off_ns))
+                 : 0.0;
+
+  std::vector<Packet> out;
+  double t = 0.0;
+  while (t < static_cast<double>(cfg.duration_ns)) {
+    double factor = 1.0;
+    if (cfg.bursty) {
+      while (t >= phase_end) {
+        burst_on = !burst_on;
+        phase_end = t + rng.exponential(static_cast<double>(
+                            burst_on ? cfg.mean_on_ns : cfg.mean_off_ns));
+      }
+      factor = norm * (burst_on ? cfg.on_factor : cfg.off_factor);
+    }
+
+    ActiveFlow& f = pool[rng.uniform_below(pool.size())];
+    const std::uint32_t seg = next_segment_bytes(f.remaining);
+    Packet p;
+    p.flow = f.id;
+    p.size_bytes = seg;
+    p.arrival_ns = static_cast<Timestamp>(t);
+    out.push_back(p);
+    f.remaining = seg >= f.remaining ? 0 : f.remaining - seg;
+    if (f.remaining == 0) respawn(f);
+
+    // Aggregate pacing: the stream delivers avg_load of the line rate.
+    // Jitter is zero-mean so it randomises queue entry without shifting
+    // the load.
+    const double gap =
+        static_cast<double>(seg) * 8.0 /
+        (cfg.avg_load * cfg.line_rate_gbps * factor);
+    const double jitter =
+        cfg.jitter_ns != 0
+            ? (rng.uniform() - 0.5) * static_cast<double>(cfg.jitter_ns)
+            : 0.0;
+    t += std::max(1.0, gap + jitter);
+  }
+  assign_ids(out);
+  return out;
+}
+
+std::vector<Packet> generate_trace(TraceKind kind, Duration duration_ns,
+                                   std::uint64_t seed) {
+  switch (kind) {
+    case TraceKind::kUW: {
+      PacketTraceConfig cfg;
+      cfg.duration_ns = duration_ns;
+      cfg.seed = seed;
+      return generate_uw_trace(cfg);
+    }
+    case TraceKind::kWS: {
+      FlowTraceConfig cfg;
+      cfg.flow_sizes = &web_search_flow_sizes();
+      cfg.duration_ns = duration_ns;
+      cfg.seed = seed;
+      return generate_flow_trace(cfg);
+    }
+    case TraceKind::kDM: {
+      FlowTraceConfig cfg;
+      cfg.flow_sizes = &data_mining_flow_sizes();
+      cfg.duration_ns = duration_ns;
+      cfg.seed = seed;
+      return generate_flow_trace(cfg);
+    }
+  }
+  throw std::invalid_argument("unknown trace kind");
+}
+
+std::vector<Packet> merge_traces(std::vector<std::vector<Packet>> parts) {
+  std::vector<Packet> out;
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out.reserve(total);
+  for (auto& p : parts) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Packet& a, const Packet& b) {
+                     return a.arrival_ns < b.arrival_ns;
+                   });
+  assign_ids(out);
+  return out;
+}
+
+PaperParams paper_params(TraceKind kind) {
+  PaperParams p;
+  if (kind == TraceKind::kUW) {
+    p.m0 = 6;
+    p.alpha = 2;
+  } else {
+    p.m0 = 10;
+    p.alpha = 1;
+  }
+  p.k = 12;
+  p.num_windows = 4;
+  return p;
+}
+
+}  // namespace pq::traffic

@@ -1,0 +1,122 @@
+// Trace generators reproducing the paper's three workloads (Section 7.1):
+//
+//  UW — packet-level trace modelled on the University of Wisconsin data
+//       center trace: ~100 B average packets at ~9.1 Mpps on a 10 Gb/s port,
+//       Zipf flow popularity with an extreme long tail, and on/off burst
+//       modulation (congestion arrives in waves / microbursts).
+//  WS / DM — flow-level traces: Poisson flow arrivals, flow sizes from the
+//       DCTCP web-search or VL2 data-mining CDFs, each flow paced at the
+//       sender NIC rate (40 Gb/s senders into 10 Gb/s receivers, as in the
+//       paper's testbed), near-MTU packets at ~0.84 Mpps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/empirical_cdf.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace pq::traffic {
+
+/// Which of the paper's workloads to generate.
+enum class TraceKind { kUW, kWS, kDM };
+
+/// Configuration of the packet-level (UW-like) generator.
+struct PacketTraceConfig {
+  double line_rate_gbps = 10.0;
+  double avg_load = 0.73;        ///< 9.1 Mpps of ~100 B packets on 10 Gb/s
+  std::size_t flow_pool = 6000;  ///< persistent flow population
+  /// Popularity skew. The UW trace is extremely elephant-dominated: the
+  /// 100th-largest flow carries under 1% of the largest flow's packets and
+  /// the top hundred flows carry most of the volume; s = 1.5 reproduces
+  /// both (100^-1.5 = 0.1%, top-100 share ~92%).
+  double zipf_s = 1.5;
+  Duration duration_ns = 50'000'000;
+  std::uint64_t seed = 1;
+  std::uint32_t flow_id_base = 0;
+
+  /// On/off rate modulation that creates the queue build-up waves the paper
+  /// diagnoses. Average load stays near `avg_load`.
+  bool bursty = true;
+  double on_factor = 2.4;   ///< arrival rate multiplier during a burst
+  double off_factor = 0.30; ///< multiplier between bursts
+  Duration mean_on_ns = 700'000;
+  Duration mean_off_ns = 850'000;
+
+  /// Fraction of burst-phase packets drawn from flows specific to that
+  /// burst (each congestion event is partly caused by transient flows, as
+  /// in real traces). This is what defeats fixed-interval proration: the
+  /// flow mix inside a burst differs from the period-wide average.
+  double transient_frac = 0.5;
+  std::uint32_t transient_flows_per_burst = 16;
+
+  /// Fraction of packets from ephemeral mice (one-or-few-packet flows drawn
+  /// from a huge id space). The UW trace sees thousands of distinct flows
+  /// per 262 us window period; over a full set period the distinct-flow
+  /// count far exceeds the baselines' table sizes, which is what breaks
+  /// fixed-interval flow counters in the paper's Table 2.
+  double mice_frac = 0.03;
+  std::uint32_t mice_population = 2'000'000;
+
+  /// Per-flow temporal locality: Zipf ranks below `persistent_ranks` keep
+  /// one identity for the whole trace (the stable elephants); deeper ranks
+  /// take a fresh identity every `epoch_ns` (mid-size flows come and go on
+  /// millisecond timescales). Fixed-interval counters prorate such flows
+  /// badly — their activity is concentrated in a fraction of the reset
+  /// period — while time windows locate them precisely.
+  std::uint32_t persistent_ranks = 3;
+  Duration epoch_ns = 2'000'000;
+};
+
+/// Configuration of the flow-level (WS/DM) generator.
+///
+/// Models the paper's tcpreplay setup: an aggregated packet stream at the
+/// target load whose concurrent flow mix follows the flow-size CDF. A pool
+/// of `concurrent_flows` is always active; each emission picks one active
+/// flow, sends its next segment, and replaces the flow with a fresh one
+/// when it completes. Elephants persist across the trace while mice churn,
+/// exactly like the replayed pcaps.
+struct FlowTraceConfig {
+  const EmpiricalCdf* flow_sizes = nullptr;  ///< required
+  double line_rate_gbps = 10.0;
+  double avg_load = 0.9;
+  std::uint32_t concurrent_flows = 32;
+  Duration duration_ns = 50'000'000;
+  std::uint64_t seed = 1;
+  std::uint32_t flow_id_base = 0;
+  Duration jitter_ns = 600;  ///< per-packet random jitter (paper §4.3)
+
+  /// On/off load modulation (congestion waves), as in the UW generator.
+  bool bursty = true;
+  double on_factor = 1.9;
+  double off_factor = 0.35;
+  Duration mean_on_ns = 1'500'000;
+  Duration mean_off_ns = 1'600'000;
+};
+
+/// Generates a UW-like packet trace, sorted by arrival, ids assigned.
+std::vector<Packet> generate_uw_trace(const PacketTraceConfig& cfg);
+
+/// Generates a WS/DM-like flow trace, sorted by arrival, ids assigned.
+std::vector<Packet> generate_flow_trace(const FlowTraceConfig& cfg);
+
+/// Paper-parameter shorthand: builds the named workload for `duration_ns`.
+std::vector<Packet> generate_trace(TraceKind kind, Duration duration_ns,
+                                   std::uint64_t seed);
+
+/// Merges several packet streams into one arrival-ordered trace and assigns
+/// fresh sequential packet ids.
+std::vector<Packet> merge_traces(std::vector<std::vector<Packet>> parts);
+
+/// Workload-matched time-window parameters from the paper (Section 7.1):
+/// m0 = 6, alpha = 2 for UW; m0 = 10, alpha = 1 for WS/DM; k = 12, T = 4.
+struct PaperParams {
+  std::uint32_t m0 = 6;
+  std::uint32_t alpha = 2;
+  std::uint32_t k = 12;
+  std::uint32_t num_windows = 4;
+};
+PaperParams paper_params(TraceKind kind);
+
+}  // namespace pq::traffic

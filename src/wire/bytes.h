@@ -1,0 +1,76 @@
+// Big-endian (network byte order) serialization helpers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace pq::wire {
+
+inline void put_u8(std::vector<std::uint8_t>& buf, std::uint8_t v) {
+  buf.push_back(v);
+}
+
+inline void put_u16(std::vector<std::uint8_t>& buf, std::uint16_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  put_u16(buf, static_cast<std::uint16_t>(v >> 16));
+  put_u16(buf, static_cast<std::uint16_t>(v));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  put_u32(buf, static_cast<std::uint32_t>(v >> 32));
+  put_u32(buf, static_cast<std::uint32_t>(v));
+}
+
+/// Reader over a byte span that tracks its offset; `ok()` turns false on
+/// overrun instead of throwing, so parsers can bail out with one check.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  std::size_t offset() const { return off_; }
+  std::size_t remaining() const { return data_.size() - off_; }
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data_[off_++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[off_]) << 8) | data_[off_ + 1]);
+    off_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+  void skip(std::size_t n) {
+    if (need(n)) off_ += n;
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_ || data_.size() - off_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t off_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace pq::wire

@@ -1,0 +1,106 @@
+#include "wire/headers.h"
+
+#include "wire/bytes.h"
+
+namespace pq::wire {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+void encode_ethernet(std::vector<std::uint8_t>& buf, const EthernetHeader& h) {
+  buf.insert(buf.end(), h.dst.begin(), h.dst.end());
+  buf.insert(buf.end(), h.src.begin(), h.src.end());
+  put_u16(buf, h.ether_type);
+}
+
+void encode_ipv4(std::vector<std::uint8_t>& buf, const Ipv4Header& h) {
+  const std::size_t start = buf.size();
+  put_u8(buf, 0x45);  // version 4, IHL 5
+  put_u8(buf, static_cast<std::uint8_t>(h.dscp << 2));
+  put_u16(buf, h.total_len);
+  put_u16(buf, 0);       // identification
+  put_u16(buf, 0x4000);  // DF, no fragments
+  put_u8(buf, h.ttl);
+  put_u8(buf, h.proto);
+  put_u16(buf, 0);  // checksum placeholder
+  put_u32(buf, h.src_ip);
+  put_u32(buf, h.dst_ip);
+  const std::uint16_t csum = internet_checksum(
+      std::span<const std::uint8_t>(buf.data() + start, Ipv4Header::kSize));
+  buf[start + 10] = static_cast<std::uint8_t>(csum >> 8);
+  buf[start + 11] = static_cast<std::uint8_t>(csum);
+}
+
+void encode_l4(std::vector<std::uint8_t>& buf, const FlowId& flow,
+               std::uint16_t payload_len) {
+  put_u16(buf, flow.src_port);
+  put_u16(buf, flow.dst_port);
+  if (flow.proto == kProtoUdp) {
+    put_u16(buf, static_cast<std::uint16_t>(L4Header::kUdpSize + payload_len));
+    put_u16(buf, 0);  // UDP checksum optional over IPv4
+  } else {
+    put_u32(buf, 0);      // seq
+    put_u32(buf, 0);      // ack
+    put_u8(buf, 5 << 4);  // data offset 5 words
+    put_u8(buf, 0x10);    // ACK flag
+    put_u16(buf, 0xffff); // window
+    put_u16(buf, 0);      // checksum (not modelled)
+    put_u16(buf, 0);      // urgent
+  }
+}
+
+std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  r.skip(12);  // MACs
+  const std::uint16_t ether_type = r.u16();
+  if (!r.ok() || ether_type != kEtherTypeIpv4) return std::nullopt;
+
+  const std::size_t ip_start = r.offset();
+  const std::uint8_t ver_ihl = r.u8();
+  if (!r.ok() || (ver_ihl >> 4) != 4) return std::nullopt;
+  const std::size_t ihl_bytes = static_cast<std::size_t>(ver_ihl & 0x0f) * 4;
+  if (ihl_bytes < Ipv4Header::kSize) return std::nullopt;
+  const std::uint8_t tos = r.u8();
+  const std::uint16_t total_len = r.u16();
+  r.skip(4);  // id + flags/frag
+  r.skip(1);  // ttl
+  const std::uint8_t proto = r.u8();
+  r.skip(2);  // checksum (verified over the whole header below)
+  const std::uint32_t src_ip = r.u32();
+  const std::uint32_t dst_ip = r.u32();
+  if (!r.ok() || frame.size() < ip_start + ihl_bytes) return std::nullopt;
+  if (internet_checksum(frame.subspan(ip_start, ihl_bytes)) != 0) {
+    return std::nullopt;  // corrupted header
+  }
+  r.skip(ihl_bytes - Ipv4Header::kSize);
+
+  ParsedFrame out;
+  out.flow.src_ip = src_ip;
+  out.flow.dst_ip = dst_ip;
+  out.flow.proto = proto;
+  out.priority = static_cast<std::uint8_t>(tos >> 2);
+  out.ip_total_len = total_len;
+
+  out.flow.src_port = r.u16();
+  out.flow.dst_port = r.u16();
+  if (proto == kProtoTcp) {
+    r.skip(L4Header::kTcpSize - 4);
+  } else if (proto == kProtoUdp) {
+    r.skip(L4Header::kUdpSize - 4);
+  } else {
+    return std::nullopt;
+  }
+  if (!r.ok()) return std::nullopt;
+  out.payload = frame.subspan(r.offset());
+  return out;
+}
+
+}  // namespace pq::wire

@@ -1,0 +1,74 @@
+// Minimal Ethernet/IPv4/TCP/UDP header encode + parse, enough to carry a
+// PrintQueue telemetry header end-to-end the way the testbed does: the switch
+// inserts the telemetry header after L4, the receiver parses it back out.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pq::wire {
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+/// RFC 1071 internet checksum over a byte range (odd lengths padded with 0).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+struct EthernetHeader {
+  std::array<std::uint8_t, 6> dst{};
+  std::array<std::uint8_t, 6> src{};
+  std::uint16_t ether_type = kEtherTypeIpv4;
+
+  static constexpr std::size_t kSize = 14;
+};
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;      ///< carries the scheduling class in our testbed
+  std::uint16_t total_len = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t proto = kProtoTcp;
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+
+  static constexpr std::size_t kSize = 20;
+};
+
+struct L4Header {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  static constexpr std::size_t kTcpSize = 20;
+  static constexpr std::size_t kUdpSize = 8;
+};
+
+/// A parsed frame: the flow 5-tuple, scheduling class, and the payload span
+/// (which, for PrintQueue testbed frames, starts with the telemetry header).
+struct ParsedFrame {
+  FlowId flow;
+  std::uint8_t priority = 0;
+  std::uint16_t ip_total_len = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+void encode_ethernet(std::vector<std::uint8_t>& buf, const EthernetHeader& h);
+
+/// Encodes the IPv4 header with a correct header checksum.
+void encode_ipv4(std::vector<std::uint8_t>& buf, const Ipv4Header& h);
+
+/// Encodes a TCP (proto 6) or UDP (proto 17) header for the given flow.
+/// Length/checksum fields are filled with deterministic placeholder values
+/// (the simulator does not model payloads byte-for-byte).
+void encode_l4(std::vector<std::uint8_t>& buf, const FlowId& flow,
+               std::uint16_t payload_len);
+
+/// Parses Ethernet+IPv4+L4; returns std::nullopt on malformed input,
+/// truncation, or IPv4 checksum mismatch.
+std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame);
+
+}  // namespace pq::wire

@@ -1,0 +1,87 @@
+#include "wire/telemetry.h"
+
+#include "wire/bytes.h"
+
+namespace pq::wire {
+
+void encode_telemetry(std::vector<std::uint8_t>& buf,
+                      const TelemetryHeader& h) {
+  put_u32(buf, h.egress_port);
+  put_u64(buf, h.enq_timestamp);
+  put_u64(buf, h.deq_timedelta);
+  put_u32(buf, h.enq_qdepth);
+  put_u16(buf, h.packet_cells);
+}
+
+std::optional<TelemetryHeader> parse_telemetry(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < TelemetryHeader::kSize) return std::nullopt;
+  ByteReader r(payload);
+  TelemetryHeader h;
+  h.egress_port = r.u32();
+  h.enq_timestamp = r.u64();
+  h.deq_timedelta = r.u64();
+  h.enq_qdepth = r.u32();
+  h.packet_cells = r.u16();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+std::vector<std::uint8_t> build_eval_frame(const Packet& pkt,
+                                           const TelemetryHeader& tele) {
+  std::vector<std::uint8_t> buf;
+  const std::size_t l4_size =
+      pkt.flow.proto == kProtoUdp ? L4Header::kUdpSize : L4Header::kTcpSize;
+  // The switch inserts the telemetry header, growing the frame by kSize;
+  // padding reproduces the packet's original payload bytes.
+  const std::size_t base =
+      EthernetHeader::kSize + Ipv4Header::kSize + l4_size;
+  const std::size_t pad =
+      pkt.size_bytes > base ? pkt.size_bytes - base : 0;
+
+  EthernetHeader eth;
+  eth.src = {0x02, 0, 0, 0, 0, 1};
+  eth.dst = {0x02, 0, 0, 0, 0, 2};
+  encode_ethernet(buf, eth);
+
+  Ipv4Header ip;
+  ip.dscp = pkt.priority;
+  ip.proto = pkt.flow.proto;
+  ip.src_ip = pkt.flow.src_ip;
+  ip.dst_ip = pkt.flow.dst_ip;
+  ip.total_len = static_cast<std::uint16_t>(
+      Ipv4Header::kSize + l4_size + TelemetryHeader::kSize + pad);
+  encode_ipv4(buf, ip);
+
+  encode_l4(buf, pkt.flow,
+            static_cast<std::uint16_t>(TelemetryHeader::kSize + pad));
+  encode_telemetry(buf, tele);
+  buf.resize(buf.size() + pad, 0);
+  return buf;
+}
+
+bool TelemetryCollector::ingest(std::span<const std::uint8_t> frame) {
+  const auto parsed = parse_frame(frame);
+  if (!parsed) {
+    ++malformed_;
+    return false;
+  }
+  const auto tele = parse_telemetry(parsed->payload);
+  if (!tele) {
+    ++malformed_;
+    return false;
+  }
+  TelemetryRecord rec;
+  rec.flow = parsed->flow;
+  rec.egress_port = tele->egress_port;
+  rec.size_bytes =
+      static_cast<std::uint32_t>(parsed->ip_total_len) + EthernetHeader::kSize -
+      TelemetryHeader::kSize;  // wire size without the inserted header
+  rec.enq_timestamp = tele->enq_timestamp;
+  rec.deq_timedelta = tele->deq_timedelta;
+  rec.enq_qdepth = tele->enq_qdepth;
+  records_.push_back(rec);
+  return true;
+}
+
+}  // namespace pq::wire

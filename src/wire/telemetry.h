@@ -1,0 +1,73 @@
+// The PrintQueue telemetry header and the ground-truth record it produces.
+//
+// In the paper's testbed the switch inserts this header into every packet
+// (only for evaluation — a real deployment does not need it) and a DPDK
+// receiver extracts and stores it. Here the simulator plays the switch and
+// `TelemetryCollector` plays the DPDK receiver.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "wire/headers.h"
+
+namespace pq::wire {
+
+/// Table 1 metadata, carried in-band. 26 bytes on the wire.
+struct TelemetryHeader {
+  std::uint32_t egress_port = 0;   ///< egress_spec
+  Timestamp enq_timestamp = 0;     ///< nanoseconds
+  Duration deq_timedelta = 0;      ///< time spent queued, nanoseconds
+  std::uint32_t enq_qdepth = 0;    ///< queue depth in cells at enqueue
+  std::uint16_t packet_cells = 0;  ///< this packet's own cell footprint
+
+  static constexpr std::size_t kSize = 4 + 8 + 8 + 4 + 2;
+
+  Timestamp deq_timestamp() const { return enq_timestamp + deq_timedelta; }
+};
+
+void encode_telemetry(std::vector<std::uint8_t>& buf,
+                      const TelemetryHeader& h);
+std::optional<TelemetryHeader> parse_telemetry(
+    std::span<const std::uint8_t> payload);
+
+/// One collected ground-truth record: flow identity plus Table 1 metadata.
+/// This is the *only* information the evaluation pipeline may use — exactly
+/// what the paper's DPDK receiver logs.
+struct TelemetryRecord {
+  FlowId flow;
+  std::uint32_t egress_port = 0;
+  std::uint32_t size_bytes = 0;
+  Timestamp enq_timestamp = 0;
+  Duration deq_timedelta = 0;
+  std::uint32_t enq_qdepth = 0;
+  std::uint64_t packet_id = 0;  ///< join key with the generator, tests only
+
+  Timestamp deq_timestamp() const { return enq_timestamp + deq_timedelta; }
+};
+
+/// Builds the full evaluation frame for a packet: Ethernet + IPv4 + L4 +
+/// telemetry header, padded to the packet's wire size when it fits.
+std::vector<std::uint8_t> build_eval_frame(const Packet& pkt,
+                                           const TelemetryHeader& tele);
+
+/// The receiver side: parses frames, validates headers, and accumulates
+/// TelemetryRecords. Malformed frames are counted, not thrown.
+class TelemetryCollector {
+ public:
+  /// Returns true if the frame parsed cleanly and was recorded.
+  bool ingest(std::span<const std::uint8_t> frame);
+
+  const std::vector<TelemetryRecord>& records() const { return records_; }
+  std::vector<TelemetryRecord> take_records() { return std::move(records_); }
+  std::uint64_t malformed_count() const { return malformed_; }
+
+ private:
+  std::vector<TelemetryRecord> records_;
+  std::uint64_t malformed_ = 0;
+};
+
+}  // namespace pq::wire

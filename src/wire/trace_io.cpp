@@ -1,0 +1,91 @@
+#include "wire/trace_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/hash.h"
+#include "wire/bytes.h"
+
+namespace pq::wire {
+
+namespace {
+
+void encode_record(std::vector<std::uint8_t>& buf, const TelemetryRecord& r) {
+  put_u32(buf, r.flow.src_ip);
+  put_u32(buf, r.flow.dst_ip);
+  put_u16(buf, r.flow.src_port);
+  put_u16(buf, r.flow.dst_port);
+  put_u8(buf, r.flow.proto);
+  put_u32(buf, r.egress_port);
+  put_u32(buf, r.size_bytes);
+  put_u64(buf, r.enq_timestamp);
+  put_u64(buf, r.deq_timedelta);
+  put_u32(buf, r.enq_qdepth);
+  put_u64(buf, r.packet_id);
+}
+
+TelemetryRecord decode_record(ByteReader& r) {
+  TelemetryRecord rec;
+  rec.flow.src_ip = r.u32();
+  rec.flow.dst_ip = r.u32();
+  rec.flow.src_port = r.u16();
+  rec.flow.dst_port = r.u16();
+  rec.flow.proto = r.u8();
+  rec.egress_port = r.u32();
+  rec.size_bytes = r.u32();
+  rec.enq_timestamp = r.u64();
+  rec.deq_timedelta = r.u64();
+  rec.enq_qdepth = r.u32();
+  rec.packet_id = r.u64();
+  return rec;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const std::vector<TelemetryRecord>& recs) {
+  std::vector<std::uint8_t> buf;
+  put_u32(buf, kTraceMagic);
+  put_u64(buf, recs.size());
+  for (const auto& r : recs) encode_record(buf, r);
+  put_u64(buf, fnv1a(buf.data(), buf.size()));
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+  if (!out) throw std::runtime_error("trace write failed");
+}
+
+std::vector<TelemetryRecord> read_trace(std::istream& in) {
+  std::vector<std::uint8_t> buf(std::istreambuf_iterator<char>(in), {});
+  if (buf.size() < 4 + 8 + 8) throw std::runtime_error("trace truncated");
+  const std::uint64_t stored = [&] {
+    ByteReader tail(std::span<const std::uint8_t>(buf).subspan(buf.size() - 8));
+    return tail.u64();
+  }();
+  if (fnv1a(buf.data(), buf.size() - 8) != stored) {
+    throw std::runtime_error("trace checksum mismatch");
+  }
+  ByteReader r(std::span<const std::uint8_t>(buf.data(), buf.size() - 8));
+  if (r.u32() != kTraceMagic) throw std::runtime_error("bad trace magic");
+  const std::uint64_t n = r.u64();
+  std::vector<TelemetryRecord> recs;
+  recs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) recs.push_back(decode_record(r));
+  if (!r.ok()) throw std::runtime_error("trace truncated");
+  return recs;
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<TelemetryRecord>& recs) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_trace(out, recs);
+}
+
+std::vector<TelemetryRecord> read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_trace(in);
+}
+
+}  // namespace pq::wire

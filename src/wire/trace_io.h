@@ -1,0 +1,29 @@
+// Binary trace file format for TelemetryRecord vectors: a fixed magic, a
+// record count, the records, and an FNV-1a trailer checksum. The analog of
+// the paper artifact's on-disk telemetry logs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "wire/telemetry.h"
+
+namespace pq::wire {
+
+inline constexpr std::uint32_t kTraceMagic = 0x50515452;  // "PQTR"
+
+/// Serializes records to a stream. Throws std::runtime_error on I/O failure.
+void write_trace(std::ostream& out, const std::vector<TelemetryRecord>& recs);
+
+/// Deserializes a trace. Throws std::runtime_error on truncation, magic
+/// mismatch, or checksum mismatch.
+std::vector<TelemetryRecord> read_trace(std::istream& in);
+
+/// File-path conveniences.
+void write_trace_file(const std::string& path,
+                      const std::vector<TelemetryRecord>& recs);
+std::vector<TelemetryRecord> read_trace_file(const std::string& path);
+
+}  // namespace pq::wire

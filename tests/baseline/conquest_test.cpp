@@ -1,0 +1,117 @@
+#include "baseline/conquest.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pq::baseline {
+namespace {
+
+ConQuestParams small_params() {
+  ConQuestParams p;
+  p.num_snapshots = 4;
+  p.rows = 2;
+  p.columns = 256;
+  p.snapshot_window_ns = 1000;
+  return p;
+}
+
+TEST(ConQuest, RejectsBadParams) {
+  ConQuestParams p = small_params();
+  p.num_snapshots = 1;
+  EXPECT_THROW(ConQuest{p}, std::invalid_argument);
+  p = small_params();
+  p.snapshot_window_ns = 0;
+  EXPECT_THROW(ConQuest{p}, std::invalid_argument);
+}
+
+TEST(ConQuest, EmptyStructureAnswersZero) {
+  ConQuest cq(small_params());
+  EXPECT_EQ(cq.query_flow(make_flow(1), 5000, 3000), 0u);
+  EXPECT_FALSE(cq.covers(0, 5000));
+}
+
+TEST(ConQuest, RecentSnapshotsHoldFlowBytes) {
+  ConQuest cq(small_params());
+  // 10 x 100 B packets in window 0, then move to window 1.
+  for (Timestamp t = 0; t < 1000; t += 100) {
+    cq.on_packet(make_flow(1), 100, t);
+  }
+  cq.on_packet(make_flow(2), 50, 1500);  // rotates to window 1
+  // Query at window 1 looking back one window: sees flow 1's bytes.
+  EXPECT_EQ(cq.query_flow(make_flow(1), 1500, 1000), 1000u);
+  EXPECT_EQ(cq.query_flow(make_flow(3), 1500, 1000), 0u);
+}
+
+TEST(ConQuest, LookbackSumsMultipleSnapshots) {
+  ConQuest cq(small_params());
+  cq.on_packet(make_flow(1), 100, 500);   // window 0
+  cq.on_packet(make_flow(1), 200, 1500);  // window 1
+  cq.on_packet(make_flow(1), 400, 2500);  // window 2
+  cq.on_packet(make_flow(9), 1, 3500);    // window 3 (active)
+  EXPECT_EQ(cq.query_flow(make_flow(1), 3500, 1000), 400u);
+  EXPECT_EQ(cq.query_flow(make_flow(1), 3500, 2000), 600u);
+  EXPECT_EQ(cq.query_flow(make_flow(1), 3500, 3000), 700u);
+}
+
+TEST(ConQuest, OldSnapshotsRotateAwayAndAreCleaned) {
+  ConQuest cq(small_params());
+  cq.on_packet(make_flow(1), 1000, 500);  // window 0
+  // Advance 6 windows: window 0's slot has been reused and cleaned.
+  cq.on_packet(make_flow(2), 10, 6500);
+  EXPECT_EQ(cq.query_flow(make_flow(1), 6500, 60'000), 0u);
+  EXPECT_FALSE(cq.covers(500, 6500));
+  EXPECT_TRUE(cq.covers(4500, 6500));
+}
+
+TEST(ConQuest, HistoryBoundIsRMinusOneWindows) {
+  ConQuest cq(small_params());
+  EXPECT_EQ(cq.history_ns(), 3000u);
+}
+
+TEST(ConQuest, CmsNeverUndercounts) {
+  ConQuest cq(small_params());
+  Rng rng(3);
+  std::unordered_map<FlowId, std::uint64_t> truth;
+  for (int i = 0; i < 2000; ++i) {
+    const FlowId f =
+        make_flow(static_cast<std::uint32_t>(rng.uniform_below(500)));
+    cq.on_packet(f, 100, 100 + static_cast<Timestamp>(i) / 4);
+    truth[f] += 100;
+  }
+  cq.on_packet(make_flow(9999), 1, 2000);  // rotate past the data
+  for (const auto& [flow, bytes] : truth) {
+    EXPECT_GE(cq.query_flow(flow, 2000, 2000) + 1, bytes) << to_string(flow);
+  }
+}
+
+TEST(ConQuest, IdleGapsCleanInterveningWindows) {
+  ConQuest cq(small_params());
+  cq.on_packet(make_flow(1), 100, 100);
+  // Long idle gap, then traffic again: the old window must not leak into
+  // queries anchored after the gap.
+  cq.on_packet(make_flow(2), 100, 100'000);
+  EXPECT_EQ(cq.query_flow(make_flow(1), 100'000, 3000), 0u);
+}
+
+TEST(ConQuest, SramAccountsRing) {
+  ConQuest cq(small_params());
+  EXPECT_EQ(cq.sram_bytes(), 4u * 2 * 256 * 4);
+}
+
+TEST(ConQuest, CannotAnswerVictimQueriesOlderThanRing) {
+  // The PrintQueue paper's Section 8 point: a victim whose interval has
+  // rotated out of the ring is unanswerable, while PrintQueue's windows
+  // retain (compressed) history for the whole set period.
+  ConQuestParams p = small_params();  // history: 3 us
+  ConQuest cq(p);
+  for (Timestamp t = 0; t < 50'000; t += 50) {
+    cq.on_packet(make_flow(t % 7), 100, t);
+  }
+  // A victim dequeued 10 us ago is already outside ConQuest's history.
+  EXPECT_FALSE(cq.covers(40'000 - 10'000, 50'000));
+  EXPECT_TRUE(cq.covers(48'000, 50'000));
+}
+
+}  // namespace
+}  // namespace pq::baseline

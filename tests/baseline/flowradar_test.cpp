@@ -1,0 +1,119 @@
+#include "baseline/flowradar.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace pq::baseline {
+namespace {
+
+FlowRadarParams small_params() {
+  FlowRadarParams p;
+  p.cells = 3 * 512;
+  p.num_hashes = 3;
+  p.bloom_bits = 1 << 15;
+  p.bloom_hashes = 6;
+  return p;
+}
+
+TEST(FlowRadar, RejectsBadParams) {
+  FlowRadarParams p = small_params();
+  p.cells = 0;
+  EXPECT_THROW(FlowRadar{p}, std::invalid_argument);
+  p = small_params();
+  p.num_hashes = 0;
+  EXPECT_THROW(FlowRadar{p}, std::invalid_argument);
+}
+
+TEST(FlowRadar, FlowXorIsSelfInverse) {
+  const FlowId a = make_flow(1), b = make_flow(2);
+  EXPECT_EQ(flow_xor(flow_xor(a, b), b), a);
+  EXPECT_EQ(flow_xor(a, a), FlowId{});
+}
+
+TEST(FlowRadar, DecodesExactlyUnderCapacity) {
+  FlowRadar fr(small_params());
+  Rng rng(1);
+  std::unordered_map<FlowId, double> truth;
+  // 120 flows in a 1536-cell table: well under decode capacity.
+  for (int i = 0; i < 5000; ++i) {
+    const FlowId f =
+        make_flow(static_cast<std::uint32_t>(rng.uniform_below(120)));
+    fr.insert(f);
+    truth[f] += 1.0;
+  }
+  const auto counts = fr.read();
+  EXPECT_EQ(fr.last_undecoded(), 0u);
+  ASSERT_EQ(counts.size(), truth.size());
+  for (const auto& [flow, n] : truth) {
+    EXPECT_DOUBLE_EQ(counts.at(flow), n) << to_string(flow);
+  }
+}
+
+TEST(FlowRadar, DecodeDegradesGracefullyWhenOverloaded) {
+  FlowRadar fr(small_params());
+  // 5000 distinct flows overwhelm 1536 cells: peeling stalls.
+  for (std::uint32_t i = 0; i < 5000; ++i) fr.insert(make_flow(i));
+  const auto counts = fr.read();
+  EXPECT_LT(counts.size(), 5000u);
+  EXPECT_GT(fr.last_undecoded(), 0u);
+}
+
+TEST(FlowRadar, DecodedFlowsAreNeverFabricated) {
+  FlowRadar fr(small_params());
+  Rng rng(2);
+  std::unordered_set<FlowId> inserted;
+  for (int i = 0; i < 2000; ++i) {
+    const FlowId f =
+        make_flow(static_cast<std::uint32_t>(rng.uniform_below(300)));
+    fr.insert(f);
+    inserted.insert(f);
+  }
+  for (const auto& [flow, n] : fr.read()) {
+    EXPECT_TRUE(inserted.contains(flow)) << to_string(flow);
+    EXPECT_GT(n, 0.0);
+  }
+}
+
+TEST(FlowRadar, ReadIsNonDestructive) {
+  FlowRadar fr(small_params());
+  for (int i = 0; i < 50; ++i) fr.insert(make_flow(7));
+  const auto first = fr.read();
+  const auto second = fr.read();
+  EXPECT_DOUBLE_EQ(first.at(make_flow(7)), second.at(make_flow(7)));
+}
+
+TEST(FlowRadar, ResetClears) {
+  FlowRadar fr(small_params());
+  fr.insert(make_flow(1));
+  fr.reset();
+  EXPECT_TRUE(fr.read().empty());
+  // Re-inserting after reset counts from scratch (Bloom cleared too).
+  fr.insert(make_flow(1));
+  EXPECT_DOUBLE_EQ(fr.read().at(make_flow(1)), 1.0);
+}
+
+TEST(FlowRadar, SramAccountsTableAndBloom) {
+  FlowRadar fr(small_params());
+  EXPECT_EQ(fr.sram_bytes(), 1536u * 21 + (1u << 15) / 8);
+}
+
+TEST(FlowRadar, PacketCountsSurviveManyFlowsPerCell) {
+  // Two flows forced through the same table still decode exactly (the
+  // counting-table arithmetic is linear).
+  FlowRadarParams p = small_params();
+  FlowRadar fr(p);
+  for (int i = 0; i < 10; ++i) fr.insert(make_flow(1));
+  for (int i = 0; i < 20; ++i) fr.insert(make_flow(2));
+  for (int i = 0; i < 30; ++i) fr.insert(make_flow(3));
+  const auto counts = fr.read();
+  EXPECT_DOUBLE_EQ(counts.at(make_flow(1)), 10.0);
+  EXPECT_DOUBLE_EQ(counts.at(make_flow(2)), 20.0);
+  EXPECT_DOUBLE_EQ(counts.at(make_flow(3)), 30.0);
+}
+
+}  // namespace
+}  // namespace pq::baseline

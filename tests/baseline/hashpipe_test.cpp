@@ -1,0 +1,91 @@
+#include "baseline/hashpipe.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pq::baseline {
+namespace {
+
+TEST(HashPipe, RejectsBadParams) {
+  EXPECT_THROW(HashPipe({.stages = 0}), std::invalid_argument);
+  EXPECT_THROW(HashPipe({.stages = 2, .slots_per_stage = 0}),
+               std::invalid_argument);
+}
+
+TEST(HashPipe, ExactForFewFlows) {
+  HashPipe hp({.stages = 4, .slots_per_stage = 256});
+  for (int i = 0; i < 100; ++i) {
+    hp.insert(make_flow(1));
+    if (i % 2 == 0) hp.insert(make_flow(2));
+  }
+  const auto counts = hp.read();
+  EXPECT_DOUBLE_EQ(counts.at(make_flow(1)), 100.0);
+  EXPECT_DOUBLE_EQ(counts.at(make_flow(2)), 50.0);
+}
+
+TEST(HashPipe, NeverOvercounts) {
+  HashPipe hp({.stages = 3, .slots_per_stage = 32});
+  Rng rng(1);
+  std::unordered_map<FlowId, double> truth;
+  for (int i = 0; i < 5000; ++i) {
+    const FlowId f = make_flow(static_cast<std::uint32_t>(
+        rng.uniform_below(200)));
+    hp.insert(f);
+    truth[f] += 1.0;
+  }
+  for (const auto& [flow, n] : hp.read()) {
+    EXPECT_LE(n, truth.at(flow) + 1e-9) << to_string(flow);
+  }
+}
+
+TEST(HashPipe, RetainsHeavyHittersUnderPressure) {
+  HashPipe hp({.stages = 5, .slots_per_stage = 64});
+  Rng rng(2);
+  // One elephant (30% of traffic) among 2000 mice.
+  double elephant_truth = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.chance(0.3)) {
+      hp.insert(make_flow(0));
+      ++elephant_truth;
+    } else {
+      hp.insert(make_flow(1 + static_cast<std::uint32_t>(
+                              rng.uniform_below(2000))));
+    }
+  }
+  const auto counts = hp.read();
+  ASSERT_TRUE(counts.contains(make_flow(0)));
+  EXPECT_GT(counts.at(make_flow(0)), 0.5 * elephant_truth);
+}
+
+TEST(HashPipe, ResetClearsEverything) {
+  HashPipe hp({.stages = 3, .slots_per_stage = 64});
+  for (int i = 0; i < 100; ++i) hp.insert(make_flow(1));
+  hp.reset();
+  EXPECT_TRUE(hp.read().empty());
+}
+
+TEST(HashPipe, SramMatchesPaperComparableConfig) {
+  // Paper Section 7.1: HashPipe with 4096 entries x 5 stages is comparable
+  // to PrintQueue's 4096 cells x 4 windows.
+  HashPipe hp({.stages = 5, .slots_per_stage = 4096});
+  EXPECT_EQ(hp.sram_bytes(), 5u * 4096 * 16);
+}
+
+TEST(HashPipe, CountConservationAcrossStages) {
+  // The sum of all stored counts never exceeds the number of insertions
+  // (evicted entries lose their counts, they never duplicate).
+  HashPipe hp({.stages = 4, .slots_per_stage = 16});
+  Rng rng(3);
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    hp.insert(make_flow(static_cast<std::uint32_t>(rng.uniform_below(500))));
+  }
+  double total = 0;
+  for (const auto& [f, c] : hp.read()) total += c;
+  EXPECT_LE(total, static_cast<double>(n));
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace pq::baseline

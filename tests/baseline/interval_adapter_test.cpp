@@ -1,0 +1,107 @@
+#include "baseline/interval_adapter.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/hashpipe.h"
+#include "baseline/linear_store.h"
+
+namespace pq::baseline {
+namespace {
+
+sim::EgressContext ctx(std::uint32_t flow, Timestamp deq,
+                       std::uint32_t port = 0) {
+  sim::EgressContext c;
+  c.flow = make_flow(flow);
+  c.egress_port = port;
+  c.enq_timestamp = deq;
+  c.deq_timedelta = 0;
+  return c;
+}
+
+std::unique_ptr<FlowCounter> counter() {
+  return std::make_unique<HashPipe>(
+      HashPipeParams{.stages = 4, .slots_per_stage = 256});
+}
+
+TEST(IntervalAdapter, RejectsBadArgs) {
+  EXPECT_THROW(IntervalAdapter(nullptr, 100), std::invalid_argument);
+  EXPECT_THROW(IntervalAdapter(counter(), 0), std::invalid_argument);
+}
+
+TEST(IntervalAdapter, RollsAtPeriodBoundaries) {
+  IntervalAdapter ad(counter(), 1000);
+  for (Timestamp t = 0; t < 3500; t += 100) ad.on_egress(ctx(1, t));
+  ad.finalize();
+  EXPECT_EQ(ad.periods_stored(), 4u);  // 3 full + 1 partial
+}
+
+TEST(IntervalAdapter, FullPeriodQueryIsExact) {
+  IntervalAdapter ad(counter(), 1000);
+  for (Timestamp t = 0; t < 1000; t += 100) ad.on_egress(ctx(1, t));
+  ad.finalize();
+  const auto counts = ad.query(0, 1000);
+  EXPECT_NEAR(counts.at(make_flow(1)), 10.0, 1e-9);
+}
+
+TEST(IntervalAdapter, SubIntervalQueryProratesLinearly) {
+  // This is the paper's point: a fixed-interval system cannot resolve a
+  // sub-interval, so a query for 1/4 of the period gets 1/4 of the counts
+  // regardless of when the packets actually arrived.
+  IntervalAdapter ad(counter(), 1000);
+  // All 8 packets arrive in the first 200 ns of the period.
+  for (Timestamp t = 0; t < 200; t += 25) ad.on_egress(ctx(1, t));
+  ad.finalize();
+  const auto counts = ad.query(750, 1000);  // last quarter: truly 0 packets
+  EXPECT_NEAR(counts.at(make_flow(1)), 2.0, 1e-9);  // prorated 8 * 0.25
+}
+
+TEST(IntervalAdapter, QueryAcrossPeriodsSumsPieces) {
+  IntervalAdapter ad(counter(), 1000);
+  for (Timestamp t = 0; t < 2000; t += 100) ad.on_egress(ctx(1, t));
+  ad.finalize();
+  const auto counts = ad.query(500, 1500);
+  EXPECT_NEAR(counts.at(make_flow(1)), 10.0, 1e-9);  // half of each period
+}
+
+TEST(IntervalAdapter, IgnoresOtherPorts) {
+  IntervalAdapter ad(counter(), 1000, /*egress_port=*/2);
+  ad.on_egress(ctx(1, 100, 2));
+  ad.on_egress(ctx(1, 200, 3));
+  ad.finalize();
+  EXPECT_NEAR(ad.query(0, 1000).at(make_flow(1)), 1.0, 1e-9);
+}
+
+TEST(IntervalAdapter, EmptyQueryReturnsNothing) {
+  IntervalAdapter ad(counter(), 1000);
+  ad.on_egress(ctx(1, 100));
+  ad.finalize();
+  EXPECT_TRUE(ad.query(500, 500).empty());
+  EXPECT_TRUE(ad.query(5000, 6000).empty());
+}
+
+TEST(LinearStore, ExactQueriesWhileRetained) {
+  LinearStore ls;
+  for (Timestamp t = 0; t < 100; t += 10) ls.insert(make_flow(1), t);
+  ls.insert(make_flow(2), 55);
+  const auto counts = ls.query(30, 60);
+  EXPECT_DOUBLE_EQ(counts.at(make_flow(1)), 3.0);  // 30, 40, 50
+  EXPECT_DOUBLE_EQ(counts.at(make_flow(2)), 1.0);
+}
+
+TEST(LinearStore, CapacityEvictsOldest) {
+  LinearStore ls(5);
+  for (Timestamp t = 0; t < 10; ++t) ls.insert(make_flow(1), t);
+  EXPECT_EQ(ls.records_retained(), 5u);
+  EXPECT_TRUE(ls.query(0, 5).empty());       // evicted
+  EXPECT_EQ(ls.query(5, 10).size(), 1u);
+  EXPECT_DOUBLE_EQ(ls.query(5, 10).at(make_flow(1)), 5.0);
+}
+
+TEST(LinearStore, BytesGrowLinearly) {
+  LinearStore ls;
+  for (int i = 0; i < 100; ++i) ls.insert(make_flow(1), i);
+  EXPECT_EQ(ls.bytes_inserted(), 100u * LinearStore::kRecordBytes);
+}
+
+}  // namespace
+}  // namespace pq::baseline

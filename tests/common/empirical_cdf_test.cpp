@@ -1,0 +1,99 @@
+#include "common/empirical_cdf.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pq {
+namespace {
+
+EmpiricalCdf simple() {
+  return EmpiricalCdf({{0, 0.0}, {10, 0.5}, {20, 1.0}});
+}
+
+TEST(EmpiricalCdf, RejectsTooFewPoints) {
+  EXPECT_THROW(EmpiricalCdf({{0, 1.0}}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, RejectsNonMonotoneProb) {
+  EXPECT_THROW(EmpiricalCdf({{0, 0.5}, {10, 0.2}, {20, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, RejectsNonMonotoneValue) {
+  EXPECT_THROW(EmpiricalCdf({{10, 0.0}, {5, 0.5}, {20, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, RejectsNotEndingAtOne) {
+  EXPECT_THROW(EmpiricalCdf({{0, 0.0}, {10, 0.9}}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, QuantileInterpolatesLinearly) {
+  const auto cdf = simple();
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 20.0);
+}
+
+TEST(EmpiricalCdf, QuantileClampsOutOfRange) {
+  const auto cdf = simple();
+  EXPECT_DOUBLE_EQ(cdf.quantile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(2.0), 20.0);
+}
+
+TEST(EmpiricalCdf, MeanOfUniformIsMidpoint) {
+  EXPECT_DOUBLE_EQ(simple().mean(), 10.0);
+}
+
+TEST(EmpiricalCdf, MeanHandlesInitialPointMass) {
+  // 40% mass at value 100, then linear to 200.
+  EmpiricalCdf cdf({{100, 0.4}, {200, 1.0}});
+  EXPECT_DOUBLE_EQ(cdf.mean(), 100 * 0.4 + 150 * 0.6);
+}
+
+TEST(EmpiricalCdf, SampleMeanConvergesToAnalyticMean) {
+  const auto cdf = simple();
+  Rng rng(31);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += cdf.sample(rng);
+  EXPECT_NEAR(sum / n, cdf.mean(), 0.1);
+}
+
+TEST(EmpiricalCdf, SampleRespectsSupportBounds) {
+  const auto cdf = simple();
+  Rng rng(33);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = cdf.sample(rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 20.0);
+  }
+}
+
+TEST(BuildCdf, ProducesMonotoneKnotsEndingAtOne) {
+  auto knots = build_cdf({3.0, 1.0, 2.0, 2.0, 5.0});
+  ASSERT_EQ(knots.size(), 4u);  // 1, 2, 3, 5 distinct values
+  EXPECT_DOUBLE_EQ(knots.front().value, 1.0);
+  EXPECT_DOUBLE_EQ(knots.back().value, 5.0);
+  EXPECT_DOUBLE_EQ(knots.back().prob, 1.0);
+  for (std::size_t i = 1; i < knots.size(); ++i) {
+    EXPECT_GT(knots[i].prob, knots[i - 1].prob);
+    EXPECT_GT(knots[i].value, knots[i - 1].value);
+  }
+}
+
+TEST(BuildCdf, DuplicatesMergeIntoOneKnot) {
+  auto knots = build_cdf({2.0, 2.0, 2.0});
+  ASSERT_EQ(knots.size(), 1u);
+  EXPECT_DOUBLE_EQ(knots[0].prob, 1.0);
+}
+
+TEST(BuildCdf, EmptyInputGivesEmptyOutput) {
+  EXPECT_TRUE(build_cdf({}).empty());
+}
+
+}  // namespace
+}  // namespace pq

@@ -1,0 +1,124 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+namespace pq {
+namespace {
+
+TEST(Mix64, IsDeterministic) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_EQ(mix64(0), mix64(0));
+}
+
+TEST(Mix64, SmallInputChangesSpreadWidely) {
+  // Adjacent inputs must differ in roughly half of the output bits.
+  int total_bits = 0;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    total_bits += std::popcount(mix64(i) ^ mix64(i + 1));
+  }
+  const double avg = total_bits / 256.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Mix64, NoCollisionsOnSequentialInputs) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    EXPECT_TRUE(seen.insert(mix64(i)).second) << "collision at " << i;
+  }
+}
+
+TEST(Fnv1a, MatchesKnownVectors) {
+  // FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a("", 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a("foobar", 6), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, SensitiveToEveryByte) {
+  const char a[] = {1, 2, 3, 4};
+  const char b[] = {1, 2, 3, 5};
+  EXPECT_NE(fnv1a(a, 4), fnv1a(b, 4));
+}
+
+TEST(FlowSignature, DistinctFlowsGetDistinctSignatures) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint32_t i = 0; i < 200000; ++i) {
+    seen.insert(flow_signature(make_flow(i)));
+  }
+  // make_flow maps distinct small integers to distinct tuples; with 64-bit
+  // signatures collisions among 200k flows should be absent.
+  EXPECT_EQ(seen.size(), 200000u);
+}
+
+TEST(FlowSignature, OrderOfEndpointsMatters) {
+  FlowId a = make_flow(1);
+  FlowId b = a;
+  std::swap(b.src_ip, b.dst_ip);
+  EXPECT_NE(flow_signature(a), flow_signature(b));
+}
+
+TEST(FlowIdToString, RendersTuple) {
+  FlowId f{.src_ip = 0x0a000001,
+           .dst_ip = 0x0a000002,
+           .src_port = 1234,
+           .dst_port = 80,
+           .proto = 6};
+  EXPECT_EQ(to_string(f), "10.0.0.1:1234->10.0.0.2:80/6");
+}
+
+TEST(HashFamily, DifferentIndicesGiveIndependentFunctions) {
+  HashFamily fam(7);
+  const FlowId f = make_flow(3);
+  EXPECT_NE(fam(0, f), fam(1, f));
+  EXPECT_NE(fam(1, f), fam(2, f));
+}
+
+TEST(HashFamily, SameSeedSameOutput) {
+  HashFamily a(9), b(9);
+  EXPECT_EQ(a(0, make_flow(5)), b(0, make_flow(5)));
+}
+
+TEST(HashFamily, IndexStaysInRange) {
+  HashFamily fam(11);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_LT(fam.index(i % 4, make_flow(i), 100), 100u);
+  }
+}
+
+TEST(HashFamily, IndexDistributionIsRoughlyUniform) {
+  HashFamily fam(13);
+  std::vector<int> buckets(64, 0);
+  const int n = 64000;
+  for (int i = 0; i < n; ++i) {
+    ++buckets[fam.index(0, make_flow(static_cast<std::uint32_t>(i)), 64)];
+  }
+  for (int c : buckets) {
+    EXPECT_GT(c, 700);   // expected 1000 per bucket
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(BytesToCells, RoundsUp) {
+  EXPECT_EQ(bytes_to_cells(1), 1u);
+  EXPECT_EQ(bytes_to_cells(80), 1u);
+  EXPECT_EQ(bytes_to_cells(81), 2u);
+  EXPECT_EQ(bytes_to_cells(1500), 19u);
+}
+
+TEST(TxDelay, MatchesLineRateArithmetic) {
+  // 1500 B at 10 Gb/s = 1200 ns exactly.
+  EXPECT_EQ(tx_delay_ns(1500, 10.0), 1200u);
+  // 64 B at 10 Gb/s = 51.2 ns, rounded up.
+  EXPECT_EQ(tx_delay_ns(64, 10.0), 52u);
+  // 250 B at 4 Gb/s = 500 ns.
+  EXPECT_EQ(tx_delay_ns(250, 4.0), 500u);
+}
+
+}  // namespace
+}  // namespace pq

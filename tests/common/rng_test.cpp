@@ -1,0 +1,131 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace pq {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformBelowCoversRange) {
+  Rng rng(9);
+  std::map<std::uint64_t, int> hist;
+  for (int i = 0; i < 6000; ++i) ++hist[rng.uniform_below(6)];
+  ASSERT_EQ(hist.size(), 6u);
+  for (const auto& [v, c] : hist) {
+    EXPECT_LT(v, 6u);
+    EXPECT_GT(c, 700);
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(40.0);
+  EXPECT_NEAR(sum / n, 40.0, 0.5);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(15);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ParetoHasHeavyTail) {
+  Rng rng(19);
+  double max_v = 0;
+  int above_10x = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.pareto(1.0, 1.2);
+    EXPECT_GE(v, 1.0);
+    max_v = std::max(max_v, v);
+    if (v > 10.0) ++above_10x;
+  }
+  // P(X > 10) = 10^-1.2 ~ 6.3%.
+  EXPECT_NEAR(static_cast<double>(above_10x) / n, 0.063, 0.01);
+  EXPECT_GT(max_v, 100.0);
+}
+
+TEST(ZipfSampler, RankZeroIsMostPopular) {
+  Rng rng(21);
+  ZipfSampler zipf(1000, 1.1);
+  std::vector<int> hist(1000, 0);
+  for (int i = 0; i < 200000; ++i) ++hist[zipf(rng)];
+  EXPECT_GT(hist[0], hist[1]);
+  EXPECT_GT(hist[1], hist[10]);
+  EXPECT_GT(hist[10], hist[500]);
+}
+
+TEST(ZipfSampler, LongTailMatchesPaperUWCharacteristic) {
+  // The UW trace's 100th-largest flow carries under 1% of the largest.
+  Rng rng(23);
+  ZipfSampler zipf(20000, 1.05);
+  std::vector<int> hist(20000, 0);
+  for (int i = 0; i < 2000000; ++i) ++hist[zipf(rng)];
+  EXPECT_LT(static_cast<double>(hist[99]),
+            0.015 * static_cast<double>(hist[0]));
+}
+
+TEST(ZipfSampler, StaysInRange) {
+  Rng rng(25);
+  ZipfSampler zipf(10, 0.8);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf(rng), 10u);
+}
+
+}  // namespace
+}  // namespace pq

@@ -1,0 +1,137 @@
+// Failure injection for the control plane: what happens when the analysis
+// program cannot keep up (polling slower than the set period), when
+// data-plane triggers storm, and when traffic stops mid-run. The system
+// must degrade gracefully — partial answers, never corrupt ones.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "control/analysis_program.h"
+#include "ground/ground_truth.h"
+#include "ground/metrics.h"
+#include "sim/egress_port.h"
+#include "traffic/trace_gen.h"
+
+namespace pq::control {
+namespace {
+
+core::PipelineConfig small_config() {
+  core::PipelineConfig cfg;
+  cfg.windows.m0 = 6;
+  cfg.windows.alpha = 1;
+  cfg.windows.k = 8;    // set period: 7 * 2^14 ns ~ 115 us
+  cfg.windows.num_windows = 3;
+  cfg.monitor.max_depth_cells = 25000;
+  return cfg;
+}
+
+struct Rig {
+  explicit Rig(AnalysisConfig acfg,
+               core::PipelineConfig pcfg = small_config())
+      : pipeline(pcfg), analysis((pipeline.enable_port(0), pipeline), acfg) {
+    sim::PortConfig port_cfg;
+    port = std::make_unique<sim::EgressPort>(port_cfg);
+    port->add_hook(&pipeline);
+  }
+  core::PrintQueuePipeline pipeline;
+  AnalysisProgram analysis;
+  std::unique_ptr<sim::EgressPort> port;
+};
+
+std::vector<Packet> congested_traffic(Duration duration_ns,
+                                      std::uint64_t seed) {
+  traffic::PacketTraceConfig cfg;
+  cfg.duration_ns = duration_ns;
+  cfg.seed = seed;
+  return traffic::generate_uw_trace(cfg);
+}
+
+TEST(FailureInjection, SlowPollingLosesOldDataButNeverFabricates) {
+  // Poll 8x slower than the set period: most history ages out before it
+  // can be checkpointed. Queries into the gaps return partial or empty
+  // results; whatever *is* returned must still be real (precision holds up
+  // far better than recall).
+  AnalysisConfig slow;
+  slow.poll_period_ns = 8 * core::TtsLayout(small_config().windows)
+                                .set_period_ns();
+  Rig rig(slow);
+  rig.port->run(congested_traffic(5'000'000, 3));
+  rig.analysis.finalize(rig.port->stats().last_departure + 1);
+  ground::GroundTruth truth(rig.port->records());
+
+  Rng rng(1);
+  const auto victims = ground::sample_victims(rig.port->records(),
+                                              {{500, 25000}}, 60, rng);
+  ASSERT_GT(victims.size(), 10u);
+  pq::OnlineStats precision, recall;
+  for (const auto& v : victims) {
+    const auto gt = truth.direct_culprits(v.record.enq_timestamp,
+                                          v.record.deq_timestamp());
+    if (gt.empty()) continue;
+    const auto est = rig.analysis.query_time_windows(
+        0, v.record.enq_timestamp, v.record.deq_timestamp());
+    const auto pr = ground::flow_count_accuracy(est, gt);
+    precision.add(est.empty() ? 1.0 : pr.precision);  // empty = no claim
+    recall.add(pr.recall);
+  }
+  EXPECT_GT(precision.mean(), 0.5);
+  EXPECT_LT(recall.mean(), 0.6);  // gaps genuinely lose history
+}
+
+TEST(FailureInjection, DqStormOnlyOneCaptureAtATime) {
+  // Every packet exceeds the delay threshold: triggers storm. The lock
+  // must serialise captures (at most one per read window) and never wedge.
+  core::PipelineConfig pcfg = small_config();
+  pcfg.dq_delay_threshold_ns = 1;  // everything triggers
+  AnalysisConfig acfg;
+  acfg.dq_read_time_ns = 100'000;  // 100 us per read
+  Rig rig(acfg, pcfg);
+  rig.port->run(congested_traffic(3'000'000, 5));
+  rig.analysis.finalize(rig.port->stats().last_departure + 1);
+
+  const auto captures = rig.analysis.dq_captures(0).size();
+  EXPECT_GT(captures, 5u);
+  // With a 100 us lock over a ~3 ms congested run, captures are bounded
+  // by the read rate, not the packet rate.
+  EXPECT_LT(captures, 60u);
+  EXPECT_GT(rig.pipeline.dq_triggers_ignored(), 1000u);
+  EXPECT_FALSE(rig.pipeline.windows().dataplane_query_locked());
+}
+
+TEST(FailureInjection, TrafficStopsMidRunTailIsStillQueryable) {
+  // Traffic halts abruptly; finalize must checkpoint the tail so queries
+  // just before the stop still answer.
+  Rig rig(AnalysisConfig{});
+  auto pkts = congested_traffic(2'000'000, 7);
+  rig.port->run(std::move(pkts));
+  rig.analysis.finalize(rig.port->stats().last_departure + 1);
+  ground::GroundTruth truth(rig.port->records());
+
+  // Victim among the last packets.
+  const auto& recs = rig.port->records();
+  const auto& victim = recs[recs.size() - 50];
+  const auto gt = truth.direct_culprits(victim.enq_timestamp,
+                                        victim.deq_timestamp());
+  if (gt.empty()) GTEST_SKIP() << "tail victim saw no queuing";
+  const auto est = rig.analysis.query_time_windows(
+      0, victim.enq_timestamp, victim.deq_timestamp());
+  EXPECT_FALSE(est.empty());
+}
+
+TEST(FailureInjection, QueriesOutsideAllCoverageReturnEmpty) {
+  Rig rig(AnalysisConfig{});
+  rig.port->run(congested_traffic(1'000'000, 9));
+  rig.analysis.finalize(rig.port->stats().last_departure + 1);
+  // Far in the future: nothing fabricated.
+  const auto est = rig.analysis.query_time_windows(0, 50'000'000,
+                                                   60'000'000);
+  EXPECT_TRUE(est.empty());
+}
+
+TEST(FailureInjection, MonitorQueryWithNoSnapshotsIsEmpty) {
+  Rig rig(AnalysisConfig{});
+  EXPECT_TRUE(rig.analysis.query_queue_monitor(0, 1000).empty());
+}
+
+}  // namespace
+}  // namespace pq::control

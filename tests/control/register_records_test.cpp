@@ -1,0 +1,127 @@
+#include "control/register_records.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/egress_port.h"
+#include "traffic/trace_gen.h"
+
+namespace pq::control {
+namespace {
+
+struct Rig {
+  Rig() {
+    core::PipelineConfig cfg;
+    cfg.windows.m0 = 6;
+    cfg.windows.alpha = 1;
+    cfg.windows.k = 8;
+    cfg.windows.num_windows = 3;
+    cfg.monitor.max_depth_cells = 25000;
+    pipeline = std::make_unique<core::PrintQueuePipeline>(cfg);
+    pipeline->enable_port(0);
+    analysis = std::make_unique<AnalysisProgram>(*pipeline,
+                                                 AnalysisConfig{});
+    sim::PortConfig port_cfg;
+    port = std::make_unique<sim::EgressPort>(port_cfg);
+    port->add_hook(pipeline.get());
+    traffic::PacketTraceConfig tcfg;
+    tcfg.duration_ns = 3'000'000;
+    tcfg.seed = 5;
+    port->run(traffic::generate_uw_trace(tcfg));
+    analysis->finalize(port->stats().last_departure + 1);
+  }
+  std::unique_ptr<core::PrintQueuePipeline> pipeline;
+  std::unique_ptr<AnalysisProgram> analysis;
+  std::unique_ptr<sim::EgressPort> port;
+};
+
+TEST(RegisterRecords, RoundTripsThroughStream) {
+  Rig rig;
+  const auto records = collect_records(*rig.pipeline, *rig.analysis);
+  std::stringstream ss;
+  write_records(ss, records);
+  const auto back = read_records(ss);
+  EXPECT_EQ(back.window_params.m0, records.window_params.m0);
+  EXPECT_EQ(back.window_params.k, records.window_params.k);
+  EXPECT_EQ(back.monitor_levels, records.monitor_levels);
+  EXPECT_DOUBLE_EQ(back.z0, records.z0);
+  ASSERT_EQ(back.window_snapshots.size(), records.window_snapshots.size());
+  ASSERT_EQ(back.window_snapshots[0].size(),
+            records.window_snapshots[0].size());
+  // Spot-check full state equality of the last snapshot.
+  const auto& a = records.window_snapshots[0].back().state;
+  const auto& b = back.window_snapshots[0].back().state;
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    ASSERT_EQ(a[w].size(), b[w].size());
+    for (std::size_t j = 0; j < a[w].size(); ++j) {
+      EXPECT_EQ(a[w][j].occupied, b[w][j].occupied);
+      if (a[w][j].occupied) {
+        EXPECT_EQ(a[w][j].flow, b[w][j].flow);
+        EXPECT_EQ(a[w][j].cycle_id, b[w][j].cycle_id);
+      }
+    }
+  }
+}
+
+TEST(RegisterRecords, OfflineQueriesMatchLiveAnalysisProgram) {
+  Rig rig;
+  const auto records = collect_records(*rig.pipeline, *rig.analysis);
+
+  // Every live interval query must reproduce exactly offline.
+  const auto& recs = rig.port->records();
+  for (std::size_t i = 100; i < recs.size(); i += recs.size() / 7) {
+    const Timestamp t1 = recs[i].enq_timestamp;
+    const Timestamp t2 = recs[i].deq_timestamp();
+    if (t2 <= t1) continue;
+    const auto live = rig.analysis->query_time_windows(0, t1, t2);
+    const auto offline = offline_query_time_windows(records, 0, t1, t2);
+    ASSERT_EQ(live.size(), offline.size()) << "victim " << i;
+    for (const auto& [flow, n] : live) {
+      ASSERT_TRUE(offline.contains(flow));
+      EXPECT_NEAR(offline.at(flow), n, 1e-9);
+    }
+  }
+
+  const Timestamp mid = rig.port->stats().last_departure / 2;
+  const auto live_mon = rig.analysis->query_queue_monitor(0, mid);
+  const auto off_mon = offline_query_queue_monitor(records, 0, mid);
+  ASSERT_EQ(live_mon.size(), off_mon.size());
+  for (std::size_t i = 0; i < live_mon.size(); ++i) {
+    EXPECT_EQ(live_mon[i].flow, off_mon[i].flow);
+    EXPECT_EQ(live_mon[i].level, off_mon[i].level);
+  }
+}
+
+TEST(RegisterRecords, FileRoundTrip) {
+  Rig rig;
+  const auto records = collect_records(*rig.pipeline, *rig.analysis);
+  const std::string path = testing::TempDir() + "/pq_records_test.bin";
+  write_records_file(path, records);
+  const auto back = read_records_file(path);
+  EXPECT_EQ(back.window_snapshots[0].size(),
+            records.window_snapshots[0].size());
+}
+
+TEST(RegisterRecords, DetectsCorruption) {
+  Rig rig;
+  std::stringstream ss;
+  write_records(ss, collect_records(*rig.pipeline, *rig.analysis));
+  std::string data = ss.str();
+  data[data.size() / 2] ^= 0x40;
+  std::stringstream bad(data);
+  EXPECT_THROW(read_records(bad), std::runtime_error);
+}
+
+TEST(RegisterRecords, DetectsTruncation) {
+  Rig rig;
+  std::stringstream ss;
+  write_records(ss, collect_records(*rig.pipeline, *rig.analysis));
+  std::string data = ss.str();
+  std::stringstream bad(data.substr(0, data.size() / 3));
+  EXPECT_THROW(read_records(bad), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pq::control

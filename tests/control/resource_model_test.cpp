@@ -1,0 +1,122 @@
+#include "control/resource_model.h"
+
+#include <gtest/gtest.h>
+
+namespace pq::control {
+namespace {
+
+core::TimeWindowParams params(std::uint32_t alpha, std::uint32_t k,
+                              std::uint32_t T,
+                              std::uint32_t ports = 1) {
+  core::TimeWindowParams p;
+  p.m0 = 6;
+  p.alpha = alpha;
+  p.k = k;
+  p.num_windows = T;
+  p.num_ports = ports;
+  return p;
+}
+
+TEST(ResourceModel, SramBudgetIsTofinoScale) {
+  // 12 stages x 80 blocks x 16 KB = 15.36 MB.
+  EXPECT_EQ(TofinoResourceModel::kTotalSramBytes, 15'728'640u);
+  EXPECT_DOUBLE_EQ(TofinoResourceModel::sram_utilization(1'572'864), 0.1);
+}
+
+TEST(ResourceModel, PollingBandwidthMatchesClosedForm) {
+  // alpha=1, k=12, T=4, m0=6: t_set = 15 * 2^18 ns ~ 3.93 ms;
+  // bytes per poll = 4 * 4096 * 16 = 256 KiB -> ~63.6 MB/s.
+  const double mbps = polling_mbytes_per_sec(params(1, 12, 4));
+  EXPECT_NEAR(mbps, 256.0 / 1024.0 / (15.0 * 262144e-9), 0.5);
+  EXPECT_NEAR(mbps, 63.6, 1.5);
+}
+
+TEST(ResourceModel, LargerAlphaNeedsLessBandwidth) {
+  EXPECT_GT(polling_mbytes_per_sec(params(1, 12, 4)),
+            polling_mbytes_per_sec(params(2, 12, 4)));
+  EXPECT_GT(polling_mbytes_per_sec(params(2, 12, 4)),
+            polling_mbytes_per_sec(params(3, 12, 4)));
+}
+
+TEST(ResourceModel, MoreWindowsNeedLessBandwidth) {
+  // Each extra window extends the set period exponentially while adding
+  // only linear data: polling gets cheaper.
+  EXPECT_GT(polling_mbytes_per_sec(params(2, 12, 3)),
+            polling_mbytes_per_sec(params(2, 12, 4)));
+  EXPECT_GT(polling_mbytes_per_sec(params(2, 12, 4)),
+            polling_mbytes_per_sec(params(2, 12, 5)));
+}
+
+TEST(ResourceModel, KDoesNotAffectFeasibility) {
+  // Paper Section 7.1: k multiplies both the set period and the register
+  // count, so polling bandwidth is unchanged.
+  EXPECT_NEAR(polling_mbytes_per_sec(params(2, 11, 4)),
+              polling_mbytes_per_sec(params(2, 12, 4)), 1e-9);
+}
+
+TEST(ResourceModel, PortsScaleBandwidthLinearly) {
+  EXPECT_NEAR(polling_mbytes_per_sec(params(2, 12, 4, 4)),
+              4.0 * polling_mbytes_per_sec(params(2, 12, 4, 1)), 1e-9);
+}
+
+TEST(ResourceModel, FeasibilityAgainstDataExchangeLimit) {
+  // alpha=1, T=3 polls too fast (~509 MB/s); alpha=2, T=4 fits.
+  EXPECT_FALSE(polling_feasible(params(1, 12, 3)));
+  EXPECT_TRUE(polling_feasible(params(2, 12, 4)));
+}
+
+TEST(ResourceModel, LinearStorageScalesWithDuration) {
+  EXPECT_EQ(linear_storage_bytes(1'000'000, 100.0), 160'000u);
+  EXPECT_EQ(linear_storage_bytes(2'000'000, 100.0),
+            2 * linear_storage_bytes(1'000'000, 100.0));
+}
+
+TEST(ResourceModel, ExponentialStorageUsesMinimalWindowPrefix) {
+  const auto p = params(1, 12, 4);
+  // Duration within window 0's period: one window's cells.
+  EXPECT_EQ(exponential_storage_bytes(p, 1000), 4096u * 16);
+  // Duration requiring all four windows.
+  const core::TtsLayout layout(p);
+  EXPECT_EQ(exponential_storage_bytes(p, layout.set_period_ns()),
+            4u * 4096 * 16);
+}
+
+TEST(ResourceModel, RatioGrowsWithCoveredDuration) {
+  const auto p = params(2, 12, 4);
+  const double r1 = linear_exponential_ratio(p, 1u << 19, 110.0);
+  const double r2 = linear_exponential_ratio(p, 1u << 22, 110.0);
+  const double r3 = linear_exponential_ratio(p, 1u << 25, 110.0);
+  EXPECT_LT(r1, r2);
+  EXPECT_LT(r2, r3);
+}
+
+TEST(ResourceModel, RatioReachesOrdersOfMagnitude) {
+  // Paper Fig. 14(a): up to three orders of magnitude advantage.
+  const auto p = params(3, 12, 5);
+  const core::TtsLayout layout(p);
+  const double r =
+      linear_exponential_ratio(p, layout.set_period_ns(), 110.0);
+  EXPECT_GT(r, 100.0);
+}
+
+TEST(ResourceModel, MauStagesMatchPaperPrototype) {
+  // The paper's T=4 prototype: 4 preparation stages + 2 per window = 12,
+  // exactly filling a Tofino pipeline; the monitor's 6 overlap.
+  const auto u = mau_stage_usage(params(2, 12, 4));
+  EXPECT_EQ(u.window_stages, 12u);
+  EXPECT_EQ(u.monitor_stages, 6u);
+  EXPECT_EQ(u.total, 12u);
+  EXPECT_TRUE(stages_feasible(params(2, 12, 4)));
+}
+
+TEST(ResourceModel, FiveWindowsExceedTwelveStages) {
+  EXPECT_FALSE(stages_feasible(params(1, 12, 5)));
+  EXPECT_TRUE(stages_feasible(params(1, 12, 5), 16));
+}
+
+TEST(ResourceModel, FewWindowsBoundedByMonitorStages) {
+  EXPECT_EQ(mau_stage_usage(params(1, 12, 1)).total, 6u);
+}
+
+}  // namespace
+}  // namespace pq::control

@@ -1,0 +1,109 @@
+#include "core/coefficients.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pq::core {
+namespace {
+
+TEST(Coefficients, Window0IsAlwaysExact) {
+  for (double z : {0.1, 0.5, 0.9, 1.0}) {
+    const auto t = CoefficientTable::compute(z, 1, 4);
+    EXPECT_DOUBLE_EQ(t.coefficient(0), 1.0);
+    EXPECT_DOUBLE_EQ(t.z(0), z);
+  }
+}
+
+TEST(Coefficients, HandComputedAlphaOne) {
+  // z = 0.8, alpha = 1: p = 1 - z^2 = 0.36;
+  // ratio_1 = z * (1 - p^2)/(1 - p)/2 = z * (1 + p)/2 = 0.544.
+  const auto t = CoefficientTable::compute(0.8, 1, 3);
+  EXPECT_NEAR(t.coefficient(1), 0.544, 1e-12);
+  EXPECT_NEAR(t.z(1), 1 - 0.36 * 0.36, 1e-12);
+  // Window 2 applies the same recurrence to the propagated z.
+  const double z1 = 1 - 0.36 * 0.36;
+  const double p1 = 1 - z1 * z1;
+  const double ratio2 = z1 * (1 + p1) / 2;
+  EXPECT_NEAR(t.coefficient(2), 0.544 * ratio2, 1e-12);
+}
+
+TEST(Coefficients, HandComputedAlphaTwo) {
+  // alpha = 2: ratio = z * (1 - p^4) / (1 - p) / 4.
+  const double z = 0.6;
+  const double p = 1 - z * z;
+  const double ratio = z * (1 - std::pow(p, 4)) / (1 - p) / 4;
+  const auto t = CoefficientTable::compute(z, 2, 2);
+  EXPECT_NEAR(t.coefficient(1), ratio, 1e-12);
+  EXPECT_NEAR(t.z(1), 1 - std::pow(p, 4), 1e-12);
+}
+
+TEST(Coefficients, MonotonicallyDecreasingWithDepth) {
+  const auto t = CoefficientTable::compute(0.7, 2, 6);
+  for (std::uint32_t i = 1; i < t.size(); ++i) {
+    EXPECT_LT(t.coefficient(i), t.coefficient(i - 1)) << "window " << i;
+    EXPECT_GT(t.coefficient(i), 0.0);
+  }
+}
+
+TEST(Coefficients, LargerAlphaCompressesMore) {
+  const auto a1 = CoefficientTable::compute(0.8, 1, 4);
+  const auto a2 = CoefficientTable::compute(0.8, 2, 4);
+  const auto a3 = CoefficientTable::compute(0.8, 3, 4);
+  EXPECT_GT(a1.coefficient(3), a2.coefficient(3));
+  EXPECT_GT(a2.coefficient(3), a3.coefficient(3));
+}
+
+TEST(Coefficients, FullOccupancyKeepsHalfPerWindowAtAlphaOne) {
+  // z = 1: p = 0, ratio = 1/2 exactly — each deeper window keeps half.
+  const auto t = CoefficientTable::compute(1.0, 1, 5);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(t.coefficient(i), std::pow(0.5, i), 1e-12);
+  }
+}
+
+TEST(Coefficients, TinyZYieldsVanishingCoefficients) {
+  // As z -> 0, ratio -> z * (1 + p)/2 ~ z; the geometric-sum evaluation
+  // must not collapse to zero (numerical stability near p = 1).
+  const auto t = CoefficientTable::compute(1e-6, 1, 3);
+  EXPECT_GT(t.coefficient(1), 0.0);
+  EXPECT_NEAR(t.coefficient(1), 1e-6, 2e-8);
+  EXPECT_LT(t.coefficient(2), t.coefficient(1));
+  EXPECT_GT(t.coefficient(2), 0.0);
+}
+
+TEST(Coefficients, ClampsZAboveOne) {
+  const auto clamped = CoefficientTable::compute(5.0, 1, 3);
+  const auto one = CoefficientTable::compute(1.0, 1, 3);
+  EXPECT_DOUBLE_EQ(clamped.coefficient(2), one.coefficient(2));
+}
+
+TEST(Coefficients, RejectsBadParams) {
+  EXPECT_THROW(CoefficientTable::compute(0.5, 0, 3), std::invalid_argument);
+  EXPECT_THROW(CoefficientTable::compute(0.5, 1, 0), std::invalid_argument);
+}
+
+TEST(Z0FromInterarrival, MatchesPaperConfigurations) {
+  // UW: m0 = 6 (64 ns) with 110 ns average packet interval -> z ~ 0.58.
+  EXPECT_NEAR(z0_from_interarrival(6, 110.0), 64.0 / 110.0, 1e-12);
+  // WS/DM: m0 = 10 (1024 ns) with 1200 ns interval -> z ~ 0.85.
+  EXPECT_NEAR(z0_from_interarrival(10, 1200.0), 1024.0 / 1200.0, 1e-12);
+}
+
+TEST(Z0FromInterarrival, ClampsToOne) {
+  EXPECT_DOUBLE_EQ(z0_from_interarrival(10, 10.0), 1.0);
+}
+
+TEST(Z0FromInterarrival, RejectsNonPositiveD) {
+  EXPECT_THROW(z0_from_interarrival(6, 0.0), std::invalid_argument);
+}
+
+TEST(ServiceTime, MatchesLineRate) {
+  // 1500 B at 10 Gb/s = 1200 ns; 100 B at 10 Gb/s = 80 ns.
+  EXPECT_DOUBLE_EQ(service_time_ns(1500, 10.0), 1200.0);
+  EXPECT_DOUBLE_EQ(service_time_ns(100, 10.0), 80.0);
+  EXPECT_THROW(service_time_ns(0, 10.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pq::core

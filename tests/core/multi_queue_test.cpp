@@ -1,0 +1,163 @@
+// Multi-queue tracking (paper Section 5: "multiple queues are tracked
+// individually" / "the queue monitor can track each priority or rank
+// separately"): per-class depth accounting in the simulator and per-queue
+// monitor partitions in the pipeline, behind a strict-priority scheduler.
+#include <gtest/gtest.h>
+
+#include "control/analysis_program.h"
+#include "core/pipeline.h"
+#include "sim/egress_port.h"
+
+namespace pq::core {
+namespace {
+
+Packet pkt(std::uint32_t flow, Timestamp t, std::uint8_t prio,
+           std::uint32_t bytes = 800) {
+  static std::uint64_t next_id = 1;
+  Packet p;
+  p.flow = make_flow(flow);
+  p.size_bytes = bytes;
+  p.arrival_ns = t;
+  p.priority = prio;
+  p.id = next_id++;
+  return p;
+}
+
+PipelineConfig mq_config(std::uint8_t queues) {
+  PipelineConfig cfg;
+  cfg.windows.m0 = 6;
+  cfg.windows.alpha = 1;
+  cfg.windows.k = 8;
+  cfg.windows.num_windows = 3;
+  cfg.monitor.max_depth_cells = 1000;
+  cfg.queues_per_port = queues;
+  return cfg;
+}
+
+TEST(MultiQueue, RejectsZeroQueues) {
+  PipelineConfig cfg = mq_config(0);
+  EXPECT_THROW(PrintQueuePipeline{cfg}, std::invalid_argument);
+}
+
+TEST(MultiQueue, SimulatorTracksPerClassDepth) {
+  sim::PortConfig pc;
+  pc.scheduler = sim::SchedulerKind::kStrictPriority;
+  pc.num_classes = 2;
+  sim::EgressPort port(pc);
+
+  struct Probe : sim::EgressHook {
+    std::vector<sim::EgressContext> ctxs;
+    void on_egress(const sim::EgressContext& ctx) override {
+      ctxs.push_back(ctx);
+    }
+  } probe;
+  port.add_hook(&probe);
+
+  // One high-priority packet (goes straight through), then a backlog of
+  // low-priority packets, then a second high-priority packet: the latter
+  // must observe a deep *port* queue but an empty *class-0* queue.
+  std::vector<Packet> pkts;
+  pkts.push_back(pkt(1, 0, 0));
+  for (int i = 0; i < 10; ++i) pkts.push_back(pkt(2, 10, 1));
+  pkts.push_back(pkt(3, 20, 0));
+  port.run(std::move(pkts));
+
+  const sim::EgressContext* high = nullptr;
+  for (const auto& c : probe.ctxs) {
+    if (c.flow == make_flow(3)) high = &c;
+  }
+  ASSERT_NE(high, nullptr);
+  EXPECT_EQ(high->queue_id, 0);
+  EXPECT_GT(high->enq_qdepth, 50u);       // port-level backlog
+  EXPECT_EQ(high->enq_queue_qdepth, 0u);  // own class empty
+}
+
+TEST(MultiQueue, MonitorPartitionsPerQueue) {
+  PrintQueuePipeline pipe(mq_config(2));
+  const auto prefix = pipe.enable_port(0);
+
+  sim::EgressContext ctx;
+  ctx.egress_port = 0;
+  ctx.packet_cells = 1;
+  ctx.flow = make_flow(1);
+  ctx.queue_id = 0;
+  ctx.enq_queue_qdepth = 9;
+  ctx.enq_timestamp = 100;
+  pipe.on_egress(ctx);
+  ctx.flow = make_flow(2);
+  ctx.queue_id = 1;
+  ctx.enq_queue_qdepth = 49;
+  ctx.enq_timestamp = 200;
+  pipe.on_egress(ctx);
+
+  const auto part0 = pipe.monitor_partition(prefix, 0);
+  const auto part1 = pipe.monitor_partition(prefix, 1);
+  EXPECT_NE(part0, part1);
+  const auto s0 = pipe.monitor().read_bank(pipe.monitor().active_bank(),
+                                           part0);
+  const auto s1 = pipe.monitor().read_bank(pipe.monitor().active_bank(),
+                                           part1);
+  EXPECT_EQ(s0.top, 10u);
+  EXPECT_TRUE(s0.entries[10].inc.valid);
+  EXPECT_EQ(s0.entries[10].inc.flow, make_flow(1));
+  EXPECT_EQ(s1.top, 50u);
+  EXPECT_EQ(s1.entries[50].inc.flow, make_flow(2));
+}
+
+TEST(MultiQueue, OutOfRangeQueueClampsToLast) {
+  PrintQueuePipeline pipe(mq_config(2));
+  const auto prefix = pipe.enable_port(0);
+  EXPECT_EQ(pipe.monitor_partition(prefix, 7),
+            pipe.monitor_partition(prefix, 1));
+}
+
+TEST(MultiQueue, PartitionBudgetAccountsQueues) {
+  // 2 window partitions but 2 queues each: monitor needs 4 partitions;
+  // with num_ports=2 in the monitor config that rounds to 4 -- both ports
+  // enable fine; a third window partition does not exist anyway.
+  PipelineConfig cfg = mq_config(2);
+  cfg.windows.num_ports = 2;
+  cfg.monitor.num_ports = 2;
+  PrintQueuePipeline pipe(cfg);
+  EXPECT_NO_THROW(pipe.enable_port(0));
+  EXPECT_NO_THROW(pipe.enable_port(1));
+  EXPECT_THROW(pipe.enable_port(2), std::length_error);
+}
+
+TEST(MultiQueue, EndToEndPriorityIsolation) {
+  // Strict priority: class 1 has a standing backlog, class 0 stays empty.
+  // The per-queue monitors must implicate different flows at different
+  // levels, while a single-port monitor would blur them together.
+  PipelineConfig cfg = mq_config(2);
+  PrintQueuePipeline pipe(cfg);
+  const auto prefix = pipe.enable_port(0);
+  control::AnalysisProgram analysis(pipe, {});
+
+  sim::PortConfig pc;
+  pc.scheduler = sim::SchedulerKind::kStrictPriority;
+  pc.num_classes = 2;
+  sim::EgressPort port(pc);
+  port.add_hook(&pipe);
+
+  std::vector<Packet> pkts;
+  // Saturating low-priority stream from flow 7.
+  for (int i = 0; i < 200; ++i) {
+    pkts.push_back(pkt(7, static_cast<Timestamp>(i) * 500, 1));
+  }
+  // Occasional high-priority packets from flow 8.
+  for (int i = 0; i < 10; ++i) {
+    pkts.push_back(pkt(8, 1000 + static_cast<Timestamp>(i) * 9000, 0));
+  }
+  port.run(std::move(pkts));
+  analysis.finalize(port.stats().last_departure + 1);
+
+  const auto low = analysis.query_queue_monitor(
+      pipe.monitor_partition(prefix, 1), port.stats().last_departure);
+  bool low_has_7 = false;
+  for (const auto& c : low) low_has_7 |= (c.flow == make_flow(7));
+  EXPECT_TRUE(low_has_7);
+  for (const auto& c : low) EXPECT_NE(c.flow, make_flow(8));
+}
+
+}  // namespace
+}  // namespace pq::core

@@ -1,0 +1,203 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace pq::core {
+namespace {
+
+PipelineConfig small_config() {
+  PipelineConfig cfg;
+  cfg.windows.m0 = 4;
+  cfg.windows.alpha = 1;
+  cfg.windows.k = 4;
+  cfg.windows.num_windows = 2;
+  cfg.windows.num_ports = 2;
+  cfg.monitor.max_depth_cells = 100;
+  cfg.monitor.num_ports = 2;
+  return cfg;
+}
+
+sim::EgressContext ctx(std::uint32_t port, std::uint32_t flow, Timestamp enq,
+                       Duration delta, std::uint32_t qdepth = 0) {
+  sim::EgressContext c;
+  c.flow = make_flow(flow);
+  c.egress_port = port;
+  c.size_bytes = 80;
+  c.packet_cells = 1;
+  c.enq_qdepth = qdepth;
+  c.enq_timestamp = enq;
+  c.deq_timedelta = delta;
+  return c;
+}
+
+struct RecordingObserver : PipelineObserver {
+  std::vector<Timestamp> times;
+  std::vector<DqNotification> triggers;
+  void on_time(Timestamp now) override { times.push_back(now); }
+  void on_dq_trigger(const DqNotification& n) override {
+    triggers.push_back(n);
+  }
+};
+
+TEST(Pipeline, PortTableGatesPackets) {
+  PrintQueuePipeline pipe(small_config());
+  pipe.enable_port(7);
+  pipe.on_egress(ctx(7, 1, 0, 10));
+  pipe.on_egress(ctx(8, 2, 0, 10));  // not enabled: ignored
+  EXPECT_EQ(pipe.packets_seen(), 1u);
+  EXPECT_TRUE(pipe.port_prefix(7).has_value());
+  EXPECT_FALSE(pipe.port_prefix(8).has_value());
+}
+
+TEST(Pipeline, EnablePortIsIdempotent) {
+  PrintQueuePipeline pipe(small_config());
+  const auto a = pipe.enable_port(3);
+  const auto b = pipe.enable_port(3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Pipeline, EnablePortExhaustsPartitions) {
+  PrintQueuePipeline pipe(small_config());  // 2 partitions
+  pipe.enable_port(1);
+  pipe.enable_port(2);
+  EXPECT_THROW(pipe.enable_port(3), std::length_error);
+}
+
+TEST(Pipeline, PacketsReachWindowsAndMonitor) {
+  PrintQueuePipeline pipe(small_config());
+  const auto prefix = pipe.enable_port(0);
+  pipe.on_egress(ctx(0, 1, 100, 20, 5));
+  const auto wstate = pipe.windows().read_bank(pipe.windows().active_bank(),
+                                               prefix);
+  int occ = 0;
+  for (const auto& c : wstate[0]) occ += c.occupied;
+  EXPECT_EQ(occ, 1);
+  const auto mstate =
+      pipe.monitor().read_bank(pipe.monitor().active_bank(), prefix);
+  EXPECT_EQ(mstate.top, 6u);  // enq_qdepth 5 + 1 cell
+}
+
+TEST(Pipeline, ObserverSeesDequeueTimes) {
+  PrintQueuePipeline pipe(small_config());
+  pipe.enable_port(0);
+  RecordingObserver obs;
+  pipe.set_observer(&obs);
+  pipe.on_egress(ctx(0, 1, 100, 20));
+  pipe.on_egress(ctx(0, 2, 150, 30));
+  ASSERT_EQ(obs.times.size(), 2u);
+  EXPECT_EQ(obs.times[0], 120u);
+  EXPECT_EQ(obs.times[1], 180u);
+}
+
+TEST(Pipeline, DelayTriggerFiresDataPlaneQuery) {
+  PipelineConfig cfg = small_config();
+  cfg.dq_delay_threshold_ns = 1000;
+  PrintQueuePipeline pipe(cfg);
+  pipe.enable_port(0);
+  RecordingObserver obs;
+  pipe.set_observer(&obs);
+  pipe.on_egress(ctx(0, 1, 0, 500));  // below threshold
+  EXPECT_TRUE(obs.triggers.empty());
+  pipe.on_egress(ctx(0, 2, 100, 1500));  // above
+  ASSERT_EQ(obs.triggers.size(), 1u);
+  EXPECT_EQ(obs.triggers[0].victim_flow, make_flow(2));
+  EXPECT_EQ(obs.triggers[0].enq_timestamp, 100u);
+  EXPECT_EQ(obs.triggers[0].deq_timestamp, 1600u);
+  EXPECT_EQ(pipe.dq_triggers_fired(), 1u);
+}
+
+TEST(Pipeline, DepthTriggerFiresDataPlaneQuery) {
+  PipelineConfig cfg = small_config();
+  cfg.dq_depth_threshold_cells = 50;
+  PrintQueuePipeline pipe(cfg);
+  pipe.enable_port(0);
+  RecordingObserver obs;
+  pipe.set_observer(&obs);
+  pipe.on_egress(ctx(0, 1, 0, 10, 49));
+  EXPECT_TRUE(obs.triggers.empty());
+  pipe.on_egress(ctx(0, 2, 10, 10, 80));
+  EXPECT_EQ(obs.triggers.size(), 1u);
+}
+
+TEST(Pipeline, ProbeFlowTriggerFiresRegardlessOfDelay) {
+  // Section 6.2's end-host probe: any packet of the designated flow
+  // freezes the registers, even with zero queuing delay.
+  PipelineConfig cfg = small_config();
+  cfg.dq_probe_flow = make_flow(77);
+  PrintQueuePipeline pipe(cfg);
+  pipe.enable_port(0);
+  RecordingObserver obs;
+  pipe.set_observer(&obs);
+  pipe.on_egress(ctx(0, 1, 0, 0));   // ordinary traffic: no trigger
+  EXPECT_TRUE(obs.triggers.empty());
+  pipe.on_egress(ctx(0, 77, 10, 0));  // the probe
+  ASSERT_EQ(obs.triggers.size(), 1u);
+  EXPECT_EQ(obs.triggers[0].victim_flow, make_flow(77));
+}
+
+TEST(Pipeline, ConcurrentTriggersAreIgnoredWhileLocked) {
+  PipelineConfig cfg = small_config();
+  cfg.dq_delay_threshold_ns = 100;
+  PrintQueuePipeline pipe(cfg);
+  pipe.enable_port(0);
+  RecordingObserver obs;
+  pipe.set_observer(&obs);
+  pipe.on_egress(ctx(0, 1, 0, 200));
+  pipe.on_egress(ctx(0, 2, 10, 200));  // still locked
+  EXPECT_EQ(obs.triggers.size(), 1u);
+  EXPECT_EQ(pipe.dq_triggers_ignored(), 1u);
+  // After the control plane releases the lock, triggers fire again.
+  pipe.windows().end_dataplane_query();
+  pipe.monitor().end_dataplane_query();
+  pipe.on_egress(ctx(0, 3, 20, 200));
+  EXPECT_EQ(obs.triggers.size(), 2u);
+}
+
+TEST(Pipeline, TriggerWithoutObserverUnlocksImmediately) {
+  PipelineConfig cfg = small_config();
+  cfg.dq_delay_threshold_ns = 100;
+  PrintQueuePipeline pipe(cfg);
+  pipe.enable_port(0);
+  pipe.on_egress(ctx(0, 1, 0, 200));
+  EXPECT_FALSE(pipe.windows().dataplane_query_locked());
+  EXPECT_FALSE(pipe.monitor().dataplane_query_locked());
+}
+
+TEST(Pipeline, TriggerCapturesVictimsOwnUpdate) {
+  // The victim's own packet must be in the frozen special set (it was
+  // written before the freeze), so its direct culprits are queryable.
+  PipelineConfig cfg = small_config();
+  cfg.dq_delay_threshold_ns = 100;
+  PrintQueuePipeline pipe(cfg);
+  const auto prefix = pipe.enable_port(0);
+  RecordingObserver obs;
+  pipe.set_observer(&obs);
+  pipe.on_egress(ctx(0, 42, 0, 200));
+  ASSERT_EQ(obs.triggers.size(), 1u);
+  const auto frozen =
+      pipe.windows().read_bank(obs.triggers[0].window_bank, prefix);
+  bool found = false;
+  for (const auto& c : frozen[0]) {
+    found |= (c.occupied && c.flow == make_flow(42));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Pipeline, GapEwmaTracksInterDepartureTimes) {
+  PrintQueuePipeline pipe(small_config());
+  const auto prefix = pipe.enable_port(0);
+  EXPECT_DOUBLE_EQ(pipe.avg_deq_gap_ns(prefix), 0.0);
+  Timestamp t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += 64;
+    pipe.on_egress(ctx(0, 1, t, 0, /*qdepth=*/5));  // busy-period gaps only
+  }
+  EXPECT_NEAR(pipe.avg_deq_gap_ns(prefix), 64.0, 1.0);
+  // Idle-period gaps (empty queue) must not pollute the estimate.
+  t += 1'000'000;
+  pipe.on_egress(ctx(0, 1, t, 0, /*qdepth=*/0));
+  EXPECT_NEAR(pipe.avg_deq_gap_ns(prefix), 64.0, 1.0);
+}
+
+}  // namespace
+}  // namespace pq::core

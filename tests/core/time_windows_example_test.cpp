@@ -1,0 +1,133 @@
+// Replays the mechanics of the paper's Fig. 6 worked example
+// (k = 2, T = 3, alpha = 1): the passing rule in action, including the
+// same-cycle drop, the stale-cycle drop, and the recursive pass into
+// window 2.
+#include <gtest/gtest.h>
+
+#include "core/time_windows.h"
+
+namespace pq::core {
+namespace {
+
+class Fig6Test : public ::testing::Test {
+ protected:
+  Fig6Test() : tw_(make_params()) {}
+
+  static TimeWindowParams make_params() {
+    TimeWindowParams p;
+    p.m0 = 2;
+    p.alpha = 1;
+    p.k = 2;
+    p.num_windows = 3;
+    return p;
+  }
+
+  /// Sends a packet whose window-0 TTS is (cycle << 2) | index.
+  void send(std::uint64_t cycle, std::uint64_t index, std::uint32_t flow) {
+    const std::uint64_t tts = (cycle << 2) | index;
+    tw_.on_packet(0, make_flow(flow), tts << 2 /* m0 */);
+  }
+
+  WindowCell cell(std::uint32_t window, std::uint64_t index) {
+    return tw_.read_bank(tw_.active_bank(), 0)[window][index];
+  }
+
+  TimeWindowSet tw_;
+};
+
+TEST_F(Fig6Test, FreshPacketsLandInEmptyCells) {
+  // Fig. 6 initial state: A, B, D stored at indices 0, 1, 3 of window 0.
+  send(0, 0, 'A');
+  send(0, 1, 'B');
+  send(0, 3, 'D');
+  EXPECT_EQ(cell(0, 0).flow, make_flow('A'));
+  EXPECT_EQ(cell(0, 1).flow, make_flow('B'));
+  EXPECT_EQ(cell(0, 3).flow, make_flow('D'));
+  EXPECT_FALSE(cell(0, 2).occupied);
+  EXPECT_FALSE(cell(1, 0).occupied);  // nothing passed yet
+}
+
+TEST_F(Fig6Test, NextCyclePassesEvictedPacketToNextWindow) {
+  send(0, 0, 'A');
+  send(1, 0, 'X');  // cycle diff exactly 1: A passes to window 1
+  EXPECT_EQ(cell(0, 0).flow, make_flow('X'));
+  EXPECT_EQ(cell(0, 0).cycle_id, 1u);
+  // A's window-0 TTS was 0; shifted by alpha it lands at window-1 index 0.
+  ASSERT_TRUE(cell(1, 0).occupied);
+  EXPECT_EQ(cell(1, 0).flow, make_flow('A'));
+  EXPECT_EQ(cell(1, 0).cycle_id, 0u);
+}
+
+TEST_F(Fig6Test, SameCycleCollisionInNextWindowDropsOlder) {
+  // The paper's step 1: cells 0 and 1 of window 0 both map to cell 0 of
+  // window 1. A arrives first, is evicted by B; same cycle ID in window 1,
+  // so A is dropped rather than passed further.
+  send(0, 0, 'A');
+  send(0, 1, 'B');
+  send(1, 0, 'X');  // passes A -> window 1 cell 0
+  send(1, 1, 'Y');  // passes B -> window 1 cell 0, evicting A (same cycle)
+  ASSERT_TRUE(cell(1, 0).occupied);
+  EXPECT_EQ(cell(1, 0).flow, make_flow('B'));
+  EXPECT_FALSE(cell(2, 0).occupied);  // A was dropped, not passed
+  EXPECT_EQ(tw_.stats().dropped[1], 1u);
+}
+
+TEST_F(Fig6Test, StaleCycleIsDroppedNotPassed) {
+  // The paper's step 2: an incoming packet whose cycle ID is 2+ ahead
+  // evicts without passing ("its cycle ID is too far in the past").
+  send(0, 3, 'D');
+  send(2, 3, 'A');  // cycle jumps 0 -> 2
+  EXPECT_EQ(cell(0, 3).flow, make_flow('A'));
+  EXPECT_FALSE(cell(1, 1).occupied);  // D (TTS 3 >> 1 = 1) never arrived
+  EXPECT_EQ(tw_.stats().dropped[0], 1u);
+  EXPECT_EQ(tw_.stats().passed[0], 0u);
+}
+
+TEST_F(Fig6Test, RecursivePassReachesWindow2) {
+  // The paper's step 3: a pass into window 1 evicts a packet whose cycle is
+  // exactly one less, so that packet recursively passes into window 2.
+  send(0, 0, 'A');
+  send(1, 0, 'X');  // A -> window 1, cycle 0 (w1 TTS 0)
+  send(2, 0, 'B');  // X (w0 TTS 4) -> window 1 TTS 2: index 2, no conflict
+  send(3, 0, 'C');  // B (w0 TTS 8) -> window 1 TTS 4: index 0 cycle 1;
+                    // evicts A (cycle 0): diff 1 -> A passes to window 2.
+  ASSERT_TRUE(cell(2, 0).occupied);
+  EXPECT_EQ(cell(2, 0).flow, make_flow('A'));
+  EXPECT_EQ(tw_.stats().passed[1], 1u);
+}
+
+TEST_F(Fig6Test, SameCellSameCycleReplacesWithoutPassing) {
+  // Two packets in the same cell period: the newer replaces the older and
+  // the older is dropped (cycle diff 0).
+  send(5, 2, 'A');
+  send(5, 2, 'B');
+  EXPECT_EQ(cell(0, 2).flow, make_flow('B'));
+  EXPECT_FALSE(cell(1, 1).occupied);
+  EXPECT_EQ(tw_.stats().dropped[0], 1u);
+}
+
+TEST_F(Fig6Test, PassedPacketIsNewestInItsWindow) {
+  // Invariant from Section 4.2: "When a packet is passed into a given time
+  // window, it is guaranteed to be the newest one."
+  send(0, 0, 'A');
+  send(0, 1, 'B');
+  send(0, 2, 'C');
+  send(1, 0, 'X');
+  send(1, 1, 'Y');
+  send(1, 2, 'Z');
+  // Window 1 now holds the last passed packet at the highest TTS among its
+  // occupied cells.
+  std::uint64_t max_tts = 0;
+  std::uint64_t last_pass_tts = 0;
+  const auto state = tw_.read_bank(tw_.active_bank(), 0);
+  for (std::uint64_t j = 0; j < 4; ++j) {
+    if (!state[1][j].occupied) continue;
+    const std::uint64_t tts = (state[1][j].cycle_id << 2) | j;
+    max_tts = std::max(max_tts, tts);
+    if (state[1][j].flow == make_flow('C')) last_pass_tts = tts;
+  }
+  EXPECT_EQ(last_pass_tts, max_tts);
+}
+
+}  // namespace
+}  // namespace pq::core

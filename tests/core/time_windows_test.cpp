@@ -1,0 +1,214 @@
+#include "core/time_windows.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pq::core {
+namespace {
+
+TimeWindowParams small_params() {
+  TimeWindowParams p;
+  p.m0 = 4;
+  p.alpha = 1;
+  p.k = 4;
+  p.num_windows = 3;
+  return p;
+}
+
+TEST(TimeWindows, PortCountRoundsUpToPowerOfTwo) {
+  TimeWindowParams p = small_params();
+  p.num_ports = 5;
+  TimeWindowSet tw(p);
+  EXPECT_EQ(tw.port_partitions(), 8u);
+  p.num_ports = 1;
+  EXPECT_EQ(TimeWindowSet(p).port_partitions(), 1u);
+  p.num_ports = 8;
+  EXPECT_EQ(TimeWindowSet(p).port_partitions(), 8u);
+}
+
+TEST(TimeWindows, PortPartitionsAreIsolated) {
+  TimeWindowParams p = small_params();
+  p.num_ports = 2;
+  TimeWindowSet tw(p);
+  tw.on_packet(0, make_flow(1), 0x100);
+  tw.on_packet(1, make_flow(2), 0x100);
+  const auto s0 = tw.read_bank(tw.active_bank(), 0);
+  const auto s1 = tw.read_bank(tw.active_bank(), 1);
+  int occ0 = 0, occ1 = 0;
+  for (const auto& c : s0[0]) occ0 += c.occupied;
+  for (const auto& c : s1[0]) occ1 += c.occupied;
+  EXPECT_EQ(occ0, 1);
+  EXPECT_EQ(occ1, 1);
+  // The same timestamp maps to the same index, but different flows prove
+  // isolation.
+  const std::uint64_t idx = (0x100 >> 4) & 0xf;
+  EXPECT_EQ(s0[0][idx].flow, make_flow(1));
+  EXPECT_EQ(s1[0][idx].flow, make_flow(2));
+}
+
+TEST(TimeWindows, PeriodicFlipSwitchesBankAndPreservesFrozenData) {
+  TimeWindowSet tw(small_params());
+  tw.on_packet(0, make_flow(7), 0x50);
+  const std::uint32_t before = tw.active_bank();
+  const std::uint32_t frozen = tw.flip_periodic();
+  EXPECT_EQ(frozen, before);
+  EXPECT_NE(tw.active_bank(), before);
+  // New packets land in the new bank; the frozen bank is untouched.
+  tw.on_packet(0, make_flow(8), 0x60);
+  const auto frozen_state = tw.read_bank(frozen, 0);
+  int occ = 0;
+  for (const auto& c : frozen_state[0]) occ += c.occupied;
+  EXPECT_EQ(occ, 1);
+}
+
+TEST(TimeWindows, FlipTwiceReturnsToOriginalBank) {
+  TimeWindowSet tw(small_params());
+  const std::uint32_t b0 = tw.active_bank();
+  tw.flip_periodic();
+  tw.flip_periodic();
+  EXPECT_EQ(tw.active_bank(), b0);
+}
+
+TEST(TimeWindows, DataPlaneQueryFreezesAndLocks) {
+  TimeWindowSet tw(small_params());
+  tw.on_packet(0, make_flow(1), 0x10);
+  const std::uint32_t before = tw.active_bank();
+  const int special = tw.begin_dataplane_query();
+  ASSERT_GE(special, 0);
+  EXPECT_EQ(static_cast<std::uint32_t>(special), before);
+  EXPECT_TRUE(tw.dataplane_query_locked());
+  EXPECT_NE(tw.active_bank(), before);
+  // A second query while locked is refused (paper Section 6.2).
+  EXPECT_EQ(tw.begin_dataplane_query(), -1);
+  tw.end_dataplane_query();
+  EXPECT_FALSE(tw.dataplane_query_locked());
+  EXPECT_GE(tw.begin_dataplane_query(), 0);
+}
+
+TEST(TimeWindows, PeriodicFlipsStayWithinDqGroup) {
+  // While a data-plane query holds one register pair, periodic updates flip
+  // between the two unused sets (paper Section 6.2).
+  TimeWindowSet tw(small_params());
+  const int special = tw.begin_dataplane_query();
+  ASSERT_GE(special, 0);
+  const std::uint32_t f1 = tw.flip_periodic();
+  const std::uint32_t f2 = tw.flip_periodic();
+  EXPECT_NE(f1, static_cast<std::uint32_t>(special));
+  EXPECT_NE(f2, static_cast<std::uint32_t>(special));
+  EXPECT_NE(f1, f2);
+}
+
+TEST(TimeWindows, StatsCountStoresPassesAndDrops) {
+  TimeWindowSet tw(small_params());
+  // Two packets in consecutive cycles, same index: one pass.
+  tw.on_packet(0, make_flow(1), 0x000);
+  tw.on_packet(0, make_flow(2), 0x100);  // TTS 0x10: same idx 0, next cycle
+  EXPECT_EQ(tw.stats().stored[0], 2u);
+  EXPECT_EQ(tw.stats().passed[0], 1u);
+  EXPECT_EQ(tw.stats().stored[1], 1u);
+  // A third packet two cycles later drops the previous occupant.
+  tw.on_packet(0, make_flow(3), 0x400);
+  EXPECT_EQ(tw.stats().dropped[0], 1u);
+}
+
+TEST(TimeWindows, SramBytesMatchesLayout) {
+  TimeWindowParams p = small_params();  // k=4 -> 16 cells, T=3
+  TimeWindowSet tw(p);
+  EXPECT_EQ(tw.sram_bytes(), 4u * 3 * 16 * 16);
+  p.num_ports = 4;
+  EXPECT_EQ(TimeWindowSet(p).sram_bytes(), 4u * 3 * 16 * 4 * 16);
+}
+
+TEST(TimeWindows, Window0IsExactForSparseTraffic) {
+  // With at most one packet per cell period and fewer packets than cells,
+  // window 0 retains every packet.
+  TimeWindowParams p;
+  p.m0 = 6;
+  p.alpha = 1;
+  p.k = 8;
+  p.num_windows = 2;
+  TimeWindowSet tw(p);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    tw.on_packet(0, make_flow(i), static_cast<Timestamp>(i) * 64);
+  }
+  const auto state = tw.read_bank(tw.active_bank(), 0);
+  int occ = 0;
+  for (const auto& c : state[0]) occ += c.occupied;
+  EXPECT_EQ(occ, 200);
+  EXPECT_EQ(tw.stats().dropped[0], 0u);
+}
+
+TEST(TimeWindows, Wrap32MatchesUnwrappedBelowWrapPoint) {
+  TimeWindowParams p = small_params();
+  TimeWindowSet plain(p);
+  p.wrap32 = true;
+  TimeWindowSet wrapped(p);
+  Rng rng(3);
+  Timestamp t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    t += rng.uniform_below(64);
+    plain.on_packet(0, make_flow(static_cast<std::uint32_t>(i % 17)), t);
+    wrapped.on_packet(0, make_flow(static_cast<std::uint32_t>(i % 17)), t);
+  }
+  const auto a = plain.read_bank(plain.active_bank(), 0);
+  const auto b = wrapped.read_bank(wrapped.active_bank(), 0);
+  for (std::uint32_t w = 0; w < p.num_windows; ++w) {
+    for (std::uint64_t j = 0; j < a[w].size(); ++j) {
+      EXPECT_EQ(a[w][j].occupied, b[w][j].occupied);
+      if (a[w][j].occupied) {
+        EXPECT_EQ(a[w][j].flow, b[w][j].flow);
+        EXPECT_EQ(a[w][j].cycle_id, b[w][j].cycle_id);
+      }
+    }
+  }
+}
+
+TEST(TimeWindows, Wrap32PassesAcrossTheWrapBoundary) {
+  // Two packets whose timestamps straddle the 32-bit wrap and whose wrapped
+  // cycle IDs differ by exactly one must still trigger a pass.
+  TimeWindowParams p;
+  p.m0 = 4;
+  p.alpha = 1;
+  p.k = 4;
+  p.num_windows = 2;
+  p.wrap32 = true;
+  TimeWindowSet tw(p);
+  // Last cell period before the wrap: raw ts 0xFFFFFFF0 (TTS 0x0FFFFFFF).
+  tw.on_packet(0, make_flow(1), 0xFFFFFF00ull);
+  // Just after the wrap: raw ts 2^32 + 0x00 maps to TTS 0, whose cycle is
+  // one more than the previous modulo the cycle width.
+  tw.on_packet(0, make_flow(2), 0x100000000ull);
+  EXPECT_EQ(tw.stats().passed[0], 1u);
+}
+
+TEST(TimeWindows, DeepWindowsReceiveOnlyAgedTraffic) {
+  // Continuous traffic: deeper windows hold strictly older cycles.
+  TimeWindowParams p = small_params();
+  TimeWindowSet tw(p);
+  Rng rng(9);
+  Timestamp t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    t += 8 + rng.uniform_below(16);
+    tw.on_packet(0, make_flow(static_cast<std::uint32_t>(i % 31)), t);
+  }
+  const auto state = tw.read_bank(tw.active_bank(), 0);
+  const TtsLayout& layout = tw.layout();
+  // Max TTS per window, expressed in raw time, must not increase with depth.
+  Timestamp prev_hi = ~0ull;
+  for (std::uint32_t w = 0; w < p.num_windows; ++w) {
+    Timestamp hi = 0;
+    for (std::uint64_t j = 0; j < state[w].size(); ++j) {
+      if (!state[w][j].occupied) continue;
+      hi = std::max(hi,
+                    layout.cell_span(w, (state[w][j].cycle_id << p.k) | j).hi);
+    }
+    if (hi != 0) {
+      EXPECT_LE(hi, prev_hi) << "window " << w;
+      prev_hi = hi;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pq::core

@@ -1,0 +1,125 @@
+#include "core/tts_layout.h"
+
+#include <gtest/gtest.h>
+
+namespace pq::core {
+namespace {
+
+TimeWindowParams params(std::uint32_t m0, std::uint32_t alpha, std::uint32_t k,
+                        std::uint32_t T) {
+  TimeWindowParams p;
+  p.m0 = m0;
+  p.alpha = alpha;
+  p.k = k;
+  p.num_windows = T;
+  return p;
+}
+
+TEST(TtsLayout, PaperFig5Example) {
+  // Paper Fig. 5: timestamp 0xAAA9105A with m0 = 7, k = 12 splits into
+  // cycle ID 1010101010101b and index 001000100000b.
+  const TtsLayout layout(params(7, 1, 12, 4));
+  const std::uint64_t tts = layout.tts0(0xAAA9105A);
+  EXPECT_EQ(tts, 0xAAA9105Au >> 7);
+  EXPECT_EQ(layout.cycle_of(tts), 0b1010101010101u);
+  EXPECT_EQ(layout.index_of(tts), 0b001000100000u);
+  EXPECT_EQ(layout.combine(layout.cycle_of(tts), layout.index_of(tts)), tts);
+}
+
+TEST(TtsLayout, ValidatesParams) {
+  EXPECT_THROW(TtsLayout(params(6, 0, 12, 4)), std::invalid_argument);
+  EXPECT_THROW(TtsLayout(params(6, 1, 0, 4)), std::invalid_argument);
+  EXPECT_THROW(TtsLayout(params(6, 1, 12, 0)), std::invalid_argument);
+  EXPECT_THROW(TtsLayout(params(25, 1, 12, 4)), std::invalid_argument);
+}
+
+TEST(TtsLayout, Wrap32RequiresHeadroom) {
+  TimeWindowParams p = params(20, 1, 12, 4);
+  p.wrap32 = true;
+  EXPECT_THROW(TtsLayout{p}, std::invalid_argument);
+  p = params(6, 1, 12, 4);
+  p.wrap32 = true;
+  EXPECT_NO_THROW(TtsLayout{p});
+}
+
+TEST(TtsLayout, Wrap32MasksHighBits) {
+  TimeWindowParams p = params(6, 1, 12, 4);
+  p.wrap32 = true;
+  const TtsLayout layout(p);
+  EXPECT_EQ(layout.tts0(0x1'0000'0040ull), layout.tts0(0x40));
+}
+
+TEST(TtsLayout, CellPeriodGrowsByAlphaBitsPerWindow) {
+  const TtsLayout layout(params(6, 2, 12, 4));
+  EXPECT_EQ(layout.cell_period_ns(0), 64u);
+  EXPECT_EQ(layout.cell_period_ns(1), 256u);
+  EXPECT_EQ(layout.cell_period_ns(2), 1024u);
+  EXPECT_EQ(layout.cell_period_ns(3), 4096u);
+}
+
+TEST(TtsLayout, WindowPeriodIsCellPeriodTimesCells) {
+  const TtsLayout layout(params(6, 1, 12, 4));
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(layout.window_period_ns(i),
+              layout.cell_period_ns(i) << 12);
+  }
+}
+
+TEST(TtsLayout, SetPeriodMatchesClosedForm) {
+  // Paper Section 4.2: set period = (2^(alpha*T)-1)/(2^alpha-1) * 2^(m0+k).
+  for (std::uint32_t alpha : {1u, 2u, 3u}) {
+    for (std::uint32_t T : {2u, 3u, 4u, 5u}) {
+      const TtsLayout layout(params(6, alpha, 12, T));
+      const std::uint64_t numer = (1ull << (alpha * T)) - 1;
+      const std::uint64_t denom = (1ull << alpha) - 1;
+      EXPECT_EQ(layout.set_period_ns(), numer / denom * (1ull << 18))
+          << "alpha=" << alpha << " T=" << T;
+    }
+  }
+}
+
+TEST(TtsLayout, PaperExampleCellPeriods) {
+  // Section 7.1: with alpha=3, T=4, m0=6 the four cell periods are
+  // 64 ns, 512 ns, 4 us, and ~32 us.
+  const TtsLayout layout(params(6, 3, 12, 4));
+  EXPECT_EQ(layout.cell_period_ns(0), 64u);
+  EXPECT_EQ(layout.cell_period_ns(1), 512u);
+  EXPECT_EQ(layout.cell_period_ns(2), 4096u);
+  EXPECT_EQ(layout.cell_period_ns(3), 32768u);
+}
+
+TEST(TtsLayout, Window0PeriodExceeds100usWithPaperParams) {
+  // Section 4.1: window 0 typically covers more than 100 us, so microburst
+  // queries are served at full fidelity.
+  const TtsLayout layout(params(6, 2, 12, 4));
+  EXPECT_GT(layout.window_period_ns(0), 100'000u);
+}
+
+TEST(TtsLayout, CellSpanIsHalfOpenAndContiguous) {
+  const TtsLayout layout(params(4, 1, 8, 3));
+  for (std::uint32_t w = 0; w < 3; ++w) {
+    const auto a = layout.cell_span(w, 10);
+    const auto b = layout.cell_span(w, 11);
+    EXPECT_EQ(a.hi - a.lo, layout.cell_period_ns(w));
+    EXPECT_EQ(a.hi, b.lo);
+  }
+}
+
+TEST(TtsLayout, SpanContainsOriginalTimestamp) {
+  const TtsLayout layout(params(6, 2, 12, 4));
+  for (Timestamp ts : {0ull, 63ull, 64ull, 123456789ull, 0xffffffffull}) {
+    const auto span = layout.cell_span(0, layout.tts0(ts));
+    EXPECT_GE(ts, span.lo);
+    EXPECT_LT(ts, span.hi);
+  }
+}
+
+TEST(TtsLayout, TtsBitsAccountsForM0AndWrap) {
+  EXPECT_EQ(TtsLayout(params(6, 1, 12, 4)).tts_bits(), 58u);
+  TimeWindowParams p = params(6, 1, 12, 4);
+  p.wrap32 = true;
+  EXPECT_EQ(TtsLayout(p).tts_bits(), 26u);
+}
+
+}  // namespace
+}  // namespace pq::core

@@ -1,0 +1,239 @@
+#include "core/window_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "core/time_windows.h"
+
+namespace pq::core {
+namespace {
+
+TimeWindowParams small_params() {
+  TimeWindowParams p;
+  p.m0 = 4;   // 16 ns cells
+  p.alpha = 1;
+  p.k = 4;    // 16 cells
+  p.num_windows = 3;
+  return p;
+}
+
+/// Sends one packet per cell period for `cells` consecutive periods,
+/// starting at raw time `start`, each with a distinct flow id offset.
+void fill_sequential(TimeWindowSet& tw, Timestamp start, std::uint32_t cells,
+                     std::uint32_t flow_base) {
+  for (std::uint32_t i = 0; i < cells; ++i) {
+    tw.on_packet(0, make_flow(flow_base + i), start + i * 16);
+  }
+}
+
+TEST(Filter, EmptyStateYieldsEmptyResult) {
+  TimeWindowSet tw(small_params());
+  const auto f = filter_stale_cells(tw.read_bank(tw.active_bank(), 0),
+                                    tw.layout());
+  EXPECT_TRUE(f.empty);
+}
+
+TEST(Filter, FreshWindowKeepsEverything) {
+  TimeWindowSet tw(small_params());
+  fill_sequential(tw, 0, 16, 100);
+  const auto f = filter_stale_cells(tw.read_bank(tw.active_bank(), 0),
+                                    tw.layout());
+  ASSERT_FALSE(f.empty);
+  EXPECT_EQ(f.windows[0].cells.size(), 16u);
+}
+
+TEST(Filter, RemovesCellsOlderThanOneWindowPeriod) {
+  TimeWindowSet tw(small_params());
+  // Fill 16 cells, skip 3 full window periods, then write 4 more cells.
+  fill_sequential(tw, 0, 16, 100);
+  const Timestamp late = 16 * 16 * 4;
+  fill_sequential(tw, late, 4, 200);
+  const auto f = filter_stale_cells(tw.read_bank(tw.active_bank(), 0),
+                                    tw.layout());
+  // Only the 4 fresh cells survive in window 0: the old ones are multiple
+  // cycles behind the latest cell.
+  ASSERT_EQ(f.windows[0].cells.size(), 4u);
+  for (const auto& c : f.windows[0].cells) {
+    EXPECT_GE(c.flow.src_port, make_flow(200).src_port);
+  }
+}
+
+TEST(Filter, KeepsPreviousCycleCellsAboveLatestIndex) {
+  TimeWindowSet tw(small_params());
+  // Write cells 8..15 of cycle 0, then cells 0..3 of cycle 1: all 12 are
+  // within one window period of the latest cell.
+  fill_sequential(tw, 8 * 16, 8, 100);   // indices 8..15, cycle 0
+  fill_sequential(tw, 16 * 16, 4, 200);  // indices 0..3, cycle 1
+  const auto f = filter_stale_cells(tw.read_bank(tw.active_bank(), 0),
+                                    tw.layout());
+  EXPECT_EQ(f.windows[0].cells.size(), 12u);
+}
+
+TEST(Filter, CoverageTilesBackwardsInTime) {
+  TimeWindowSet tw(small_params());
+  // More than a full set period of continuous traffic, so every window's
+  // coverage lies entirely after t = 0 (no clamping).
+  fill_sequential(tw, 0, 16 * 10, 100);
+  const auto f = filter_stale_cells(tw.read_bank(tw.active_bank(), 0),
+                                    tw.layout());
+  const auto& layout = tw.layout();
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(f.windows[i].cover_hi - f.windows[i].cover_lo,
+              layout.window_period_ns(i))
+        << "window " << i;
+    if (i > 0) {
+      // Window i ends no later than where window i-1 begins (tiling,
+      // allowing for the alpha-shift rounding).
+      EXPECT_LE(f.windows[i].cover_hi, f.windows[i - 1].cover_lo +
+                                           layout.cell_period_ns(i));
+    }
+  }
+}
+
+TEST(Estimate, ExactInWindow0ForSparseTraffic) {
+  TimeWindowSet tw(small_params());
+  fill_sequential(tw, 0, 10, 100);  // 10 packets, distinct flows and cells
+  const auto f = filter_stale_cells(tw.read_bank(tw.active_bank(), 0),
+                                    tw.layout());
+  const auto coeffs = CoefficientTable::compute(1.0, 1, 3);
+  const auto counts =
+      estimate_flow_counts(f, tw.layout(), coeffs, 0, 10 * 16);
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [flow, n] : counts) EXPECT_DOUBLE_EQ(n, 1.0);
+}
+
+TEST(Estimate, IntervalSelectsOnlyOverlappingCells) {
+  TimeWindowSet tw(small_params());
+  fill_sequential(tw, 0, 10, 100);
+  const auto f = filter_stale_cells(tw.read_bank(tw.active_bank(), 0),
+                                    tw.layout());
+  const auto coeffs = CoefficientTable::compute(1.0, 1, 3);
+  // Query only cell periods 3..6 (raw time [48, 112)).
+  const auto counts = estimate_flow_counts(f, tw.layout(), coeffs, 48, 112);
+  EXPECT_EQ(counts.size(), 4u);
+  EXPECT_TRUE(counts.contains(make_flow(103)));
+  EXPECT_TRUE(counts.contains(make_flow(106)));
+  EXPECT_FALSE(counts.contains(make_flow(102)));
+  EXPECT_FALSE(counts.contains(make_flow(107)));
+}
+
+TEST(Estimate, ProratesPartialCellOverlap) {
+  TimeWindowSet tw(small_params());
+  fill_sequential(tw, 0, 10, 100);
+  const auto f = filter_stale_cells(tw.read_bank(tw.active_bank(), 0),
+                                    tw.layout());
+  const auto coeffs = CoefficientTable::compute(1.0, 1, 3);
+  // Query half of cell period 5: raw time [80, 88).
+  const auto counts = estimate_flow_counts(f, tw.layout(), coeffs, 80, 88);
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_DOUBLE_EQ(counts.at(make_flow(105)), 0.5);
+}
+
+TEST(Estimate, AppliesCoefficientRecoveryInDeepWindows) {
+  // Hand-build a filtered view with one cell in window 1 and check that the
+  // estimate is scaled by 1/coefficient[1].
+  const TtsLayout layout(small_params());
+  FilteredWindows f;
+  f.empty = false;
+  f.windows.resize(3);
+  // Window 1 cell with TTS 2 covers raw [2*32, 3*32) = [64, 96).
+  f.windows[1].cells.push_back({make_flow(1), 2});
+  f.windows[1].cover_lo = 0;
+  f.windows[1].cover_hi = 512;
+  const auto coeffs = CoefficientTable::compute(0.8, 1, 3);
+  const auto counts = estimate_flow_counts(f, layout, coeffs, 64, 96);
+  ASSERT_EQ(counts.size(), 1u);
+  // 1/coefficient recovery, bounded by the piece's physical budget of one
+  // packet per window-0 cell period (32 ns / 16 ns = 2 here, above the
+  // raw 1.84 -> no clipping).
+  EXPECT_NEAR(counts.at(make_flow(1)), 1.0 / coeffs.coefficient(1), 1e-9);
+}
+
+TEST(Estimate, WindowPiecesAreDisjoint) {
+  // A cell whose span lies outside its window's coverage contributes
+  // nothing (prevents double counting across windows).
+  const TtsLayout layout(small_params());
+  FilteredWindows f;
+  f.empty = false;
+  f.windows.resize(3);
+  f.windows[1].cells.push_back({make_flow(1), 2});  // raw [64, 96)
+  f.windows[1].cover_lo = 128;  // coverage excludes the cell span
+  f.windows[1].cover_hi = 640;
+  const auto coeffs = CoefficientTable::compute(0.8, 1, 3);
+  EXPECT_TRUE(estimate_flow_counts(f, layout, coeffs, 0, 1000).empty());
+}
+
+TEST(Estimate, EmptyOrInvertedIntervalYieldsNothing) {
+  TimeWindowSet tw(small_params());
+  fill_sequential(tw, 0, 10, 100);
+  const auto f = filter_stale_cells(tw.read_bank(tw.active_bank(), 0),
+                                    tw.layout());
+  const auto coeffs = CoefficientTable::compute(1.0, 1, 3);
+  EXPECT_TRUE(estimate_flow_counts(f, tw.layout(), coeffs, 50, 50).empty());
+  EXPECT_TRUE(estimate_flow_counts(f, tw.layout(), coeffs, 60, 50).empty());
+}
+
+TEST(Estimate, PieceBudgetStopsMisconfiguredBlowup) {
+  // Misconfigured m0 (tiny z0): raw recovery would multiply each observed
+  // cell by millions; the per-piece budget bounds the total to what the
+  // measured packet rate can physically deliver in the interval.
+  const TtsLayout layout(small_params());
+  FilteredWindows f;
+  f.empty = false;
+  f.windows.resize(3);
+  f.windows[2].cells.push_back({make_flow(1), 1});  // w2 span [64, 128)
+  f.windows[2].cover_lo = 0;
+  f.windows[2].cover_hi = 1024;
+  const auto coeffs = CoefficientTable::compute(1e-3, 1, 3);
+  ASSERT_GT(1.0 / coeffs.coefficient(2), 1e5);
+  const auto counts = estimate_flow_counts(f, layout, coeffs, 0, 1024);
+  // Budget: at most one packet per 16 ns cell period -> 64 packets.
+  EXPECT_NEAR(counts.at(make_flow(1)), 1024.0 / 16.0, 1e-9);
+}
+
+TEST(Estimate, BudgetPreservesPerFlowShares) {
+  const TtsLayout layout(small_params());
+  FilteredWindows f;
+  f.empty = false;
+  f.windows.resize(3);
+  // Three cells of flow A, one of flow B in window 1.
+  f.windows[1].cells.push_back({make_flow(1), 2});
+  f.windows[1].cells.push_back({make_flow(1), 3});
+  f.windows[1].cells.push_back({make_flow(1), 4});
+  f.windows[1].cells.push_back({make_flow(2), 5});
+  f.windows[1].cover_lo = 0;
+  f.windows[1].cover_hi = 512;
+  const auto coeffs = CoefficientTable::compute(0.05, 1, 3);  // forces clamp
+  const auto counts = estimate_flow_counts(f, layout, coeffs, 0, 512);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_NEAR(counts.at(make_flow(1)) / counts.at(make_flow(2)), 3.0, 1e-9);
+}
+
+TEST(MergeCounts, SumsPerFlow) {
+  FlowCounts a{{make_flow(1), 2.0}, {make_flow(2), 1.0}};
+  const FlowCounts b{{make_flow(1), 3.0}, {make_flow(3), 4.0}};
+  merge_counts(a, b);
+  EXPECT_DOUBLE_EQ(a.at(make_flow(1)), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(make_flow(2)), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(make_flow(3)), 4.0);
+}
+
+TEST(TopK, OrdersByCountThenFlow) {
+  FlowCounts c{{make_flow(1), 5.0},
+               {make_flow(2), 9.0},
+               {make_flow(3), 5.0},
+               {make_flow(4), 1.0}};
+  const auto top = top_k_flows(c, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, make_flow(2));
+  EXPECT_DOUBLE_EQ(top[1].second, 5.0);
+  EXPECT_DOUBLE_EQ(top[2].second, 5.0);
+  EXPECT_LT(top[1].first, top[2].first);  // deterministic tie-break
+}
+
+TEST(TopK, KLargerThanSizeReturnsAll) {
+  FlowCounts c{{make_flow(1), 1.0}};
+  EXPECT_EQ(top_k_flows(c, 10).size(), 1u);
+}
+
+}  // namespace
+}  // namespace pq::core

@@ -1,0 +1,129 @@
+// Randomized invariants of the culprit definitions (paper Section 2),
+// checked against simulator output: the three culprit classes partition
+// and bound each other exactly as the taxonomy prescribes.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ground/ground_truth.h"
+#include "sim/egress_port.h"
+#include "traffic/trace_gen.h"
+
+namespace pq::ground {
+namespace {
+
+class GroundTruthProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    sim::PortConfig cfg;
+    cfg.capacity_cells = 5000;
+    port_ = std::make_unique<sim::EgressPort>(cfg);
+    traffic::PacketTraceConfig tcfg;
+    tcfg.duration_ns = 5'000'000;
+    tcfg.seed = GetParam();
+    port_->run(traffic::generate_uw_trace(tcfg));
+    truth_ = std::make_unique<GroundTruth>(port_->records());
+  }
+  std::unique_ptr<sim::EgressPort> port_;
+  std::unique_ptr<GroundTruth> truth_;
+};
+
+double total(const FlowCounts& c) {
+  double t = 0;
+  for (const auto& [f, n] : c) t += n;
+  return t;
+}
+
+TEST_P(GroundTruthProperty, DirectPlusIndirectEqualsRegime) {
+  // Union of direct and indirect culprits = all packets dequeued since the
+  // regime began (paper Section 2: "The union of direct and indirect
+  // culprits equals the complete congestion regime").
+  Rng rng(1);
+  const auto& recs = port_->records();
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto& v = recs[rng.uniform_below(recs.size())];
+    if (v.deq_timedelta == 0) continue;
+    const Timestamp t1 = v.enq_timestamp;
+    const Timestamp t2 = v.deq_timestamp();
+    const Timestamp regime = truth_->regime_start(t1);
+
+    const auto direct = truth_->direct_culprits(t1, t2);
+    const auto indirect = truth_->indirect_culprits(t1);
+    const auto whole = truth_->direct_culprits(
+        regime == 0 ? 0 : regime + 1, t2);
+    EXPECT_NEAR(total(direct) + total(indirect), total(whole), 1e-9);
+  }
+}
+
+TEST_P(GroundTruthProperty, RegimeStartHasEmptyQueue) {
+  Rng rng(2);
+  const auto& recs = port_->records();
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto& v = recs[rng.uniform_below(recs.size())];
+    const Timestamp regime = truth_->regime_start(v.enq_timestamp);
+    if (regime == 0) continue;  // queue busy since the start of the run
+    EXPECT_EQ(truth_->depth_at(regime), 0u);
+  }
+}
+
+TEST_P(GroundTruthProperty, RegimeStartIsStableWithinTheRegime) {
+  // regime_start(enq) is the LAST drain instant at or before the enqueue,
+  // so no later drain event exists inside (regime, enq]: querying the
+  // regime start from any instant in between returns the same boundary.
+  // (The queue may sit empty between the drain and the next enqueue, so
+  // "depth > 0 everywhere" is NOT the invariant — this is.)
+  Rng rng(3);
+  const auto& recs = port_->records();
+  int checked = 0;
+  for (int trial = 0; trial < 2000 && checked < 10; ++trial) {
+    const auto& v = recs[rng.uniform_below(recs.size())];
+    if (v.enq_qdepth < 20) continue;
+    const Timestamp regime = truth_->regime_start(v.enq_timestamp);
+    if (v.enq_timestamp - regime < 2000) continue;
+    ++checked;
+    Rng probe(trial);
+    for (int s = 0; s < 20; ++s) {
+      const Timestamp t =
+          regime + 1 +
+          probe.uniform_below(v.enq_timestamp - regime - 1);
+      EXPECT_EQ(truth_->regime_start(t), regime)
+          << "drain event found inside the regime at " << t;
+    }
+  }
+  if (checked == 0) GTEST_SKIP() << "no congested victims in this seed";
+}
+
+TEST_P(GroundTruthProperty, OriginalCulpritsCountBoundedByDepth) {
+  // At any instant, the number of original-culprit packets is at most the
+  // queue depth in cells (each packet accounts for >= 1 cell) and at least
+  // 1 when the queue is non-empty.
+  Rng rng(4);
+  const Timestamp end = port_->stats().last_departure;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Timestamp t = rng.uniform_below(end);
+    const auto culprits = truth_->original_culprits(t);
+    const auto depth = truth_->depth_at(t);
+    if (depth == 0) {
+      EXPECT_TRUE(culprits.empty());
+    } else {
+      EXPECT_GE(total(culprits), 1.0);
+      EXPECT_LE(total(culprits), static_cast<double>(depth));
+    }
+  }
+}
+
+TEST_P(GroundTruthProperty, DirectCulpritsOfZeroDelayVictimAreEmpty) {
+  for (const auto& r : port_->records()) {
+    if (r.deq_timedelta == 0) {
+      EXPECT_TRUE(truth_->direct_culprits(r.enq_timestamp,
+                                          r.deq_timestamp())
+                      .empty());
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroundTruthProperty,
+                         ::testing::Values(11u, 23u, 47u));
+
+}  // namespace
+}  // namespace pq::ground

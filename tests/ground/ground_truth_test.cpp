@@ -1,0 +1,177 @@
+#include "ground/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/egress_port.h"
+
+namespace pq::ground {
+namespace {
+
+TelemetryRecord rec(std::uint32_t flow, Timestamp enq, Timestamp deq,
+                    std::uint32_t bytes = 80, std::uint32_t qdepth = 0) {
+  TelemetryRecord r;
+  r.flow = make_flow(flow);
+  r.size_bytes = bytes;
+  r.enq_timestamp = enq;
+  r.deq_timedelta = deq - enq;
+  r.enq_qdepth = qdepth;
+  return r;
+}
+
+TEST(GroundTruth, DirectCulpritsAreDequeuesWithinInterval) {
+  GroundTruth gt({rec(1, 0, 10), rec(2, 0, 20), rec(2, 5, 30),
+                  rec(3, 5, 40)});
+  const auto direct = gt.direct_culprits(15, 35);
+  EXPECT_EQ(direct.size(), 1u);
+  EXPECT_DOUBLE_EQ(direct.at(make_flow(2)), 2.0);
+}
+
+TEST(GroundTruth, DirectCulpritsBoundariesAreHalfOpen) {
+  GroundTruth gt({rec(1, 0, 10), rec(2, 0, 20)});
+  EXPECT_EQ(gt.direct_culprits(10, 20).size(), 1u);   // 10 in, 20 out
+  EXPECT_TRUE(gt.direct_culprits(10, 20).contains(make_flow(1)));
+}
+
+TEST(GroundTruth, RegimeStartIsLastEmptyInstant) {
+  // Packet A occupies [0,10); gap; B and C overlap [20,40).
+  GroundTruth gt({rec(1, 0, 10), rec(2, 20, 30), rec(3, 25, 40)});
+  // At t=35 the queue has been continuously busy since t=20 (A's dequeue at
+  // 10 emptied it).
+  EXPECT_EQ(gt.regime_start(35), 10u);
+  EXPECT_EQ(gt.regime_start(5), 0u);  // never empty before 5
+}
+
+TEST(GroundTruth, IndirectCulpritsStopAtRegimeBoundary) {
+  // A leaves before the regime (queue empty at 10); B leaves inside it.
+  GroundTruth gt({rec(1, 0, 10), rec(2, 20, 30), rec(3, 25, 50),
+                  rec(4, 35, 60)});
+  // Victim enqueued at 45: regime start is 10 (the last zero); B dequeued at
+  // 30 and C at 50 -> only B is an indirect culprit (deq < 45).
+  const auto indirect = gt.indirect_culprits(45);
+  EXPECT_TRUE(indirect.contains(make_flow(2)));
+  EXPECT_FALSE(indirect.contains(make_flow(1)));  // before... A deq at 10
+  EXPECT_FALSE(indirect.contains(make_flow(3)));  // dequeues after 45
+}
+
+TEST(GroundTruth, DepthAtReconstructsCells) {
+  // Two 160 B packets (2 cells each) overlapping in the queue.
+  GroundTruth gt({rec(1, 0, 100, 160), rec(2, 10, 200, 160)});
+  EXPECT_EQ(gt.depth_at(5), 2u);
+  EXPECT_EQ(gt.depth_at(50), 4u);
+  EXPECT_EQ(gt.depth_at(150), 2u);
+  EXPECT_EQ(gt.depth_at(250), 0u);
+}
+
+TEST(GroundTruth, DepthMatchesSimulatorEnqQdepth) {
+  // Property check: reconstructing depth from records reproduces each
+  // packet's own enq_qdepth observation.
+  sim::PortConfig pc;
+  pc.line_rate_gbps = 10.0;
+  sim::EgressPort port(pc);
+  Rng rng(5);
+  std::vector<Packet> pkts;
+  Timestamp t = 0;
+  for (int i = 0; i < 3000; ++i) {
+    t += 1 + rng.uniform_below(200);  // strictly increasing arrivals
+    Packet p;
+    p.flow = make_flow(static_cast<std::uint32_t>(i % 13));
+    p.size_bytes = 64 + static_cast<std::uint32_t>(rng.uniform_below(1400));
+    p.arrival_ns = t;
+    p.id = static_cast<std::uint64_t>(i) + 1;
+    pkts.push_back(p);
+  }
+  port.run(std::move(pkts));
+  GroundTruth gt(port.records());
+  for (const auto& r : port.records()) {
+    // The reconstructed depth right after this packet's enqueue equals its
+    // own observation plus its own footprint — unless the packet left
+    // immediately (zero delay), in which case its same-instant dequeue has
+    // already been applied.
+    const std::uint32_t own =
+        r.deq_timedelta == 0 ? 0 : bytes_to_cells(r.size_bytes);
+    EXPECT_EQ(gt.depth_at(r.enq_timestamp), r.enq_qdepth + own)
+        << "packet " << r.packet_id;
+  }
+}
+
+TEST(GroundTruth, OriginalCulpritsTrackBuildupSegments) {
+  // A brings depth 0->1, B 1->3 (160 B), drain to 1, C 1->2.
+  GroundTruth gt({rec(1, 0, 100, 80), rec(2, 10, 150, 160),
+                  rec(3, 60, 200, 80)});
+  // At t=70: A still queued (deq 100), B dequeued at 150? No: B deq at 150,
+  // so at 70 the stack is A[0,1), B[1,3), C[3,4).
+  const auto at70 = gt.original_culprits(70);
+  EXPECT_DOUBLE_EQ(at70.at(make_flow(1)), 1.0);
+  EXPECT_DOUBLE_EQ(at70.at(make_flow(2)), 1.0);
+  EXPECT_DOUBLE_EQ(at70.at(make_flow(3)), 1.0);
+  // At t=160 (after A and B dequeued): depth 1; only the lowest segment's
+  // creator remains culpable. A dequeued at 100 (depth 3->... order: A at
+  // 100 pops the stack from below; the truncation keeps the oldest segment
+  // holders for the remaining depth.
+  const auto at160 = gt.original_culprits(160);
+  double total = 0;
+  for (const auto& [f, n] : at160) total += n;
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(GroundTruth, OriginalCulpritsAfterFullDrainAreEmpty) {
+  GroundTruth gt({rec(1, 0, 10), rec(2, 5, 20)});
+  EXPECT_TRUE(gt.original_culprits(100).empty());
+}
+
+TEST(GroundTruth, OriginalCulpritsBurstScenario) {
+  // The paper's case-study shape in miniature: a burst builds the queue,
+  // then background traffic holds it. Original culprits at a late time
+  // must still implicate the burst.
+  std::vector<TelemetryRecord> recs;
+  // Burst: 10 packets arriving back-to-back at t=0..9, 80 B each, queue
+  // grows to 10 cells; they dequeue at 100, 200, ..., 1000.
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    recs.push_back(rec(100, i, (i + 1) * 100));
+  }
+  // Background: one packet arrives whenever one dequeues, keeping depth 10.
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    recs.push_back(rec(200, (i + 1) * 100, 1100 + i * 100));
+  }
+  GroundTruth gt(recs);
+  const auto culprits = gt.original_culprits(550);
+  ASSERT_TRUE(culprits.contains(make_flow(100)));
+  // The burst still owns the upper segments of the standing queue.
+  EXPECT_GT(culprits.at(make_flow(100)), 4.0);
+}
+
+TEST(PaperDepthBins, MatchFig9) {
+  const auto bins = paper_depth_bins();
+  ASSERT_EQ(bins.size(), 6u);
+  EXPECT_EQ(bins[0].first, 1000u);
+  EXPECT_EQ(bins[0].second, 2000u);
+  EXPECT_EQ(bins[5].first, 20000u);
+}
+
+TEST(SampleVictims, RespectsBinsAndCount) {
+  std::vector<TelemetryRecord> recs;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    recs.push_back(rec(i, i, i + 10, 80, 1500));       // bin 0
+    recs.push_back(rec(i, i, i + 10, 80, 3000));       // bin 1
+  }
+  Rng rng(7);
+  const auto victims =
+      sample_victims(recs, paper_depth_bins(), 20, rng);
+  EXPECT_EQ(victims.size(), 40u);  // two populated bins
+  for (const auto& v : victims) {
+    if (v.depth_bin == 0) {
+      EXPECT_GE(v.record.enq_qdepth, 1000u);
+      EXPECT_LT(v.record.enq_qdepth, 2000u);
+    }
+  }
+}
+
+TEST(SampleVictims, SkipsEmptyBins) {
+  std::vector<TelemetryRecord> recs{rec(1, 0, 10, 80, 500)};  // below bin 0
+  Rng rng(9);
+  EXPECT_TRUE(sample_victims(recs, paper_depth_bins(), 10, rng).empty());
+}
+
+}  // namespace
+}  // namespace pq::ground

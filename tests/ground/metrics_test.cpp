@@ -1,0 +1,107 @@
+#include "ground/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace pq::ground {
+namespace {
+
+using core::FlowCounts;
+
+TEST(Metrics, PerfectEstimateScoresOne) {
+  const FlowCounts truth{{make_flow(1), 5.0}, {make_flow(2), 3.0}};
+  const auto pr = flow_count_accuracy(truth, truth);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_DOUBLE_EQ(pr.f1(), 1.0);
+}
+
+TEST(Metrics, BothEmptyIsPerfect) {
+  const auto pr = flow_count_accuracy({}, {});
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(Metrics, EmptyEstimateHasZeroRecall) {
+  const FlowCounts truth{{make_flow(1), 5.0}};
+  const auto pr = flow_count_accuracy({}, truth);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+  EXPECT_DOUBLE_EQ(pr.f1(), 0.0);
+}
+
+TEST(Metrics, SpuriousFlowsHurtPrecisionOnly) {
+  const FlowCounts truth{{make_flow(1), 4.0}};
+  const FlowCounts est{{make_flow(1), 4.0}, {make_flow(2), 4.0}};
+  const auto pr = flow_count_accuracy(est, truth);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(Metrics, MissedFlowsHurtRecallOnly) {
+  const FlowCounts truth{{make_flow(1), 4.0}, {make_flow(2), 4.0}};
+  const FlowCounts est{{make_flow(1), 4.0}};
+  const auto pr = flow_count_accuracy(est, truth);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.5);
+}
+
+TEST(Metrics, OverestimateClampsTruePositivesAtTruth) {
+  // Paper Section 7.1: TP per flow is min(estimate, truth).
+  const FlowCounts truth{{make_flow(1), 2.0}};
+  const FlowCounts est{{make_flow(1), 8.0}};
+  const auto pr = flow_count_accuracy(est, truth);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.25);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(Metrics, UnderestimateSymmetric) {
+  const FlowCounts truth{{make_flow(1), 8.0}};
+  const FlowCounts est{{make_flow(1), 2.0}};
+  const auto pr = flow_count_accuracy(est, truth);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.25);
+}
+
+TEST(Metrics, MixedCase) {
+  const FlowCounts truth{{make_flow(1), 10.0}, {make_flow(2), 10.0}};
+  const FlowCounts est{{make_flow(1), 5.0},   // tp 5
+                       {make_flow(2), 15.0},  // tp 10
+                       {make_flow(3), 5.0}};  // tp 0
+  const auto pr = flow_count_accuracy(est, truth);
+  EXPECT_DOUBLE_EQ(pr.precision, 15.0 / 25.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 15.0 / 20.0);
+}
+
+TEST(TopKAccuracy, ZeroKMeansAllFlows) {
+  const FlowCounts truth{{make_flow(1), 5.0}};
+  const FlowCounts est{{make_flow(1), 5.0}};
+  const auto pr = top_k_accuracy(est, truth, 0);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+}
+
+TEST(TopKAccuracy, RestrictsToHeaviestFlows) {
+  FlowCounts truth, est;
+  // 10 heavy flows predicted perfectly, 100 mice missed entirely.
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    truth[make_flow(i)] = 1000.0;
+    est[make_flow(i)] = 1000.0;
+  }
+  for (std::uint32_t i = 100; i < 200; ++i) truth[make_flow(i)] = 1.0;
+  const auto top10 = top_k_accuracy(est, truth, 10);
+  EXPECT_DOUBLE_EQ(top10.precision, 1.0);
+  EXPECT_DOUBLE_EQ(top10.recall, 1.0);
+  // Over all flows, recall drops because of the missed mice.
+  const auto all = flow_count_accuracy(est, truth);
+  EXPECT_LT(all.recall, 1.0);
+}
+
+TEST(TopKAccuracy, SpuriousHeavyEstimateHurtsTopKPrecision) {
+  FlowCounts truth{{make_flow(1), 100.0}};
+  FlowCounts est{{make_flow(1), 100.0}, {make_flow(9), 500.0}};
+  const auto pr = top_k_accuracy(est, truth, 2);
+  EXPECT_DOUBLE_EQ(pr.precision, 100.0 / 600.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+}  // namespace
+}  // namespace pq::ground

@@ -1,0 +1,109 @@
+// Property sweep over time-window parameterisations: for every (alpha, k,
+// T) combination, the end-to-end invariants must hold — fresh-window
+// queries are near-exact, estimates are finite and non-negative, the
+// register banks conserve packets, and precision stays above a floor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "control/analysis_program.h"
+#include "ground/ground_truth.h"
+#include "ground/metrics.h"
+#include "sim/egress_port.h"
+#include "traffic/trace_gen.h"
+
+namespace pq {
+namespace {
+
+struct SweepCase {
+  std::uint32_t alpha, k, T;
+};
+
+class ParamSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ParamSweep, EndToEndInvariantsHold) {
+  const auto [alpha, k, T] = GetParam();
+
+  core::PipelineConfig cfg;
+  cfg.windows.m0 = 6;
+  cfg.windows.alpha = alpha;
+  cfg.windows.k = k;
+  cfg.windows.num_windows = T;
+  cfg.monitor.max_depth_cells = 25000;
+  core::PrintQueuePipeline pipeline(cfg);
+  pipeline.enable_port(0);
+  control::AnalysisProgram analysis(pipeline, {});
+
+  sim::PortConfig port_cfg;
+  sim::EgressPort port(port_cfg);
+  port.add_hook(&pipeline);
+
+  traffic::PacketTraceConfig tcfg;
+  tcfg.duration_ns = 8'000'000;
+  tcfg.seed = 1000 + alpha * 100 + k * 10 + T;
+  port.run(traffic::generate_uw_trace(tcfg));
+  analysis.finalize(port.stats().last_departure + 1);
+  ground::GroundTruth truth(port.records());
+
+  // Invariant 1: per-window stats conservation. Everything stored into
+  // window i+1 was passed from window i.
+  const auto& stats = pipeline.windows().stats();
+  for (std::uint32_t i = 1; i < T; ++i) {
+    EXPECT_EQ(stats.stored[i], stats.passed[i - 1]) << "window " << i;
+  }
+  // Invariant 2: passes + drops = evictions <= stores.
+  for (std::uint32_t i = 0; i < T; ++i) {
+    EXPECT_LE(stats.passed[i] + stats.dropped[i], stats.stored[i]);
+  }
+
+  // Invariant 3: sampled victim queries return finite, non-negative
+  // counts, and accuracy stays above a coarse floor.
+  Rng rng(3);
+  const auto victims =
+      ground::sample_victims(port.records(), {{500, 25000}}, 40, rng);
+  OnlineStats precision;
+  for (const auto& v : victims) {
+    const auto est = analysis.query_time_windows(
+        0, v.record.enq_timestamp, v.record.deq_timestamp());
+    for (const auto& [flow, n] : est) {
+      EXPECT_TRUE(std::isfinite(n));
+      EXPECT_GE(n, 0.0);
+    }
+    const auto gt = truth.direct_culprits(v.record.enq_timestamp,
+                                          v.record.deq_timestamp());
+    if (gt.empty()) continue;
+    precision.add(ground::flow_count_accuracy(est, gt).precision);
+  }
+  if (precision.count() >= 10) {
+    EXPECT_GT(precision.mean(), 0.3)
+        << "alpha=" << alpha << " k=" << k << " T=" << T;
+  }
+
+  // Invariant 4: coefficients are monotone non-increasing and in (0, 1].
+  const auto coeffs = analysis.coefficients(0);
+  for (std::uint32_t i = 0; i < T; ++i) {
+    EXPECT_GT(coeffs.coefficient(i), 0.0);
+    EXPECT_LE(coeffs.coefficient(i), 1.0);
+    if (i > 0) {
+      EXPECT_LE(coeffs.coefficient(i), coeffs.coefficient(i - 1));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, ParamSweep,
+    ::testing::Values(SweepCase{1, 10, 2}, SweepCase{1, 10, 4},
+                      SweepCase{1, 12, 3}, SweepCase{2, 10, 3},
+                      SweepCase{2, 12, 4}, SweepCase{2, 11, 5},
+                      SweepCase{3, 10, 3}, SweepCase{3, 12, 4},
+                      SweepCase{4, 9, 3}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return "a" + std::to_string(info.param.alpha) + "_k" +
+             std::to_string(info.param.k) + "_T" +
+             std::to_string(info.param.T);
+    });
+
+}  // namespace
+}  // namespace pq

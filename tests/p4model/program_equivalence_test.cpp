@@ -1,0 +1,158 @@
+// Equivalence between the stage-accurate P4 program model and the
+// behavioural data structures: after arbitrary traffic, the register
+// contents must match cell for cell (flow signatures and cycle IDs for the
+// windows; entries, sequence numbers and top pointer for the monitor).
+// Also verifies the architectural constraints: stage budget and the
+// one-register-touch-per-packet discipline.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/queue_monitor.h"
+#include "core/time_windows.h"
+#include "p4model/printqueue_program.h"
+
+namespace pq::p4 {
+namespace {
+
+ProgramParams make_params(std::uint32_t alpha, std::uint32_t k,
+                          std::uint32_t T) {
+  ProgramParams p;
+  p.windows.m0 = 5;
+  p.windows.alpha = alpha;
+  p.windows.k = k;
+  p.windows.num_windows = T;
+  p.monitor_levels = 501;
+  return p;
+}
+
+struct Event {
+  FlowId flow;
+  Timestamp deq_ts;
+  std::uint32_t depth_after;
+};
+
+std::vector<Event> random_traffic(std::uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  Timestamp t = 0;
+  std::uint32_t depth = 100;
+  for (int i = 0; i < n; ++i) {
+    t += 16 + rng.uniform_below(64);
+    depth = static_cast<std::uint32_t>(std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(depth) +
+            static_cast<std::int64_t>(rng.uniform_below(21)) - 10,
+        0, 499));
+    events.push_back(
+        {make_flow(static_cast<std::uint32_t>(rng.uniform_below(64))), t,
+         depth});
+  }
+  return events;
+}
+
+class EquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t,
+                                                 std::uint32_t>> {};
+
+TEST_P(EquivalenceTest, RegistersMatchBehaviouralModel) {
+  const auto [alpha, k, T] = GetParam();
+  const auto params = make_params(alpha, k, T);
+
+  PrintQueueProgram program(params);
+  core::TimeWindowSet behavioural(params.windows);
+  core::QueueMonitorParams mp;
+  mp.max_depth_cells = params.monitor_levels - 1;
+  core::QueueMonitor monitor(mp);
+
+  for (const auto& ev : random_traffic(7 + alpha + k + T, 20000)) {
+    Phv phv;
+    phv.flow = ev.flow;
+    phv.enq_timestamp = ev.deq_ts;  // delta 0: deq == enq
+    phv.enq_qdepth = ev.depth_after;
+    phv.packet_cells = 0;
+    program.process(phv);
+
+    behavioural.on_packet(0, ev.flow, ev.deq_ts);
+    monitor.on_packet(0, ev.flow, ev.depth_after);
+  }
+
+  // Time windows: every occupied behavioural cell matches the program's
+  // register lanes; unoccupied cells are still all-zero lanes.
+  const auto state = behavioural.read_bank(behavioural.active_bank(), 0);
+  for (std::uint32_t w = 0; w < T; ++w) {
+    const auto& regs = program.window(w);
+    for (std::uint64_t j = 0; j < state[w].size(); ++j) {
+      if (state[w][j].occupied) {
+        EXPECT_EQ(regs.flow_sigs.peek(j), flow_signature(state[w][j].flow))
+            << "window " << w << " cell " << j;
+        EXPECT_EQ(regs.cycle_ids.peek(j), state[w][j].cycle_id)
+            << "window " << w << " cell " << j;
+      } else {
+        EXPECT_EQ(regs.flow_sigs.peek(j), 0u)
+            << "window " << w << " cell " << j;
+      }
+    }
+  }
+
+  // Queue monitor: entries, sequence numbers, top pointer.
+  const auto mstate = monitor.read_bank(monitor.active_bank(), 0);
+  EXPECT_EQ(program.monitor().top.peek(0), mstate.top);
+  for (std::uint32_t lvl = 0; lvl < mstate.entries.size(); ++lvl) {
+    const auto& e = mstate.entries[lvl];
+    if (e.inc.valid) {
+      EXPECT_EQ(program.monitor().inc_flow.peek(lvl),
+                flow_signature(e.inc.flow))
+          << "level " << lvl;
+      EXPECT_EQ(program.monitor().inc_seq.peek(lvl), e.inc.seq)
+          << "level " << lvl;
+    }
+    if (e.dec.valid) {
+      EXPECT_EQ(program.monitor().dec_flow.peek(lvl),
+                flow_signature(e.dec.flow))
+          << "level " << lvl;
+      EXPECT_EQ(program.monitor().dec_seq.peek(lvl), e.dec.seq)
+          << "level " << lvl;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, EquivalenceTest,
+    ::testing::Values(std::make_tuple(1u, 6u, 3u), std::make_tuple(1u, 8u, 4u),
+                      std::make_tuple(2u, 6u, 3u), std::make_tuple(2u, 8u, 5u),
+                      std::make_tuple(3u, 7u, 4u)),
+    [](const auto& info) {
+      return "a" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_T" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(P4Program, StageBudgetMatchesPaper) {
+  PrintQueueProgram program(make_params(2, 12, 4));
+  EXPECT_EQ(program.window_stage_count(), 12u);  // 4 prep + 2*4
+  EXPECT_EQ(program.monitor_stage_count(), 6u);
+}
+
+TEST(P4Program, RejectsWrap32) {
+  ProgramParams p = make_params(1, 6, 3);
+  p.windows.wrap32 = true;
+  EXPECT_THROW(PrintQueueProgram{p}, std::invalid_argument);
+}
+
+TEST(P4Program, RegisterDisciplineRejectsDoubleTouch) {
+  RegisterArray<std::uint64_t> reg("test", 8);
+  reg.exchange(0, 1, /*epoch=*/1);
+  EXPECT_THROW(reg.exchange(1, 2, /*epoch=*/1), std::logic_error);
+  EXPECT_NO_THROW(reg.exchange(1, 2, /*epoch=*/2));
+}
+
+TEST(P4Program, PacketsProcessedCounts) {
+  PrintQueueProgram program(make_params(1, 6, 3));
+  Phv phv;
+  phv.flow = make_flow(1);
+  phv.enq_timestamp = 100;
+  program.process(phv);
+  EXPECT_EQ(program.packets_processed(), 1u);
+}
+
+}  // namespace
+}  // namespace pq::p4

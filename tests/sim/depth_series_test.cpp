@@ -1,0 +1,71 @@
+#include "sim/depth_series.h"
+
+#include <gtest/gtest.h>
+
+namespace pq::sim {
+namespace {
+
+DepthSeries sample() {
+  DepthSeries s;
+  s.record(10, 5);
+  s.record(20, 0);
+  s.record(30, 8);
+  s.record(40, 3);
+  s.record(50, 0);
+  s.record(60, 12);
+  return s;
+}
+
+TEST(DepthSeries, DepthBeforeFirstSampleIsZero) {
+  EXPECT_EQ(sample().depth_at(5), 0u);
+}
+
+TEST(DepthSeries, DepthAtIsRightContinuousStep) {
+  const auto s = sample();
+  EXPECT_EQ(s.depth_at(10), 5u);
+  EXPECT_EQ(s.depth_at(15), 5u);
+  EXPECT_EQ(s.depth_at(20), 0u);
+  EXPECT_EQ(s.depth_at(35), 8u);
+  EXPECT_EQ(s.depth_at(100), 12u);
+}
+
+TEST(DepthSeries, SameTimestampOverwrites) {
+  DepthSeries s;
+  s.record(10, 5);
+  s.record(10, 7);
+  EXPECT_EQ(s.depth_at(10), 7u);
+  EXPECT_EQ(s.samples().size(), 1u);
+}
+
+TEST(DepthSeries, RegimeStartFindsLastEmptyInstant) {
+  const auto s = sample();
+  EXPECT_EQ(s.regime_start(45), 20u);
+  EXPECT_EQ(s.regime_start(70), 50u);
+  EXPECT_EQ(s.regime_start(15), 0u);  // never empty before 15
+}
+
+TEST(DepthSeries, PeakDepthOverRange) {
+  const auto s = sample();
+  EXPECT_EQ(s.peak_depth(25, 45), 8u);
+  EXPECT_EQ(s.peak_depth(0, 100), 12u);
+  EXPECT_EQ(s.peak_depth(41, 49), 3u);  // inherits depth at range start
+}
+
+TEST(DepthSeries, DownsampleKeepsEndpoints) {
+  DepthSeries s;
+  for (Timestamp t = 0; t < 1000; ++t) {
+    s.record(t, static_cast<std::uint32_t>(t % 50));
+  }
+  const auto d = s.downsample(10);
+  EXPECT_LE(d.size(), 11u);
+  EXPECT_EQ(d.front().t, 0u);
+  EXPECT_EQ(d.back().t, 999u);
+}
+
+TEST(DepthSeries, DownsampleNoOpWhenSmall) {
+  const auto s = sample();
+  EXPECT_EQ(s.downsample(100).size(), s.samples().size());
+}
+
+}  // namespace
+}  // namespace pq::sim

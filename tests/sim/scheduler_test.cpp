@@ -1,0 +1,135 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace pq::sim {
+namespace {
+
+QueuedPacket qp(std::uint32_t flow, std::uint8_t prio = 0,
+                std::uint32_t bytes = 100) {
+  QueuedPacket q;
+  q.pkt.flow = make_flow(flow);
+  q.pkt.priority = prio;
+  q.pkt.size_bytes = bytes;
+  return q;
+}
+
+TEST(FifoScheduler, DequeuesInArrivalOrder) {
+  FifoScheduler s;
+  for (std::uint32_t i = 0; i < 5; ++i) s.enqueue(qp(i));
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    auto p = s.dequeue();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->pkt.flow, make_flow(i));
+  }
+  EXPECT_FALSE(s.dequeue().has_value());
+}
+
+TEST(FifoScheduler, EmptyAndCountTrackState) {
+  FifoScheduler s;
+  EXPECT_TRUE(s.empty());
+  s.enqueue(qp(1));
+  s.enqueue(qp(2));
+  EXPECT_EQ(s.packet_count(), 2u);
+  s.dequeue();
+  EXPECT_EQ(s.packet_count(), 1u);
+  s.dequeue();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(StrictPriority, RejectsZeroClasses) {
+  EXPECT_THROW(StrictPriorityScheduler(0), std::invalid_argument);
+}
+
+TEST(StrictPriority, HighPriorityAlwaysFirst) {
+  StrictPriorityScheduler s(4);
+  s.enqueue(qp(1, 3));
+  s.enqueue(qp(2, 0));
+  s.enqueue(qp(3, 1));
+  EXPECT_EQ(s.dequeue()->pkt.flow, make_flow(2));  // prio 0 first
+  EXPECT_EQ(s.dequeue()->pkt.flow, make_flow(3));
+  EXPECT_EQ(s.dequeue()->pkt.flow, make_flow(1));
+}
+
+TEST(StrictPriority, FifoWithinClass) {
+  StrictPriorityScheduler s(2);
+  s.enqueue(qp(1, 1));
+  s.enqueue(qp(2, 1));
+  s.enqueue(qp(3, 1));
+  EXPECT_EQ(s.dequeue()->pkt.flow, make_flow(1));
+  EXPECT_EQ(s.dequeue()->pkt.flow, make_flow(2));
+  EXPECT_EQ(s.dequeue()->pkt.flow, make_flow(3));
+}
+
+TEST(StrictPriority, OutOfRangePriorityClampsToLastClass) {
+  StrictPriorityScheduler s(2);
+  s.enqueue(qp(1, 7));  // clamped to class 1
+  s.enqueue(qp(2, 0));
+  EXPECT_EQ(s.dequeue()->pkt.flow, make_flow(2));
+  EXPECT_EQ(s.dequeue()->pkt.flow, make_flow(1));
+}
+
+TEST(Drr, RejectsBadParams) {
+  EXPECT_THROW(DrrScheduler(0, 100), std::invalid_argument);
+  EXPECT_THROW(DrrScheduler(2, 0), std::invalid_argument);
+}
+
+TEST(Drr, SingleClassBehavesLikeFifo) {
+  DrrScheduler s(1, 1500);
+  for (std::uint32_t i = 0; i < 4; ++i) s.enqueue(qp(i));
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(s.dequeue()->pkt.flow, make_flow(i));
+  }
+}
+
+TEST(Drr, SharesBandwidthEquallyForEqualSizes) {
+  DrrScheduler s(2, 200);
+  // Backlog both classes with equal-size packets.
+  for (int i = 0; i < 100; ++i) {
+    s.enqueue(qp(0, 0, 100));
+    s.enqueue(qp(1, 1, 100));
+  }
+  int count0 = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto p = s.dequeue();
+    ASSERT_TRUE(p.has_value());
+    if (p->pkt.flow == make_flow(0)) ++count0;
+  }
+  EXPECT_NEAR(count0, 50, 5);
+}
+
+TEST(Drr, ByteFairnessWithUnequalSizes) {
+  // Class 0 sends 1500 B packets, class 1 sends 100 B packets; byte shares
+  // should be roughly equal, so class 1 dequeues ~15x more packets.
+  DrrScheduler s(2, 1500);
+  for (int i = 0; i < 200; ++i) s.enqueue(qp(0, 0, 1500));
+  for (int i = 0; i < 3000; ++i) s.enqueue(qp(1, 1, 100));
+  std::uint64_t bytes0 = 0, bytes1 = 0;
+  for (int i = 0; i < 1000; ++i) {
+    auto p = s.dequeue();
+    ASSERT_TRUE(p.has_value());
+    (p->pkt.priority == 0 ? bytes0 : bytes1) += p->pkt.size_bytes;
+  }
+  const double ratio = static_cast<double>(bytes0) /
+                       static_cast<double>(bytes1);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(Drr, DrainsCompletely) {
+  DrrScheduler s(3, 500);
+  for (std::uint32_t i = 0; i < 30; ++i) s.enqueue(qp(i, i % 3));
+  int n = 0;
+  while (s.dequeue().has_value()) ++n;
+  EXPECT_EQ(n, 30);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(MakeScheduler, BuildsEachKind) {
+  EXPECT_NE(make_scheduler(SchedulerKind::kFifo), nullptr);
+  EXPECT_NE(make_scheduler(SchedulerKind::kStrictPriority, 4), nullptr);
+  EXPECT_NE(make_scheduler(SchedulerKind::kDrr, 4, 1500), nullptr);
+}
+
+}  // namespace
+}  // namespace pq::sim

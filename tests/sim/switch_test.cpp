@@ -1,0 +1,92 @@
+#include "sim/switch.h"
+
+#include <gtest/gtest.h>
+
+namespace pq::sim {
+namespace {
+
+Packet pkt(std::uint32_t flow, Timestamp t) {
+  Packet p;
+  p.flow = make_flow(flow);
+  p.size_bytes = 500;
+  p.arrival_ns = t;
+  return p;
+}
+
+std::vector<PortConfig> two_ports() {
+  PortConfig a;
+  a.port_id = 0;
+  PortConfig b;
+  b.port_id = 1;
+  return {a, b};
+}
+
+TEST(Switch, RejectsZeroPorts) {
+  EXPECT_THROW(Switch{std::vector<PortConfig>{}}, std::invalid_argument);
+}
+
+TEST(Switch, ForwardsByFunction) {
+  Switch sw(two_ports());
+  sw.set_forwarding([](const Packet& p) {
+    return p.flow.dst_port % 2 == 0 ? 0u : 1u;
+  });
+  std::vector<Packet> pkts;
+  for (std::uint32_t i = 0; i < 100; ++i) pkts.push_back(pkt(i, i * 10));
+  sw.run(std::move(pkts));
+  EXPECT_EQ(sw.port(0).records().size() + sw.port(1).records().size(), 100u);
+  EXPECT_GT(sw.port(0).records().size(), 0u);
+  EXPECT_GT(sw.port(1).records().size(), 0u);
+  for (const auto& r : sw.port(0).records()) {
+    EXPECT_EQ(r.flow.dst_port % 2, 0);
+  }
+}
+
+TEST(Switch, DefaultForwardingSpreadsFlows) {
+  Switch sw(two_ports());
+  std::vector<Packet> pkts;
+  for (std::uint32_t i = 0; i < 400; ++i) pkts.push_back(pkt(i, i));
+  sw.run(std::move(pkts));
+  EXPECT_GT(sw.port(0).records().size(), 100u);
+  EXPECT_GT(sw.port(1).records().size(), 100u);
+}
+
+TEST(Switch, SameFlowAlwaysSamePort) {
+  Switch sw(two_ports());
+  std::vector<Packet> pkts;
+  for (std::uint32_t i = 0; i < 50; ++i) pkts.push_back(pkt(7, i * 100));
+  sw.run(std::move(pkts));
+  const bool on0 = !sw.port(0).records().empty();
+  const bool on1 = !sw.port(1).records().empty();
+  EXPECT_NE(on0, on1);  // all on exactly one port
+}
+
+TEST(Switch, InvalidForwardingThrows) {
+  Switch sw(two_ports());
+  sw.set_forwarding([](const Packet&) { return 99u; });
+  EXPECT_THROW(sw.run({pkt(1, 0)}), std::out_of_range);
+}
+
+TEST(Switch, HookAllReachesEveryPort) {
+  struct Probe : EgressHook {
+    int count = 0;
+    void on_egress(const EgressContext&) override { ++count; }
+  } probe;
+  Switch sw(two_ports());
+  sw.add_hook_all(&probe);
+  std::vector<Packet> pkts;
+  for (std::uint32_t i = 0; i < 100; ++i) pkts.push_back(pkt(i, i * 5));
+  sw.run(std::move(pkts));
+  EXPECT_EQ(probe.count, 100);
+}
+
+TEST(Switch, PortIdsAppearInRecords) {
+  Switch sw(two_ports());
+  std::vector<Packet> pkts;
+  for (std::uint32_t i = 0; i < 64; ++i) pkts.push_back(pkt(i, i * 3));
+  sw.run(std::move(pkts));
+  for (const auto& r : sw.port(1).records()) EXPECT_EQ(r.egress_port, 1u);
+  for (const auto& r : sw.port(0).records()) EXPECT_EQ(r.egress_port, 0u);
+}
+
+}  // namespace
+}  // namespace pq::sim

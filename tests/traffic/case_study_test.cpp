@@ -1,0 +1,97 @@
+#include "traffic/case_study.h"
+
+#include <gtest/gtest.h>
+
+namespace pq::traffic {
+namespace {
+
+CaseStudyConfig quick_config() {
+  CaseStudyConfig cfg;
+  cfg.duration_ns = 120'000'000;  // 120 ms keeps the test fast
+  return cfg;
+}
+
+class CaseStudyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::PortConfig pc;
+    pc.line_rate_gbps = 10.0;
+    // The burst parks ~24k cells in the queue (9 Gb/s background + 4 Gb/s
+    // burst for 5 ms); the buffer must absorb it without tail drops or the
+    // background AIMD backs off and drains the queue unrealistically fast.
+    pc.capacity_cells = 30000;
+    port_ = std::make_unique<sim::EgressPort>(pc);
+    result_ = run_case_study(quick_config(), *port_);
+  }
+  std::unique_ptr<sim::EgressPort> port_;
+  CaseStudyResult result_;
+};
+
+TEST_F(CaseStudyTest, BurstLastsAboutFiveMilliseconds) {
+  const auto cfg = quick_config();
+  const auto burst_span = result_.burst_end_ns - cfg.burst_start_ns;
+  EXPECT_GT(burst_span, 4'000'000u);
+  EXPECT_LT(burst_span, 8'000'000u);
+}
+
+TEST_F(CaseStudyTest, BurstDrivesQueueDeep) {
+  const auto cfg = quick_config();
+  const auto peak = port_->depth_series().peak_depth(
+      cfg.burst_start_ns, result_.burst_end_ns + 2'000'000);
+  EXPECT_GT(peak, 15'000u);  // the paper's Fig. 16(a) reaches ~20k cells
+}
+
+TEST_F(CaseStudyTest, QueuePersistsLongAfterBurst) {
+  // The central observation: queuing outlives the burst by a large factor.
+  const auto cfg = quick_config();
+  const auto burst_span = result_.burst_end_ns - cfg.burst_start_ns;
+  const auto regime_span = result_.regime_end_ns - cfg.burst_start_ns;
+  EXPECT_GT(regime_span, 5 * burst_span);
+}
+
+TEST_F(CaseStudyTest, QueueWasShallowBeforeBurst) {
+  const auto cfg = quick_config();
+  EXPECT_LT(port_->depth_series().peak_depth(
+                cfg.burst_start_ns / 2, cfg.burst_start_ns - 1'000'000),
+            5'000u);
+}
+
+TEST_F(CaseStudyTest, AllThreeFlowsDeliverTraffic) {
+  std::uint64_t bg = 0, burst = 0, tcp = 0;
+  for (const auto& r : port_->records()) {
+    if (r.flow == result_.background_flow) ++bg;
+    if (r.flow == result_.burst_flow) ++burst;
+    if (r.flow == result_.new_tcp_flow) ++tcp;
+  }
+  EXPECT_GT(bg, 10'000u);
+  EXPECT_GT(burst, 9'000u);  // most of the 10k datagrams survive
+  EXPECT_GT(tcp, 1'000u);
+}
+
+TEST_F(CaseStudyTest, NewTcpExperiencesHighDelay) {
+  // New TCP packets arriving into the standing queue must see large
+  // queuing delays shortly after their start.
+  const auto cfg = quick_config();
+  Duration max_delay = 0;
+  for (const auto& r : port_->records()) {
+    if (r.flow == result_.new_tcp_flow &&
+        r.enq_timestamp < cfg.new_tcp_start_ns + 10'000'000) {
+      max_delay = std::max(max_delay, r.deq_timedelta);
+    }
+  }
+  EXPECT_GT(max_delay, 100'000u);  // >100 us of queuing
+}
+
+TEST_F(CaseStudyTest, BurstPacketsGoneBeforeNewTcpArrives) {
+  const auto cfg = quick_config();
+  Timestamp last_burst_deq = 0;
+  for (const auto& r : port_->records()) {
+    if (r.flow == result_.burst_flow) {
+      last_burst_deq = std::max(last_burst_deq, r.deq_timestamp());
+    }
+  }
+  EXPECT_LT(last_burst_deq, cfg.new_tcp_start_ns);
+}
+
+}  // namespace
+}  // namespace pq::traffic

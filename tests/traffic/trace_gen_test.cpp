@@ -1,0 +1,270 @@
+#include "traffic/trace_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "traffic/distributions.h"
+
+namespace pq::traffic {
+namespace {
+
+double offered_load_gbps(const std::vector<Packet>& pkts) {
+  if (pkts.size() < 2) return 0.0;
+  std::uint64_t bytes = 0;
+  for (const auto& p : pkts) bytes += p.size_bytes;
+  const double span =
+      static_cast<double>(pkts.back().arrival_ns - pkts.front().arrival_ns);
+  return static_cast<double>(bytes) * 8.0 / span;
+}
+
+TEST(Distributions, WebSearchMeanIsMegabytesScale) {
+  const double mean = web_search_flow_sizes().mean();
+  EXPECT_GT(mean, 1.0e6);
+  EXPECT_LT(mean, 4.0e6);
+}
+
+TEST(Distributions, DataMiningIsMiceDominatedWithElephants) {
+  const auto& dm = data_mining_flow_sizes();
+  EXPECT_LT(dm.quantile(0.8), 11'000.0);   // 80% under ~10 kB
+  EXPECT_GT(dm.quantile(0.99), 1.0e8);     // elephants in the tail
+}
+
+TEST(Distributions, NextSegmentIsMtuThenTail) {
+  EXPECT_EQ(next_segment_bytes(10'000), kMtuBytes);
+  EXPECT_EQ(next_segment_bytes(1500), kMtuBytes);
+  EXPECT_EQ(next_segment_bytes(700), 700u);
+  EXPECT_EQ(next_segment_bytes(10), kMinPacketBytes);  // floors at 64 B
+}
+
+TEST(UwTrace, RejectsBadConfig) {
+  PacketTraceConfig cfg;
+  cfg.avg_load = 0.0;
+  EXPECT_THROW(generate_uw_trace(cfg), std::invalid_argument);
+}
+
+TEST(UwTrace, IsSortedWithSequentialIds) {
+  PacketTraceConfig cfg;
+  cfg.duration_ns = 2'000'000;
+  const auto pkts = generate_uw_trace(cfg);
+  ASSERT_GT(pkts.size(), 1000u);
+  for (std::size_t i = 1; i < pkts.size(); ++i) {
+    EXPECT_GE(pkts[i].arrival_ns, pkts[i - 1].arrival_ns);
+    EXPECT_EQ(pkts[i].id, pkts[i - 1].id + 1);
+  }
+}
+
+TEST(UwTrace, AverageLoadNearTarget) {
+  PacketTraceConfig cfg;
+  cfg.duration_ns = 50'000'000;
+  cfg.avg_load = 0.73;
+  const auto pkts = generate_uw_trace(cfg);
+  EXPECT_NEAR(offered_load_gbps(pkts), 7.3, 1.2);
+}
+
+TEST(UwTrace, SmallPacketsDominate) {
+  PacketTraceConfig cfg;
+  cfg.duration_ns = 5'000'000;
+  const auto pkts = generate_uw_trace(cfg);
+  std::uint64_t bytes = 0;
+  for (const auto& p : pkts) bytes += p.size_bytes;
+  const double mean = static_cast<double>(bytes) /
+                      static_cast<double>(pkts.size());
+  EXPECT_GT(mean, 80.0);
+  EXPECT_LT(mean, 160.0);  // ~100 B average, like the UW trace
+}
+
+TEST(UwTrace, PacketRateMatchesPaperOrder) {
+  // The paper reports ~9.1 Mpps at 10 Gb/s for UW; that is ~0.009 pkts/ns.
+  PacketTraceConfig cfg;
+  cfg.duration_ns = 20'000'000;
+  const auto pkts = generate_uw_trace(cfg);
+  const double rate_mpps = static_cast<double>(pkts.size()) /
+                           (static_cast<double>(cfg.duration_ns) / 1e3);
+  EXPECT_GT(rate_mpps, 5.0);
+  EXPECT_LT(rate_mpps, 12.0);
+}
+
+TEST(UwTrace, LongTailedFlowPopularity) {
+  PacketTraceConfig cfg;
+  cfg.duration_ns = 20'000'000;
+  const auto pkts = generate_uw_trace(cfg);
+  std::unordered_map<FlowId, std::uint64_t> counts;
+  for (const auto& p : pkts) ++counts[p.flow];
+  std::vector<std::uint64_t> sorted;
+  for (const auto& [f, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  ASSERT_GT(sorted.size(), 100u);
+  // 100th-largest flow well under 3% of the largest (paper: <1% over the
+  // full multi-second trace; short spans are a bit noisier).
+  EXPECT_LT(static_cast<double>(sorted[99]),
+            0.03 * static_cast<double>(sorted[0]));
+}
+
+TEST(UwTrace, DeterministicPerSeed) {
+  PacketTraceConfig cfg;
+  cfg.duration_ns = 1'000'000;
+  const auto a = generate_uw_trace(cfg);
+  const auto b = generate_uw_trace(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_ns, b[i].arrival_ns);
+    EXPECT_EQ(a[i].flow, b[i].flow);
+  }
+  cfg.seed = 99;
+  const auto c = generate_uw_trace(cfg);
+  bool differs = a.size() != c.size();
+  for (std::size_t i = 0; !differs && i < std::min(a.size(), c.size()); ++i) {
+    differs = a[i].arrival_ns != c[i].arrival_ns || !(a[i].flow == c[i].flow);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(UwTrace, BurstyModeCreatesRateWaves) {
+  PacketTraceConfig cfg;
+  cfg.duration_ns = 20'000'000;
+  cfg.bursty = true;
+  const auto pkts = generate_uw_trace(cfg);
+  // Count packets per 200 us bucket; bursty traffic must show high variance.
+  std::vector<double> buckets(100, 0.0);
+  for (const auto& p : pkts) {
+    buckets[std::min<std::size_t>(p.arrival_ns / 200'000, 99)] += 1.0;
+  }
+  double mean = 0, var = 0;
+  for (double b : buckets) mean += b;
+  mean /= 100;
+  for (double b : buckets) var += (b - mean) * (b - mean);
+  var /= 99;
+  // Poisson would give var ~ mean; on/off modulation gives much more.
+  EXPECT_GT(var, 3.0 * mean);
+}
+
+TEST(FlowTrace, RequiresDistribution) {
+  FlowTraceConfig cfg;
+  EXPECT_THROW(generate_flow_trace(cfg), std::invalid_argument);
+}
+
+TEST(FlowTrace, IsSortedAndSegmented) {
+  FlowTraceConfig cfg;
+  cfg.flow_sizes = &web_search_flow_sizes();
+  cfg.duration_ns = 20'000'000;
+  const auto pkts = generate_flow_trace(cfg);
+  ASSERT_GT(pkts.size(), 100u);
+  for (std::size_t i = 1; i < pkts.size(); ++i) {
+    EXPECT_GE(pkts[i].arrival_ns, pkts[i - 1].arrival_ns);
+  }
+  for (const auto& p : pkts) {
+    EXPECT_GE(p.size_bytes, kMinPacketBytes);
+    EXPECT_LE(p.size_bytes, kMtuBytes);
+  }
+}
+
+TEST(FlowTrace, MostBytesInMtuSegments) {
+  FlowTraceConfig cfg;
+  cfg.flow_sizes = &web_search_flow_sizes();
+  cfg.duration_ns = 30'000'000;
+  const auto pkts = generate_flow_trace(cfg);
+  std::uint64_t mtu = 0;
+  for (const auto& p : pkts) mtu += (p.size_bytes == kMtuBytes);
+  EXPECT_GT(static_cast<double>(mtu) / static_cast<double>(pkts.size()), 0.9);
+}
+
+TEST(FlowTrace, LoadTracksTarget) {
+  FlowTraceConfig cfg;
+  cfg.flow_sizes = &web_search_flow_sizes();
+  cfg.duration_ns = 30'000'000;
+  cfg.avg_load = 0.9;
+  cfg.bursty = false;  // measure the pacing itself, not phase luck
+  const auto pkts = generate_flow_trace(cfg);
+  EXPECT_NEAR(offered_load_gbps(pkts), 9.0, 0.7);
+}
+
+TEST(FlowTrace, BurstyModulationPreservesAverageLoad) {
+  FlowTraceConfig cfg;
+  cfg.flow_sizes = &web_search_flow_sizes();
+  cfg.duration_ns = 200'000'000;  // long enough to average many phases
+  cfg.avg_load = 0.9;
+  const auto pkts = generate_flow_trace(cfg);
+  EXPECT_NEAR(offered_load_gbps(pkts), 9.0, 1.8);
+}
+
+TEST(FlowTrace, PacketRateMatchesPaperOrder) {
+  // Paper Section 7.1: WS/DM run at ~0.84 Mpps (near-MTU packets on a
+  // 10 Gb/s link).
+  FlowTraceConfig cfg;
+  cfg.flow_sizes = &web_search_flow_sizes();
+  cfg.duration_ns = 30'000'000;
+  const auto pkts = generate_flow_trace(cfg);
+  const double mpps = static_cast<double>(pkts.size()) /
+                      (static_cast<double>(cfg.duration_ns) / 1e3);
+  EXPECT_GT(mpps, 0.5);
+  EXPECT_LT(mpps, 1.3);
+}
+
+TEST(FlowTrace, ConcurrentFlowChurnReplacesFinishedMice) {
+  // The data-mining mix is mice-dominated: over a modest horizon the pool
+  // must have churned through many more flows than its size.
+  FlowTraceConfig cfg;
+  cfg.flow_sizes = &data_mining_flow_sizes();
+  cfg.duration_ns = 20'000'000;
+  cfg.concurrent_flows = 16;
+  const auto pkts = generate_flow_trace(cfg);
+  std::unordered_set<FlowId> flows;
+  for (const auto& p : pkts) flows.insert(p.flow);
+  EXPECT_GT(flows.size(), 100u);
+}
+
+TEST(FlowTrace, ElephantsPersistAcrossTheTrace) {
+  // Web-search elephants (multi-MB at ~1 MB/s effective share) span the
+  // whole excerpt, so some flow must appear in both halves.
+  FlowTraceConfig cfg;
+  cfg.flow_sizes = &web_search_flow_sizes();
+  cfg.duration_ns = 20'000'000;
+  const auto pkts = generate_flow_trace(cfg);
+  std::unordered_set<FlowId> first_half, both;
+  for (const auto& p : pkts) {
+    if (p.arrival_ns < cfg.duration_ns / 2) {
+      first_half.insert(p.flow);
+    } else if (first_half.contains(p.flow)) {
+      both.insert(p.flow);
+    }
+  }
+  EXPECT_GT(both.size(), 3u);
+}
+
+TEST(GenerateTrace, AllThreeKindsProduceTraffic) {
+  for (auto kind : {TraceKind::kUW, TraceKind::kWS, TraceKind::kDM}) {
+    const auto pkts = generate_trace(kind, 10'000'000, 1);
+    EXPECT_GT(pkts.size(), 100u) << static_cast<int>(kind);
+  }
+}
+
+TEST(MergeTraces, InterleavesAndRenumbers) {
+  std::vector<Packet> a(3), b(2);
+  a[0].arrival_ns = 10;
+  a[1].arrival_ns = 30;
+  a[2].arrival_ns = 50;
+  b[0].arrival_ns = 20;
+  b[1].arrival_ns = 40;
+  const auto merged = merge_traces({a, b});
+  ASSERT_EQ(merged.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(merged[i].arrival_ns, (i + 1) * 10);
+    EXPECT_EQ(merged[i].id, i + 1);
+  }
+}
+
+TEST(PaperParams, MatchSection71) {
+  const auto uw = paper_params(TraceKind::kUW);
+  EXPECT_EQ(uw.m0, 6u);
+  EXPECT_EQ(uw.alpha, 2u);
+  const auto ws = paper_params(TraceKind::kWS);
+  EXPECT_EQ(ws.m0, 10u);
+  EXPECT_EQ(ws.alpha, 1u);
+  EXPECT_EQ(ws.k, 12u);
+  EXPECT_EQ(ws.num_windows, 4u);
+}
+
+}  // namespace
+}  // namespace pq::traffic

@@ -1,0 +1,105 @@
+#include "wire/telemetry.h"
+
+#include <gtest/gtest.h>
+
+namespace pq::wire {
+namespace {
+
+TelemetryHeader sample_header() {
+  TelemetryHeader h;
+  h.egress_port = 3;
+  h.enq_timestamp = 1'000'000'123;
+  h.deq_timedelta = 45'678;
+  h.enq_qdepth = 12345;
+  h.packet_cells = 19;
+  return h;
+}
+
+TEST(TelemetryHeader, EncodeParseRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  encode_telemetry(buf, sample_header());
+  EXPECT_EQ(buf.size(), TelemetryHeader::kSize);
+  const auto parsed = parse_telemetry(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->egress_port, 3u);
+  EXPECT_EQ(parsed->enq_timestamp, 1'000'000'123u);
+  EXPECT_EQ(parsed->deq_timedelta, 45'678u);
+  EXPECT_EQ(parsed->enq_qdepth, 12345u);
+  EXPECT_EQ(parsed->packet_cells, 19);
+  EXPECT_EQ(parsed->deq_timestamp(), 1'000'045'801u);
+}
+
+TEST(TelemetryHeader, ParseRejectsShortBuffer) {
+  std::vector<std::uint8_t> buf(TelemetryHeader::kSize - 1, 0);
+  EXPECT_FALSE(parse_telemetry(buf).has_value());
+}
+
+TEST(BuildEvalFrame, PadsToWireSize) {
+  Packet pkt;
+  pkt.flow = make_flow(5);
+  pkt.size_bytes = 500;
+  const auto frame = build_eval_frame(pkt, sample_header());
+  // 500 B packet + the inserted 26 B telemetry header.
+  EXPECT_EQ(frame.size(), 500u + TelemetryHeader::kSize);
+}
+
+TEST(BuildEvalFrame, MinimalPacketStillCarriesHeaders) {
+  Packet pkt;
+  pkt.flow = make_flow(6, kProtoUdp);
+  pkt.size_bytes = 64;
+  const auto frame = build_eval_frame(pkt, sample_header());
+  // Headers exceed 64 B; the frame grows instead of truncating.
+  EXPECT_GE(frame.size(),
+            EthernetHeader::kSize + Ipv4Header::kSize + L4Header::kUdpSize +
+                TelemetryHeader::kSize);
+}
+
+TEST(TelemetryCollector, IngestsWellFormedFrames) {
+  TelemetryCollector col;
+  Packet pkt;
+  pkt.flow = make_flow(9);
+  pkt.size_bytes = 300;
+  pkt.priority = 2;
+  EXPECT_TRUE(col.ingest(build_eval_frame(pkt, sample_header())));
+  ASSERT_EQ(col.records().size(), 1u);
+  const auto& rec = col.records()[0];
+  EXPECT_EQ(rec.flow, pkt.flow);
+  EXPECT_EQ(rec.enq_timestamp, 1'000'000'123u);
+  EXPECT_EQ(rec.deq_timedelta, 45'678u);
+  EXPECT_EQ(rec.enq_qdepth, 12345u);
+  EXPECT_EQ(rec.size_bytes, 300u);
+  EXPECT_EQ(col.malformed_count(), 0u);
+}
+
+TEST(TelemetryCollector, CountsMalformedFrames) {
+  TelemetryCollector col;
+  std::vector<std::uint8_t> junk(40, 0x5a);
+  EXPECT_FALSE(col.ingest(junk));
+  EXPECT_EQ(col.malformed_count(), 1u);
+  EXPECT_TRUE(col.records().empty());
+}
+
+TEST(TelemetryCollector, CountsTruncatedTelemetry) {
+  Packet pkt;
+  pkt.flow = make_flow(9);
+  pkt.size_bytes = 64;
+  auto frame = build_eval_frame(pkt, sample_header());
+  frame.resize(frame.size() - TelemetryHeader::kSize);  // strip telemetry
+  TelemetryCollector col;
+  EXPECT_FALSE(col.ingest(frame));
+  EXPECT_EQ(col.malformed_count(), 1u);
+}
+
+TEST(TelemetryCollector, TakeRecordsMovesOut) {
+  TelemetryCollector col;
+  Packet pkt;
+  pkt.flow = make_flow(1);
+  pkt.size_bytes = 200;
+  col.ingest(build_eval_frame(pkt, sample_header()));
+  auto recs = col.take_records();
+  EXPECT_EQ(recs.size(), 1u);
+  EXPECT_TRUE(col.records().empty());
+}
+
+}  // namespace
+}  // namespace pq::wire

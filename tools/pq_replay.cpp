@@ -1,0 +1,172 @@
+// pq_replay — offline analysis of a collected trace: replay the egress
+// stream through the PrintQueue data plane, then answer culprit queries.
+//
+// Usage:
+//   pq_replay <trace.pqt> [--victim worst|<packet_id>] [--top K]
+//             [--alpha A] [--k K] [--T N] [--m0 M] [--salvage]
+//
+// Prints the victim's direct, indirect, and original culprits with
+// ground-truth accuracy (the trace carries the telemetry needed for both).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "control/analysis_program.h"
+#include "control/register_records.h"
+#include "ground/ground_truth.h"
+#include "ground/metrics.h"
+#include "wire/trace_io.h"
+
+namespace {
+
+double arg_double(int argc, char** argv, const char* name, double dflt) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return dflt;
+}
+
+bool arg_flag(int argc, char** argv, const char* name) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+const char* arg_str(int argc, char** argv, const char* name,
+                    const char* dflt) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return dflt;
+}
+
+void print_counts(const char* title, const pq::core::FlowCounts& counts,
+                  std::size_t top) {
+  std::printf("\n%s (%zu flows):\n", title, counts.size());
+  for (const auto& [flow, n] : pq::core::top_k_flows(counts, top)) {
+    std::printf("  %-44s %10.1f\n", pq::to_string(flow).c_str(), n);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pq;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: pq_replay <trace.pqt> [--victim worst|<id>] "
+                 "[--top K] [--alpha A] [--k K] [--T N] [--m0 M] "
+                 "[--salvage] [--save-records out.pqr]\n");
+    return 2;
+  }
+
+  std::vector<wire::TelemetryRecord> records;
+  try {
+    records = wire::read_trace_file(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot read %s: %s\n", argv[1], e.what());
+    return 1;
+  }
+  if (records.empty()) {
+    std::fprintf(stderr, "trace is empty\n");
+    return 1;
+  }
+
+  core::PipelineConfig cfg;
+  cfg.windows.m0 = static_cast<std::uint32_t>(
+      arg_double(argc, argv, "--m0", 6));
+  cfg.windows.alpha = static_cast<std::uint32_t>(
+      arg_double(argc, argv, "--alpha", 2));
+  cfg.windows.k =
+      static_cast<std::uint32_t>(arg_double(argc, argv, "--k", 12));
+  cfg.windows.num_windows =
+      static_cast<std::uint32_t>(arg_double(argc, argv, "--T", 4));
+  std::uint32_t max_depth = 0;
+  for (const auto& r : records) {
+    max_depth = std::max(max_depth, r.enq_qdepth + bytes_to_cells(r.size_bytes));
+  }
+  cfg.monitor.max_depth_cells = std::max(1024u, max_depth);
+
+  core::PrintQueuePipeline pipeline(cfg);
+  control::AnalysisConfig acfg;
+  acfg.salvage_stale_cells = arg_flag(argc, argv, "--salvage");
+  control::AnalysisProgram analysis(pipeline, acfg);
+
+  // Replay the egress stream (records are the stream, sorted by dequeue).
+  ground::GroundTruth truth(records);
+  const std::uint32_t egress_port = truth.records_by_deq().front().egress_port;
+  pipeline.enable_port(egress_port);
+  for (const auto& r : truth.records_by_deq()) {
+    sim::EgressContext ctx;
+    ctx.flow = r.flow;
+    ctx.egress_port = r.egress_port;
+    ctx.size_bytes = r.size_bytes;
+    ctx.packet_cells = static_cast<std::uint16_t>(
+        bytes_to_cells(r.size_bytes));
+    ctx.enq_qdepth = r.enq_qdepth;
+    ctx.enq_timestamp = r.enq_timestamp;
+    ctx.deq_timedelta = r.deq_timedelta;
+    ctx.packet_id = r.packet_id;
+    pipeline.on_egress(ctx);
+  }
+  analysis.finalize(truth.records_by_deq().back().deq_timestamp() + 1);
+
+  if (const char* out = arg_str(argc, argv, "--save-records", nullptr)) {
+    control::write_records_file(out,
+                                control::collect_records(pipeline, analysis));
+    std::printf("register records saved to %s\n", out);
+  }
+
+  // Victim selection.
+  const char* victim_arg = arg_str(argc, argv, "--victim", "worst");
+  const wire::TelemetryRecord* victim = nullptr;
+  if (std::strcmp(victim_arg, "worst") == 0) {
+    for (const auto& r : records) {
+      if (victim == nullptr || r.deq_timedelta > victim->deq_timedelta) {
+        victim = &r;
+      }
+    }
+  } else {
+    const auto want = static_cast<std::uint64_t>(std::atoll(victim_arg));
+    for (const auto& r : records) {
+      if (r.packet_id == want) victim = &r;
+    }
+    if (victim == nullptr) {
+      std::fprintf(stderr, "packet id %s not found\n", victim_arg);
+      return 1;
+    }
+  }
+
+  const auto top =
+      static_cast<std::size_t>(arg_double(argc, argv, "--top", 8));
+  std::printf("trace: %zu records over %.2f ms on port %u\n", records.size(),
+              truth.records_by_deq().back().deq_timestamp() / 1e6,
+              egress_port);
+  std::printf("victim: %s, enq %.3f ms, queued %.1f us, depth %u cells\n",
+              to_string(victim->flow).c_str(), victim->enq_timestamp / 1e6,
+              victim->deq_timedelta / 1e3, victim->enq_qdepth);
+
+  const Timestamp t1 = victim->enq_timestamp;
+  const Timestamp t2 = victim->deq_timestamp();
+  const auto prefix = *pipeline.port_prefix(egress_port);
+
+  const auto direct = analysis.query_time_windows(prefix, t1, t2);
+  print_counts("direct culprits", direct, top);
+  const auto pr =
+      ground::flow_count_accuracy(direct, truth.direct_culprits(t1, t2));
+  std::printf("  [accuracy vs trace ground truth: P %.3f R %.3f]\n",
+              pr.precision, pr.recall);
+
+  const Timestamp regime = truth.regime_start(t1);
+  print_counts("indirect culprits",
+               analysis.query_time_windows(prefix, regime, t1), top);
+  std::printf("  [congestion regime began %.1f us before the victim]\n",
+              (t1 - regime) / 1e3);
+
+  print_counts("original causes of the buildup (queue monitor)",
+               core::culprit_counts(analysis.query_queue_monitor(prefix, t2)),
+               top);
+  return 0;
+}
