@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/conquest_comparison"
+  "../bench/conquest_comparison.pdb"
+  "CMakeFiles/conquest_comparison.dir/conquest_comparison.cpp.o"
+  "CMakeFiles/conquest_comparison.dir/conquest_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conquest_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

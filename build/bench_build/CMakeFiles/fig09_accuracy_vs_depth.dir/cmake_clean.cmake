@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_accuracy_vs_depth"
+  "../bench/fig09_accuracy_vs_depth.pdb"
+  "CMakeFiles/fig09_accuracy_vs_depth.dir/fig09_accuracy_vs_depth.cpp.o"
+  "CMakeFiles/fig09_accuracy_vs_depth.dir/fig09_accuracy_vs_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_accuracy_vs_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_param_sweep"
+  "../bench/fig11_param_sweep.pdb"
+  "CMakeFiles/fig11_param_sweep.dir/fig11_param_sweep.cpp.o"
+  "CMakeFiles/fig11_param_sweep.dir/fig11_param_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_param_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

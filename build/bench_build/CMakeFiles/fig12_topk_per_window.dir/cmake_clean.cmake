@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_topk_per_window"
+  "../bench/fig12_topk_per_window.pdb"
+  "CMakeFiles/fig12_topk_per_window.dir/fig12_topk_per_window.cpp.o"
+  "CMakeFiles/fig12_topk_per_window.dir/fig12_topk_per_window.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_topk_per_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_topk_per_window.
+# This may be replaced when dependencies are built.

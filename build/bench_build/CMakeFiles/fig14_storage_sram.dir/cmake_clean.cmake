@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_storage_sram"
+  "../bench/fig14_storage_sram.pdb"
+  "CMakeFiles/fig14_storage_sram.dir/fig14_storage_sram.cpp.o"
+  "CMakeFiles/fig14_storage_sram.dir/fig14_storage_sram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_storage_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_port_parallelism"
+  "../bench/fig15_port_parallelism.pdb"
+  "CMakeFiles/fig15_port_parallelism.dir/fig15_port_parallelism.cpp.o"
+  "CMakeFiles/fig15_port_parallelism.dir/fig15_port_parallelism.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_port_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

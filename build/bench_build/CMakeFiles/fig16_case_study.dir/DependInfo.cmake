@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig16_case_study.cpp" "bench_build/CMakeFiles/fig16_case_study.dir/fig16_case_study.cpp.o" "gcc" "bench_build/CMakeFiles/fig16_case_study.dir/fig16_case_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/pq_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/pq_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/pq_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/ground/CMakeFiles/pq_ground.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pq_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/pq_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_case_study"
+  "../bench/fig16_case_study.pdb"
+  "CMakeFiles/fig16_case_study.dir/fig16_case_study.cpp.o"
+  "CMakeFiles/fig16_case_study.dir/fig16_case_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

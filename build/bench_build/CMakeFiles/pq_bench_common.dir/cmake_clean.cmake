@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_bench_common.dir/common/experiment.cpp.o"
+  "CMakeFiles/pq_bench_common.dir/common/experiment.cpp.o.d"
+  "libpq_bench_common.a"
+  "libpq_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpq_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table02_baseline_comparison"
+  "../bench/table02_baseline_comparison.pdb"
+  "CMakeFiles/table02_baseline_comparison.dir/table02_baseline_comparison.cpp.o"
+  "CMakeFiles/table02_baseline_comparison.dir/table02_baseline_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_baseline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_analysis.dir/incast_analysis.cpp.o"
+  "CMakeFiles/incast_analysis.dir/incast_analysis.cpp.o.d"
+  "incast_analysis"
+  "incast_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

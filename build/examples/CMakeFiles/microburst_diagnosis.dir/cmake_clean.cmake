@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microburst_diagnosis.dir/microburst_diagnosis.cpp.o"
+  "CMakeFiles/microburst_diagnosis.dir/microburst_diagnosis.cpp.o.d"
+  "microburst_diagnosis"
+  "microburst_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microburst_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

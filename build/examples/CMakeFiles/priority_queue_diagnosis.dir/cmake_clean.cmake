@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_queue_diagnosis.dir/priority_queue_diagnosis.cpp.o"
+  "CMakeFiles/priority_queue_diagnosis.dir/priority_queue_diagnosis.cpp.o.d"
+  "priority_queue_diagnosis"
+  "priority_queue_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_queue_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_diagnosis.dir/remote_diagnosis.cpp.o"
+  "CMakeFiles/remote_diagnosis.dir/remote_diagnosis.cpp.o.d"
+  "remote_diagnosis"
+  "remote_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

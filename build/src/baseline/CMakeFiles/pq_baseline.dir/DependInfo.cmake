@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/conquest.cpp" "src/baseline/CMakeFiles/pq_baseline.dir/conquest.cpp.o" "gcc" "src/baseline/CMakeFiles/pq_baseline.dir/conquest.cpp.o.d"
+  "/root/repo/src/baseline/flowradar.cpp" "src/baseline/CMakeFiles/pq_baseline.dir/flowradar.cpp.o" "gcc" "src/baseline/CMakeFiles/pq_baseline.dir/flowradar.cpp.o.d"
+  "/root/repo/src/baseline/hashpipe.cpp" "src/baseline/CMakeFiles/pq_baseline.dir/hashpipe.cpp.o" "gcc" "src/baseline/CMakeFiles/pq_baseline.dir/hashpipe.cpp.o.d"
+  "/root/repo/src/baseline/interval_adapter.cpp" "src/baseline/CMakeFiles/pq_baseline.dir/interval_adapter.cpp.o" "gcc" "src/baseline/CMakeFiles/pq_baseline.dir/interval_adapter.cpp.o.d"
+  "/root/repo/src/baseline/linear_store.cpp" "src/baseline/CMakeFiles/pq_baseline.dir/linear_store.cpp.o" "gcc" "src/baseline/CMakeFiles/pq_baseline.dir/linear_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/pq_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

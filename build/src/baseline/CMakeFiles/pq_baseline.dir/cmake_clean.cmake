@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_baseline.dir/conquest.cpp.o"
+  "CMakeFiles/pq_baseline.dir/conquest.cpp.o.d"
+  "CMakeFiles/pq_baseline.dir/flowradar.cpp.o"
+  "CMakeFiles/pq_baseline.dir/flowradar.cpp.o.d"
+  "CMakeFiles/pq_baseline.dir/hashpipe.cpp.o"
+  "CMakeFiles/pq_baseline.dir/hashpipe.cpp.o.d"
+  "CMakeFiles/pq_baseline.dir/interval_adapter.cpp.o"
+  "CMakeFiles/pq_baseline.dir/interval_adapter.cpp.o.d"
+  "CMakeFiles/pq_baseline.dir/linear_store.cpp.o"
+  "CMakeFiles/pq_baseline.dir/linear_store.cpp.o.d"
+  "libpq_baseline.a"
+  "libpq_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

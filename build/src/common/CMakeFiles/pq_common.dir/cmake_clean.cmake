@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_common.dir/empirical_cdf.cpp.o"
+  "CMakeFiles/pq_common.dir/empirical_cdf.cpp.o.d"
+  "CMakeFiles/pq_common.dir/hash.cpp.o"
+  "CMakeFiles/pq_common.dir/hash.cpp.o.d"
+  "CMakeFiles/pq_common.dir/stats.cpp.o"
+  "CMakeFiles/pq_common.dir/stats.cpp.o.d"
+  "libpq_common.a"
+  "libpq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/analysis_program.cpp" "src/control/CMakeFiles/pq_control.dir/analysis_program.cpp.o" "gcc" "src/control/CMakeFiles/pq_control.dir/analysis_program.cpp.o.d"
+  "/root/repo/src/control/query_service.cpp" "src/control/CMakeFiles/pq_control.dir/query_service.cpp.o" "gcc" "src/control/CMakeFiles/pq_control.dir/query_service.cpp.o.d"
+  "/root/repo/src/control/register_records.cpp" "src/control/CMakeFiles/pq_control.dir/register_records.cpp.o" "gcc" "src/control/CMakeFiles/pq_control.dir/register_records.cpp.o.d"
+  "/root/repo/src/control/resource_model.cpp" "src/control/CMakeFiles/pq_control.dir/resource_model.cpp.o" "gcc" "src/control/CMakeFiles/pq_control.dir/resource_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/pq_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

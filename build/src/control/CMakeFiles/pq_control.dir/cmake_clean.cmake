@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_control.dir/analysis_program.cpp.o"
+  "CMakeFiles/pq_control.dir/analysis_program.cpp.o.d"
+  "CMakeFiles/pq_control.dir/query_service.cpp.o"
+  "CMakeFiles/pq_control.dir/query_service.cpp.o.d"
+  "CMakeFiles/pq_control.dir/register_records.cpp.o"
+  "CMakeFiles/pq_control.dir/register_records.cpp.o.d"
+  "CMakeFiles/pq_control.dir/resource_model.cpp.o"
+  "CMakeFiles/pq_control.dir/resource_model.cpp.o.d"
+  "libpq_control.a"
+  "libpq_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coefficients.cpp" "src/core/CMakeFiles/pq_core.dir/coefficients.cpp.o" "gcc" "src/core/CMakeFiles/pq_core.dir/coefficients.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/pq_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/pq_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/queue_monitor.cpp" "src/core/CMakeFiles/pq_core.dir/queue_monitor.cpp.o" "gcc" "src/core/CMakeFiles/pq_core.dir/queue_monitor.cpp.o.d"
+  "/root/repo/src/core/time_windows.cpp" "src/core/CMakeFiles/pq_core.dir/time_windows.cpp.o" "gcc" "src/core/CMakeFiles/pq_core.dir/time_windows.cpp.o.d"
+  "/root/repo/src/core/window_filter.cpp" "src/core/CMakeFiles/pq_core.dir/window_filter.cpp.o" "gcc" "src/core/CMakeFiles/pq_core.dir/window_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/pq_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_core.dir/coefficients.cpp.o"
+  "CMakeFiles/pq_core.dir/coefficients.cpp.o.d"
+  "CMakeFiles/pq_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pq_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/pq_core.dir/queue_monitor.cpp.o"
+  "CMakeFiles/pq_core.dir/queue_monitor.cpp.o.d"
+  "CMakeFiles/pq_core.dir/time_windows.cpp.o"
+  "CMakeFiles/pq_core.dir/time_windows.cpp.o.d"
+  "CMakeFiles/pq_core.dir/window_filter.cpp.o"
+  "CMakeFiles/pq_core.dir/window_filter.cpp.o.d"
+  "libpq_core.a"
+  "libpq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ground/ground_truth.cpp" "src/ground/CMakeFiles/pq_ground.dir/ground_truth.cpp.o" "gcc" "src/ground/CMakeFiles/pq_ground.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/ground/metrics.cpp" "src/ground/CMakeFiles/pq_ground.dir/metrics.cpp.o" "gcc" "src/ground/CMakeFiles/pq_ground.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/pq_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pq_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

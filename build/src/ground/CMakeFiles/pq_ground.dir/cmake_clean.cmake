@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_ground.dir/ground_truth.cpp.o"
+  "CMakeFiles/pq_ground.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/pq_ground.dir/metrics.cpp.o"
+  "CMakeFiles/pq_ground.dir/metrics.cpp.o.d"
+  "libpq_ground.a"
+  "libpq_ground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_ground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

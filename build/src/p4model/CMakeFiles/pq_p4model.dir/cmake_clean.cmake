@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_p4model.dir/printqueue_program.cpp.o"
+  "CMakeFiles/pq_p4model.dir/printqueue_program.cpp.o.d"
+  "libpq_p4model.a"
+  "libpq_p4model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_p4model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

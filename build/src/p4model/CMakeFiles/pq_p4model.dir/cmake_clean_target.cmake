@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpq_p4model.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for pq_p4model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_sim.dir/egress_port.cpp.o"
+  "CMakeFiles/pq_sim.dir/egress_port.cpp.o.d"
+  "CMakeFiles/pq_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/pq_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pq_sim.dir/switch.cpp.o"
+  "CMakeFiles/pq_sim.dir/switch.cpp.o.d"
+  "libpq_sim.a"
+  "libpq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

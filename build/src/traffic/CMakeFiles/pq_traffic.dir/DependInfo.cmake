@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/case_study.cpp" "src/traffic/CMakeFiles/pq_traffic.dir/case_study.cpp.o" "gcc" "src/traffic/CMakeFiles/pq_traffic.dir/case_study.cpp.o.d"
+  "/root/repo/src/traffic/distributions.cpp" "src/traffic/CMakeFiles/pq_traffic.dir/distributions.cpp.o" "gcc" "src/traffic/CMakeFiles/pq_traffic.dir/distributions.cpp.o.d"
+  "/root/repo/src/traffic/scenarios.cpp" "src/traffic/CMakeFiles/pq_traffic.dir/scenarios.cpp.o" "gcc" "src/traffic/CMakeFiles/pq_traffic.dir/scenarios.cpp.o.d"
+  "/root/repo/src/traffic/trace_gen.cpp" "src/traffic/CMakeFiles/pq_traffic.dir/trace_gen.cpp.o" "gcc" "src/traffic/CMakeFiles/pq_traffic.dir/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/pq_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_traffic.dir/case_study.cpp.o"
+  "CMakeFiles/pq_traffic.dir/case_study.cpp.o.d"
+  "CMakeFiles/pq_traffic.dir/distributions.cpp.o"
+  "CMakeFiles/pq_traffic.dir/distributions.cpp.o.d"
+  "CMakeFiles/pq_traffic.dir/scenarios.cpp.o"
+  "CMakeFiles/pq_traffic.dir/scenarios.cpp.o.d"
+  "CMakeFiles/pq_traffic.dir/trace_gen.cpp.o"
+  "CMakeFiles/pq_traffic.dir/trace_gen.cpp.o.d"
+  "libpq_traffic.a"
+  "libpq_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

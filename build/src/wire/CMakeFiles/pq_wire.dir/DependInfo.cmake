@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/headers.cpp" "src/wire/CMakeFiles/pq_wire.dir/headers.cpp.o" "gcc" "src/wire/CMakeFiles/pq_wire.dir/headers.cpp.o.d"
+  "/root/repo/src/wire/telemetry.cpp" "src/wire/CMakeFiles/pq_wire.dir/telemetry.cpp.o" "gcc" "src/wire/CMakeFiles/pq_wire.dir/telemetry.cpp.o.d"
+  "/root/repo/src/wire/trace_io.cpp" "src/wire/CMakeFiles/pq_wire.dir/trace_io.cpp.o" "gcc" "src/wire/CMakeFiles/pq_wire.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

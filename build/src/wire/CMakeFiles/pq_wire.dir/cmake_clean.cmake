@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_wire.dir/headers.cpp.o"
+  "CMakeFiles/pq_wire.dir/headers.cpp.o.d"
+  "CMakeFiles/pq_wire.dir/telemetry.cpp.o"
+  "CMakeFiles/pq_wire.dir/telemetry.cpp.o.d"
+  "CMakeFiles/pq_wire.dir/trace_io.cpp.o"
+  "CMakeFiles/pq_wire.dir/trace_io.cpp.o.d"
+  "libpq_wire.a"
+  "libpq_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_program_test.dir/control/analysis_program_test.cpp.o"
+  "CMakeFiles/analysis_program_test.dir/control/analysis_program_test.cpp.o.d"
+  "analysis_program_test"
+  "analysis_program_test.pdb"
+  "analysis_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

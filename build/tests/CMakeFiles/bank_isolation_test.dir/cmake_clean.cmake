@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_isolation_test.dir/core/bank_isolation_test.cpp.o"
+  "CMakeFiles/bank_isolation_test.dir/core/bank_isolation_test.cpp.o.d"
+  "bank_isolation_test"
+  "bank_isolation_test.pdb"
+  "bank_isolation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_isolation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coefficients_test.dir/core/coefficients_test.cpp.o"
+  "CMakeFiles/coefficients_test.dir/core/coefficients_test.cpp.o.d"
+  "coefficients_test"
+  "coefficients_test.pdb"
+  "coefficients_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coefficients_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

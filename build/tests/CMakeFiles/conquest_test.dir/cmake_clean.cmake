@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conquest_test.dir/baseline/conquest_test.cpp.o"
+  "CMakeFiles/conquest_test.dir/baseline/conquest_test.cpp.o.d"
+  "conquest_test"
+  "conquest_test.pdb"
+  "conquest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conquest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depth_series_test.dir/sim/depth_series_test.cpp.o"
+  "CMakeFiles/depth_series_test.dir/sim/depth_series_test.cpp.o.d"
+  "depth_series_test"
+  "depth_series_test.pdb"
+  "depth_series_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depth_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

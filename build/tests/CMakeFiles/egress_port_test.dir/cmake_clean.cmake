@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egress_port_test.dir/sim/egress_port_test.cpp.o"
+  "CMakeFiles/egress_port_test.dir/sim/egress_port_test.cpp.o.d"
+  "egress_port_test"
+  "egress_port_test.pdb"
+  "egress_port_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egress_port_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowradar_test.dir/baseline/flowradar_test.cpp.o"
+  "CMakeFiles/flowradar_test.dir/baseline/flowradar_test.cpp.o.d"
+  "flowradar_test"
+  "flowradar_test.pdb"
+  "flowradar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowradar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

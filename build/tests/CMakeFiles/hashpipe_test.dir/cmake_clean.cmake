@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashpipe_test.dir/baseline/hashpipe_test.cpp.o"
+  "CMakeFiles/hashpipe_test.dir/baseline/hashpipe_test.cpp.o.d"
+  "hashpipe_test"
+  "hashpipe_test.pdb"
+  "hashpipe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashpipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/interval_adapter_test.cpp" "tests/CMakeFiles/interval_adapter_test.dir/baseline/interval_adapter_test.cpp.o" "gcc" "tests/CMakeFiles/interval_adapter_test.dir/baseline/interval_adapter_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/pq_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/pq_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4model/CMakeFiles/pq_p4model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ground/CMakeFiles/pq_ground.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/pq_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pq_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

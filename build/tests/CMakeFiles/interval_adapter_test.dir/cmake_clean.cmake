@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_adapter_test.dir/baseline/interval_adapter_test.cpp.o"
+  "CMakeFiles/interval_adapter_test.dir/baseline/interval_adapter_test.cpp.o.d"
+  "interval_adapter_test"
+  "interval_adapter_test.pdb"
+  "interval_adapter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_queue_test.dir/core/multi_queue_test.cpp.o"
+  "CMakeFiles/multi_queue_test.dir/core/multi_queue_test.cpp.o.d"
+  "multi_queue_test"
+  "multi_queue_test.pdb"
+  "multi_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

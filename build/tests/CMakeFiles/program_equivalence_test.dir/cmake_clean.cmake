@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_equivalence_test.dir/p4model/program_equivalence_test.cpp.o"
+  "CMakeFiles/program_equivalence_test.dir/p4model/program_equivalence_test.cpp.o.d"
+  "program_equivalence_test"
+  "program_equivalence_test.pdb"
+  "program_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_monitor_test.dir/core/queue_monitor_test.cpp.o"
+  "CMakeFiles/queue_monitor_test.dir/core/queue_monitor_test.cpp.o.d"
+  "queue_monitor_test"
+  "queue_monitor_test.pdb"
+  "queue_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_records_test.dir/control/register_records_test.cpp.o"
+  "CMakeFiles/register_records_test.dir/control/register_records_test.cpp.o.d"
+  "register_records_test"
+  "register_records_test.pdb"
+  "register_records_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_records_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salvage_test.dir/core/salvage_test.cpp.o"
+  "CMakeFiles/salvage_test.dir/core/salvage_test.cpp.o.d"
+  "salvage_test"
+  "salvage_test.pdb"
+  "salvage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salvage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_windows_test.dir/core/time_windows_test.cpp.o"
+  "CMakeFiles/time_windows_test.dir/core/time_windows_test.cpp.o.d"
+  "time_windows_test"
+  "time_windows_test.pdb"
+  "time_windows_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_windows_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tts_layout_test.dir/core/tts_layout_test.cpp.o"
+  "CMakeFiles/tts_layout_test.dir/core/tts_layout_test.cpp.o.d"
+  "tts_layout_test"
+  "tts_layout_test.pdb"
+  "tts_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tts_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_filter_test.dir/core/window_filter_test.cpp.o"
+  "CMakeFiles/window_filter_test.dir/core/window_filter_test.cpp.o.d"
+  "window_filter_test"
+  "window_filter_test.pdb"
+  "window_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

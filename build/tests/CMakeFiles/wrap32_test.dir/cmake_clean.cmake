@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrap32_test.dir/integration/wrap32_test.cpp.o"
+  "CMakeFiles/wrap32_test.dir/integration/wrap32_test.cpp.o.d"
+  "wrap32_test"
+  "wrap32_test.pdb"
+  "wrap32_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrap32_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

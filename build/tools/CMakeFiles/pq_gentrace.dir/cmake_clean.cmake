@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_gentrace.dir/pq_gentrace.cpp.o"
+  "CMakeFiles/pq_gentrace.dir/pq_gentrace.cpp.o.d"
+  "pq_gentrace"
+  "pq_gentrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_gentrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_offline.dir/pq_offline.cpp.o"
+  "CMakeFiles/pq_offline.dir/pq_offline.cpp.o.d"
+  "pq_offline"
+  "pq_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_replay.dir/pq_replay.cpp.o"
+  "CMakeFiles/pq_replay.dir/pq_replay.cpp.o.d"
+  "pq_replay"
+  "pq_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
