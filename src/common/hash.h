@@ -20,6 +20,13 @@ constexpr std::uint64_t mix64(std::uint64_t x) {
 /// trace files (not for sketch indexing, where mix64 is preferred).
 std::uint64_t fnv1a(const void* data, std::size_t len);
 
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over a byte range. Used
+/// as the integrity trailer on control-plane query messages: unlike FNV it
+/// detects all single-bit and all single-byte errors, which is the fault
+/// class the lossy-channel injector exercises. `seed` allows incremental
+/// computation (pass a previous result to continue).
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
 /// A family of pairwise-distinct hash functions over flow IDs, as required by
 /// FlowRadar's k-ary encoded flowset and HashPipe's per-stage hashing.
 /// `HashFamily(seed)(i, flow)` returns the i-th function applied to `flow`.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/window_filter.h"
+#include "faults/fault_plan.h"
 
 namespace pq::control {
 
@@ -39,21 +40,87 @@ void AnalysisProgram::on_time(Timestamp now) {
   }
 }
 
+bool AnalysisProgram::read_window_verified(std::uint32_t bank,
+                                           std::uint32_t port,
+                                           WindowSnapshot& out) {
+  Duration backoff = cfg_.read_backoff_ns;
+  for (std::uint32_t attempt = 0; attempt <= cfg_.max_read_retries;
+       ++attempt) {
+    const std::uint64_t before = pipe_.windows().rotation_epoch();
+    core::WindowState state = pipe_.windows().read_bank(bank, port);
+    std::uint64_t after = pipe_.windows().rotation_epoch();
+    if (read_faults_ != nullptr) {
+      after += read_faults_->on_window_read(port, state);
+    }
+    if (before == after) {
+      out.epoch = before;
+      out.state = std::move(state);
+      return true;
+    }
+    ++health_.torn_reads_detected;
+    if (attempt < cfg_.max_read_retries) {
+      ++health_.torn_read_retries;
+      health_.backoff_ns_spent += backoff;
+      backoff = std::min(backoff * 2, cfg_.read_backoff_max_ns);
+    }
+  }
+  return false;
+}
+
+bool AnalysisProgram::read_monitor_verified(std::uint32_t bank,
+                                            std::uint32_t part,
+                                            MonitorSnapshot& out) {
+  Duration backoff = cfg_.read_backoff_ns;
+  for (std::uint32_t attempt = 0; attempt <= cfg_.max_read_retries;
+       ++attempt) {
+    const std::uint64_t before = pipe_.monitor().rotation_epoch();
+    core::MonitorState state = pipe_.monitor().read_bank(bank, part);
+    std::uint64_t after = pipe_.monitor().rotation_epoch();
+    if (read_faults_ != nullptr) {
+      after += read_faults_->on_monitor_read(part, state);
+    }
+    if (before == after) {
+      out.epoch = before;
+      out.state = std::move(state);
+      return true;
+    }
+    ++health_.torn_reads_detected;
+    if (attempt < cfg_.max_read_retries) {
+      ++health_.torn_read_retries;
+      health_.backoff_ns_spent += backoff;
+      backoff = std::min(backoff * 2, cfg_.read_backoff_max_ns);
+    }
+  }
+  return false;
+}
+
 void AnalysisProgram::poll(Timestamp now) {
   const std::uint32_t wbank = pipe_.windows().flip_periodic();
   const std::uint32_t mbank = pipe_.monitor().flip_periodic();
   const auto& wp = pipe_.windows().params();
   for (std::uint32_t port = 0; port < window_snaps_.size(); ++port) {
-    window_snaps_[port].push_back(
-        {now, pipe_.windows().read_bank(wbank, port)});
+    WindowSnapshot snap;
+    snap.taken_at = now;
+    if (read_window_verified(wbank, port, snap)) {
+      window_snaps_[port].push_back(std::move(snap));
+    } else {
+      // Degrade, don't fabricate: a copy that stayed torn through every
+      // retry is dropped — queries into this span return less, not junk.
+      ++health_.snapshots_abandoned;
+    }
     bytes_polled_ += (1ull << wp.k) * wp.num_windows *
                      core::TimeWindowSet::kCellBytesOnSwitch;
   }
   // Monitor partitions are (port, queue) pairs when multi-queue tracking
   // is enabled, so they are polled independently of the window partitions.
   for (std::uint32_t part = 0; part < monitor_snaps_.size(); ++part) {
-    monitor_snaps_[part].push_back(
-        {now, pipe_.monitor().read_bank(mbank, part)});
+    MonitorSnapshot snap;
+    snap.taken_at = now;
+    if (read_monitor_verified(mbank, part, snap)) {
+      monitor_snaps_[part].push_back(std::move(snap));
+    } else {
+      ++health_.snapshots_abandoned;
+    }
     bytes_polled_ += pipe_.monitor().params().levels() *
                      core::QueueMonitor::kEntryBytesOnSwitch;
   }
@@ -92,9 +159,18 @@ core::CoefficientTable AnalysisProgram::coefficients(
 
 core::FlowCounts AnalysisProgram::query_time_windows(
     std::uint32_t port_prefix, Timestamp t1, Timestamp t2) const {
-  core::FlowCounts counts;
+  return query_time_windows_detail(port_prefix, t1, t2).counts;
+}
+
+AnalysisProgram::IntervalAnswer AnalysisProgram::query_time_windows_detail(
+    std::uint32_t port_prefix, Timestamp t1, Timestamp t2) const {
+  IntervalAnswer answer;
   const auto& snaps = window_snaps_.at(port_prefix);
-  if (snaps.empty() || t2 <= t1) return counts;
+  if (t2 <= t1) {
+    answer.coverage = 1.0;  // an empty span is trivially covered
+    return answer;
+  }
+  if (snaps.empty()) return answer;
 
   const auto& layout = pipe_.windows().layout();
   const auto coeffs = coefficients(port_prefix);
@@ -111,7 +187,10 @@ core::FlowCounts AnalysisProgram::query_time_windows(
   }
 
   // Walk backwards through checkpoints, each contributing the piece of the
-  // interval it covers most recently (no double counting).
+  // interval it covers most recently (no double counting). `covered_ns`
+  // sums the pieces a consistent checkpoint actually backs; the shortfall
+  // is history lost to slow polling or abandoned torn reads.
+  Duration covered_ns = 0;
   Timestamp remaining_hi = t2;
   for (std::size_t i = idx + 1; i-- > 0 && remaining_hi > t1;) {
     const auto& snap = snaps[i];
@@ -126,16 +205,26 @@ core::FlowCounts AnalysisProgram::query_time_windows(
     const auto filtered = core::filter_stale_cells(
         snap.state, layout, cfg_.salvage_stale_cells, snap.taken_at);
     core::merge_counts(
-        counts, core::estimate_flow_counts(filtered, layout, coeffs, qlo, qhi));
+        answer.counts,
+        core::estimate_flow_counts(filtered, layout, coeffs, qlo, qhi));
+    covered_ns += qhi - qlo;
     remaining_hi = qlo;
   }
-  return counts;
+  answer.coverage =
+      static_cast<double>(covered_ns) / static_cast<double>(t2 - t1);
+  return answer;
 }
 
 std::vector<core::OriginalCulprit> AnalysisProgram::query_queue_monitor(
     std::uint32_t port_prefix, Timestamp t) const {
+  return query_queue_monitor_detail(port_prefix, t).culprits;
+}
+
+AnalysisProgram::MonitorAnswer AnalysisProgram::query_queue_monitor_detail(
+    std::uint32_t port_prefix, Timestamp t) const {
+  MonitorAnswer answer;
   const auto& snaps = monitor_snaps_.at(port_prefix);
-  if (snaps.empty()) return {};
+  if (snaps.empty()) return answer;
   // The snapshot closest in time to the query point.
   const MonitorSnapshot* best = &snaps.front();
   for (const auto& s : snaps) {
@@ -144,7 +233,14 @@ std::vector<core::OriginalCulprit> AnalysisProgram::query_queue_monitor(
         best->taken_at > t ? best->taken_at - t : t - best->taken_at;
     if (dist < best_dist) best = &s;
   }
-  return core::original_culprits(best->state);
+  answer.culprits = core::original_culprits(best->state);
+  const Duration dist =
+      best->taken_at > t ? best->taken_at - t : t - best->taken_at;
+  answer.confidence = dist <= poll_period_
+                          ? 1.0
+                          : static_cast<double>(poll_period_) /
+                                static_cast<double>(dist);
+  return answer;
 }
 
 const std::vector<DqCapture>& AnalysisProgram::dq_captures(

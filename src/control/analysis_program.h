@@ -6,14 +6,28 @@
 // PipelineObserver interface: the pipeline reports each packet's dequeue
 // time, and polls fire whenever the poll period elapses — the software
 // equivalent of the paper's periodic polling thread.
+//
+// The read path is hardened against the register-copy race the paper's
+// ping-pong banks narrow but cannot eliminate: every bank copy is verified
+// against the rotation epoch (sampled before and after the read) and torn
+// copies are discarded and re-read with capped exponential backoff. Faults
+// are injectable through the faults::RegisterReadFaults seam; detections
+// are counted in HealthStats. The degradation contract is partial-but-true:
+// an abandoned snapshot loses history, it never leaks half-written cells
+// into answers.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "control/health.h"
 #include "control/snapshots.h"
 #include "core/coefficients.h"
 #include "core/pipeline.h"
+
+namespace pq::faults {
+class RegisterReadFaults;
+}  // namespace pq::faults
 
 namespace pq::control {
 
@@ -36,6 +50,14 @@ struct AnalysisConfig {
   /// covers. Helps when traffic turns sparse after a burst, where the
   /// passing rule starves and Algorithm 3 would discard the history.
   bool salvage_stale_cells = false;
+
+  /// Torn-read recovery: how many times a bank copy whose rotation epoch
+  /// changed mid-read is re-read before the snapshot is abandoned, and the
+  /// (capped exponential) backoff between attempts. Backoff is accounted in
+  /// HealthStats::backoff_ns_spent rather than advancing simulated time.
+  std::uint32_t max_read_retries = 3;
+  Duration read_backoff_ns = 10'000;
+  Duration read_backoff_max_ns = 1'000'000;
 };
 
 class AnalysisProgram final : public core::PipelineObserver {
@@ -50,19 +72,45 @@ class AnalysisProgram final : public core::PipelineObserver {
   /// Takes a final checkpoint so data from the tail of a run is readable.
   void finalize(Timestamp end_time);
 
+  /// Attaches (or detaches, with nullptr) the torn-read fault seam. Not
+  /// owned; must outlive the program.
+  void set_read_faults(faults::RegisterReadFaults* f) { read_faults_ = f; }
+
   // --- Asynchronous queries (Section 6.3) ---
+
+  /// A query answer with its provenance: `coverage` is the fraction of the
+  /// requested span actually backed by consistent checkpoints. Coverage
+  /// below 1 means history was lost (slow polling, abandoned torn reads,
+  /// queries beyond the recorded horizon) — the counts that *are* returned
+  /// are still genuine.
+  struct IntervalAnswer {
+    core::FlowCounts counts;
+    double coverage = 0.0;
+  };
+
+  /// A point-in-time monitor answer; `confidence` decays with the distance
+  /// between the query instant and the nearest consistent snapshot (1.0
+  /// when within one poll period).
+  struct MonitorAnswer {
+    std::vector<core::OriginalCulprit> culprits;
+    double confidence = 0.0;
+  };
 
   /// Per-flow packet-count estimate for packets dequeued on `port_prefix`
   /// within [t1, t2). Splits the interval across checkpoints and windows and
   /// applies coefficient recovery.
   core::FlowCounts query_time_windows(std::uint32_t port_prefix, Timestamp t1,
                                       Timestamp t2) const;
+  IntervalAnswer query_time_windows_detail(std::uint32_t port_prefix,
+                                           Timestamp t1, Timestamp t2) const;
 
   /// Original causes of congestion at the instant closest to `t`.
   /// With multi-queue tracking, pass the monitor partition from
   /// PrintQueuePipeline::monitor_partition(port_prefix, queue_id).
   std::vector<core::OriginalCulprit> query_queue_monitor(
       std::uint32_t port_prefix, Timestamp t) const;
+  MonitorAnswer query_queue_monitor_detail(std::uint32_t port_prefix,
+                                           Timestamp t) const;
 
   // --- Data-plane query results (Section 6.2) ---
 
@@ -85,6 +133,9 @@ class AnalysisProgram final : public core::PipelineObserver {
   Duration poll_period_ns() const { return poll_period_; }
   std::uint64_t polls_performed() const { return polls_; }
 
+  /// Read-path health counters (torn reads, retries, abandoned snapshots).
+  const HealthStats& health() const { return health_; }
+
   /// The coefficient table a query on this port would use right now.
   core::CoefficientTable coefficients(std::uint32_t port_prefix) const;
 
@@ -99,6 +150,10 @@ class AnalysisProgram final : public core::PipelineObserver {
 
  private:
   void poll(Timestamp now);
+  bool read_window_verified(std::uint32_t bank, std::uint32_t port,
+                            WindowSnapshot& out);
+  bool read_monitor_verified(std::uint32_t bank, std::uint32_t part,
+                             MonitorSnapshot& out);
 
   core::PrintQueuePipeline& pipe_;
   AnalysisConfig cfg_;
@@ -108,6 +163,8 @@ class AnalysisProgram final : public core::PipelineObserver {
   bool dq_pending_unlock_ = false;
   std::uint64_t polls_ = 0;
   std::uint64_t bytes_polled_ = 0;
+  faults::RegisterReadFaults* read_faults_ = nullptr;
+  HealthStats health_;
 
   std::vector<std::vector<WindowSnapshot>> window_snaps_;   // [port]
   std::vector<std::vector<MonitorSnapshot>> monitor_snaps_; // [port]

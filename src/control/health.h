@@ -1,0 +1,71 @@
+// Health counters for the hardened control-plane read path. Every defence
+// the telemetry path applies — torn-read detection, CRC rejection, retry,
+// partial-answer downgrades — increments exactly one counter here, so an
+// operator can tell *which* fault class is active and tests can assert that
+// fault schedules reproduce bit-for-bit (see docs/FAULT_MODEL.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pq::control {
+
+struct HealthStats {
+  // Register read path (AnalysisProgram).
+  std::uint64_t torn_reads_detected = 0;  ///< epoch mismatch on a bank copy
+  std::uint64_t torn_read_retries = 0;    ///< re-reads after a detected tear
+  std::uint64_t snapshots_abandoned = 0;  ///< gave up after max retries
+  std::uint64_t backoff_ns_spent = 0;     ///< capped exponential backoff total
+
+  // Query protocol (QueryService).
+  std::uint64_t crc_rejected = 0;        ///< frames failing the CRC32 trailer
+  std::uint64_t malformed_rejected = 0;  ///< truncated / bad magic / bad type
+  std::uint64_t partial_answers = 0;     ///< responses downgraded to kPartial
+  std::uint64_t duplicates_deduped = 0;  ///< repeated request IDs served from cache
+
+  // Client retry loop (QueryClient).
+  std::uint64_t client_retries = 0;         ///< attempts beyond the first
+  std::uint64_t client_gave_up = 0;         ///< queries with no valid answer
+  std::uint64_t responses_discarded = 0;    ///< wrong-ID / duplicate responses
+
+  HealthStats& operator+=(const HealthStats& o) {
+    torn_reads_detected += o.torn_reads_detected;
+    torn_read_retries += o.torn_read_retries;
+    snapshots_abandoned += o.snapshots_abandoned;
+    backoff_ns_spent += o.backoff_ns_spent;
+    crc_rejected += o.crc_rejected;
+    malformed_rejected += o.malformed_rejected;
+    partial_answers += o.partial_answers;
+    duplicates_deduped += o.duplicates_deduped;
+    client_retries += o.client_retries;
+    client_gave_up += o.client_gave_up;
+    responses_discarded += o.responses_discarded;
+    return *this;
+  }
+
+  friend HealthStats operator+(HealthStats a, const HealthStats& b) {
+    a += b;
+    return a;
+  }
+
+  friend bool operator==(const HealthStats&, const HealthStats&) = default;
+
+  std::string to_string() const {
+    auto line = [](const char* k, std::uint64_t v) {
+      return std::string(k) + "=" + std::to_string(v) + " ";
+    };
+    return line("torn_reads_detected", torn_reads_detected) +
+           line("torn_read_retries", torn_read_retries) +
+           line("snapshots_abandoned", snapshots_abandoned) +
+           line("backoff_ns_spent", backoff_ns_spent) +
+           line("crc_rejected", crc_rejected) +
+           line("malformed_rejected", malformed_rejected) +
+           line("partial_answers", partial_answers) +
+           line("duplicates_deduped", duplicates_deduped) +
+           line("client_retries", client_retries) +
+           line("client_gave_up", client_gave_up) +
+           line("responses_discarded", responses_discarded);
+  }
+};
+
+}  // namespace pq::control

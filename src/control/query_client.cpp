@@ -1,0 +1,63 @@
+#include "control/query_client.h"
+
+#include <algorithm>
+
+namespace pq::control {
+
+QueryClient::Result QueryClient::query(QueryRequest req) {
+  req.request_id = next_id_++;
+  const auto wire_req = encode_request(req);
+
+  Result result;
+  Duration backoff = opt_.backoff_ns;
+  for (std::uint32_t attempt = 0; attempt < opt_.max_attempts; ++attempt) {
+    ++result.attempts;
+    if (attempt > 0) {
+      ++health_.client_retries;
+      health_.backoff_ns_spent += backoff;
+      backoff = std::min(backoff * 2, opt_.backoff_max_ns);
+    }
+    const auto arrived = transport_(wire_req);
+    for (const auto& frame : arrived) {
+      QueryResponse resp = decode_response(frame);
+      if (resp.status == QueryStatus::kMalformed && resp.request_id == 0) {
+        // Failed integrity or parse: either corrupted in flight or a
+        // service-side reject of a corrupted copy of our request.
+        ++health_.crc_rejected;
+        continue;
+      }
+      if (resp.request_id != req.request_id) {
+        // A late duplicate from an earlier exchange; idempotent IDs make
+        // it safe to drop.
+        ++health_.responses_discarded;
+        continue;
+      }
+      if (result.delivered) {
+        ++health_.duplicates_deduped;  // duplicated response, keep first
+        continue;
+      }
+      if (resp.status == QueryStatus::kPartial) ++health_.partial_answers;
+      result.delivered = true;
+      result.response = std::move(resp);
+    }
+    if (result.delivered) return result;
+  }
+  ++health_.client_gave_up;
+  return result;
+}
+
+QueryClient::Transport make_lossy_transport(QueryService& service,
+                                            faults::FaultPlan& plan) {
+  return [&service, &plan](std::span<const std::uint8_t> request) {
+    std::vector<std::vector<std::uint8_t>> responses;
+    for (const auto& delivered : plan.request_channel().transmit(request)) {
+      const auto reply = service.handle(delivered);
+      for (auto& back : plan.response_channel().transmit(reply)) {
+        responses.push_back(std::move(back));
+      }
+    }
+    return responses;
+  };
+}
+
+}  // namespace pq::control

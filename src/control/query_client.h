@@ -1,0 +1,66 @@
+// Client side of the hardened query protocol: assigns idempotent request
+// IDs, retries with capped exponential backoff over a lossy transport,
+// verifies response integrity, and dedupes duplicated or stale responses.
+// The pairing invariant: a Result either carries a CRC-verified response
+// whose ID matches the outstanding request, or it is explicitly
+// undelivered — a lossy channel can starve the client, it cannot make it
+// return someone else's (or a corrupted) answer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "control/health.h"
+#include "control/query_service.h"
+#include "faults/fault_plan.h"
+
+namespace pq::control {
+
+class QueryClient {
+ public:
+  /// Delivers one serialized request and returns whatever frames arrived
+  /// back (possibly none, possibly duplicates, possibly corrupted).
+  using Transport = std::function<std::vector<std::vector<std::uint8_t>>(
+      std::span<const std::uint8_t>)>;
+
+  struct Options {
+    std::uint32_t max_attempts = 4;
+    Duration backoff_ns = 50'000;      ///< initial retry backoff
+    Duration backoff_max_ns = 800'000; ///< cap for the exponential
+  };
+
+  explicit QueryClient(Transport transport)
+      : transport_(std::move(transport)) {}
+  QueryClient(Transport transport, Options opt)
+      : transport_(std::move(transport)), opt_(opt) {}
+
+  struct Result {
+    bool delivered = false;      ///< a verified response arrived
+    QueryResponse response;      ///< valid only when delivered
+    std::uint32_t attempts = 0;  ///< transmissions used (1 = no retry)
+  };
+
+  /// Sends the request (assigning a fresh request ID), retrying until a
+  /// verified response with the matching ID arrives or attempts run out.
+  Result query(QueryRequest req);
+
+  const HealthStats& health() const { return health_; }
+
+ private:
+  Transport transport_;
+  Options opt_;
+  std::uint64_t next_id_ = 1;
+  HealthStats health_;
+};
+
+/// Wires a client transport through the fault plan's lossy channels to a
+/// service: request bytes traverse `plan.request_channel()`, each surviving
+/// copy is handled by `service`, and the responses traverse
+/// `plan.response_channel()`. The service and plan must outlive the
+/// returned callable.
+QueryClient::Transport make_lossy_transport(QueryService& service,
+                                            faults::FaultPlan& plan);
+
+}  // namespace pq::control

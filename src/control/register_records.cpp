@@ -153,6 +153,7 @@ void write_records(std::ostream& out, const RegisterRecords& records) {
     wire::put_u32(buf, static_cast<std::uint32_t>(per_port.size()));
     for (const auto& snap : per_port) {
       wire::put_u64(buf, snap.taken_at);
+      wire::put_u64(buf, snap.epoch);
       put_window_state(buf, snap.state);
     }
   }
@@ -162,6 +163,7 @@ void write_records(std::ostream& out, const RegisterRecords& records) {
     wire::put_u32(buf, static_cast<std::uint32_t>(per_port.size()));
     for (const auto& snap : per_port) {
       wire::put_u64(buf, snap.taken_at);
+      wire::put_u64(buf, snap.epoch);
       put_monitor_state(buf, snap.state);
     }
   }
@@ -199,6 +201,7 @@ RegisterRecords read_records(std::istream& in) {
     per_port.resize(r.u32());
     for (auto& snap : per_port) {
       snap.taken_at = r.u64();
+      snap.epoch = r.u64();
       snap.state = get_window_state(r);
     }
   }
@@ -207,6 +210,7 @@ RegisterRecords read_records(std::istream& in) {
     per_port.resize(r.u32());
     for (auto& snap : per_port) {
       snap.taken_at = r.u64();
+      snap.epoch = r.u64();
       snap.state = get_monitor_state(r);
     }
   }

@@ -13,11 +13,16 @@ namespace pq::control {
 
 struct WindowSnapshot {
   Timestamp taken_at = 0;  ///< time of the freeze; covers (taken_at - t_set, taken_at]
+  /// Bank-rotation epoch the copy was verified against: the reader samples
+  /// the epoch before and after the register read and only keeps the copy
+  /// if both agree (otherwise the read was torn and is retried/abandoned).
+  std::uint64_t epoch = 0;
   core::WindowState state;
 };
 
 struct MonitorSnapshot {
   Timestamp taken_at = 0;
+  std::uint64_t epoch = 0;  ///< see WindowSnapshot::epoch
   core::MonitorState state;
 };
 

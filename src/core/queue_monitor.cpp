@@ -47,6 +47,7 @@ void QueueMonitor::on_packet(std::uint32_t port_prefix, const FlowId& flow,
 std::uint32_t QueueMonitor::flip_periodic() {
   const std::uint32_t frozen = active_bank();
   flip_bit_ ^= 1;
+  ++rotation_epoch_;
   // The newly active bank resumes from the frozen bank's cursor so the
   // depth-change detection stays continuous across the flip.
   Bank& fresh = banks_[active_bank()];
@@ -59,6 +60,7 @@ int QueueMonitor::begin_dataplane_query() {
   const std::uint32_t frozen = active_bank();
   dq_bit_ ^= 1;
   dq_locked_ = true;
+  ++rotation_epoch_;
   banks_[active_bank()].ports = banks_[frozen].ports;
   return static_cast<int>(frozen);
 }

@@ -77,6 +77,9 @@ class QueueMonitor {
   bool dataplane_query_locked() const { return dq_locked_; }
   std::uint32_t active_bank() const { return (dq_bit_ << 1) | flip_bit_; }
 
+  /// Monotone bank-rotation count; see TimeWindowSet::rotation_epoch().
+  std::uint64_t rotation_epoch() const { return rotation_epoch_; }
+
   MonitorState read_bank(std::uint32_t bank, std::uint32_t port_prefix) const;
 
   /// Data-plane SRAM footprint across all four banks (resource model).
@@ -101,6 +104,7 @@ class QueueMonitor {
   std::uint32_t dq_bit_ = 0;
   std::uint32_t flip_bit_ = 0;
   bool dq_locked_ = false;
+  std::uint64_t rotation_epoch_ = 0;
   std::vector<std::uint64_t> seq_;  ///< per-port, shared across banks
   std::array<Bank, 4> banks_;
 };

@@ -75,6 +75,7 @@ void TimeWindowSet::on_packet(std::uint32_t port_prefix, const FlowId& flow,
 std::uint32_t TimeWindowSet::flip_periodic() {
   const std::uint32_t frozen = active_bank();
   flip_bit_ ^= 1;
+  ++rotation_epoch_;
   return frozen;
 }
 
@@ -83,6 +84,7 @@ int TimeWindowSet::begin_dataplane_query() {
   const std::uint32_t frozen = active_bank();
   dq_bit_ ^= 1;
   dq_locked_ = true;
+  ++rotation_epoch_;
   return static_cast<int>(frozen);
 }
 

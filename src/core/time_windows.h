@@ -68,6 +68,12 @@ class TimeWindowSet {
   bool dataplane_query_locked() const { return dq_locked_; }
   std::uint32_t active_bank() const { return bank_index(dq_bit_, flip_bit_); }
 
+  /// Monotone count of bank rotations (periodic flips and data-plane query
+  /// freezes). A control-plane reader samples it before and after a bank
+  /// copy: an unchanged epoch proves the copy was not interleaved with a
+  /// rotation (torn read) — the paper's ping-pong argument made checkable.
+  std::uint64_t rotation_epoch() const { return rotation_epoch_; }
+
   /// Copies the state of `bank` for one port partition (a control-plane
   /// register read).
   WindowState read_bank(std::uint32_t bank, std::uint32_t port_prefix) const;
@@ -97,6 +103,7 @@ class TimeWindowSet {
   std::uint32_t dq_bit_ = 0;
   std::uint32_t flip_bit_ = 0;
   bool dq_locked_ = false;
+  std::uint64_t rotation_epoch_ = 0;
 
   /// banks_[bank][window] is a flat array of port_partitions_ << k cells.
   std::array<std::vector<std::vector<WindowCell>>, 4> banks_;

@@ -1,0 +1,200 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "wire/bytes.h"
+
+namespace pq::faults {
+
+namespace {
+
+/// Independent, reproducible stream for one injector of one plan.
+std::uint64_t stream_seed(std::uint64_t plan_seed, FaultSite site) {
+  return mix64(plan_seed ^ (0x9E3779B97F4A7C15ull *
+                            static_cast<std::uint64_t>(site)));
+}
+
+FlowId fabricated_flow(Rng& rng) {
+  FlowId f;
+  f.src_ip = TornReadInjector::kFabricatedSrcPrefix |
+             static_cast<std::uint32_t>(rng() & 0xFFFFFu);
+  f.dst_ip = static_cast<std::uint32_t>(rng());
+  f.src_port = static_cast<std::uint16_t>(rng());
+  f.dst_port = static_cast<std::uint16_t>(rng());
+  f.proto = 0xFD;
+  return f;
+}
+
+}  // namespace
+
+std::uint32_t TornReadInjector::on_window_read(std::uint32_t port_prefix,
+                                               core::WindowState& snapshot) {
+  if (!rng_.chance(cfg_.probability) || snapshot.empty()) return 0;
+  ++tears_;
+  // Interleave "concurrent" writes: fabricated flows stamped with the cycle
+  // ID already present in the cell (or a neighbour's), so stale-cell
+  // filtering would keep them — a faithful model of half-old, half-new data.
+  for (std::uint32_t i = 0; i < cfg_.cells_scrambled; ++i) {
+    auto& window = snapshot[rng_.uniform_below(snapshot.size())];
+    if (window.empty()) continue;
+    auto& cell = window[rng_.uniform_below(window.size())];
+    if (!cell.occupied) {
+      // Copy a plausible cycle from the window's newest occupied cell.
+      const auto newest = std::max_element(
+          window.begin(), window.end(), [](const auto& a, const auto& b) {
+            return (a.occupied ? a.cycle_id : 0) <
+                   (b.occupied ? b.cycle_id : 0);
+          });
+      cell.cycle_id = newest->occupied ? newest->cycle_id : 1;
+      cell.occupied = true;
+    }
+    cell.flow = fabricated_flow(rng_);
+  }
+  log_->record(FaultSite::kTornRead, FaultKind::kTornWindowRead, port_prefix);
+  return 1;
+}
+
+std::uint32_t TornReadInjector::on_monitor_read(std::uint32_t partition,
+                                                core::MonitorState& snapshot) {
+  if (!rng_.chance(cfg_.probability) || snapshot.entries.empty()) return 0;
+  ++tears_;
+  for (std::uint32_t i = 0; i < cfg_.cells_scrambled; ++i) {
+    auto& entry = snapshot.entries[rng_.uniform_below(snapshot.entries.size())];
+    entry.inc.flow = fabricated_flow(rng_);
+    entry.inc.seq = rng_() | (1ull << 62);  // "fresher than everything"
+    entry.inc.valid = true;
+  }
+  snapshot.top = static_cast<std::uint32_t>(snapshot.entries.size()) - 1;
+  log_->record(FaultSite::kTornRead, FaultKind::kTornMonitorRead, partition);
+  return 1;
+}
+
+bool TriggerStormInjector::transform(sim::EgressContext& ctx) {
+  if (cfg_.probability > 0.0 && rng_.chance(cfg_.probability)) {
+    ctx.enq_qdepth = std::max(ctx.enq_qdepth, cfg_.forced_depth_cells);
+    ++forced_;
+    log_->record(FaultSite::kTriggerStorm, FaultKind::kForcedTrigger,
+                 ctx.packet_id);
+  }
+  return true;
+}
+
+std::int64_t ClockSkewInjector::offset_ns(std::uint32_t port) {
+  for (const auto& [p, off] : offsets_) {
+    if (p == port) return off;
+  }
+  const auto span = static_cast<std::int64_t>(cfg_.max_abs_skew_ns);
+  const std::int64_t off =
+      span == 0 ? 0
+                : static_cast<std::int64_t>(rng_.uniform_below(
+                      static_cast<std::uint64_t>(2 * span + 1))) -
+                      span;
+  offsets_.emplace_back(port, off);
+  return off;
+}
+
+bool ClockSkewInjector::transform(sim::EgressContext& ctx) {
+  const std::int64_t off = offset_ns(ctx.egress_port);
+  if (off == 0) return true;
+  if (off > 0) {
+    ctx.enq_timestamp += static_cast<Timestamp>(off);
+  } else {
+    const auto back = static_cast<Timestamp>(-off);
+    ctx.enq_timestamp = ctx.enq_timestamp > back ? ctx.enq_timestamp - back : 0;
+  }
+  log_->record(FaultSite::kClockSkew, FaultKind::kSkewApplied,
+               static_cast<std::uint64_t>(off));
+  return true;
+}
+
+std::vector<std::uint8_t> LossyChannel::maybe_corrupt(
+    std::vector<std::uint8_t> msg) {
+  if (msg.empty() || !rng_.chance(cfg_.corrupt_rate)) return msg;
+  ++corrupted_;
+  const std::uint64_t flips = 1 + rng_.uniform_below(3);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const std::uint64_t byte = rng_.uniform_below(msg.size());
+    msg[byte] ^= static_cast<std::uint8_t>(1u << rng_.uniform_below(8));
+    log_->record(site_, FaultKind::kCorrupt, byte);
+  }
+  return msg;
+}
+
+std::vector<std::vector<std::uint8_t>> LossyChannel::transmit(
+    std::span<const std::uint8_t> message) {
+  ++sent_;
+  std::vector<std::vector<std::uint8_t>> out;
+
+  if (rng_.chance(cfg_.drop_rate)) {
+    ++dropped_;
+    log_->record(site_, FaultKind::kDrop, sent_);
+    return flush();  // anything held back still goes out
+  }
+
+  std::vector<std::vector<std::uint8_t>> copies;
+  copies.emplace_back(message.begin(), message.end());
+  if (rng_.chance(cfg_.duplicate_rate)) {
+    ++duplicated_;
+    log_->record(site_, FaultKind::kDuplicate, sent_);
+    copies.emplace_back(message.begin(), message.end());
+  }
+  for (auto& c : copies) c = maybe_corrupt(std::move(c));
+
+  if (held_.empty() && rng_.chance(cfg_.reorder_rate)) {
+    // Hold this message back; it overtakes nothing yet and is delivered
+    // after the next transmission (a one-deep reorder).
+    ++reordered_;
+    log_->record(site_, FaultKind::kReorder, sent_);
+    held_ = std::move(copies);
+    return out;
+  }
+
+  out = std::move(copies);
+  for (auto& h : held_) out.push_back(std::move(h));
+  held_.clear();
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> LossyChannel::flush() {
+  auto out = std::move(held_);
+  held_.clear();
+  return out;
+}
+
+FaultPlan::FaultPlan(const FaultPlanConfig& cfg) : cfg_(cfg) {
+  torn_ = std::make_unique<TornReadInjector>(
+      cfg_.torn_reads, stream_seed(cfg_.seed, FaultSite::kTornRead), &log_);
+  request_channel_ = std::make_unique<LossyChannel>(
+      cfg_.request_channel, stream_seed(cfg_.seed, FaultSite::kRequestChannel),
+      &log_, FaultSite::kRequestChannel);
+  response_channel_ = std::make_unique<LossyChannel>(
+      cfg_.response_channel,
+      stream_seed(cfg_.seed, FaultSite::kResponseChannel), &log_,
+      FaultSite::kResponseChannel);
+}
+
+sim::EgressHook* FaultPlan::attach_egress_chain(sim::EgressHook* next) {
+  skew_ = std::make_unique<ClockSkewInjector>(
+      cfg_.clock_skew, stream_seed(cfg_.seed, FaultSite::kClockSkew), &log_,
+      next);
+  storm_ = std::make_unique<TriggerStormInjector>(
+      cfg_.trigger_storm, stream_seed(cfg_.seed, FaultSite::kTriggerStorm),
+      &log_, skew_.get());
+  return storm_.get();
+}
+
+std::vector<std::uint8_t> FaultPlan::serialize_schedule() const {
+  std::vector<std::uint8_t> buf;
+  wire::put_u64(buf, cfg_.seed);
+  wire::put_u64(buf, log_.events().size());
+  for (const auto& e : log_.events()) {
+    wire::put_u8(buf, static_cast<std::uint8_t>(e.site));
+    wire::put_u8(buf, static_cast<std::uint8_t>(e.kind));
+    wire::put_u64(buf, e.seq);
+    wire::put_u64(buf, e.detail);
+  }
+  return buf;
+}
+
+}  // namespace pq::faults

@@ -1,0 +1,277 @@
+// Deterministic fault injection for the control-plane telemetry path.
+//
+// A FaultPlan is a seeded schedule of faults: every injector draws its
+// decisions from an independent RNG stream derived from one uint64 seed, so
+// the same seed over the same workload replays the byte-identical fault
+// sequence — there is no wall clock anywhere. Injectors cover the failure
+// modes a production deployment of the paper's design actually sees:
+//
+//   TornReadInjector   register snapshot interleaved with a concurrent
+//                      window rotation mid-read (the race the ping-pong
+//                      index bits of Fig. 8 narrow but cannot eliminate
+//                      when the control plane falls behind)
+//   LossyChannel       drop / duplicate / reorder / bit-flip on the
+//                      QueryService request-response wire path
+//   TriggerStorm       data-plane query floods (DqCapture storms)
+//   ClockSkewInjector  bounded per-port timestamp offset
+//
+// Consumers are expected to *detect and degrade*, never fabricate; see
+// docs/FAULT_MODEL.md for the contract and the HealthStats mapping.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/queue_monitor.h"
+#include "core/time_windows.h"
+#include "sim/hooks.h"
+
+namespace pq::faults {
+
+enum class FaultSite : std::uint8_t {
+  kTornRead = 1,
+  kRequestChannel = 2,
+  kResponseChannel = 3,
+  kTriggerStorm = 4,
+  kClockSkew = 5,
+};
+
+enum class FaultKind : std::uint8_t {
+  kTornWindowRead = 1,
+  kTornMonitorRead = 2,
+  kDrop = 3,
+  kDuplicate = 4,
+  kCorrupt = 5,
+  kReorder = 6,
+  kForcedTrigger = 7,
+  kSkewApplied = 8,
+};
+
+/// One fault that actually fired. `seq` is the global firing order across
+/// all injectors of the plan; `detail` is site-specific (port, byte index,
+/// applied offset, ...).
+struct FaultEvent {
+  FaultSite site = FaultSite::kTornRead;
+  FaultKind kind = FaultKind::kTornWindowRead;
+  std::uint64_t seq = 0;
+  std::uint64_t detail = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Append-only record of fired faults, shared by all injectors of one plan.
+class FaultLog {
+ public:
+  void record(FaultSite site, FaultKind kind, std::uint64_t detail) {
+    events_.push_back({site, kind, events_.size(), detail});
+  }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Seam the control plane offers to the torn-read injector: called once per
+/// bank copy with the freshly read snapshot. The injector may corrupt the
+/// snapshot in place and must then return the number of concurrent bank
+/// rotations it interleaved (> 0); the reader adds that to the post-read
+/// rotation epoch, so an honest epoch check detects the tear. Returning 0
+/// leaves the read clean.
+class RegisterReadFaults {
+ public:
+  virtual ~RegisterReadFaults() = default;
+  virtual std::uint32_t on_window_read(std::uint32_t port_prefix,
+                                       core::WindowState& snapshot) = 0;
+  virtual std::uint32_t on_monitor_read(std::uint32_t partition,
+                                        core::MonitorState& snapshot) = 0;
+};
+
+struct TornReadConfig {
+  /// Probability that one bank copy is interleaved with a rotation. The
+  /// injector re-draws on every retry, so 1.0 makes every re-read fail too
+  /// (the reader must eventually abandon the snapshot).
+  double probability = 0.0;
+  /// Cells scrambled per torn window read (fabricated flows written over
+  /// live cells — exactly what an undetected tear would leak into answers).
+  std::uint32_t cells_scrambled = 8;
+};
+
+/// Simulates a register copy racing a concurrent window rotation: scrambles
+/// part of the snapshot with fabricated flow IDs that keep plausible cycle
+/// IDs (so they would survive Algorithm 3 and poison query answers if the
+/// reader failed to notice the epoch change).
+class TornReadInjector final : public RegisterReadFaults {
+ public:
+  TornReadInjector(TornReadConfig cfg, std::uint64_t seed, FaultLog* log)
+      : cfg_(cfg), rng_(seed), log_(log) {}
+
+  std::uint32_t on_window_read(std::uint32_t port_prefix,
+                               core::WindowState& snapshot) override;
+  std::uint32_t on_monitor_read(std::uint32_t partition,
+                                core::MonitorState& snapshot) override;
+
+  std::uint64_t tears_injected() const { return tears_; }
+
+  /// The src_ip prefix of every fabricated flow; tests assert that no
+  /// answer ever contains a flow from this range.
+  static constexpr std::uint32_t kFabricatedSrcPrefix = 0xFAB00000u;
+
+ private:
+  TornReadConfig cfg_;
+  Rng rng_;
+  FaultLog* log_;
+  std::uint64_t tears_ = 0;
+};
+
+struct TriggerStormConfig {
+  /// Probability per dequeued packet of forcing a data-plane trigger.
+  double probability = 0.0;
+  /// Depth (cells) the forced packet pretends to have observed; must be at
+  /// or above the pipeline's dq_depth_threshold_cells to actually fire.
+  std::uint32_t forced_depth_cells = 0;
+};
+
+/// Floods the data-plane query path by inflating the observed queue depth
+/// of random packets past the trigger threshold — the capture-storm failure
+/// mode the dq read lock must serialise without wedging.
+class TriggerStormInjector final : public sim::EgressInterposer {
+ public:
+  TriggerStormInjector(TriggerStormConfig cfg, std::uint64_t seed,
+                       FaultLog* log, sim::EgressHook* next)
+      : sim::EgressInterposer(next), cfg_(cfg), rng_(seed), log_(log) {}
+
+  std::uint64_t triggers_forced() const { return forced_; }
+
+ protected:
+  bool transform(sim::EgressContext& ctx) override;
+
+ private:
+  TriggerStormConfig cfg_;
+  Rng rng_;
+  FaultLog* log_;
+  std::uint64_t forced_ = 0;
+};
+
+struct ClockSkewConfig {
+  /// Per-port offsets are drawn uniformly from [-max_abs_skew_ns, +max].
+  Duration max_abs_skew_ns = 0;
+};
+
+/// Applies a bounded, per-port-constant timestamp offset to every packet —
+/// the skew between the switch clock and the collector that the paper's
+/// single-clock testbed never exhibits.
+class ClockSkewInjector final : public sim::EgressInterposer {
+ public:
+  ClockSkewInjector(ClockSkewConfig cfg, std::uint64_t seed, FaultLog* log,
+                    sim::EgressHook* next)
+      : sim::EgressInterposer(next), cfg_(cfg), rng_(seed), log_(log) {}
+
+  /// The signed offset applied to `port` (drawn lazily, then fixed).
+  std::int64_t offset_ns(std::uint32_t port);
+
+ protected:
+  bool transform(sim::EgressContext& ctx) override;
+
+ private:
+  ClockSkewConfig cfg_;
+  Rng rng_;
+  FaultLog* log_;
+  std::vector<std::pair<std::uint32_t, std::int64_t>> offsets_;
+};
+
+struct LossyChannelConfig {
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double reorder_rate = 0.0;
+  double corrupt_rate = 0.0;  ///< probability of flipping 1-3 random bits
+};
+
+/// A unidirectional message channel with injectable loss, duplication,
+/// reordering and corruption. `transmit` maps one sent message to the
+/// sequence of messages that actually arrive (possibly none, possibly
+/// several); a held-back message is delivered after the next one (a
+/// one-deep reorder), or by `flush`.
+class LossyChannel {
+ public:
+  LossyChannel(LossyChannelConfig cfg, std::uint64_t seed, FaultLog* log,
+               FaultSite site)
+      : cfg_(cfg), rng_(seed), log_(log), site_(site) {}
+
+  std::vector<std::vector<std::uint8_t>> transmit(
+      std::span<const std::uint8_t> message);
+  std::vector<std::vector<std::uint8_t>> flush();
+
+  std::uint64_t messages_sent() const { return sent_; }
+  std::uint64_t messages_dropped() const { return dropped_; }
+  std::uint64_t messages_duplicated() const { return duplicated_; }
+  std::uint64_t messages_corrupted() const { return corrupted_; }
+  std::uint64_t messages_reordered() const { return reordered_; }
+
+ private:
+  std::vector<std::uint8_t> maybe_corrupt(std::vector<std::uint8_t> msg);
+
+  LossyChannelConfig cfg_;
+  Rng rng_;
+  FaultLog* log_;
+  FaultSite site_;
+  std::vector<std::vector<std::uint8_t>> held_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t reordered_ = 0;
+};
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 1;
+  TornReadConfig torn_reads;
+  LossyChannelConfig request_channel;
+  LossyChannelConfig response_channel;
+  TriggerStormConfig trigger_storm;
+  ClockSkewConfig clock_skew;
+};
+
+/// Owns one injector of each kind, all drawing from independent streams of
+/// the plan seed, all logging into one schedule. Reproducibility contract:
+/// the same seed driven by the same workload yields a byte-identical
+/// serialized schedule (and therefore identical HealthStats downstream).
+class FaultPlan {
+ public:
+  explicit FaultPlan(const FaultPlanConfig& cfg);
+
+  const FaultPlanConfig& config() const { return cfg_; }
+
+  TornReadInjector& torn_reads() { return *torn_; }
+  LossyChannel& request_channel() { return *request_channel_; }
+  LossyChannel& response_channel() { return *response_channel_; }
+
+  /// Builds the egress-side interposers around `next` (usually the
+  /// PrintQueue pipeline). Register the returned hook with the port. The
+  /// chain is storm(skew(next)): skew rewrites timestamps first, then the
+  /// storm decides on the (already skewed) context.
+  sim::EgressHook* attach_egress_chain(sim::EgressHook* next);
+
+  TriggerStormInjector* trigger_storm() { return storm_.get(); }
+  ClockSkewInjector* clock_skew() { return skew_.get(); }
+
+  const std::vector<FaultEvent>& schedule() const { return log_.events(); }
+
+  /// Canonical byte encoding of the fired-fault schedule, for byte-identity
+  /// assertions across runs.
+  std::vector<std::uint8_t> serialize_schedule() const;
+
+ private:
+  FaultPlanConfig cfg_;
+  FaultLog log_;
+  std::unique_ptr<TornReadInjector> torn_;
+  std::unique_ptr<LossyChannel> request_channel_;
+  std::unique_ptr<LossyChannel> response_channel_;
+  std::unique_ptr<TriggerStormInjector> storm_;
+  std::unique_ptr<ClockSkewInjector> skew_;
+};
+
+}  // namespace pq::faults

@@ -37,4 +37,29 @@ class EgressHook {
   virtual void on_egress(const EgressContext& ctx) = 0;
 };
 
+/// An egress hook that forwards to another hook, optionally rewriting the
+/// context first. This is the attach seam for fault injectors (clock skew,
+/// trigger storms — see src/faults/) and for any future shim that needs to
+/// sit between the traffic manager and the PrintQueue pipeline: chain
+/// interposers by pointing each at the next hook and registering only the
+/// outermost one with the port.
+class EgressInterposer : public EgressHook {
+ public:
+  explicit EgressInterposer(EgressHook* next) : next_(next) {}
+
+  void on_egress(const EgressContext& ctx) final {
+    EgressContext c = ctx;
+    if (transform(c) && next_ != nullptr) next_->on_egress(c);
+  }
+
+  EgressHook* next() const { return next_; }
+
+ protected:
+  /// Rewrites the context in place; return false to swallow the event.
+  virtual bool transform(EgressContext& ctx) = 0;
+
+ private:
+  EgressHook* next_;
+};
+
 }  // namespace pq::sim

@@ -1,0 +1,274 @@
+// Properties of the deterministic fault-injection subsystem and the
+// hardened consumers behind it. Two contracts are pinned down here:
+//
+//   Reproducibility — the same FaultPlan seed over the same workload fires
+//   the byte-identical fault schedule and yields identical HealthStats.
+//
+//   Degradation — under loss, corruption and torn register reads, answers
+//   may shrink (recall drops) but every flow a delivered answer names must
+//   exist in the real traffic: the fault path can starve the reader, it
+//   cannot make it fabricate.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "common/rng.h"
+#include "control/analysis_program.h"
+#include "control/query_client.h"
+#include "control/query_service.h"
+#include "faults/fault_plan.h"
+#include "ground/ground_truth.h"
+#include "sim/egress_port.h"
+#include "traffic/trace_gen.h"
+
+namespace pq::control {
+namespace {
+
+core::PipelineConfig small_config() {
+  core::PipelineConfig cfg;
+  cfg.windows.m0 = 6;
+  cfg.windows.alpha = 1;
+  cfg.windows.k = 8;
+  cfg.windows.num_windows = 3;
+  cfg.monitor.max_depth_cells = 25000;
+  return cfg;
+}
+
+std::vector<Packet> congested_traffic(Duration duration_ns,
+                                      std::uint64_t seed) {
+  traffic::PacketTraceConfig cfg;
+  cfg.duration_ns = duration_ns;
+  cfg.seed = seed;
+  return traffic::generate_uw_trace(cfg);
+}
+
+/// One faulted end-to-end stack: traffic -> (storm/skew interposers) ->
+/// pipeline -> analysis (with torn-read seam) -> service -> lossy channels
+/// -> retrying client.
+struct FaultedRig {
+  explicit FaultedRig(const faults::FaultPlanConfig& fcfg,
+                      AnalysisConfig acfg = {})
+      : plan(fcfg), pipeline(small_config()),
+        analysis((pipeline.enable_port(0), pipeline), acfg),
+        service(analysis),
+        client(make_lossy_transport(service, plan)) {
+    analysis.set_read_faults(&plan.torn_reads());
+    port = std::make_unique<sim::EgressPort>(sim::PortConfig{});
+    port->add_hook(plan.attach_egress_chain(&pipeline));
+  }
+
+  void run(Duration duration_ns, std::uint64_t traffic_seed) {
+    port->run(congested_traffic(duration_ns, traffic_seed));
+    analysis.finalize(port->stats().last_departure + 1);
+  }
+
+  HealthStats total_health() const {
+    return analysis.health() + service.health() + client.health();
+  }
+
+  faults::FaultPlan plan;
+  core::PrintQueuePipeline pipeline;
+  AnalysisProgram analysis;
+  QueryService service;
+  QueryClient client;
+  std::unique_ptr<sim::EgressPort> port;
+};
+
+faults::FaultPlanConfig stress_config(std::uint64_t seed) {
+  faults::FaultPlanConfig f;
+  f.seed = seed;
+  f.torn_reads.probability = 0.25;
+  f.request_channel.drop_rate = 0.10;
+  f.request_channel.corrupt_rate = 0.05;
+  f.request_channel.duplicate_rate = 0.05;
+  f.response_channel.drop_rate = 0.10;
+  f.response_channel.corrupt_rate = 0.05;
+  f.response_channel.reorder_rate = 0.05;
+  return f;
+}
+
+/// Issues a fixed batch of interval and monitor queries through the lossy
+/// client; returns every delivered response.
+std::vector<QueryResponse> run_query_batch(FaultedRig& rig) {
+  std::vector<QueryResponse> delivered;
+  const Timestamp end = rig.port->stats().last_departure;
+  for (int i = 0; i < 20; ++i) {
+    QueryRequest req;
+    req.type = QueryType::kTimeWindows;
+    req.t1 = end * i / 25;
+    req.t2 = end * (i + 2) / 25;
+    const auto r = rig.client.query(req);
+    if (r.delivered) delivered.push_back(r.response);
+  }
+  for (int i = 0; i < 10; ++i) {
+    QueryRequest req;
+    req.type = QueryType::kQueueMonitor;
+    req.t1 = end * i / 10;
+    const auto r = rig.client.query(req);
+    if (r.delivered) delivered.push_back(r.response);
+  }
+  return delivered;
+}
+
+bool is_fabricated(const FlowId& f) {
+  return (f.src_ip & 0xFFF00000u) ==
+         faults::TornReadInjector::kFabricatedSrcPrefix;
+}
+
+TEST(FaultPlan, SameSeedReproducesScheduleAndHealthByteForByte) {
+  auto run_once = [](std::uint64_t seed) {
+    FaultedRig rig(stress_config(seed));
+    rig.run(2'000'000, 11);
+    run_query_batch(rig);
+    return std::make_pair(rig.plan.serialize_schedule(), rig.total_health());
+  };
+  const auto [schedule_a, health_a] = run_once(42);
+  const auto [schedule_b, health_b] = run_once(42);
+  EXPECT_FALSE(schedule_a.empty());
+  EXPECT_EQ(schedule_a, schedule_b);
+  EXPECT_EQ(health_a, health_b);
+
+  // A different seed must produce a different firing sequence (the streams
+  // are seed-derived, not workload-derived).
+  const auto [schedule_c, health_c] = run_once(43);
+  EXPECT_NE(schedule_a, schedule_c);
+}
+
+TEST(FaultPlan, TornReadsAreDetectedRetriedAndCounted) {
+  faults::FaultPlanConfig f;
+  f.seed = 7;
+  f.torn_reads.probability = 0.5;
+  FaultedRig rig(f);
+  rig.run(2'000'000, 13);
+
+  const auto& h = rig.analysis.health();
+  EXPECT_GT(rig.plan.torn_reads().tears_injected(), 0u);
+  EXPECT_EQ(h.torn_reads_detected, rig.plan.torn_reads().tears_injected());
+  EXPECT_GT(h.torn_read_retries, 0u);
+  EXPECT_GT(h.backoff_ns_spent, 0u);
+
+  // Retries succeed often enough at p=0.5 that history survives, and no
+  // scrambled cell may leak into a kept snapshot.
+  for (const auto& snap : rig.analysis.window_snapshots(0)) {
+    for (const auto& window : snap.state) {
+      for (const auto& cell : window) {
+        if (cell.occupied) {
+          EXPECT_FALSE(is_fabricated(cell.flow));
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultPlan, CertainTearingAbandonsEverySnapshotButNeverFabricates) {
+  faults::FaultPlanConfig f;
+  f.seed = 3;
+  f.torn_reads.probability = 1.0;  // every read and every retry is torn
+  FaultedRig rig(f);
+  rig.run(1'000'000, 17);
+
+  const auto& h = rig.analysis.health();
+  EXPECT_GT(h.snapshots_abandoned, 0u);
+  EXPECT_TRUE(rig.analysis.window_snapshots(0).empty());
+  EXPECT_TRUE(rig.analysis.monitor_snapshots(0).empty());
+
+  // The service must answer with an explicit empty/partial result, not a
+  // fabricated one.
+  const auto answer = rig.analysis.query_time_windows_detail(
+      0, 0, rig.port->stats().last_departure);
+  EXPECT_TRUE(answer.counts.empty());
+  EXPECT_EQ(answer.coverage, 0.0);
+}
+
+TEST(FaultPlan, PrecisionHoldsAcrossSeedsUnderLossCorruptionAndTears) {
+  // The ISSUE acceptance bar: 10% loss, 5% corruption, torn reads, >= 5
+  // seeds — every delivered answer carries only flows that exist in the
+  // real traffic, zero fabricated entries, and a valid status.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    FaultedRig rig(stress_config(seed));
+    rig.run(2'000'000, 100 + seed);
+
+    std::set<FlowId> real_flows;
+    for (const auto& rec : rig.port->records()) real_flows.insert(rec.flow);
+
+    const auto delivered = run_query_batch(rig);
+    EXPECT_FALSE(delivered.empty()) << "seed " << seed;
+    for (const auto& resp : delivered) {
+      EXPECT_TRUE(resp.status == QueryStatus::kOk ||
+                  resp.status == QueryStatus::kPartial)
+          << "seed " << seed;
+      for (const auto& [flow, n] : resp.counts) {
+        EXPECT_FALSE(is_fabricated(flow)) << "seed " << seed;
+        EXPECT_TRUE(real_flows.count(flow)) << "seed " << seed;
+      }
+      for (const auto& c : resp.culprits) {
+        EXPECT_FALSE(is_fabricated(c.flow)) << "seed " << seed;
+        EXPECT_TRUE(real_flows.count(c.flow)) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(FaultPlan, LossyChannelIsDeterministicPerSeed) {
+  auto outcomes = [](std::uint64_t seed) {
+    faults::LossyChannelConfig cfg;
+    cfg.drop_rate = 0.2;
+    cfg.duplicate_rate = 0.2;
+    cfg.reorder_rate = 0.2;
+    cfg.corrupt_rate = 0.2;
+    faults::FaultLog log;
+    faults::LossyChannel ch(cfg, seed, &log, faults::FaultSite::kRequestChannel);
+    std::vector<std::vector<std::uint8_t>> arrived;
+    for (std::uint8_t i = 0; i < 100; ++i) {
+      const std::vector<std::uint8_t> msg{i, 1, 2, 3, 4, 5, 6, 7};
+      for (auto& m : ch.transmit(msg)) arrived.push_back(std::move(m));
+    }
+    for (auto& m : ch.flush()) arrived.push_back(std::move(m));
+    return arrived;
+  };
+  const auto a = outcomes(9);
+  EXPECT_EQ(a, outcomes(9));
+  EXPECT_NE(a, outcomes(10));
+}
+
+TEST(FaultPlan, ClockSkewIsBoundedAndPerPortStable) {
+  faults::FaultPlanConfig f;
+  f.seed = 5;
+  f.clock_skew.max_abs_skew_ns = 500;
+  faults::FaultPlan plan(f);
+  plan.attach_egress_chain(nullptr);  // interposers are built on attach
+  auto* skew = plan.clock_skew();
+  ASSERT_NE(skew, nullptr);
+  for (std::uint32_t port = 0; port < 16; ++port) {
+    const auto off = skew->offset_ns(port);
+    EXPECT_LE(std::llabs(off), 500);
+    EXPECT_EQ(off, skew->offset_ns(port));  // fixed once drawn
+  }
+}
+
+TEST(FaultPlan, TriggerStormForcesCapturesWithoutWedgingTheLock) {
+  core::PipelineConfig pcfg = small_config();
+  pcfg.dq_depth_threshold_cells = 1'000'000;  // unreachable organically
+
+  faults::FaultPlanConfig f;
+  f.seed = 21;
+  f.trigger_storm.probability = 0.3;
+  f.trigger_storm.forced_depth_cells = 1'000'001;
+  faults::FaultPlan plan(f);
+
+  core::PrintQueuePipeline pipeline(pcfg);
+  pipeline.enable_port(0);
+  AnalysisProgram analysis(pipeline, AnalysisConfig{});
+  auto port = std::make_unique<sim::EgressPort>(sim::PortConfig{});
+  port->add_hook(plan.attach_egress_chain(&pipeline));
+  port->run(congested_traffic(2'000'000, 23));
+  analysis.finalize(port->stats().last_departure + 1);
+
+  EXPECT_GT(plan.trigger_storm()->triggers_forced(), 100u);
+  EXPECT_FALSE(analysis.dq_captures(0).empty());
+  EXPECT_FALSE(pipeline.windows().dataplane_query_locked());
+}
+
+}  // namespace
+}  // namespace pq::control

@@ -99,10 +99,21 @@ TEST(QueryService, WrongMagicIsRejected) {
 
 TEST(QueryService, UnknownTypeIsRejected) {
   Rig rig;
-  auto req = encode_request({});
-  req[4] = 99;  // type byte
-  const auto resp = decode_response(rig.service.handle(req));
+  QueryRequest req;
+  req.type = static_cast<QueryType>(99);  // encoded with a valid CRC
+  const auto resp = decode_response(rig.service.handle(encode_request(req)));
   EXPECT_EQ(resp.status, QueryStatus::kUnknownType);
+}
+
+TEST(QueryService, CorruptedTypeByteFailsIntegrityNotDispatch) {
+  // A flipped byte inside an otherwise well-formed frame must be caught by
+  // the CRC trailer before the type is even looked at.
+  Rig rig;
+  auto req = encode_request({});
+  req[4] = 99;  // type byte, CRC left stale
+  const auto resp = decode_response(rig.service.handle(req));
+  EXPECT_EQ(resp.status, QueryStatus::kMalformed);
+  EXPECT_EQ(rig.service.health().crc_rejected, 1u);
 }
 
 TEST(QueryService, TruncatedResponseDecodesAsMalformed) {
@@ -127,6 +138,50 @@ TEST(QueryService, EmptyResultIsValid) {
   const auto resp = decode_response(rig.service.handle(encode_request(req)));
   EXPECT_EQ(resp.status, QueryStatus::kOk);
   EXPECT_TRUE(resp.counts.empty());
+}
+
+TEST(QueryService, UncoveredSpanIsFlaggedPartial) {
+  Rig rig;
+  rig.pipeline.on_egress(ctx(1, 100));
+  rig.analysis.finalize(2000);
+  // Half the span lies beyond every checkpoint: the answer must be marked
+  // partial with the coverage as confidence, not silently passed as kOk.
+  QueryRequest req;
+  req.t1 = 0;
+  req.t2 = 4000;
+  const auto resp = decode_response(rig.service.handle(encode_request(req)));
+  EXPECT_EQ(resp.status, QueryStatus::kPartial);
+  EXPECT_GT(resp.confidence, 0.0);
+  EXPECT_LT(resp.confidence, 1.0);
+  EXPECT_EQ(rig.service.health().partial_answers, 1u);
+}
+
+TEST(QueryService, DuplicateRequestIdsAreServedFromCache) {
+  Rig rig;
+  rig.pipeline.on_egress(ctx(1, 100));
+  rig.analysis.finalize(2000);
+  QueryRequest req;
+  req.t2 = 2000;
+  req.request_id = 77;
+  const auto wire_req = encode_request(req);
+  const auto first = rig.service.handle(wire_req);
+  const auto replay = rig.service.handle(wire_req);
+  EXPECT_EQ(first, replay);  // byte-identical idempotent replay
+  EXPECT_EQ(rig.service.requests_served(), 1u);
+  EXPECT_EQ(rig.service.health().duplicates_deduped, 1u);
+  EXPECT_EQ(decode_response(replay).request_id, 77u);
+}
+
+TEST(QueryService, ResponseEchoesRequestIdAndSurvivesRoundTrip) {
+  Rig rig;
+  rig.analysis.finalize(100);
+  QueryRequest req;
+  req.t1 = 0;
+  req.t2 = 50;
+  req.request_id = 0xDEADBEEFCAFEull;
+  const auto resp = decode_response(rig.service.handle(encode_request(req)));
+  EXPECT_EQ(resp.request_id, 0xDEADBEEFCAFEull);
+  EXPECT_DOUBLE_EQ(resp.confidence, 1.0);
 }
 
 }  // namespace

@@ -5,7 +5,10 @@
 
 #include <sstream>
 
+#include "common/hash.h"
 #include "common/rng.h"
+#include "control/query_service.h"
+#include "wire/bytes.h"
 #include "wire/headers.h"
 #include "wire/telemetry.h"
 #include "wire/trace_io.h"
@@ -107,6 +110,157 @@ TEST(WireFuzz, TraceReaderSurvivesRandomFlips) {
         static_cast<char>(1 + rng.uniform_below(255));
     std::stringstream in(corrupted);
     EXPECT_THROW(read_trace(in), std::runtime_error) << "trial " << trial;
+  }
+}
+
+// --- QueryService request/response codec -----------------------------------
+//
+// The control-plane query protocol rides a lossy transport, so its codec
+// gets the same treatment as the packet parsers: truncation sweeps, bit
+// flips and lying length fields must never crash the service and must never
+// produce a kOk answer from a corrupted frame.
+
+struct QueryRig {
+  QueryRig() : pipeline(make_cfg()), analysis(pipeline, make_acfg()),
+               service(analysis) {
+    pipeline.enable_port(0);
+  }
+  static core::PipelineConfig make_cfg() {
+    core::PipelineConfig cfg;
+    cfg.windows.m0 = 4;
+    cfg.windows.alpha = 1;
+    cfg.windows.k = 6;
+    cfg.windows.num_windows = 3;
+    cfg.monitor.max_depth_cells = 200;
+    return cfg;
+  }
+  static control::AnalysisConfig make_acfg() {
+    control::AnalysisConfig a;
+    a.z0_override = 1.0;
+    return a;
+  }
+  core::PrintQueuePipeline pipeline;
+  control::AnalysisProgram analysis;
+  control::QueryService service;
+};
+
+control::QueryRequest sample_request() {
+  control::QueryRequest req;
+  req.type = control::QueryType::kTimeWindows;
+  req.t1 = 100;
+  req.t2 = 900;
+  req.request_id = 12345;
+  return req;
+}
+
+TEST(QueryCodecFuzz, RequestSurvivesEveryTruncation) {
+  QueryRig rig;
+  const auto frame = control::encode_request(sample_request());
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const auto resp = control::decode_response(rig.service.handle(
+        std::span<const std::uint8_t>(frame.data(), len)));
+    EXPECT_EQ(resp.status, control::QueryStatus::kMalformed) << "len=" << len;
+  }
+  EXPECT_EQ(rig.service.requests_served(), 0u);
+  EXPECT_EQ(rig.service.requests_rejected(), frame.size());
+}
+
+TEST(QueryCodecFuzz, EveryRequestBitFlipIsCaughtByTheCrc) {
+  QueryRig rig;
+  const auto frame = control::encode_request(sample_request());
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    for (std::uint8_t bit = 0; bit < 8; ++bit) {
+      auto corrupted = frame;
+      corrupted[i] ^= static_cast<std::uint8_t>(1u << bit);
+      const auto resp = control::decode_response(
+          rig.service.handle(corrupted));
+      EXPECT_EQ(resp.status, control::QueryStatus::kMalformed)
+          << "flip at byte " << i << " bit " << int(bit);
+    }
+  }
+  EXPECT_EQ(rig.service.requests_served(), 0u);
+  EXPECT_EQ(rig.service.health().crc_rejected, frame.size() * 8);
+}
+
+TEST(QueryCodecFuzz, ServiceHandlesRandomGarbage) {
+  QueryRig rig;
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> junk(rng.uniform_below(120));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    const auto resp = control::decode_response(rig.service.handle(junk));
+    EXPECT_NE(resp.status, control::QueryStatus::kOk);
+    EXPECT_NE(resp.status, control::QueryStatus::kPartial);
+  }
+  EXPECT_EQ(rig.service.requests_served(), 0u);
+  EXPECT_EQ(rig.service.requests_rejected(), 500u);
+}
+
+TEST(QueryCodecFuzz, ResponseSurvivesEveryTruncation) {
+  control::QueryResponse resp;
+  resp.type = control::QueryType::kQueueMonitor;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    core::OriginalCulprit c;
+    c.flow = make_flow(i);
+    c.level = i * 10;
+    c.seq = i;
+    resp.culprits.push_back(c);
+  }
+  const auto frame = control::encode_response(resp);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const auto decoded = control::decode_response(
+        std::span<const std::uint8_t>(frame.data(), len));
+    EXPECT_EQ(decoded.status, control::QueryStatus::kMalformed)
+        << "len=" << len;
+    EXPECT_TRUE(decoded.culprits.empty());
+  }
+}
+
+/// Hand-crafts a response frame whose length field claims `n` entries but
+/// whose payload carries none — with a *valid* CRC, so only the bounds
+/// audit can reject it.
+std::vector<std::uint8_t> lying_response(control::QueryType type,
+                                         std::uint32_t n) {
+  std::vector<std::uint8_t> buf;
+  put_u32(buf, control::kQueryResponseMagic);
+  put_u8(buf, static_cast<std::uint8_t>(type));
+  put_u8(buf, static_cast<std::uint8_t>(control::QueryStatus::kOk));
+  put_u64(buf, 1);  // request_id
+  put_u64(buf, 0);  // confidence bits (0.0)
+  put_u32(buf, n);  // the lie: no entry bytes follow
+  put_u32(buf, crc32(buf.data(), buf.size()));
+  return buf;
+}
+
+TEST(QueryCodecFuzz, LyingEntryCountIsRejectedBeforeAllocation) {
+  // A hostile n close to 2^32 would drive a multi-gigabyte reserve if the
+  // decoder trusted it; the bounds audit must reject from the 34-byte frame
+  // alone. (If this regresses, the test dies by OOM, not by assertion.)
+  for (const auto type : {control::QueryType::kTimeWindows,
+                          control::QueryType::kQueueMonitor}) {
+    for (const std::uint32_t n : {1u, 2u, 1000u, 0xFFFFFFFFu}) {
+      const auto decoded = control::decode_response(lying_response(type, n));
+      EXPECT_EQ(decoded.status, control::QueryStatus::kMalformed)
+          << "type=" << int(type) << " n=" << n;
+      EXPECT_TRUE(decoded.counts.empty());
+      EXPECT_TRUE(decoded.culprits.empty());
+    }
+  }
+}
+
+TEST(QueryCodecFuzz, ResponseRandomFlipsNeverYieldOk) {
+  control::QueryResponse resp;
+  resp.type = control::QueryType::kTimeWindows;
+  for (std::uint32_t i = 0; i < 8; ++i) resp.counts[make_flow(i)] = i * 1.5;
+  const auto frame = control::encode_response(resp);
+  Rng rng(77);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto corrupted = frame;
+    corrupted[rng.uniform_below(corrupted.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.uniform_below(255));
+    const auto decoded = control::decode_response(corrupted);
+    EXPECT_EQ(decoded.status, control::QueryStatus::kMalformed)
+        << "trial " << trial;
   }
 }
 
