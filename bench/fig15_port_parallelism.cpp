@@ -1,18 +1,25 @@
-// Reproduces paper Fig. 15: asynchronous-query accuracy and total
+// Reproduces paper Fig. 15 — asynchronous-query accuracy and total
 // data-plane SRAM utilisation as PrintQueue is activated on more ports
-// simultaneously (WS traces). As in the paper, alpha and k are tightened as
-// the port count grows so the total register budget stays affordable:
+// simultaneously (WS traces) — and, new with the port-sharded engine,
+// measures the wall-clock speedup of draining those ports on a worker pool.
+// As in the paper, alpha and k are tightened as the port count grows so the
+// total register budget stays affordable:
 //   1 port:  alpha=1, k=12     2 ports: alpha=1, k=11
 //   4/8/10 ports: alpha=2, k=10
 //
 // Expected shape: accuracy declines gently as the per-port structures
-// shrink; SRAM grows with the (rounded-up power of two) port count.
+// shrink; SRAM grows with the port count; run time shrinks with the thread
+// count while every accuracy column stays bit-identical (the determinism
+// contract of docs/ARCHITECTURE.md). Results land in
+// BENCH_port_parallelism.json.
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "bench/common/experiment.h"
 #include "bench/common/table.h"
 #include "control/resource_model.h"
-#include "sim/switch.h"
+#include "control/sharded_analysis.h"
 #include "traffic/distributions.h"
 
 namespace pq::bench {
@@ -22,39 +29,18 @@ struct PortSetup {
   std::uint32_t ports, alpha, k;
 };
 
-void run_setup(const PortSetup& setup, Table& t) {
-  core::PipelineConfig pcfg;
-  pcfg.windows.m0 = 10;  // WS parameters (Section 7.1)
-  pcfg.windows.alpha = setup.alpha;
-  pcfg.windows.k = setup.k;
-  pcfg.windows.num_windows = 4;
-  pcfg.windows.num_ports = setup.ports;
-  pcfg.monitor.max_depth_cells = 25000;
-  // Multi-port deployments coarsen the queue-monitor stack (Section 5:
-  // depth / buffer-allocation granularity) to keep its footprint linear
-  // in the port count without dominating SRAM.
-  pcfg.monitor.granularity_cells = 8;
-  pcfg.monitor.num_ports = setup.ports;
-  core::PrintQueuePipeline pipeline(pcfg);
-  for (std::uint32_t p = 0; p < setup.ports; ++p) pipeline.enable_port(p);
-  control::AnalysisProgram analysis(pipeline, {});
+struct Row {
+  std::uint32_t ports = 0, alpha = 0, k = 0;
+  unsigned threads = 1;
+  double run_ms = 0.0, speedup = 1.0;
+  double precision = 0.0, recall = 0.0;
+  std::size_t victims = 0;
+  double windows_sram = 0.0, monitor_sram = 0.0;
+};
 
-  std::vector<sim::PortConfig> port_cfgs(setup.ports);
-  for (std::uint32_t p = 0; p < setup.ports; ++p) {
-    port_cfgs[p].port_id = p;
-    port_cfgs[p].line_rate_gbps = 10.0;
-    port_cfgs[p].capacity_cells = 25000;
-    // Ground truth only needed on the measured port.
-    port_cfgs[p].collect_records = (p == 0);
-    port_cfgs[p].collect_depth_series = false;
-  }
-  sim::Switch sw(std::move(port_cfgs));
-  sw.set_forwarding([](const Packet& p) { return p.egress_hint; });
-  sw.add_hook_all(&pipeline);
-
-  // Independent WS traffic per port.
+std::vector<Packet> make_workload(std::uint32_t ports) {
   std::vector<std::vector<Packet>> parts;
-  for (std::uint32_t p = 0; p < setup.ports; ++p) {
+  for (std::uint32_t p = 0; p < ports; ++p) {
     traffic::FlowTraceConfig tcfg;
     tcfg.flow_sizes = &traffic::web_search_flow_sizes();
     // Long enough to cover several set periods of the largest config
@@ -66,54 +52,142 @@ void run_setup(const PortSetup& setup, Table& t) {
     for (auto& pk : pkts) pk.egress_hint = p;
     parts.push_back(std::move(pkts));
   }
-  sw.run(traffic::merge_traces(std::move(parts)));
-  analysis.finalize(sw.port(0).stats().last_departure + 1);
+  return traffic::merge_traces(std::move(parts));
+}
 
-  // Accuracy on port 0.
-  ground::GroundTruth truth(sw.port(0).records());
+control::ShardedSystem::Config system_config(const PortSetup& setup) {
+  control::ShardedSystem::Config cfg;
+  cfg.ports.resize(setup.ports);
+  for (std::uint32_t p = 0; p < setup.ports; ++p) {
+    cfg.ports[p].port_id = p;
+    cfg.ports[p].line_rate_gbps = 10.0;
+    cfg.ports[p].capacity_cells = 25000;
+    // Ground truth only needed on the measured port.
+    cfg.ports[p].collect_records = (p == 0);
+    cfg.ports[p].collect_depth_series = false;
+  }
+  cfg.pipeline.windows.m0 = 10;  // WS parameters (Section 7.1)
+  cfg.pipeline.windows.alpha = setup.alpha;
+  cfg.pipeline.windows.k = setup.k;
+  cfg.pipeline.windows.num_windows = 4;
+  cfg.pipeline.monitor.max_depth_cells = 25000;
+  // Multi-port deployments coarsen the queue-monitor stack (Section 5:
+  // depth / buffer-allocation granularity) to keep its footprint linear
+  // in the port count without dominating SRAM.
+  cfg.pipeline.monitor.granularity_cells = 8;
+  return cfg;
+}
+
+/// Runs one configuration on `threads` workers; fills accuracy from port 0.
+Row run_setup(const PortSetup& setup, const std::vector<Packet>& packets,
+              unsigned threads) {
+  control::ShardedSystem sys(system_config(setup));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sys.run(packets, threads);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Row row;
+  row.ports = setup.ports;
+  row.alpha = setup.alpha;
+  row.k = setup.k;
+  row.threads = threads;
+  row.run_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  row.windows_sram = 100.0 * control::TofinoResourceModel::sram_utilization(
+                                 sys.pipeline().windows_sram_bytes());
+  row.monitor_sram = 100.0 * control::TofinoResourceModel::sram_utilization(
+                                 sys.pipeline().monitor_sram_bytes());
+
+  // Accuracy on port 0 (shard 0).
+  const auto& records = sys.engine().port(0).records();
+  ground::GroundTruth truth(records);
   OnlineStats prec, rec;
   Rng rng(7);
-  const auto victims = ground::sample_victims(
-      sw.port(0).records(), ground::paper_depth_bins(), 60, rng);
+  const auto victims =
+      ground::sample_victims(records, ground::paper_depth_bins(), 60, rng);
   for (const auto& v : victims) {
-    const Timestamp t1 = v.record.enq_timestamp;
-    const Timestamp t2 = v.record.deq_timestamp();
-    const auto gt = truth.direct_culprits(t1, t2);
+    const Timestamp t1v = v.record.enq_timestamp;
+    const Timestamp t2v = v.record.deq_timestamp();
+    const auto gt = truth.direct_culprits(t1v, t2v);
     if (gt.empty()) continue;
     const auto pr = ground::flow_count_accuracy(
-        analysis.query_time_windows(0, t1, t2), gt);
+        sys.analysis().query_time_windows(0, t1v, t2v), gt);
     prec.add(pr.precision);
     rec.add(pr.recall);
   }
+  row.precision = prec.mean();
+  row.recall = rec.mean();
+  row.victims = prec.count();
+  return row;
+}
 
-  char label[32];
-  std::snprintf(label, sizeof label, "alpha=%u k=%u", setup.alpha, setup.k);
-  t.row({std::to_string(setup.ports), label, fmt(prec.mean()),
-         fmt(rec.mean()),
-         fmt(100.0 * control::TofinoResourceModel::sram_utilization(
-                         pipeline.windows().sram_bytes()),
-             1) +
-             "%",
-         fmt(100.0 * control::TofinoResourceModel::sram_utilization(
-                         pipeline.monitor().sram_bytes()),
-             1) +
-             "%",
-         std::to_string(prec.count())});
+void write_json(const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen("BENCH_port_parallelism.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_port_parallelism.json\n");
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "  {\"ports\": %u, \"alpha\": %u, \"k\": %u, "
+                 "\"threads\": %u, \"run_ms\": %.2f, \"speedup\": %.3f, "
+                 "\"precision\": %.4f, \"recall\": %.4f, \"victims\": %zu, "
+                 "\"windows_sram_pct\": %.2f, \"monitor_sram_pct\": %.2f}%s\n",
+                 r.ports, r.alpha, r.k, r.threads, r.run_ms, r.speedup,
+                 r.precision, r.recall, r.victims, r.windows_sram,
+                 r.monitor_sram, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
 }
 
 }  // namespace
 }  // namespace pq::bench
 
 int main() {
+  using namespace pq::bench;
+  std::vector<Row> rows;
+
   std::printf("== Fig. 15: accuracy vs number of active ports (WS) ==\n");
-  pq::bench::Table t({"ports", "config", "precision", "recall",
-                      "windows SRAM", "monitor SRAM", "n"});
-  for (const auto& s :
-       {pq::bench::PortSetup{1, 1, 12}, pq::bench::PortSetup{2, 1, 11},
-        pq::bench::PortSetup{4, 2, 10}, pq::bench::PortSetup{8, 2, 10},
-        pq::bench::PortSetup{10, 2, 10}}) {
-    pq::bench::run_setup(s, t);
+  Table t({"ports", "config", "precision", "recall", "windows SRAM",
+           "monitor SRAM", "n"});
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (const auto& s : {PortSetup{1, 1, 12}, PortSetup{2, 1, 11},
+                        PortSetup{4, 2, 10}, PortSetup{8, 2, 10},
+                        PortSetup{10, 2, 10}}) {
+    const auto packets = make_workload(s.ports);
+    Row row = run_setup(s, packets, std::min<unsigned>(hw, s.ports));
+    char label[32];
+    std::snprintf(label, sizeof label, "alpha=%u k=%u", s.alpha, s.k);
+    t.row({std::to_string(row.ports), label, fmt(row.precision),
+           fmt(row.recall), fmt(row.windows_sram, 1) + "%",
+           fmt(row.monitor_sram, 1) + "%", std::to_string(row.victims)});
+    rows.push_back(row);
   }
   t.print();
+
+  std::printf("\n== Port-sharded engine: wall clock vs thread count "
+              "(8 ports, alpha=2 k=10) ==\n");
+  Table st({"threads", "run ms", "speedup", "precision", "recall"});
+  const PortSetup sweep{8, 2, 10};
+  const auto packets = make_workload(sweep.ports);
+  double base_ms = 0.0;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    Row row = run_setup(sweep, packets, threads);
+    if (threads == 1) base_ms = row.run_ms;
+    row.speedup = base_ms > 0.0 ? base_ms / row.run_ms : 1.0;
+    st.row({std::to_string(row.threads), fmt(row.run_ms, 1),
+            fmt(row.speedup, 2) + "x", fmt(row.precision), fmt(row.recall)});
+    rows.push_back(row);
+  }
+  st.print();
+  std::printf("(accuracy columns must be identical across thread counts; "
+              "hardware threads here: %u)\n", hw);
+
+  write_json(rows);
+  std::printf("\nwrote BENCH_port_parallelism.json\n");
   return 0;
 }

@@ -1,0 +1,122 @@
+// Control plane for the port-sharded execution engine.
+//
+// Each core::PortPipeline shard gets its own AnalysisProgram: polls are
+// driven by the shard's own packet stream, snapshots and HealthStats are
+// shard-local, and nothing on the packet path crosses shards — which is
+// what makes parallel drains race-free and byte-deterministic. This type
+// is the coordinator-side view: it routes queries to the owning shard,
+// aggregates HealthStats, and merges the shards' data-plane-query
+// notification streams into one deterministic sequence ordered by dequeue
+// timestamp (ties: shard index, then per-shard firing order).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "control/analysis_program.h"
+#include "core/port_pipeline.h"
+#include "faults/sharded_faults.h"
+#include "sim/sharded_engine.h"
+
+namespace pq::control {
+
+class ShardedAnalysis {
+ public:
+  /// Attaches one AnalysisProgram per existing shard (enable every port on
+  /// the pipeline first). With `faults`, each shard's program gets that
+  /// shard's torn-read injector.
+  ShardedAnalysis(core::ShardedPipeline& pipeline, AnalysisConfig cfg,
+                  faults::ShardedFaultPlan* faults = nullptr);
+
+  /// Final checkpoint on every shard.
+  void finalize(Timestamp end_time);
+
+  AnalysisProgram& program(std::uint32_t global_prefix) {
+    return *programs_.at(global_prefix);
+  }
+  const AnalysisProgram& program(std::uint32_t global_prefix) const {
+    return *programs_.at(global_prefix);
+  }
+  std::size_t num_shards() const { return programs_.size(); }
+
+  // --- Query routing (global prefix -> owning shard) ---
+
+  core::FlowCounts query_time_windows(std::uint32_t global_prefix,
+                                      Timestamp t1, Timestamp t2) const {
+    return program(global_prefix).query_time_windows(0, t1, t2);
+  }
+  AnalysisProgram::IntervalAnswer query_time_windows_detail(
+      std::uint32_t global_prefix, Timestamp t1, Timestamp t2) const {
+    return program(global_prefix).query_time_windows_detail(0, t1, t2);
+  }
+  std::vector<core::OriginalCulprit> query_queue_monitor(
+      std::uint32_t global_prefix, Timestamp t,
+      std::uint8_t queue_id = 0) const {
+    return program(global_prefix)
+        .query_queue_monitor(pipe_.monitor_partition(queue_id), t);
+  }
+
+  // --- Merged shard outputs ---
+
+  /// One data-plane query capture annotated with its shard; `seq` is the
+  /// capture's firing index within the shard.
+  struct ShardDq {
+    std::uint32_t global_prefix = 0;
+    std::uint64_t seq = 0;
+    core::DqNotification notification;  ///< port_prefix rewritten to global
+  };
+
+  /// Every shard's data-plane-query notifications merged in dequeue-
+  /// timestamp order (ties: shard index, then firing order).
+  std::vector<ShardDq> merged_dq_notifications() const;
+
+  /// Shard-local HealthStats aggregated over all shards.
+  HealthStats health() const;
+
+  std::uint64_t polls_performed() const;
+  std::uint64_t bytes_polled() const;
+
+ private:
+  const AnalysisProgram& program_unchecked(std::uint32_t i) const {
+    return *programs_[i];
+  }
+
+  core::ShardedPipeline& pipe_;
+  std::vector<std::unique_ptr<AnalysisProgram>> programs_;
+};
+
+/// Everything a port-sharded run needs, wired: engine + shards + per-shard
+/// fault chains + per-shard control planes. Ports are enabled for every
+/// engine port; forwarding defaults to the packet's egress hint (multi-port
+/// workloads pin their traffic).
+class ShardedSystem {
+ public:
+  struct Config {
+    std::vector<sim::PortConfig> ports;
+    core::PipelineConfig pipeline;
+    AnalysisConfig analysis;
+    /// Nullopt disables fault injection entirely.
+    std::optional<faults::FaultPlanConfig> faults;
+  };
+
+  explicit ShardedSystem(Config cfg);
+
+  /// Runs the workload on `threads` workers and takes the final checkpoint
+  /// at the last departure across all ports.
+  void run(std::vector<Packet> packets, unsigned threads = 1);
+
+  sim::ShardedEngine& engine() { return engine_; }
+  core::ShardedPipeline& pipeline() { return pipeline_; }
+  ShardedAnalysis& analysis() { return *analysis_; }
+  const ShardedAnalysis& analysis() const { return *analysis_; }
+  faults::ShardedFaultPlan* faults() { return faults_.get(); }
+
+ private:
+  sim::ShardedEngine engine_;
+  core::ShardedPipeline pipeline_;
+  std::unique_ptr<faults::ShardedFaultPlan> faults_;
+  std::unique_ptr<ShardedAnalysis> analysis_;
+};
+
+}  // namespace pq::control

@@ -27,25 +27,18 @@ PrintQueuePipeline::PrintQueuePipeline(const PipelineConfig& cfg)
 }
 
 std::uint32_t PrintQueuePipeline::enable_port(std::uint32_t egress_port) {
-  if (auto it = port_table_.find(egress_port); it != port_table_.end()) {
-    return it->second;
-  }
+  if (const auto existing = port_prefix(egress_port)) return *existing;
   if (next_prefix_ >= windows_.port_partitions() ||
       (next_prefix_ + 1) * cfg_.queues_per_port >
           monitor_.port_partitions()) {
     throw std::length_error("PrintQueuePipeline: port partitions exhausted");
   }
   const std::uint32_t prefix = next_prefix_++;
-  port_table_.emplace(egress_port, prefix);
-  return prefix;
-}
-
-std::optional<std::uint32_t> PrintQueuePipeline::port_prefix(
-    std::uint32_t egress_port) const {
-  if (auto it = port_table_.find(egress_port); it != port_table_.end()) {
-    return it->second;
+  if (egress_port >= port_table_.size()) {
+    port_table_.resize(egress_port + 1, kNoPrefix);
   }
-  return std::nullopt;
+  port_table_[egress_port] = prefix;
+  return prefix;
 }
 
 void PrintQueuePipeline::on_egress(const sim::EgressContext& ctx) {

@@ -6,7 +6,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "core/queue_monitor.h"
 #include "core/time_windows.h"
@@ -69,8 +69,16 @@ class PrintQueuePipeline final : public sim::EgressHook {
   std::uint32_t enable_port(std::uint32_t egress_port);
 
   /// The ingress flow table lookup: partition prefix for a port, or nullopt
-  /// if PrintQueue is not enabled there (packet ignored).
-  std::optional<std::uint32_t> port_prefix(std::uint32_t egress_port) const;
+  /// if PrintQueue is not enabled there (packet ignored). Called once per
+  /// packet, so the table is a flat vector indexed by egress port rather
+  /// than a hash map.
+  std::optional<std::uint32_t> port_prefix(std::uint32_t egress_port) const {
+    if (egress_port < port_table_.size() &&
+        port_table_[egress_port] != kNoPrefix) {
+      return port_table_[egress_port];
+    }
+    return std::nullopt;
+  }
 
   /// Monitor partition for a (port prefix, queue) pair.
   std::uint32_t monitor_partition(std::uint32_t port_prefix,
@@ -104,7 +112,9 @@ class PrintQueuePipeline final : public sim::EgressHook {
   QueueMonitor monitor_;
   PipelineObserver* observer_ = nullptr;
 
-  std::unordered_map<std::uint32_t, std::uint32_t> port_table_;
+  static constexpr std::uint32_t kNoPrefix = 0xFFFFFFFFu;
+  /// Flat egress-port -> partition-prefix table (kNoPrefix = not enabled).
+  std::vector<std::uint32_t> port_table_;
   std::uint32_t next_prefix_ = 0;
 
   struct GapTracker {

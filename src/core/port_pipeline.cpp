@@ -1,0 +1,76 @@
+#include "core/port_pipeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pq::core {
+
+PipelineConfig PortPipeline::shard_config(PipelineConfig cfg) {
+  cfg.windows.num_ports = 1;
+  cfg.monitor.num_ports = 1;  // scaled by queues_per_port inside the pipeline
+  return cfg;
+}
+
+PortPipeline::PortPipeline(const PipelineConfig& cfg,
+                           std::uint32_t egress_port,
+                           std::uint32_t global_prefix)
+    : egress_port_(egress_port),
+      global_prefix_(global_prefix),
+      pipe_(shard_config(cfg)) {
+  pipe_.enable_port(egress_port);
+}
+
+ShardedPipeline::ShardedPipeline(const PipelineConfig& cfg) : cfg_(cfg) {
+  if (cfg_.queues_per_port == 0) {
+    throw std::invalid_argument("queues_per_port must be >= 1");
+  }
+}
+
+std::uint32_t ShardedPipeline::enable_port(std::uint32_t egress_port) {
+  if (const auto existing = port_prefix(egress_port)) return *existing;
+  const auto prefix = static_cast<std::uint32_t>(shards_.size());
+  shards_.push_back(
+      std::make_unique<PortPipeline>(cfg_, egress_port, prefix));
+  if (egress_port >= port_table_.size()) {
+    port_table_.resize(egress_port + 1, kNoShard);
+  }
+  port_table_[egress_port] = prefix;
+  return prefix;
+}
+
+std::uint32_t ShardedPipeline::monitor_partition(std::uint8_t queue_id) const {
+  return std::min<std::uint32_t>(
+      queue_id, static_cast<std::uint32_t>(cfg_.queues_per_port) - 1);
+}
+
+std::uint64_t ShardedPipeline::packets_seen() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->pipeline().packets_seen();
+  return n;
+}
+
+std::uint64_t ShardedPipeline::dq_triggers_fired() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->pipeline().dq_triggers_fired();
+  return n;
+}
+
+std::uint64_t ShardedPipeline::dq_triggers_ignored() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->pipeline().dq_triggers_ignored();
+  return n;
+}
+
+std::uint64_t ShardedPipeline::windows_sram_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->pipeline().windows().sram_bytes();
+  return n;
+}
+
+std::uint64_t ShardedPipeline::monitor_sram_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->pipeline().monitor().sram_bytes();
+  return n;
+}
+
+}  // namespace pq::core

@@ -1,0 +1,106 @@
+// Port shards: PrintQueuePipeline's state decomposed per egress port.
+//
+// The monolithic PrintQueuePipeline keeps every port's partitions inside one
+// TimeWindowSet / QueueMonitor with shared ping-pong bank bits and one
+// data-plane-query lock — faithful to several ports sharing one hardware
+// pipe, but inherently serial: a packet on any port reads the shared bank
+// state. A PortPipeline is the same data plane cut down to exactly one
+// egress port: its own single-partition window set, its own monitor (one
+// partition per scheduling class), its own gap tracker, counters and bank
+// bits. Shards share nothing, so a ShardedEngine can drain them on
+// concurrent workers and the per-shard register state is byte-identical for
+// any thread count.
+//
+// ShardedPipeline is the thin coordinator: it owns the shards, the flat
+// egress-port -> shard table (the ingress flow table), and nothing else.
+// Global shard outputs are merged downstream (control::ShardedAnalysis) in
+// deterministic dequeue-timestamp order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace pq::core {
+
+/// One shard: the PrintQueue data plane for a single egress port. The
+/// global prefix (assigned by the coordinator) is this shard's identity in
+/// merged views; inside the shard the port partition is always 0.
+class PortPipeline final : public sim::EgressHook {
+ public:
+  /// `cfg` is the coordinator's config; the shard allocates exactly one
+  /// window partition and queues_per_port monitor partitions from it.
+  PortPipeline(const PipelineConfig& cfg, std::uint32_t egress_port,
+               std::uint32_t global_prefix);
+
+  std::uint32_t egress_port() const { return egress_port_; }
+  std::uint32_t global_prefix() const { return global_prefix_; }
+
+  /// The shard's data plane. Within it, port_prefix(egress_port()) == 0.
+  PrintQueuePipeline& pipeline() { return pipe_; }
+  const PrintQueuePipeline& pipeline() const { return pipe_; }
+
+  void on_egress(const sim::EgressContext& ctx) override {
+    pipe_.on_egress(ctx);
+  }
+
+ private:
+  static PipelineConfig shard_config(PipelineConfig cfg);
+
+  std::uint32_t egress_port_;
+  std::uint32_t global_prefix_;
+  PrintQueuePipeline pipe_;
+};
+
+/// The thin coordinator: creates one PortPipeline per enabled port and
+/// resolves egress ports to shards. Aggregate counters are sums over
+/// shards; everything mutable on the packet path is shard-local.
+class ShardedPipeline {
+ public:
+  explicit ShardedPipeline(const PipelineConfig& cfg);
+
+  /// Activates PrintQueue on an egress port, creating its shard. Returns
+  /// the global prefix (== shard index). Idempotent per port.
+  std::uint32_t enable_port(std::uint32_t egress_port);
+
+  /// Ingress flow table lookup (flat vector, one probe per packet).
+  std::optional<std::uint32_t> port_prefix(std::uint32_t egress_port) const {
+    if (egress_port < port_table_.size() &&
+        port_table_[egress_port] != kNoShard) {
+      return port_table_[egress_port];
+    }
+    return std::nullopt;
+  }
+
+  PortPipeline& shard(std::uint32_t global_prefix) {
+    return *shards_.at(global_prefix);
+  }
+  const PortPipeline& shard(std::uint32_t global_prefix) const {
+    return *shards_.at(global_prefix);
+  }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  const PipelineConfig& config() const { return cfg_; }
+
+  /// Monitor partition *within* a shard for a scheduling class.
+  std::uint32_t monitor_partition(std::uint8_t queue_id) const;
+
+  // Aggregates over all shards.
+  std::uint64_t packets_seen() const;
+  std::uint64_t dq_triggers_fired() const;
+  std::uint64_t dq_triggers_ignored() const;
+  std::uint64_t windows_sram_bytes() const;
+  std::uint64_t monitor_sram_bytes() const;
+
+ private:
+  static constexpr std::uint32_t kNoShard = 0xFFFFFFFFu;
+
+  PipelineConfig cfg_;
+  std::vector<std::uint32_t> port_table_;  ///< egress port -> shard index
+  std::vector<std::unique_ptr<PortPipeline>> shards_;
+};
+
+}  // namespace pq::core

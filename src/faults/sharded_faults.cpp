@@ -1,0 +1,44 @@
+#include "faults/sharded_faults.h"
+
+#include "common/hash.h"
+#include "wire/bytes.h"
+
+namespace pq::faults {
+
+std::uint64_t shard_seed(std::uint64_t plan_seed, std::uint32_t port) {
+  return mix64(plan_seed + 0x9E3779B97F4A7C15ull *
+                               (static_cast<std::uint64_t>(port) + 1));
+}
+
+FaultPlan& ShardedFaultPlan::plan_for(std::uint32_t port) {
+  auto it = plans_.find(port);
+  if (it == plans_.end()) {
+    FaultPlanConfig cfg = base_;
+    cfg.seed = shard_seed(base_.seed, port);
+    it = plans_.emplace(port, std::make_unique<FaultPlan>(cfg)).first;
+  }
+  return *it->second;
+}
+
+std::vector<ShardFaultEvent> ShardedFaultPlan::merged_schedule() const {
+  std::vector<ShardFaultEvent> merged;
+  for (const auto& [port, plan] : plans_) {
+    for (const auto& e : plan->schedule()) merged.push_back({port, e});
+  }
+  return merged;
+}
+
+std::vector<std::uint8_t> ShardedFaultPlan::serialize_merged_schedule() const {
+  std::vector<std::uint8_t> buf;
+  wire::put_u64(buf, base_.seed);
+  wire::put_u64(buf, plans_.size());
+  for (const auto& [port, plan] : plans_) {
+    wire::put_u32(buf, port);
+    const auto shard = plan->serialize_schedule();
+    wire::put_u64(buf, shard.size());
+    buf.insert(buf.end(), shard.begin(), shard.end());
+  }
+  return buf;
+}
+
+}  // namespace pq::faults

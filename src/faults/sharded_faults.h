@@ -1,0 +1,72 @@
+// Per-shard fault injection for the port-sharded engine.
+//
+// A single FaultPlan draws every injector's decisions from streams of one
+// seed — correct for the monolithic pipeline, but racy and schedule-
+// dependent the moment two shards drain concurrently (whichever worker ran
+// first would consume the next draw). A ShardedFaultPlan instead derives
+// one *independent* FaultPlan per egress port, its seed mixed from
+// (plan seed, port): shard workloads are deterministic, each shard's fault
+// schedule depends only on its own packet/read stream, and the merged
+// schedule is byte-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "faults/fault_plan.h"
+
+namespace pq::faults {
+
+/// The per-shard RNG stream derivation (documented in
+/// docs/ARCHITECTURE.md): one golden-ratio step per port, then mix64.
+std::uint64_t shard_seed(std::uint64_t plan_seed, std::uint32_t port);
+
+/// One fault event annotated with the shard it fired on.
+struct ShardFaultEvent {
+  std::uint32_t port = 0;
+  FaultEvent event;
+
+  friend bool operator==(const ShardFaultEvent&,
+                         const ShardFaultEvent&) = default;
+};
+
+class ShardedFaultPlan {
+ public:
+  explicit ShardedFaultPlan(const FaultPlanConfig& base) : base_(base) {}
+
+  const FaultPlanConfig& base_config() const { return base_; }
+
+  /// The shard's own FaultPlan (created on first use, seed =
+  /// shard_seed(base.seed, port)).
+  FaultPlan& plan_for(std::uint32_t port);
+
+  /// Builds the shard's egress interposer chain around `next` (storm over
+  /// skew, as in FaultPlan::attach_egress_chain). Shard-local state only.
+  sim::EgressHook* attach_egress_chain(std::uint32_t port,
+                                       sim::EgressHook* next) {
+    return plan_for(port).attach_egress_chain(next);
+  }
+
+  /// The shard's torn-read seam for its AnalysisProgram.
+  RegisterReadFaults* read_faults(std::uint32_t port) {
+    return &plan_for(port).torn_reads();
+  }
+
+  /// All shards' fired faults in deterministic order: by port, then by the
+  /// shard-local firing sequence. (Fault events carry no timestamps; the
+  /// per-shard order is the ground truth and ports are disjoint.)
+  std::vector<ShardFaultEvent> merged_schedule() const;
+
+  /// Canonical byte encoding of the merged schedule, for byte-identity
+  /// assertions across thread counts.
+  std::vector<std::uint8_t> serialize_merged_schedule() const;
+
+ private:
+  FaultPlanConfig base_;
+  /// Ordered by port so iteration (merge, serialization) is deterministic.
+  std::map<std::uint32_t, std::unique_ptr<FaultPlan>> plans_;
+};
+
+}  // namespace pq::faults

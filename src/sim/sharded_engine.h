@@ -1,0 +1,74 @@
+// Port-sharded execution engine: the parallel replacement for the old
+// monolithic Switch::run loop.
+//
+// On real hardware every egress port's pipeline is an independent unit; the
+// simulator mirrors that. The engine partitions an arrival-ordered packet
+// vector by the forwarding decision (one shard per egress port, preserving
+// per-port arrival order) and drains each shard on a worker from a small
+// thread pool. Shards share no mutable state — each worker touches exactly
+// one EgressPort and the hooks registered on it — so the per-port outputs
+// are byte-identical for any thread count, including 1. Cross-shard views
+// (merged_records) are produced by a deterministic dequeue-timestamp merge.
+//
+// Determinism contract: a hook registered on one port only ever runs on the
+// worker draining that port, and sees that port's packets in dequeue order.
+// A hook shared across ports (the old PrintQueuePipeline-on-every-port
+// pattern) is NOT shard-safe; use one core::PortPipeline per port instead
+// (see core/port_pipeline.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/egress_port.h"
+
+namespace pq::sim {
+
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(std::vector<PortConfig> port_configs);
+
+  /// Replaces the forwarding function (packet -> egress port index).
+  void set_forwarding(std::function<std::uint32_t(const Packet&)> fwd);
+  const std::function<std::uint32_t(const Packet&)>& forwarding() const {
+    return fwd_;
+  }
+
+  /// Attaches a hook to one port's shard (not owned; must outlive the
+  /// engine). The hook must be shard-local: it runs on whichever worker
+  /// drains this port, concurrently with other shards' hooks.
+  void add_hook(std::uint32_t port_index, EgressHook* hook);
+
+  /// Partitions `packets` by the forwarding decision and drains every shard,
+  /// using `threads` workers (clamped to [1, num_ports()]). Packets must be
+  /// in non-decreasing arrival order; a pre-sorted input (every generator
+  /// output is) skips the sort entirely. Throws std::out_of_range if the
+  /// forwarding function returns an invalid port.
+  void run(std::vector<Packet> packets, unsigned threads = 1);
+
+  /// Splits an arrival-ordered packet vector into one arrival-ordered vector
+  /// per port. Exposed for tests and for drivers that partition externally.
+  static std::vector<std::vector<Packet>> partition(
+      const std::vector<Packet>& packets,
+      const std::function<std::uint32_t(const Packet&)>& fwd,
+      std::size_t num_ports);
+
+  /// All ports' telemetry records merged in dequeue-timestamp order (ties
+  /// broken by egress port index, then per-port record order) — the
+  /// deterministic cross-shard view of the run.
+  std::vector<wire::TelemetryRecord> merged_records() const;
+
+  EgressPort& port(std::uint32_t index) { return *ports_.at(index); }
+  const EgressPort& port(std::uint32_t index) const {
+    return *ports_.at(index);
+  }
+  std::size_t num_ports() const { return ports_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<EgressPort>> ports_;
+  std::function<std::uint32_t(const Packet&)> fwd_;
+};
+
+}  // namespace pq::sim

@@ -2,41 +2,61 @@
 // Queuing is per egress port, as in the paper's architecture (Fig. 3).
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <memory>
 #include <vector>
 
-#include "sim/egress_port.h"
+#include "sim/sharded_engine.h"
 
 namespace pq::sim {
 
 /// Forwards each packet to an egress port, then runs the per-port queue
 /// models. The default forwarding function hashes the destination IP, which
 /// is how the multi-port experiments (paper Fig. 15) spread traffic.
+///
+/// The old monolithic offer-interleaving loop is gone: Switch is now a thin
+/// facade over the port-sharded ShardedEngine — packets are partitioned by
+/// the forwarding decision and each port's shard is drained independently
+/// (single worker here; pass a thread count via `run`'s second argument or
+/// use ShardedEngine directly for parallel drains). Because ports share no
+/// state, per-port results are identical to the old interleaved schedule.
 class Switch {
  public:
-  explicit Switch(std::vector<PortConfig> port_configs);
+  explicit Switch(std::vector<PortConfig> port_configs)
+      : engine_(std::move(port_configs)) {}
 
   /// Replaces the forwarding function (packet -> egress port index).
-  void set_forwarding(std::function<std::uint32_t(const Packet&)> fwd);
-
-  /// Attaches a hook to one port, or to every port with `add_hook_all`
-  /// (PrintQueue's pipeline is one object shared across ports).
-  void add_hook(std::uint32_t port_index, EgressHook* hook);
-  void add_hook_all(EgressHook* hook);
-
-  /// Offers packets in global arrival order and drains all ports.
-  void run(std::vector<Packet> packets);
-
-  EgressPort& port(std::uint32_t index) { return *ports_.at(index); }
-  const EgressPort& port(std::uint32_t index) const {
-    return *ports_.at(index);
+  void set_forwarding(std::function<std::uint32_t(const Packet&)> fwd) {
+    engine_.set_forwarding(std::move(fwd));
   }
-  std::size_t num_ports() const { return ports_.size(); }
+
+  /// Attaches a hook to one port, or to every port with `add_hook_all`.
+  /// NOTE: a hook attached to every port runs inside every shard; that is
+  /// only safe with a single-threaded `run`. Shard-safe multi-port wiring
+  /// uses one core::PortPipeline per port (core/port_pipeline.h).
+  void add_hook(std::uint32_t port_index, EgressHook* hook) {
+    engine_.add_hook(port_index, hook);
+  }
+  void add_hook_all(EgressHook* hook) {
+    for (std::uint32_t p = 0; p < engine_.num_ports(); ++p) {
+      engine_.add_hook(p, hook);
+    }
+  }
+
+  /// Partitions packets by forwarding decision and drains all ports.
+  void run(std::vector<Packet> packets, unsigned threads = 1) {
+    engine_.run(std::move(packets), threads);
+  }
+
+  ShardedEngine& engine() { return engine_; }
+  EgressPort& port(std::uint32_t index) { return engine_.port(index); }
+  const EgressPort& port(std::uint32_t index) const {
+    return engine_.port(index);
+  }
+  std::size_t num_ports() const { return engine_.num_ports(); }
 
  private:
-  std::vector<std::unique_ptr<EgressPort>> ports_;
-  std::function<std::uint32_t(const Packet&)> fwd_;
+  ShardedEngine engine_;
 };
 
 }  // namespace pq::sim

@@ -1,0 +1,144 @@
+#include "sim/sharded_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/switch.h"
+
+namespace pq::sim {
+namespace {
+
+Packet pkt(std::uint32_t flow, Timestamp t, std::uint32_t hint = 0) {
+  Packet p;
+  p.flow = make_flow(flow);
+  p.size_bytes = 500;
+  p.arrival_ns = t;
+  p.egress_hint = hint;
+  return p;
+}
+
+std::vector<PortConfig> ports(std::uint32_t n) {
+  std::vector<PortConfig> cfgs(n);
+  for (std::uint32_t i = 0; i < n; ++i) cfgs[i].port_id = i;
+  return cfgs;
+}
+
+std::vector<Packet> workload(std::uint32_t n_ports, std::uint32_t n_pkts) {
+  std::vector<Packet> pkts;
+  for (std::uint32_t i = 0; i < n_pkts; ++i) {
+    pkts.push_back(pkt(i, i * 120, i % n_ports));
+  }
+  return pkts;
+}
+
+TEST(ShardedEngine, RejectsZeroPorts) {
+  EXPECT_THROW(ShardedEngine{std::vector<PortConfig>{}},
+               std::invalid_argument);
+}
+
+TEST(ShardedEngine, PartitionPreservesPerPortArrivalOrder) {
+  const auto pkts = workload(3, 300);
+  const auto shards = ShardedEngine::partition(
+      pkts, [](const Packet& p) { return p.egress_hint; }, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  std::size_t total = 0;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    total += shards[s].size();
+    EXPECT_TRUE(std::is_sorted(shards[s].begin(), shards[s].end(),
+                               [](const Packet& a, const Packet& b) {
+                                 return a.arrival_ns < b.arrival_ns;
+                               }));
+    for (const auto& p : shards[s]) EXPECT_EQ(p.egress_hint, s);
+  }
+  EXPECT_EQ(total, 300u);
+}
+
+TEST(ShardedEngine, InvalidForwardingThrows) {
+  ShardedEngine eng(ports(2));
+  eng.set_forwarding([](const Packet&) { return 99u; });
+  EXPECT_THROW(eng.run({pkt(1, 0)}, 1), std::out_of_range);
+  ShardedEngine eng2(ports(2));
+  eng2.set_forwarding([](const Packet&) { return 99u; });
+  EXPECT_THROW(eng2.run(workload(2, 64), 2), std::out_of_range);
+}
+
+TEST(ShardedEngine, UnsortedInputIsSorted) {
+  ShardedEngine eng(ports(1));
+  eng.set_forwarding([](const Packet&) { return 0u; });
+  std::vector<Packet> pkts = {pkt(1, 5000), pkt(2, 0), pkt(3, 2500)};
+  eng.run(std::move(pkts), 1);
+  EXPECT_EQ(eng.port(0).records().size(), 3u);
+  EXPECT_EQ(eng.port(0).records().front().flow, make_flow(2));
+}
+
+// Per-port outputs must not depend on the thread count: the records of a
+// parallel run are byte-identical to the single-threaded run's.
+TEST(ShardedEngine, ThreadCountInvariantRecords) {
+  const auto pkts = workload(4, 2000);
+  auto run_with = [&](unsigned threads) {
+    ShardedEngine eng(ports(4));
+    eng.set_forwarding([](const Packet& p) { return p.egress_hint; });
+    eng.run(pkts, threads);
+    return eng.merged_records();
+  };
+  const auto base = run_with(1);
+  ASSERT_EQ(base.size(), 2000u);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    const auto other = run_with(threads);
+    ASSERT_EQ(other.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(base[i].packet_id, other[i].packet_id);
+      EXPECT_EQ(base[i].flow, other[i].flow);
+      EXPECT_EQ(base[i].enq_timestamp, other[i].enq_timestamp);
+      EXPECT_EQ(base[i].deq_timedelta, other[i].deq_timedelta);
+      EXPECT_EQ(base[i].enq_qdepth, other[i].enq_qdepth);
+      EXPECT_EQ(base[i].egress_port, other[i].egress_port);
+    }
+  }
+}
+
+TEST(ShardedEngine, MergedRecordsAreDequeueOrdered) {
+  ShardedEngine eng(ports(3));
+  eng.set_forwarding([](const Packet& p) { return p.egress_hint; });
+  eng.run(workload(3, 900), 3);
+  const auto merged = eng.merged_records();
+  ASSERT_EQ(merged.size(), 900u);
+  EXPECT_TRUE(std::is_sorted(
+      merged.begin(), merged.end(),
+      [](const wire::TelemetryRecord& a, const wire::TelemetryRecord& b) {
+        return a.deq_timestamp() < b.deq_timestamp();
+      }));
+}
+
+TEST(ShardedEngine, MoreThreadsThanPortsIsFine) {
+  ShardedEngine eng(ports(2));
+  eng.set_forwarding([](const Packet& p) { return p.egress_hint; });
+  eng.run(workload(2, 100), 16);
+  EXPECT_EQ(eng.port(0).records().size() + eng.port(1).records().size(),
+            100u);
+}
+
+// The Switch facade (single worker) must agree with the engine exactly —
+// it is the same partition-and-drain path.
+TEST(ShardedEngine, SwitchFacadeMatchesEngine) {
+  const auto pkts = workload(2, 500);
+  Switch sw(ports(2));
+  sw.set_forwarding([](const Packet& p) { return p.egress_hint; });
+  sw.run(pkts);
+  ShardedEngine eng(ports(2));
+  eng.set_forwarding([](const Packet& p) { return p.egress_hint; });
+  eng.run(pkts, 2);
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    ASSERT_EQ(sw.port(p).records().size(), eng.port(p).records().size());
+    for (std::size_t i = 0; i < sw.port(p).records().size(); ++i) {
+      EXPECT_EQ(sw.port(p).records()[i].packet_id,
+                eng.port(p).records()[i].packet_id);
+      EXPECT_EQ(sw.port(p).records()[i].deq_timedelta,
+                eng.port(p).records()[i].deq_timedelta);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pq::sim

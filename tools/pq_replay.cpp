@@ -4,16 +4,24 @@
 // Usage:
 //   pq_replay <trace.pqt> [--victim worst|<packet_id>] [--top K]
 //             [--alpha A] [--k K] [--T N] [--m0 M] [--salvage]
+//             [--threads N] [--save-records out.pqr]
 //
-// Prints the victim's direct, indirect, and original culprits with
-// ground-truth accuracy (the trace carries the telemetry needed for both).
+// Multi-port traces are replayed through one PortPipeline shard per egress
+// port; `--threads N` drains the shards on a worker pool (results are
+// byte-identical for any N — see docs/ARCHITECTURE.md). Prints the victim's
+// direct, indirect, and original culprits with ground-truth accuracy
+// against the victim port's records.
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
-#include "control/analysis_program.h"
 #include "control/register_records.h"
+#include "control/sharded_analysis.h"
 #include "ground/ground_truth.h"
 #include "ground/metrics.h"
 #include "wire/trace_io.h"
@@ -50,6 +58,20 @@ void print_counts(const char* title, const pq::core::FlowCounts& counts,
   }
 }
 
+pq::sim::EgressContext to_context(const pq::wire::TelemetryRecord& r) {
+  pq::sim::EgressContext ctx;
+  ctx.flow = r.flow;
+  ctx.egress_port = r.egress_port;
+  ctx.size_bytes = r.size_bytes;
+  ctx.packet_cells =
+      static_cast<std::uint16_t>(pq::bytes_to_cells(r.size_bytes));
+  ctx.enq_qdepth = r.enq_qdepth;
+  ctx.enq_timestamp = r.enq_timestamp;
+  ctx.deq_timedelta = r.deq_timedelta;
+  ctx.packet_id = r.packet_id;
+  return ctx;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -58,7 +80,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: pq_replay <trace.pqt> [--victim worst|<id>] "
                  "[--top K] [--alpha A] [--k K] [--T N] [--m0 M] "
-                 "[--salvage] [--save-records out.pqr]\n");
+                 "[--salvage] [--threads N] [--save-records out.pqr]\n");
     return 2;
   }
 
@@ -89,34 +111,41 @@ int main(int argc, char** argv) {
   }
   cfg.monitor.max_depth_cells = std::max(1024u, max_depth);
 
-  core::PrintQueuePipeline pipeline(cfg);
+  // One shard per egress port present in the trace; per-shard streams keep
+  // the global dequeue order restricted to that port.
+  ground::GroundTruth truth(records);
+  core::ShardedPipeline pipeline(cfg);
+  std::vector<std::vector<wire::TelemetryRecord>> shard_records;
+  for (const auto& r : truth.records_by_deq()) {
+    const std::uint32_t prefix = pipeline.enable_port(r.egress_port);
+    if (prefix >= shard_records.size()) shard_records.resize(prefix + 1);
+    shard_records[prefix].push_back(r);
+  }
+
   control::AnalysisConfig acfg;
   acfg.salvage_stale_cells = arg_flag(argc, argv, "--salvage");
-  control::AnalysisProgram analysis(pipeline, acfg);
+  control::ShardedAnalysis analysis(pipeline, acfg);
 
-  // Replay the egress stream (records are the stream, sorted by dequeue).
-  ground::GroundTruth truth(records);
-  const std::uint32_t egress_port = truth.records_by_deq().front().egress_port;
-  pipeline.enable_port(egress_port);
-  for (const auto& r : truth.records_by_deq()) {
-    sim::EgressContext ctx;
-    ctx.flow = r.flow;
-    ctx.egress_port = r.egress_port;
-    ctx.size_bytes = r.size_bytes;
-    ctx.packet_cells = static_cast<std::uint16_t>(
-        bytes_to_cells(r.size_bytes));
-    ctx.enq_qdepth = r.enq_qdepth;
-    ctx.enq_timestamp = r.enq_timestamp;
-    ctx.deq_timedelta = r.deq_timedelta;
-    ctx.packet_id = r.packet_id;
-    pipeline.on_egress(ctx);
-  }
-  analysis.finalize(truth.records_by_deq().back().deq_timestamp() + 1);
-
-  if (const char* out = arg_str(argc, argv, "--save-records", nullptr)) {
-    control::write_records_file(out,
-                                control::collect_records(pipeline, analysis));
-    std::printf("register records saved to %s\n", out);
+  const auto threads = std::max(
+      1u, static_cast<unsigned>(arg_double(argc, argv, "--threads", 1)));
+  const unsigned workers = std::min<unsigned>(
+      threads, static_cast<unsigned>(pipeline.num_shards()));
+  std::atomic<std::uint32_t> next{0};
+  auto replay_shards = [&] {
+    for (std::uint32_t s = next.fetch_add(1); s < pipeline.num_shards();
+         s = next.fetch_add(1)) {
+      auto& shard = pipeline.shard(s);
+      for (const auto& r : shard_records[s]) shard.on_egress(to_context(r));
+      analysis.program(s).finalize(
+          shard_records[s].back().deq_timestamp() + 1);
+    }
+  };
+  if (workers == 1) {
+    replay_shards();
+  } else {
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(replay_shards);
+    for (auto& t : pool) t.join();
   }
 
   // Victim selection.
@@ -138,28 +167,44 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  const std::uint32_t egress_port = victim->egress_port;
+  const auto prefix = *pipeline.port_prefix(egress_port);
+
+  if (const char* out = arg_str(argc, argv, "--save-records", nullptr)) {
+    control::write_records_file(
+        out, control::collect_records(pipeline.shard(prefix).pipeline(),
+                                      analysis.program(prefix)));
+    std::printf("register records saved to %s (port %u)\n", out, egress_port);
+  }
+
+  // Ground truth for accuracy is the victim port's own queue.
+  ground::GroundTruth port_truth(shard_records[prefix]);
 
   const auto top =
       static_cast<std::size_t>(arg_double(argc, argv, "--top", 8));
-  std::printf("trace: %zu records over %.2f ms on port %u\n", records.size(),
+  std::printf("trace: %zu records over %.2f ms on %zu port%s "
+              "(%u threads)\n",
+              records.size(),
               truth.records_by_deq().back().deq_timestamp() / 1e6,
-              egress_port);
-  std::printf("victim: %s, enq %.3f ms, queued %.1f us, depth %u cells\n",
-              to_string(victim->flow).c_str(), victim->enq_timestamp / 1e6,
-              victim->deq_timedelta / 1e3, victim->enq_qdepth);
+              pipeline.num_shards(), pipeline.num_shards() == 1 ? "" : "s",
+              workers);
+  std::printf("victim: %s on port %u, enq %.3f ms, queued %.1f us, "
+              "depth %u cells\n",
+              to_string(victim->flow).c_str(), egress_port,
+              victim->enq_timestamp / 1e6, victim->deq_timedelta / 1e3,
+              victim->enq_qdepth);
 
   const Timestamp t1 = victim->enq_timestamp;
   const Timestamp t2 = victim->deq_timestamp();
-  const auto prefix = *pipeline.port_prefix(egress_port);
 
   const auto direct = analysis.query_time_windows(prefix, t1, t2);
   print_counts("direct culprits", direct, top);
   const auto pr =
-      ground::flow_count_accuracy(direct, truth.direct_culprits(t1, t2));
+      ground::flow_count_accuracy(direct, port_truth.direct_culprits(t1, t2));
   std::printf("  [accuracy vs trace ground truth: P %.3f R %.3f]\n",
               pr.precision, pr.recall);
 
-  const Timestamp regime = truth.regime_start(t1);
+  const Timestamp regime = port_truth.regime_start(t1);
   print_counts("indirect culprits",
                analysis.query_time_windows(prefix, regime, t1), top);
   std::printf("  [congestion regime began %.1f us before the victim]\n",
