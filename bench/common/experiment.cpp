@@ -1,5 +1,7 @@
 #include "bench/common/experiment.h"
 
+#include <cstdio>
+
 #include "common/rng.h"
 
 namespace pq::bench {
@@ -133,12 +135,24 @@ std::vector<BinResult> evaluate_baseline_bins(
 }
 
 std::string depth_bin_label(std::uint32_t lo, std::uint32_t hi) {
-  auto fmt = [](std::uint32_t v) {
-    return v % 1000 == 0 ? std::to_string(v / 1000) + "k"
-                         : std::to_string(v);
+  // Formatted into a fixed buffer: GCC 12's -Wrestrict fires false
+  // positives on every std::string concatenation shape here when inlined.
+  auto fmt = [](char* out, std::size_t cap, std::uint32_t v) {
+    if (v % 1000 == 0) {
+      std::snprintf(out, cap, "%uk", v / 1000);
+    } else {
+      std::snprintf(out, cap, "%u", v);
+    }
   };
-  if (hi >= 0x0fffffffu) return ">" + fmt(lo);
-  return fmt(lo) + "-" + fmt(hi);
+  char a[16], b[16], buf[36];
+  fmt(a, sizeof a, lo);
+  if (hi >= 0x0fffffffu) {
+    std::snprintf(buf, sizeof buf, ">%s", a);
+  } else {
+    fmt(b, sizeof b, hi);
+    std::snprintf(buf, sizeof buf, "%s-%s", a, b);
+  }
+  return buf;
 }
 
 const char* trace_name(traffic::TraceKind kind) {

@@ -58,8 +58,9 @@ void run() {
               "run\n\n",
               cq_params.num_snapshots,
               static_cast<unsigned>(cq_params.snapshot_window_ns / 1000),
-              conquest.history_ns() / 1e6,
-              pipeline.windows().layout().set_period_ns() / 1e6);
+              static_cast<double>(conquest.history_ns()) / 1e6,
+              static_cast<double>(
+                  pipeline.windows().layout().set_period_ns()) / 1e6);
 
   Rng rng(7);
   const auto victims = ground::sample_victims(

@@ -63,9 +63,11 @@ void run() {
   // ---- (a) queue depth timeline ----
   std::printf("\n(a) queue depth over time (cells; burst at %.0f ms "
               "lasting %.2f ms, queuing persists %.2f ms = %.0fx)\n",
-              cfg.burst_start_ns / 1e6,
-              (result.burst_end_ns - cfg.burst_start_ns) / 1e6,
-              (result.regime_end_ns - cfg.burst_start_ns) / 1e6,
+              static_cast<double>(cfg.burst_start_ns) / 1e6,
+              static_cast<double>(result.burst_end_ns - cfg.burst_start_ns) /
+                  1e6,
+              static_cast<double>(result.regime_end_ns - cfg.burst_start_ns) /
+                  1e6,
               static_cast<double>(result.regime_end_ns - cfg.burst_start_ns) /
                   static_cast<double>(result.burst_end_ns -
                                       cfg.burst_start_ns));
@@ -74,7 +76,8 @@ void run() {
   for (const auto& s : series) peak = std::max(peak, s.depth_cells);
   for (const auto& s : series) {
     const int bar = peak ? static_cast<int>(50.0 * s.depth_cells / peak) : 0;
-    std::printf("  %8.2f ms |%-50.*s| %u\n", s.t / 1e6, bar,
+    std::printf("  %8.2f ms |%-50.*s| %u\n",
+                static_cast<double>(s.t) / 1e6, bar,
                 "##################################################",
                 s.depth_cells);
   }
@@ -97,7 +100,7 @@ void run() {
   const Timestamp regime = truth.regime_start(enq);
   std::printf("\nvictim: new TCP packet enq=%.2f ms, queuing delay %.0f us, "
               "depth %u cells (data-plane query trigger)\n",
-              enq / 1e6, (deq - enq) / 1e3,
+              static_cast<double>(enq) / 1e6, static_cast<double>(deq - enq) / 1e3,
               capture->notification.enq_qdepth);
 
   // ---- (b) the three culprit classes, all from the frozen capture ----

@@ -1,0 +1,217 @@
+// perf_smoke — the CI performance canary. Replays a canned multi-port
+// workload through the full sharded stack (engine + per-port pipelines +
+// per-shard analysis), then reports the three numbers a hot-path regression
+// cannot hide from:
+//
+//   throughput_pps   packets drained per wall-clock second
+//   query_p50_ns /   exact quantiles over a fixed batch of coordinator
+//   query_p99_ns     queries (time-window + queue-monitor)
+//   peak_rss_kb      VmHWM from /proc/self/status
+//
+// Results land in BENCH_perf_smoke.json (flat, comparator-friendly; see
+// tools/check_bench_regression.py) and the run's full metric registry in
+// metrics.json. Wall-clock sampling uses std::chrono directly so the bench
+// measures identically in PQ_METRICS=ON and OFF builds — that is what makes
+// the "instrumentation is within noise" acceptance check meaningful.
+//
+// Usage: perf_smoke [--threads N] [--ports P] [--ms D]
+//                   [--out BENCH_perf_smoke.json] [--metrics-out metrics.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "control/metrics_export.h"
+#include "control/sharded_analysis.h"
+#include "traffic/distributions.h"
+#include "traffic/trace_gen.h"
+
+namespace {
+
+using namespace pq;
+
+double arg_double(int argc, char** argv, const char* name, double dflt) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return dflt;
+}
+
+const char* arg_str(int argc, char** argv, const char* name,
+                    const char* dflt) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return dflt;
+}
+
+std::vector<Packet> make_workload(std::uint32_t ports, Duration duration_ns) {
+  std::vector<std::vector<Packet>> parts;
+  for (std::uint32_t p = 0; p < ports; ++p) {
+    traffic::FlowTraceConfig tcfg;
+    tcfg.flow_sizes = &traffic::web_search_flow_sizes();
+    tcfg.duration_ns = duration_ns;
+    tcfg.seed = 4242 + p;
+    tcfg.flow_id_base = p * 1'000'000;
+    auto pkts = traffic::generate_flow_trace(tcfg);
+    for (auto& pk : pkts) pk.egress_hint = p;
+    parts.push_back(std::move(pkts));
+  }
+  return traffic::merge_traces(std::move(parts));
+}
+
+control::ShardedSystem::Config system_config(std::uint32_t ports) {
+  control::ShardedSystem::Config cfg;
+  cfg.ports.resize(ports);
+  for (std::uint32_t p = 0; p < ports; ++p) {
+    cfg.ports[p].port_id = p;
+    cfg.ports[p].collect_depth_series = false;
+  }
+  cfg.pipeline.windows.m0 = 10;
+  cfg.pipeline.windows.alpha = 2;
+  cfg.pipeline.windows.k = 10;
+  cfg.pipeline.windows.num_windows = 4;
+  cfg.pipeline.monitor.max_depth_cells = 25000;
+  cfg.pipeline.monitor.granularity_cells = 8;
+  cfg.pipeline.dq_depth_threshold_cells = 400;
+  return cfg;
+}
+
+std::uint64_t peak_rss_kb() {
+  // VmHWM is the high-watermark of the resident set — exactly the "peak
+  // RSS" a leaky or bloated data structure moves.
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      std::uint64_t kb = 0;
+      if (std::sscanf(line, "VmHWM: %lu kB", &kb) == 1) {
+        std::fclose(f);
+        return kb;
+      }
+    }
+    std::fclose(f);
+  }
+  return 0;
+}
+
+double exact_quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto ports = static_cast<std::uint32_t>(
+      arg_double(argc, argv, "--ports", 4));
+  const auto duration_ms = arg_double(argc, argv, "--ms", 40);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const auto threads = static_cast<unsigned>(arg_double(
+      argc, argv, "--threads", std::min<unsigned>(hw, ports)));
+  const char* out_path =
+      arg_str(argc, argv, "--out", "BENCH_perf_smoke.json");
+  const char* metrics_path =
+      arg_str(argc, argv, "--metrics-out", "metrics.json");
+
+  const auto packets = make_workload(
+      ports, static_cast<Duration>(duration_ms * 1e6));
+
+  control::ShardedSystem sys(system_config(ports));
+  const auto t0 = std::chrono::steady_clock::now();
+  sys.run(packets, threads);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double run_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double throughput_pps =
+      run_ms > 0.0 ? static_cast<double>(packets.size()) / (run_ms / 1e3)
+                   : 0.0;
+
+  // A fixed batch of queries spread across shards and the trace's span;
+  // exact quantiles over the per-query wall clock.
+  std::vector<double> query_ns;
+  const Timestamp span = static_cast<Timestamp>(duration_ms * 1e6);
+  constexpr int kQueriesPerShard = 50;
+  for (std::uint32_t s = 0; s < sys.pipeline().num_shards(); ++s) {
+    for (int i = 0; i < kQueriesPerShard; ++i) {
+      const Timestamp lo = span / 8 + (span / (2 * kQueriesPerShard)) *
+                                          static_cast<Timestamp>(i);
+      const auto q0 = std::chrono::steady_clock::now();
+      const auto counts =
+          sys.analysis().query_time_windows(s, lo, lo + span / 8);
+      const auto culprits =
+          sys.analysis().query_queue_monitor(s, lo + span / 16);
+      const auto q1 = std::chrono::steady_clock::now();
+      query_ns.push_back(
+          std::chrono::duration<double, std::nano>(q1 - q0).count());
+      // Keep the optimizer honest.
+      if (counts.size() + culprits.size() == static_cast<std::size_t>(-1)) {
+        std::printf("impossible\n");
+      }
+    }
+  }
+  const double p50 = exact_quantile(query_ns, 0.50);
+  const double p99 = exact_quantile(query_ns, 0.99);
+  const std::uint64_t rss_kb = peak_rss_kb();
+
+  std::uint64_t dequeued = 0, dropped = 0;
+  for (std::uint32_t p = 0; p < sys.engine().num_ports(); ++p) {
+    dequeued += sys.engine().port(p).stats().dequeued;
+    dropped += sys.engine().port(p).stats().dropped;
+  }
+
+  std::printf("perf_smoke: %zu pkts, %u ports, %u threads\n", packets.size(),
+              ports, threads);
+  std::printf("  run        %.1f ms  (%.2f Mpps)\n", run_ms,
+              throughput_pps / 1e6);
+  std::printf("  query p50  %.1f us   p99 %.1f us  (%zu queries)\n",
+              p50 / 1e3, p99 / 1e3, query_ns.size());
+  std::printf("  peak RSS   %lu kB\n",
+              static_cast<unsigned long>(rss_kb));
+  std::printf("  drained    %lu pkts, %lu drops\n",
+              static_cast<unsigned long>(dequeued),
+              static_cast<unsigned long>(dropped));
+
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"throughput_pps\": %.0f,\n"
+                 "  \"query_p50_ns\": %.0f,\n"
+                 "  \"query_p99_ns\": %.0f,\n"
+                 "  \"peak_rss_kb\": %lu,\n"
+                 "  \"run_ms\": %.2f,\n"
+                 "  \"packets\": %zu,\n"
+                 "  \"dequeued\": %lu,\n"
+                 "  \"dropped\": %lu,\n"
+                 "  \"ports\": %u,\n"
+                 "  \"threads\": %u\n"
+                 "}\n",
+                 throughput_pps, p50, p99,
+                 static_cast<unsigned long>(rss_kb), run_ms, packets.size(),
+                 static_cast<unsigned long>(dequeued),
+                 static_cast<unsigned long>(dropped), ports, threads);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+
+  const auto metrics = control::collect_system_metrics(sys);
+  if (std::FILE* f = std::fopen(metrics_path, "w")) {
+    const std::string body = metrics.to_json();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", metrics_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", metrics_path);
+    return 1;
+  }
+  return 0;
+}

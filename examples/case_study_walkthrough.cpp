@@ -42,8 +42,8 @@ int main() {
 
   std::printf("burst: %.2f ms of datagrams; queue stayed congested for "
               "%.2f ms afterwards\n",
-              (result.burst_end_ns - scenario.burst_start_ns) / 1e6,
-              (result.regime_end_ns - result.burst_end_ns) / 1e6);
+              static_cast<double>(result.burst_end_ns - scenario.burst_start_ns) / 1e6,
+              static_cast<double>(result.regime_end_ns - result.burst_end_ns) / 1e6);
 
   // The data-plane trigger fires on the first badly-delayed new-TCP packet.
   const control::DqCapture* capture = nullptr;
@@ -59,8 +59,8 @@ int main() {
   }
   const auto& n = capture->notification;
   std::printf("diagnosing: new TCP packet at %.2f ms, %.0f us of queuing\n\n",
-              n.enq_timestamp / 1e6,
-              (n.deq_timestamp - n.enq_timestamp) / 1e3);
+              static_cast<double>(n.enq_timestamp) / 1e6,
+              static_cast<double>(n.deq_timestamp - n.enq_timestamp) / 1e3);
 
   ground::GroundTruth truth(port.records());
   const Timestamp regime = truth.regime_start(n.enq_timestamp);

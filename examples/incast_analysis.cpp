@@ -68,7 +68,7 @@ int main() {
     }
   }
   std::printf("probe packet queued %.1f us behind %u cells\n",
-              victim->deq_timedelta / 1e3, victim->enq_qdepth);
+              static_cast<double>(victim->deq_timedelta) / 1e3, victim->enq_qdepth);
 
   const auto direct = analysis.query_time_windows(
       0, victim->enq_timestamp, victim->deq_timestamp());

@@ -71,8 +71,9 @@ int main() {
   for (const auto& cap : analysis.dq_captures(0)) {
     const auto& n = cap.notification;
     std::printf("\n--- trigger at %.3f ms: %s queued %.1f us ---\n",
-                n.deq_timestamp / 1e6, to_string(n.victim_flow).c_str(),
-                (n.deq_timestamp - n.enq_timestamp) / 1e3);
+                static_cast<double>(n.deq_timestamp) / 1e6,
+                to_string(n.victim_flow).c_str(),
+                static_cast<double>(n.deq_timestamp - n.enq_timestamp) / 1e3);
 
     const auto culprits =
         analysis.query_dq_capture(cap, n.enq_timestamp, n.deq_timestamp);

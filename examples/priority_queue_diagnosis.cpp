@@ -70,7 +70,7 @@ int main() {
   }
   std::printf("batch packet queued %.1f us (port depth %u cells at "
               "enqueue)\n",
-              victim->deq_timedelta / 1e3, victim->enq_qdepth);
+              static_cast<double>(victim->deq_timedelta) / 1e3, victim->enq_qdepth);
 
   // Direct culprits via the (scheduler-agnostic) time windows. With a
   // mixed 64 B / MTU packet population the absolute count calibration is

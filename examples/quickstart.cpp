@@ -57,7 +57,8 @@ int main() {
   std::printf("\nvictim: %s\n  enqueued at %.3f ms, queued for %.1f us "
               "behind %u cells\n",
               to_string(victim->flow).c_str(),
-              victim->enq_timestamp / 1e6, victim->deq_timedelta / 1e3,
+              static_cast<double>(victim->enq_timestamp) / 1e6,
+              static_cast<double>(victim->deq_timedelta) / 1e3,
               victim->enq_qdepth);
 
   // 6. Direct culprits: flows dequeued during the victim's queuing.
@@ -76,7 +77,7 @@ int main() {
       analysis.query_time_windows(0, regime, victim->enq_timestamp);
   std::printf("\ncongestion regime began %.1f us before the victim; "
               "top indirect culprits:\n",
-              (victim->enq_timestamp - regime) / 1e3);
+              static_cast<double>(victim->enq_timestamp - regime) / 1e3);
   for (const auto& [flow, count] : core::top_k_flows(indirect, 5)) {
     std::printf("  %-40s %8.1f\n", to_string(flow).c_str(), count);
   }

@@ -42,7 +42,7 @@ int main() {
   const auto request_bytes = control::encode_request(req);
   std::printf("application -> switch: %zu-byte time-window query for "
               "[%.3f, %.3f] ms\n",
-              request_bytes.size(), req.t1 / 1e6, req.t2 / 1e6);
+              request_bytes.size(), static_cast<double>(req.t1) / 1e6, static_cast<double>(req.t2) / 1e6);
 
   const auto response_bytes = service.handle(request_bytes);
   const auto resp = control::decode_response(response_bytes);

@@ -95,6 +95,7 @@ bool AnalysisProgram::read_monitor_verified(std::uint32_t bank,
 }
 
 void AnalysisProgram::poll(Timestamp now) {
+  const obs::ScopedTimer poll_timer(poll_ns_);
   const std::uint32_t wbank = pipe_.windows().flip_periodic();
   const std::uint32_t mbank = pipe_.monitor().flip_periodic();
   const auto& wp = pipe_.windows().params();

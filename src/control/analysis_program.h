@@ -24,6 +24,7 @@
 #include "control/snapshots.h"
 #include "core/coefficients.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 
 namespace pq::faults {
 class RegisterReadFaults;
@@ -148,6 +149,11 @@ class AnalysisProgram final : public core::PipelineObserver {
   /// Total register bytes copied by periodic polling so far (I/O model).
   std::uint64_t bytes_polled() const { return bytes_polled_; }
 
+  /// Wall-clock latency of each poll (checkpoint read) — a timing metric,
+  /// excluded from the cross-thread determinism contract. Empty in a
+  /// PQ_METRICS=OFF build.
+  const obs::Histogram& poll_latency_ns() const { return poll_ns_; }
+
  private:
   void poll(Timestamp now);
   bool read_window_verified(std::uint32_t bank, std::uint32_t port,
@@ -165,6 +171,7 @@ class AnalysisProgram final : public core::PipelineObserver {
   std::uint64_t bytes_polled_ = 0;
   faults::RegisterReadFaults* read_faults_ = nullptr;
   HealthStats health_;
+  obs::Histogram poll_ns_;
 
   std::vector<std::vector<WindowSnapshot>> window_snaps_;   // [port]
   std::vector<std::vector<MonitorSnapshot>> monitor_snaps_; // [port]

@@ -1,0 +1,213 @@
+#include "control/metrics_export.h"
+
+namespace pq::control {
+
+namespace {
+
+void merge_histogram(obs::MetricsRegistry& reg, std::string_view name,
+                     std::string_view help, const obs::Histogram& src) {
+  reg.histogram(name, help, /*timing=*/true).merge(src);
+}
+
+}  // namespace
+
+void export_port_metrics(obs::MetricsRegistry& reg,
+                         const sim::EgressPort& port) {
+  const sim::PortStats& s = port.stats();
+  reg.counter("pq_sim_packets_enqueued_total",
+              "packets accepted into the egress queue")
+      .inc(s.enqueued);
+  reg.counter("pq_sim_packets_dequeued_total",
+              "packets scheduled out of the egress queue")
+      .inc(s.dequeued);
+  reg.counter("pq_sim_packets_dropped_total", "tail drops at the buffer cap")
+      .inc(s.dropped);
+  reg.counter("pq_sim_bytes_sent_total", "bytes serialized at line rate")
+      .inc(s.bytes_sent);
+  reg.gauge("pq_sim_queue_depth_peak_cells", obs::GaugeMode::kMax,
+            "queue-depth high-watermark in 80B cells")
+      .set_max(s.peak_depth_cells);
+}
+
+void export_engine_metrics(obs::MetricsRegistry& reg,
+                           const sim::ShardedEngine& engine,
+                           std::uint32_t port_index) {
+  reg.counter("pq_sim_drain_ns_total",
+              "wall-clock ns spent draining shards (timing)",
+              /*timing=*/true)
+      .inc(engine.drain_ns(port_index));
+}
+
+void export_pipeline_metrics(obs::MetricsRegistry& reg,
+                             const core::PrintQueuePipeline& pipe) {
+  reg.counter("pq_core_packets_seen_total",
+              "packets the PrintQueue egress stage processed")
+      .inc(pipe.packets_seen());
+  reg.counter("pq_core_dq_triggers_fired_total",
+              "data-plane query triggers that froze the special banks")
+      .inc(pipe.dq_triggers_fired());
+  reg.counter("pq_core_dq_triggers_ignored_total",
+              "triggers ignored because a query was already in progress")
+      .inc(pipe.dq_triggers_ignored());
+
+  const core::WindowStats& ws = pipe.windows().stats();
+  std::uint64_t stored = 0, passed = 0, dropped = 0;
+  for (const auto v : ws.stored) stored += v;
+  for (const auto v : ws.passed) passed += v;
+  for (const auto v : ws.dropped) dropped += v;
+  reg.counter("pq_core_window_cells_stored_total",
+              "time-window register cell writes (Algorithm 1)")
+      .inc(stored);
+  reg.counter("pq_core_window_evictions_passed_total",
+              "index collisions resolved by passing to a deeper window")
+      .inc(passed);
+  reg.counter("pq_core_window_evictions_dropped_total",
+              "index collisions that discarded the evicted packet")
+      .inc(dropped);
+  reg.counter("pq_core_window_rotations_total",
+              "time-window bank rotations (flips + dq freezes)")
+      .inc(pipe.windows().rotation_epoch());
+
+  reg.counter("pq_core_monitor_updates_total",
+              "queue-monitor register update probes")
+      .inc(pipe.monitor().updates());
+  reg.counter("pq_core_monitor_rotations_total",
+              "queue-monitor bank rotations")
+      .inc(pipe.monitor().rotation_epoch());
+  reg.counter("pq_core_register_bank_touches_total",
+              "all data-plane register writes (windows + monitor)")
+      .inc(stored + pipe.monitor().updates());
+
+  reg.gauge("pq_core_windows_sram_bytes", obs::GaugeMode::kSum,
+            "time-window SRAM footprint across all four banks")
+      .set(pipe.windows().sram_bytes());
+  reg.gauge("pq_core_monitor_sram_bytes", obs::GaugeMode::kSum,
+            "queue-monitor SRAM footprint across all four banks")
+      .set(pipe.monitor().sram_bytes());
+}
+
+void export_analysis_metrics(obs::MetricsRegistry& reg,
+                             const AnalysisProgram& prog) {
+  reg.counter("pq_control_polls_total", "periodic checkpoints taken")
+      .inc(prog.polls_performed());
+  reg.counter("pq_control_poll_bytes_total",
+              "register bytes copied by periodic polling")
+      .inc(prog.bytes_polled());
+  merge_histogram(reg, "pq_control_poll_ns",
+                  "wall-clock ns per checkpoint read (timing)",
+                  prog.poll_latency_ns());
+
+  const HealthStats& h = prog.health();
+  reg.counter("pq_control_torn_reads_detected_total",
+              "bank copies whose rotation epoch changed mid-read")
+      .inc(h.torn_reads_detected);
+  reg.counter("pq_control_torn_read_retries_total",
+              "re-reads issued after a detected tear")
+      .inc(h.torn_read_retries);
+  reg.counter("pq_control_snapshots_abandoned_total",
+              "snapshots given up after max retries")
+      .inc(h.snapshots_abandoned);
+  reg.counter("pq_control_backoff_ns_total",
+              "modelled retry backoff (deterministic, not wall clock)")
+      .inc(h.backoff_ns_spent);
+  reg.counter("pq_control_crc_rejected_total",
+              "query frames failing the CRC32 trailer")
+      .inc(h.crc_rejected);
+  reg.counter("pq_control_malformed_rejected_total",
+              "truncated or malformed query frames")
+      .inc(h.malformed_rejected);
+  reg.counter("pq_control_partial_answers_total",
+              "responses downgraded to kPartial")
+      .inc(h.partial_answers);
+  reg.counter("pq_control_duplicates_deduped_total",
+              "repeated request IDs served from the response cache")
+      .inc(h.duplicates_deduped);
+  reg.counter("pq_control_client_retries_total",
+              "client attempts beyond the first")
+      .inc(h.client_retries);
+  reg.counter("pq_control_client_gave_up_total",
+              "client queries that exhausted retries")
+      .inc(h.client_gave_up);
+  reg.counter("pq_control_responses_discarded_total",
+              "wrong-ID or duplicate responses dropped by the client")
+      .inc(h.responses_discarded);
+}
+
+void export_fault_metrics(obs::MetricsRegistry& reg,
+                          const faults::FaultPlan& plan) {
+  auto name_of = [](faults::FaultKind kind) -> const char* {
+    switch (kind) {
+      case faults::FaultKind::kTornWindowRead:
+        return "pq_faults_torn_window_read_total";
+      case faults::FaultKind::kTornMonitorRead:
+        return "pq_faults_torn_monitor_read_total";
+      case faults::FaultKind::kDrop:
+        return "pq_faults_channel_drop_total";
+      case faults::FaultKind::kDuplicate:
+        return "pq_faults_channel_duplicate_total";
+      case faults::FaultKind::kCorrupt:
+        return "pq_faults_channel_corrupt_total";
+      case faults::FaultKind::kReorder:
+        return "pq_faults_channel_reorder_total";
+      case faults::FaultKind::kForcedTrigger:
+        return "pq_faults_forced_trigger_total";
+      case faults::FaultKind::kSkewApplied:
+        return "pq_faults_clock_skew_total";
+    }
+    return "pq_faults_unknown_total";
+  };
+  reg.counter("pq_faults_injections_total",
+              "faults fired across all injectors of the plan")
+      .inc(plan.schedule().size());
+  for (const auto& event : plan.schedule()) {
+    reg.counter(name_of(event.kind), "faults fired by one injector kind")
+        .inc();
+  }
+}
+
+obs::MetricsRegistry collect_shard_metrics(const ShardedSystem& sys,
+                                           std::uint32_t shard) {
+  obs::MetricsRegistry reg;
+  // ShardedSystem enables ports in engine-index order, so shard i is
+  // engine port i (see ShardedSystem's constructor).
+  export_port_metrics(reg, sys.engine().port(shard));
+  export_engine_metrics(reg, sys.engine(), shard);
+  export_pipeline_metrics(reg, sys.pipeline().shard(shard).pipeline());
+  export_analysis_metrics(reg, sys.analysis().program(shard));
+  if (sys.faults() != nullptr) {
+    const std::uint32_t port_id =
+        sys.pipeline().shard(shard).egress_port();
+    if (const faults::FaultPlan* plan = sys.faults()->plan_if(port_id)) {
+      export_fault_metrics(reg, *plan);
+    }
+  }
+  return reg;
+}
+
+obs::MetricsRegistry collect_system_metrics(const ShardedSystem& sys) {
+  obs::MetricsRegistry merged;
+  for (std::uint32_t s = 0; s < sys.pipeline().num_shards(); ++s) {
+    merged.merge(collect_shard_metrics(sys, s));
+  }
+  merge_histogram(merged, "pq_control_query_ns",
+                  "wall-clock ns per routed coordinator query (timing)",
+                  sys.analysis().query_latency_ns());
+  return merged;
+}
+
+obs::MetricsRegistry collect_replay_metrics(
+    const core::ShardedPipeline& pipeline, const ShardedAnalysis& analysis) {
+  obs::MetricsRegistry merged;
+  for (std::uint32_t s = 0; s < pipeline.num_shards(); ++s) {
+    obs::MetricsRegistry reg;
+    export_pipeline_metrics(reg, pipeline.shard(s).pipeline());
+    export_analysis_metrics(reg, analysis.program(s));
+    merged.merge(reg);
+  }
+  merge_histogram(merged, "pq_control_query_ns",
+                  "wall-clock ns per routed coordinator query (timing)",
+                  analysis.query_latency_ns());
+  return merged;
+}
+
+}  // namespace pq::control

@@ -1,0 +1,66 @@
+// Flattens every layer's counters into pq::obs registries — the glue
+// between the instrumented subsystems and metrics.json / Prometheus output.
+//
+// The exporters are pull-based: hot paths keep their existing cheap
+// shard-local counters (PortStats, WindowStats, HealthStats, FaultLog) and
+// this module snapshots them into a MetricsRegistry after (or between)
+// runs, so enabling metrics adds nothing to the per-packet cost. Wall-clock
+// measurements (drain/poll/query ns) are registered timing-tagged, which
+// keeps the deterministic serialization view byte-identical across thread
+// counts. The full metric catalogue lives in docs/OBSERVABILITY.md.
+//
+// Every export_* ADDS into the target registry (counters increment, gauges
+// combine); exporting the same source twice double-counts. Build each
+// registry fresh, per shard, then merge in shard-index order.
+#pragma once
+
+#include <cstdint>
+
+#include "control/sharded_analysis.h"
+#include "obs/metrics.h"
+
+namespace pq::control {
+
+/// Sim layer: one egress port's queue counters (enqueue/dequeue/drop/bytes)
+/// and its depth high-watermark.
+void export_port_metrics(obs::MetricsRegistry& reg,
+                         const sim::EgressPort& port);
+
+/// Sim layer: wall-clock drain time of one engine shard (timing-tagged).
+void export_engine_metrics(obs::MetricsRegistry& reg,
+                           const sim::ShardedEngine& engine,
+                           std::uint32_t port_index);
+
+/// Core layer: one PrintQueue pipeline's register activity — window cells
+/// stored, evictions passed/dropped (index collisions), bank rotations,
+/// monitor updates, data-plane triggers, SRAM footprint.
+void export_pipeline_metrics(obs::MetricsRegistry& reg,
+                             const core::PrintQueuePipeline& pipe);
+
+/// Control layer: one shard's analysis program — polls, polled bytes, the
+/// full HealthStats fold (torn reads, retries, backoff, protocol rejects),
+/// and the poll latency histogram (timing-tagged).
+void export_analysis_metrics(obs::MetricsRegistry& reg,
+                             const AnalysisProgram& prog);
+
+/// Faults layer: injections fired by one shard's plan, one counter per
+/// fault kind plus a grand total.
+void export_fault_metrics(obs::MetricsRegistry& reg,
+                          const faults::FaultPlan& plan);
+
+/// One shard of a ShardedSystem flattened into a fresh registry
+/// (port + engine + pipeline + analysis + faults for that shard).
+obs::MetricsRegistry collect_shard_metrics(const ShardedSystem& sys,
+                                           std::uint32_t shard);
+
+/// All shards merged in shard-index order, plus coordinator-level metrics
+/// (query latency). This is the registry `--metrics-out` and the perf-smoke
+/// bench serialize.
+obs::MetricsRegistry collect_system_metrics(const ShardedSystem& sys);
+
+/// The replay path (pq_replay): shards driven straight from a trace, no
+/// engine and no faults — pipeline + analysis metrics only.
+obs::MetricsRegistry collect_replay_metrics(
+    const core::ShardedPipeline& pipeline, const ShardedAnalysis& analysis);
+
+}  // namespace pq::control

@@ -17,6 +17,7 @@
 #include "control/analysis_program.h"
 #include "core/port_pipeline.h"
 #include "faults/sharded_faults.h"
+#include "obs/metrics.h"
 #include "sim/sharded_engine.h"
 
 namespace pq::control {
@@ -44,18 +45,26 @@ class ShardedAnalysis {
 
   core::FlowCounts query_time_windows(std::uint32_t global_prefix,
                                       Timestamp t1, Timestamp t2) const {
+    const obs::ScopedTimer timer(query_ns_);
     return program(global_prefix).query_time_windows(0, t1, t2);
   }
   AnalysisProgram::IntervalAnswer query_time_windows_detail(
       std::uint32_t global_prefix, Timestamp t1, Timestamp t2) const {
+    const obs::ScopedTimer timer(query_ns_);
     return program(global_prefix).query_time_windows_detail(0, t1, t2);
   }
   std::vector<core::OriginalCulprit> query_queue_monitor(
       std::uint32_t global_prefix, Timestamp t,
       std::uint8_t queue_id = 0) const {
+    const obs::ScopedTimer timer(query_ns_);
     return program(global_prefix)
         .query_queue_monitor(pipe_.monitor_partition(queue_id), t);
   }
+
+  /// Wall-clock latency of every routed query (coordinator side). A timing
+  /// metric: excluded from the determinism contract, empty with
+  /// PQ_METRICS=OFF.
+  const obs::Histogram& query_latency_ns() const { return query_ns_; }
 
   // --- Merged shard outputs ---
 
@@ -84,6 +93,9 @@ class ShardedAnalysis {
 
   core::ShardedPipeline& pipe_;
   std::vector<std::unique_ptr<AnalysisProgram>> programs_;
+  /// Mutable: queries are logically const reads; the coordinator issues
+  /// them from one thread (the shard workers never touch this).
+  mutable obs::Histogram query_ns_;
 };
 
 /// Everything a port-sharded run needs, wired: engine + shards + per-shard
@@ -107,10 +119,13 @@ class ShardedSystem {
   void run(std::vector<Packet> packets, unsigned threads = 1);
 
   sim::ShardedEngine& engine() { return engine_; }
+  const sim::ShardedEngine& engine() const { return engine_; }
   core::ShardedPipeline& pipeline() { return pipeline_; }
+  const core::ShardedPipeline& pipeline() const { return pipeline_; }
   ShardedAnalysis& analysis() { return *analysis_; }
   const ShardedAnalysis& analysis() const { return *analysis_; }
   faults::ShardedFaultPlan* faults() { return faults_.get(); }
+  const faults::ShardedFaultPlan* faults() const { return faults_.get(); }
 
  private:
   sim::ShardedEngine engine_;

@@ -22,6 +22,7 @@ void QueueMonitor::on_packet(std::uint32_t port_prefix, const FlowId& flow,
                              std::uint32_t depth_after_cells) {
   Bank& bank = banks_[active_bank()];
   PortState& ps = bank.ports.at(port_prefix);
+  ++updates_;
 
   const std::uint32_t level =
       std::min(depth_after_cells / params_.granularity_cells,

@@ -80,6 +80,10 @@ class QueueMonitor {
   /// Monotone bank-rotation count; see TimeWindowSet::rotation_epoch().
   std::uint64_t rotation_epoch() const { return rotation_epoch_; }
 
+  /// Total on_packet register touches (a stack write happens only on a
+  /// level change; this counts every update probe).
+  std::uint64_t updates() const { return updates_; }
+
   MonitorState read_bank(std::uint32_t bank, std::uint32_t port_prefix) const;
 
   /// Data-plane SRAM footprint across all four banks (resource model).
@@ -105,6 +109,7 @@ class QueueMonitor {
   std::uint32_t flip_bit_ = 0;
   bool dq_locked_ = false;
   std::uint64_t rotation_epoch_ = 0;
+  std::uint64_t updates_ = 0;
   std::vector<std::uint64_t> seq_;  ///< per-port, shared across banks
   std::array<Bank, 4> banks_;
 };

@@ -42,6 +42,13 @@ class ShardedFaultPlan {
   /// shard_seed(base.seed, port)).
   FaultPlan& plan_for(std::uint32_t port);
 
+  /// Const lookup: the shard's plan if it exists, nullptr otherwise (no
+  /// lazy creation — for exporters reading after a run).
+  const FaultPlan* plan_if(std::uint32_t port) const {
+    auto it = plans_.find(port);
+    return it == plans_.end() ? nullptr : it->second.get();
+  }
+
   /// Builds the shard's egress interposer chain around `next` (storm over
   /// skew, as in FaultPlan::attach_egress_chain). Shard-local state only.
   sim::EgressHook* attach_egress_chain(std::uint32_t port,

@@ -32,9 +32,17 @@ struct ProgramParams {
 /// One (cycle-id, flow-sig) pair of register lanes for a time window —
 /// two physical arrays accessed in two consecutive stages.
 struct WindowRegisters {
+  // Built with += rather than operator+ chains: GCC 12's -Wrestrict fires a
+  // false positive on `"lit" + to_string(i) + "lit"` when fully inlined.
+  static std::string lane_name(std::uint32_t index, const char* suffix) {
+    std::string n = "w";
+    n += std::to_string(index);
+    n += suffix;
+    return n;
+  }
   WindowRegisters(std::uint32_t index, std::size_t cells)
-      : cycle_ids("w" + std::to_string(index) + ".cycle", cells),
-        flow_sigs("w" + std::to_string(index) + ".flow", cells) {}
+      : cycle_ids(lane_name(index, ".cycle"), cells),
+        flow_sigs(lane_name(index, ".flow"), cells) {}
   RegisterArray<std::uint64_t> cycle_ids;
   RegisterArray<std::uint64_t> flow_sigs;
 };

@@ -85,7 +85,8 @@ inline std::vector<DepthSeries::Sample> DepthSeries::downsample(
   const double stride =
       static_cast<double>(samples_.size()) / static_cast<double>(max_points);
   for (std::size_t i = 0; i < max_points; ++i) {
-    out.push_back(samples_[static_cast<std::size_t>(i * stride)]);
+    out.push_back(
+        samples_[static_cast<std::size_t>(static_cast<double>(i) * stride)]);
   }
   out.push_back(samples_.back());
   return out;

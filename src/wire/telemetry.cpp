@@ -74,9 +74,9 @@ bool TelemetryCollector::ingest(std::span<const std::uint8_t> frame) {
   TelemetryRecord rec;
   rec.flow = parsed->flow;
   rec.egress_port = tele->egress_port;
-  rec.size_bytes =
-      static_cast<std::uint32_t>(parsed->ip_total_len) + EthernetHeader::kSize -
-      TelemetryHeader::kSize;  // wire size without the inserted header
+  rec.size_bytes = static_cast<std::uint32_t>(
+      parsed->ip_total_len + EthernetHeader::kSize -
+      TelemetryHeader::kSize);  // wire size without the inserted header
   rec.enq_timestamp = tele->enq_timestamp;
   rec.deq_timedelta = tele->deq_timedelta;
   rec.enq_qdepth = tele->enq_qdepth;

@@ -106,7 +106,7 @@ TEST(ConQuest, CannotAnswerVictimQueriesOlderThanRing) {
   ConQuestParams p = small_params();  // history: 3 us
   ConQuest cq(p);
   for (Timestamp t = 0; t < 50'000; t += 50) {
-    cq.on_packet(make_flow(t % 7), 100, t);
+    cq.on_packet(make_flow(static_cast<std::uint32_t>(t % 7)), 100, t);
   }
   // A victim dequeued 10 us ago is already outside ConQuest's history.
   EXPECT_FALSE(cq.covers(40'000 - 10'000, 50'000));

@@ -2,9 +2,20 @@
 # End-to-end CLI workflow: generate a trace, replay it through PrintQueue,
 # save register records, and query them offline. Each stage must succeed
 # and the outputs must be non-trivial.
+#
+# $1 is the directory holding the pq_* binaries; a build root (the ctest
+# invocation passes $<TARGET_FILE_DIR:pq_gentrace>, but humans often pass
+# `build`) is accepted too and resolved to its tools/ subdirectory.
 set -euo pipefail
 
-TOOLS_DIR="$1"
+TOOLS_DIR="${1:?usage: cli_workflow_test.sh <tools-dir-or-build-dir>}"
+if [[ ! -x "$TOOLS_DIR/pq_gentrace" && -x "$TOOLS_DIR/tools/pq_gentrace" ]]; then
+  TOOLS_DIR="$TOOLS_DIR/tools"
+fi
+if [[ ! -x "$TOOLS_DIR/pq_gentrace" ]]; then
+  echo "pq_gentrace not found under '$1'" >&2
+  exit 2
+fi
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -12,10 +23,20 @@ trap 'rm -rf "$WORK"' EXIT
 grep -q "records" "$WORK/gen.log"
 
 "$TOOLS_DIR/pq_replay" "$WORK/t.pqt" --top 3 --save-records "$WORK/t.pqr" \
+  --metrics-out "$WORK/metrics.json" --metrics-prom "$WORK/metrics.prom" \
   | tee "$WORK/replay.log"
 grep -q "direct culprits" "$WORK/replay.log"
 grep -q "accuracy vs trace ground truth" "$WORK/replay.log"
 grep -q "register records saved" "$WORK/replay.log"
+
+# --metrics-out / --metrics-prom produce well-formed exports (the JSON is
+# the stub '{"metrics":[]}' in PQ_METRICS=OFF builds, which also passes).
+grep -q '"metrics"' "$WORK/metrics.json"
+test -f "$WORK/metrics.prom"
+if grep -q '"name"' "$WORK/metrics.json"; then
+  grep -q 'pq_core_packets_seen_total' "$WORK/metrics.json"
+  grep -q '# TYPE pq_core_packets_seen_total counter' "$WORK/metrics.prom"
+fi
 
 "$TOOLS_DIR/pq_offline" "$WORK/t.pqr" windows 0 2000000 4000000 --top 3 \
   | tee "$WORK/offline.log"

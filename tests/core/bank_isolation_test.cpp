@@ -45,9 +45,13 @@ INSTANTIATE_TEST_SUITE_P(
     M0K, LayoutProperty,
     ::testing::Values(std::make_pair(4u, 6u), std::make_pair(6u, 12u),
                       std::make_pair(10u, 12u), std::make_pair(7u, 9u)),
-    [](const auto& info) {
-      return "m" + std::to_string(info.param.first) + "_k" +
-             std::to_string(info.param.second);
+    [](const auto& tpi) {
+      // += rather than operator+ chains: GCC 12 -Wrestrict false positive.
+      std::string n = "m";
+      n += std::to_string(tpi.param.first);
+      n += "_k";
+      n += std::to_string(tpi.param.second);
+      return n;
     });
 
 std::uint64_t bank_checksum(const TimeWindowSet& tw, std::uint32_t bank) {

@@ -77,9 +77,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(TheoryCase{1, 0.95}, TheoryCase{1, 0.7},
                       TheoryCase{1, 0.5}, TheoryCase{2, 0.95},
                       TheoryCase{2, 0.7}, TheoryCase{3, 0.9}),
-    [](const ::testing::TestParamInfo<TheoryCase>& info) {
-      return "alpha" + std::to_string(info.param.alpha) + "_z" +
-             std::to_string(static_cast<int>(info.param.z0 * 100));
+    [](const ::testing::TestParamInfo<TheoryCase>& tpi) {
+      // += rather than operator+ chains: GCC 12 -Wrestrict false positive.
+      std::string n = "alpha";
+      n += std::to_string(tpi.param.alpha);
+      n += "_z";
+      n += std::to_string(static_cast<int>(tpi.param.z0 * 100));
+      return n;
     });
 
 TEST(TheoryRecovery, PerFlowEstimateIsUnbiasedAcrossWindows) {

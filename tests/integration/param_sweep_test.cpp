@@ -99,10 +99,15 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepCase{2, 12, 4}, SweepCase{2, 11, 5},
                       SweepCase{3, 10, 3}, SweepCase{3, 12, 4},
                       SweepCase{4, 9, 3}),
-    [](const ::testing::TestParamInfo<SweepCase>& info) {
-      return "a" + std::to_string(info.param.alpha) + "_k" +
-             std::to_string(info.param.k) + "_T" +
-             std::to_string(info.param.T);
+    [](const ::testing::TestParamInfo<SweepCase>& tpi) {
+      // += rather than operator+ chains: GCC 12 -Wrestrict false positive.
+      std::string n = "a";
+      n += std::to_string(tpi.param.alpha);
+      n += "_k";
+      n += std::to_string(tpi.param.k);
+      n += "_T";
+      n += std::to_string(tpi.param.T);
+      return n;
     });
 
 }  // namespace

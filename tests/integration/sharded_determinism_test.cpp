@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
+#include "control/metrics_export.h"
 #include "control/sharded_analysis.h"
 #include "sim/switch.h"
 #include "traffic/distributions.h"
@@ -99,6 +101,9 @@ struct RunResult {
   control::HealthStats health;
   std::uint64_t packets_seen = 0;
   std::uint64_t dq_fired = 0;
+  /// Merged pq::obs registry in its deterministic serialization view
+  /// (IncludeTimings::kNo) — must be byte-identical across thread counts.
+  std::string metrics_json;
 };
 
 RunResult run_once(const std::vector<Packet>& packets, bool with_faults,
@@ -141,6 +146,8 @@ RunResult run_once(const std::vector<Packet>& packets, bool with_faults,
   r.health = sys.analysis().health();
   r.packets_seen = sys.pipeline().packets_seen();
   r.dq_fired = sys.pipeline().dq_triggers_fired();
+  r.metrics_json = control::collect_system_metrics(sys).to_json(
+      obs::IncludeTimings::kNo);
   return r;
 }
 
@@ -170,13 +177,14 @@ TEST_P(ShardedDeterminism, ByteIdenticalAcrossThreadCounts) {
     EXPECT_EQ(base.health, other.health) << "threads=" << threads;
     EXPECT_EQ(base.packets_seen, other.packets_seen) << "threads=" << threads;
     EXPECT_EQ(base.dq_fired, other.dq_fired) << "threads=" << threads;
+    EXPECT_EQ(base.metrics_json, other.metrics_json) << "threads=" << threads;
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(WithAndWithoutFaults, ShardedDeterminism,
                          ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "FaultPlan" : "Clean";
+                         [](const ::testing::TestParamInfo<bool>& tpi) {
+                           return tpi.param ? "FaultPlan" : "Clean";
                          });
 
 // The sharded stack and the monolithic pipeline answer the same queries on

@@ -120,10 +120,15 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(1u, 6u, 3u), std::make_tuple(1u, 8u, 4u),
                       std::make_tuple(2u, 6u, 3u), std::make_tuple(2u, 8u, 5u),
                       std::make_tuple(3u, 7u, 4u)),
-    [](const auto& info) {
-      return "a" + std::to_string(std::get<0>(info.param)) + "_k" +
-             std::to_string(std::get<1>(info.param)) + "_T" +
-             std::to_string(std::get<2>(info.param));
+    [](const auto& tpi) {
+      // += rather than operator+ chains: GCC 12 -Wrestrict false positive.
+      std::string n = "a";
+      n += std::to_string(std::get<0>(tpi.param));
+      n += "_k";
+      n += std::to_string(std::get<1>(tpi.param));
+      n += "_T";
+      n += std::to_string(std::get<2>(tpi.param));
+      return n;
     });
 
 TEST(P4Program, StageBudgetMatchesPaper) {

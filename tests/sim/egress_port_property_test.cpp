@@ -106,8 +106,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllSchedulers, SchedulerProperty,
     ::testing::Values(SchedulerKind::kFifo, SchedulerKind::kStrictPriority,
                       SchedulerKind::kDrr),
-    [](const ::testing::TestParamInfo<SchedulerKind>& info) {
-      switch (info.param) {
+    [](const ::testing::TestParamInfo<SchedulerKind>& tpi) {
+      switch (tpi.param) {
         case SchedulerKind::kFifo:
           return "Fifo";
         case SchedulerKind::kStrictPriority:

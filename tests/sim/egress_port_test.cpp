@@ -91,7 +91,8 @@ TEST(EgressPort, FifoPreservesDequeueOrder) {
   Timestamp t = 0;
   for (int i = 0; i < 1000; ++i) {
     t += rng.uniform_below(200);
-    pkts.push_back(pkt(1, t, 64 + rng.uniform_below(1400)));
+    pkts.push_back(pkt(
+        1, t, static_cast<std::uint32_t>(64 + rng.uniform_below(1400))));
   }
   port.run(std::move(pkts));
   Timestamp last = 0;

@@ -118,7 +118,9 @@ TEST(Drr, ByteFairnessWithUnequalSizes) {
 
 TEST(Drr, DrainsCompletely) {
   DrrScheduler s(3, 500);
-  for (std::uint32_t i = 0; i < 30; ++i) s.enqueue(qp(i, i % 3));
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    s.enqueue(qp(i, static_cast<std::uint8_t>(i % 3)));
+  }
   int n = 0;
   while (s.dequeue().has_value()) ++n;
   EXPECT_EQ(n, 30);

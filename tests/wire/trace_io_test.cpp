@@ -67,7 +67,7 @@ TEST(TraceIo, DetectsBadMagic) {
   std::stringstream ss;
   write_trace(ss, sample_records(2));
   std::string data = ss.str();
-  data[0] ^= 0xff;
+  data[0] = static_cast<char>(data[0] ^ 0xff);
   std::stringstream bad(data);
   EXPECT_THROW(read_trace(bad), std::runtime_error);
 }

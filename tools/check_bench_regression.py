@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the perf_smoke bench.
+
+Compares a freshly produced BENCH_perf_smoke.json against a committed
+baseline and fails (exit 1) when any gated metric regresses beyond its
+tolerance. Direction matters: throughput regresses when it goes DOWN,
+latency and RSS regress when they go UP.
+
+Baseline format (bench/baselines/perf_smoke_baseline.json):
+
+    {
+      "metrics": {
+        "throughput_pps": {"value": 2.5e6, "better": "higher",
+                            "tolerance_pct": 60},
+        "query_p99_ns":   {"value": 250000, "better": "lower"},
+        "peak_rss_kb":    {"value": 180000, "better": "lower",
+                            "gate": true}
+      }
+    }
+
+Per-metric "tolerance_pct" overrides the global tolerance (--tolerance or
+$PQ_BENCH_TOLERANCE, default 15). "gate": false records a metric for the
+report without failing on it. Improvements never fail; they are reported so
+the baseline can be refreshed (see docs/OBSERVABILITY.md).
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json [--tolerance PCT]
+    check_bench_regression.py --self-test
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_TOLERANCE_PCT = 15.0
+
+
+def compare(current, baseline, tolerance_pct):
+    """Returns (failures, report_rows). `current` is the flat bench dict,
+    `baseline` the parsed baseline file."""
+    failures = []
+    rows = []
+    for name, spec in sorted(baseline.get("metrics", {}).items()):
+        base_value = float(spec["value"])
+        better = spec.get("better", "lower")
+        if better not in ("higher", "lower"):
+            raise ValueError(f"{name}: bad 'better' value {better!r}")
+        gated = bool(spec.get("gate", True))
+        tol = float(spec.get("tolerance_pct", tolerance_pct))
+
+        if name not in current:
+            failures.append(f"{name}: missing from current results")
+            rows.append((name, base_value, None, "MISSING"))
+            continue
+        cur_value = float(current[name])
+
+        if base_value == 0:
+            delta_pct = 0.0 if cur_value == 0 else float("inf")
+        else:
+            delta_pct = (cur_value - base_value) / base_value * 100.0
+        # Positive `worse_pct` = moved in the regressing direction.
+        worse_pct = -delta_pct if better == "higher" else delta_pct
+
+        if worse_pct > tol:
+            verdict = "FAIL" if gated else "WARN (ungated)"
+            if gated:
+                failures.append(
+                    f"{name}: {cur_value:.6g} vs baseline {base_value:.6g} "
+                    f"({worse_pct:+.1f}% worse, tolerance {tol:.0f}%)"
+                )
+        elif worse_pct < -tol:
+            verdict = "IMPROVED (consider refreshing the baseline)"
+        else:
+            verdict = "ok"
+        rows.append((name, base_value, cur_value, verdict))
+    return failures, rows
+
+
+def print_report(rows, tolerance_pct):
+    print(f"perf regression check (default tolerance {tolerance_pct:.0f}%)")
+    width = max((len(r[0]) for r in rows), default=10)
+    for name, base, cur, verdict in rows:
+        cur_s = "-" if cur is None else f"{cur:.6g}"
+        print(f"  {name:<{width}}  baseline {base:>12.6g}  "
+              f"current {cur_s:>12}  {verdict}")
+
+
+def run_check(current_path, baseline_path, tolerance_pct):
+    with open(current_path) as f:
+        current = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    failures, rows = compare(current, baseline, tolerance_pct)
+    print_report(rows, tolerance_pct)
+    if failures:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    print("no perf regressions")
+    return 0
+
+
+# --- self-test -------------------------------------------------------------
+
+def self_test():
+    """Unit tests for the comparator, including the acceptance case: a
+    synthetic 2x-slower current run must fail against the baseline."""
+    baseline = {
+        "metrics": {
+            "throughput_pps": {"value": 1_000_000, "better": "higher"},
+            "query_p99_ns": {"value": 100_000, "better": "lower"},
+            "peak_rss_kb": {"value": 100_000, "better": "lower"},
+            "run_ms": {"value": 500, "better": "lower", "gate": False},
+        }
+    }
+    ok = {
+        "throughput_pps": 980_000,  # -2%: within 15%
+        "query_p99_ns": 104_000,    # +4%
+        "peak_rss_kb": 99_000,
+        "run_ms": 510,
+    }
+    twice_as_slow = {
+        "throughput_pps": 500_000,  # -50%: regression
+        "query_p99_ns": 200_000,    # +100%: regression
+        "peak_rss_kb": 100_000,
+        "run_ms": 1_000,
+    }
+
+    checks = []
+
+    failures, _ = compare(ok, baseline, DEFAULT_TOLERANCE_PCT)
+    checks.append(("clean run passes", failures == []))
+
+    failures, _ = compare(twice_as_slow, baseline, DEFAULT_TOLERANCE_PCT)
+    checks.append(("2x-slower run fails", len(failures) == 2))
+    checks.append((
+        "throughput drop is flagged",
+        any("throughput_pps" in f for f in failures),
+    ))
+    checks.append((
+        "latency doubling is flagged",
+        any("query_p99_ns" in f for f in failures),
+    ))
+
+    # Improvements never fail, in either direction.
+    better = {
+        "throughput_pps": 2_000_000,
+        "query_p99_ns": 50_000,
+        "peak_rss_kb": 50_000,
+        "run_ms": 250,
+    }
+    failures, rows = compare(better, baseline, DEFAULT_TOLERANCE_PCT)
+    checks.append(("improvements pass", failures == []))
+    checks.append((
+        "improvements are reported for baseline refresh",
+        any("IMPROVED" in r[3] for r in rows),
+    ))
+
+    # Ungated metrics warn instead of failing.
+    slow_ungated = dict(ok, run_ms=5_000)
+    failures, rows = compare(slow_ungated, baseline, DEFAULT_TOLERANCE_PCT)
+    checks.append(("ungated regression does not fail", failures == []))
+    checks.append((
+        "ungated regression still warns",
+        any("WARN" in r[3] for r in rows),
+    ))
+
+    # Missing metrics fail loudly.
+    failures, _ = compare({}, baseline, DEFAULT_TOLERANCE_PCT)
+    checks.append(("missing metrics fail", len(failures) == 4))
+
+    # Per-metric tolerance overrides the global one.
+    loose = {
+        "metrics": {
+            "run_ms": {"value": 100, "better": "lower",
+                       "tolerance_pct": 300},
+        }
+    }
+    failures, _ = compare({"run_ms": 350}, loose, DEFAULT_TOLERANCE_PCT)
+    checks.append(("per-metric tolerance respected", failures == []))
+    failures, _ = compare({"run_ms": 450}, loose, DEFAULT_TOLERANCE_PCT)
+    checks.append(("per-metric tolerance still enforced",
+                   len(failures) == 1))
+
+    # Zero baselines: equal is fine, any growth is a regression.
+    zeros = {"metrics": {"dropped": {"value": 0, "better": "lower"}}}
+    failures, _ = compare({"dropped": 0}, zeros, DEFAULT_TOLERANCE_PCT)
+    checks.append(("zero == zero passes", failures == []))
+    failures, _ = compare({"dropped": 5}, zeros, DEFAULT_TOLERANCE_PCT)
+    checks.append(("growth from zero fails", len(failures) == 1))
+
+    failed = [name for name, passed in checks if not passed]
+    for name, passed in checks:
+        print(f"  [{'ok' if passed else 'FAIL'}] {name}")
+    if failed:
+        print(f"self-test: {len(failed)} check(s) failed", file=sys.stderr)
+        return 1
+    print(f"self-test: all {len(checks)} checks passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", nargs="?", help="fresh bench JSON")
+    parser.add_argument("baseline", nargs="?", help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("PQ_BENCH_TOLERANCE",
+                                     DEFAULT_TOLERANCE_PCT)),
+        help="global regression tolerance in percent "
+             "(default: $PQ_BENCH_TOLERANCE or 15)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the comparator's unit tests and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.current or not args.baseline:
+        parser.error("CURRENT and BASELINE are required unless --self-test")
+    sys.exit(run_check(args.current, args.baseline, args.tolerance))
+
+
+if __name__ == "__main__":
+    main()

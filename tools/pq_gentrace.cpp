@@ -85,6 +85,6 @@ int main(int argc, char** argv) {
               out_path.c_str(), port.records().size(),
               static_cast<unsigned long long>(port.stats().dropped),
               port.stats().peak_depth_cells,
-              port.stats().last_departure / 1e6);
+              static_cast<double>(port.stats().last_departure) / 1e6);
   return 0;
 }

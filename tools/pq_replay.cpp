@@ -5,6 +5,7 @@
 //   pq_replay <trace.pqt> [--victim worst|<packet_id>] [--top K]
 //             [--alpha A] [--k K] [--T N] [--m0 M] [--salvage]
 //             [--threads N] [--save-records out.pqr]
+//             [--metrics-out metrics.json] [--metrics-prom metrics.prom]
 //
 // Multi-port traces are replayed through one PortPipeline shard per egress
 // port; `--threads N` drains the shards on a worker pool (results are
@@ -20,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "control/metrics_export.h"
 #include "control/register_records.h"
 #include "control/sharded_analysis.h"
 #include "ground/ground_truth.h"
@@ -80,7 +82,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: pq_replay <trace.pqt> [--victim worst|<id>] "
                  "[--top K] [--alpha A] [--k K] [--T N] [--m0 M] "
-                 "[--salvage] [--threads N] [--save-records out.pqr]\n");
+                 "[--salvage] [--threads N] [--save-records out.pqr] "
+                 "[--metrics-out out.json] [--metrics-prom out.prom]\n");
     return 2;
   }
 
@@ -185,13 +188,14 @@ int main(int argc, char** argv) {
   std::printf("trace: %zu records over %.2f ms on %zu port%s "
               "(%u threads)\n",
               records.size(),
-              truth.records_by_deq().back().deq_timestamp() / 1e6,
+              static_cast<double>(truth.records_by_deq().back().deq_timestamp()) / 1e6,
               pipeline.num_shards(), pipeline.num_shards() == 1 ? "" : "s",
               workers);
   std::printf("victim: %s on port %u, enq %.3f ms, queued %.1f us, "
               "depth %u cells\n",
               to_string(victim->flow).c_str(), egress_port,
-              victim->enq_timestamp / 1e6, victim->deq_timedelta / 1e3,
+              static_cast<double>(victim->enq_timestamp) / 1e6,
+              static_cast<double>(victim->deq_timedelta) / 1e3,
               victim->enq_qdepth);
 
   const Timestamp t1 = victim->enq_timestamp;
@@ -208,10 +212,35 @@ int main(int argc, char** argv) {
   print_counts("indirect culprits",
                analysis.query_time_windows(prefix, regime, t1), top);
   std::printf("  [congestion regime began %.1f us before the victim]\n",
-              (t1 - regime) / 1e3);
+              static_cast<double>(t1 - regime) / 1e3);
 
   print_counts("original causes of the buildup (queue monitor)",
                core::culprit_counts(analysis.query_queue_monitor(prefix, t2)),
                top);
+
+  // Serialize the run's metrics last so the query-latency histogram covers
+  // every query issued above.
+  const char* metrics_json = arg_str(argc, argv, "--metrics-out", nullptr);
+  const char* metrics_prom = arg_str(argc, argv, "--metrics-prom", nullptr);
+  if (metrics_json != nullptr || metrics_prom != nullptr) {
+    const auto metrics = control::collect_replay_metrics(pipeline, analysis);
+    auto write_file = [](const char* path, const std::string& body) {
+      std::FILE* f = std::fopen(path, "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return false;
+      }
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+      return true;
+    };
+    if (metrics_json != nullptr && write_file(metrics_json, metrics.to_json())) {
+      std::printf("metrics written to %s\n", metrics_json);
+    }
+    if (metrics_prom != nullptr &&
+        write_file(metrics_prom, metrics.to_prometheus())) {
+      std::printf("metrics written to %s\n", metrics_prom);
+    }
+  }
   return 0;
 }
