@@ -1,12 +1,20 @@
 // perf_smoke — the CI performance canary. Replays a canned multi-port
 // workload through the full sharded stack (engine + per-port pipelines +
-// per-shard analysis), then reports the three numbers a hot-path regression
+// per-shard analysis), then reports the numbers a hot-path regression
 // cannot hide from:
 //
-//   throughput_pps   packets drained per wall-clock second
-//   query_p50_ns /   exact quantiles over a fixed batch of coordinator
-//   query_p99_ns     queries (time-window + queue-monitor)
-//   peak_rss_kb      VmHWM from /proc/self/status
+//   throughput_pps     packets drained per wall-clock second (sim phase,
+//                      batched hook delivery at --batch)
+//   replay_pps_scalar  pure pipeline-replay throughput at batch 1 (the
+//   replay_pps_batch   scalar oracle) and at --batch; the ratio is
+//   replay_speedup_x   gated by the committed baseline
+//   query_p50_ns /     exact quantiles over a fixed batch of coordinator
+//   query_p99_ns       queries (time-window + queue-monitor)
+//   peak_rss_kb        VmHWM from /proc/self/status
+//
+// The replay phase also byte-compares the deterministic metrics view
+// (IncludeTimings::kNo) of the scalar and batched replays and fails hard on
+// any difference — the bench doubles as a cheap batching-correctness gate.
 //
 // Results land in BENCH_perf_smoke.json (flat, comparator-friendly; see
 // tools/check_bench_regression.py) and the run's full metric registry in
@@ -14,7 +22,7 @@
 // measures identically in PQ_METRICS=ON and OFF builds — that is what makes
 // the "instrumentation is within noise" acceptance check meaningful.
 //
-// Usage: perf_smoke [--threads N] [--ports P] [--ms D]
+// Usage: perf_smoke [--threads N] [--ports P] [--ms D] [--batch N]
 //                   [--out BENCH_perf_smoke.json] [--metrics-out metrics.json]
 #include <algorithm>
 #include <chrono>
@@ -29,6 +37,7 @@
 #include "control/sharded_analysis.h"
 #include "traffic/distributions.h"
 #include "traffic/trace_gen.h"
+#include "wire/telemetry.h"
 
 namespace {
 
@@ -106,6 +115,98 @@ double exact_quantile(std::vector<double> v, double q) {
   return v[std::min(idx, v.size() - 1)];
 }
 
+sim::EgressContext to_context(const wire::TelemetryRecord& r) {
+  sim::EgressContext ctx;
+  ctx.flow = r.flow;
+  ctx.egress_port = r.egress_port;
+  ctx.size_bytes = r.size_bytes;
+  ctx.packet_cells = static_cast<std::uint16_t>(bytes_to_cells(r.size_bytes));
+  ctx.enq_qdepth = r.enq_qdepth;
+  ctx.enq_timestamp = r.enq_timestamp;
+  ctx.deq_timedelta = r.deq_timedelta;
+  ctx.packet_id = r.packet_id;
+  return ctx;
+}
+
+struct ReplayOutcome {
+  double best_pps = 0.0;        ///< best of the timed repetitions
+  std::string metrics_json;     ///< deterministic view (IncludeTimings::kNo)
+};
+
+/// Stages each shard's egress stream as fixed-size SoA chunks, the batched
+/// path's native input format. Staging happens once, outside any timed
+/// section, mirroring how the scalar path's AoS contexts are staged by the
+/// caller: the timed loop then measures delivery + absorption in both
+/// modes, not input-format conversion.
+std::vector<std::vector<sim::PacketBatch>> stage_chunks(
+    const std::vector<std::vector<sim::EgressContext>>& shard_ctxs,
+    std::uint32_t batch) {
+  std::vector<std::vector<sim::PacketBatch>> chunks(shard_ctxs.size());
+  for (std::size_t s = 0; s < shard_ctxs.size(); ++s) {
+    sim::PacketBatch pb;
+    pb.reserve(batch);
+    for (const auto& ctx : shard_ctxs[s]) {
+      pb.push(ctx);
+      if (pb.size() >= batch) {
+        chunks[s].push_back(pb);
+        pb.clear();
+      }
+    }
+    if (!pb.empty()) chunks[s].push_back(pb);
+  }
+  return chunks;
+}
+
+/// Replays the collected per-port egress streams through a fresh pipeline +
+/// analysis stack at the given batch size, single-threaded (so the measured
+/// ratio isolates batching from thread scheduling). Construction and
+/// finalize stay outside the timed section; the timed loop is exactly the
+/// record-feeding hot path, fed from each mode's pre-staged native format
+/// (AoS contexts for scalar, SoA chunks for batched).
+ReplayOutcome run_replay(
+    const std::vector<std::vector<sim::EgressContext>>& shard_ctxs,
+    const std::vector<std::vector<sim::PacketBatch>>& shard_chunks,
+    const core::PipelineConfig& pcfg, std::uint32_t batch, int reps) {
+  ReplayOutcome out;
+  std::size_t total = 0;
+  for (const auto& v : shard_ctxs) total += v.size();
+  for (int rep = 0; rep < reps; ++rep) {
+    core::ShardedPipeline pipeline(pcfg);
+    for (std::uint32_t p = 0; p < shard_ctxs.size(); ++p) {
+      pipeline.enable_port(p);
+    }
+    control::ShardedAnalysis analysis(pipeline, {});
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t s = 0; s < pipeline.num_shards(); ++s) {
+      auto& shard = pipeline.shard(s);
+      if (batch <= 1) {
+        for (const auto& ctx : shard_ctxs[s]) shard.on_egress(ctx);
+      } else {
+        for (const auto& pb : shard_chunks[s]) shard.on_egress_batch(pb);
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    for (std::uint32_t s = 0; s < pipeline.num_shards(); ++s) {
+      if (!shard_ctxs[s].empty()) {
+        analysis.program(s).finalize(
+            shard_ctxs[s].back().deq_timestamp() + 1);
+      }
+    }
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (secs > 0.0) {
+      out.best_pps =
+          std::max(out.best_pps, static_cast<double>(total) / secs);
+    }
+    if (rep == reps - 1) {
+      out.metrics_json = control::collect_replay_metrics(pipeline, analysis)
+                             .to_json(obs::IncludeTimings::kNo);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,6 +216,8 @@ int main(int argc, char** argv) {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const auto threads = static_cast<unsigned>(arg_double(
       argc, argv, "--threads", std::min<unsigned>(hw, ports)));
+  const auto batch = std::max(
+      1u, static_cast<unsigned>(arg_double(argc, argv, "--batch", 256)));
   const char* out_path =
       arg_str(argc, argv, "--out", "BENCH_perf_smoke.json");
   const char* metrics_path =
@@ -125,7 +228,7 @@ int main(int argc, char** argv) {
 
   control::ShardedSystem sys(system_config(ports));
   const auto t0 = std::chrono::steady_clock::now();
-  sys.run(packets, threads);
+  sys.run(packets, threads, batch);
   const auto t1 = std::chrono::steady_clock::now();
   const double run_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -166,10 +269,65 @@ int main(int argc, char** argv) {
     dropped += sys.engine().port(p).stats().dropped;
   }
 
-  std::printf("perf_smoke: %zu pkts, %u ports, %u threads\n", packets.size(),
-              ports, threads);
+  // Replay phase: the same egress streams fed straight into fresh pipeline
+  // stacks, once per batch size. Scalar (batch 1) is the oracle; the
+  // batched run must produce a byte-identical deterministic metrics view,
+  // and the throughput ratio is the number the baseline gates.
+  std::vector<std::vector<sim::EgressContext>> shard_ctxs(
+      sys.engine().num_ports());
+  for (std::uint32_t p = 0; p < sys.engine().num_ports(); ++p) {
+    const auto& recs = sys.engine().port(p).records();
+    shard_ctxs[p].reserve(recs.size());
+    for (const auto& r : recs) shard_ctxs[p].push_back(to_context(r));
+  }
+  core::PipelineConfig replay_cfg = system_config(ports).pipeline;
+  // The replay metric is the data-plane hot path: windows + monitor + gap
+  // EWMA + trigger predicates. DQ triggers stay disabled here — each fire
+  // copies and retains a full bank snapshot, which is control-plane work
+  // (measured by the query-latency section above) and, on this trace
+  // (>80% of packets past the depth threshold), repeats every
+  // dq_read_time; its allocator traffic is identical in both modes and
+  // only drowns the scalar/batched signal. EXPERIMENTS.md reports the
+  // with-captures ratio alongside.
+  replay_cfg.dq_depth_threshold_cells = 0;
+  replay_cfg.dq_delay_threshold_ns = 0;
+  const auto shard_chunks = stage_chunks(shard_ctxs, batch);
+  // One untimed warmup per mode, then interleaved scalar/batched reps:
+  // alternating keeps clock-frequency and cache drift from biasing one
+  // mode (both see the same machine conditions), and best-of per mode
+  // rejects one-off stalls.
+  constexpr int kReplayReps = 3;
+  run_replay(shard_ctxs, shard_chunks, replay_cfg, 1, 1);
+  run_replay(shard_ctxs, shard_chunks, replay_cfg, batch, 1);
+  ReplayOutcome scalar, batched;
+  for (int rep = 0; rep < kReplayReps; ++rep) {
+    const ReplayOutcome s =
+        run_replay(shard_ctxs, shard_chunks, replay_cfg, 1, 1);
+    const ReplayOutcome b =
+        run_replay(shard_ctxs, shard_chunks, replay_cfg, batch, 1);
+    scalar.best_pps = std::max(scalar.best_pps, s.best_pps);
+    batched.best_pps = std::max(batched.best_pps, b.best_pps);
+    scalar.metrics_json = s.metrics_json;
+    batched.metrics_json = b.metrics_json;
+  }
+  if (scalar.metrics_json != batched.metrics_json) {
+    std::fprintf(stderr,
+                 "FAIL: batched replay (batch %u) diverged from the scalar "
+                 "oracle — deterministic metrics views differ\n",
+                 batch);
+    return 1;
+  }
+  const double replay_speedup =
+      scalar.best_pps > 0.0 ? batched.best_pps / scalar.best_pps : 0.0;
+
+  std::printf("perf_smoke: %zu pkts, %u ports, %u threads, batch %u\n",
+              packets.size(), ports, threads, batch);
   std::printf("  run        %.1f ms  (%.2f Mpps)\n", run_ms,
               throughput_pps / 1e6);
+  std::printf("  replay     %.2f Mpps scalar, %.2f Mpps batch %u "
+              "(%.2fx, deterministic counters identical)\n",
+              scalar.best_pps / 1e6, batched.best_pps / 1e6, batch,
+              replay_speedup);
   std::printf("  query p50  %.1f us   p99 %.1f us  (%zu queries)\n",
               p50 / 1e3, p99 / 1e3, query_ns.size());
   std::printf("  peak RSS   %lu kB\n",
@@ -182,6 +340,9 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "{\n"
                  "  \"throughput_pps\": %.0f,\n"
+                 "  \"replay_pps_scalar\": %.0f,\n"
+                 "  \"replay_pps_batch\": %.0f,\n"
+                 "  \"replay_speedup_x\": %.3f,\n"
                  "  \"query_p50_ns\": %.0f,\n"
                  "  \"query_p99_ns\": %.0f,\n"
                  "  \"peak_rss_kb\": %lu,\n"
@@ -190,12 +351,14 @@ int main(int argc, char** argv) {
                  "  \"dequeued\": %lu,\n"
                  "  \"dropped\": %lu,\n"
                  "  \"ports\": %u,\n"
-                 "  \"threads\": %u\n"
+                 "  \"threads\": %u,\n"
+                 "  \"batch\": %u\n"
                  "}\n",
-                 throughput_pps, p50, p99,
+                 throughput_pps, scalar.best_pps, batched.best_pps,
+                 replay_speedup, p50, p99,
                  static_cast<unsigned long>(rss_kb), run_ms, packets.size(),
                  static_cast<unsigned long>(dequeued),
-                 static_cast<unsigned long>(dropped), ports, threads);
+                 static_cast<unsigned long>(dropped), ports, threads, batch);
     std::fclose(f);
     std::printf("wrote %s\n", out_path);
   } else {

@@ -40,6 +40,15 @@ std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
   return c ^ 0xFFFFFFFFu;
 }
 
+void mix64_batch(const std::uint64_t* in, std::uint64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = mix64(in[i]);
+}
+
+void flow_signature_batch(const FlowId* flows, std::uint64_t* out,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = flow_signature(flows[i]);
+}
+
 std::uint64_t flow_signature(const FlowId& f) {
   std::uint64_t a = (static_cast<std::uint64_t>(f.src_ip) << 32) | f.dst_ip;
   std::uint64_t b = (static_cast<std::uint64_t>(f.src_port) << 24) |

@@ -1,6 +1,7 @@
 // Hash utilities: a 64-bit mixer and an indexed hash family for sketches.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/types.h"
@@ -15,6 +16,17 @@ constexpr std::uint64_t mix64(std::uint64_t x) {
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
   return x ^ (x >> 31);
 }
+
+/// Element-wise mix64 over a key column: out[i] = mix64(in[i]). Hot loops
+/// hash batch-at-a-time through this so the branch-free finalizer can
+/// vectorize across elements; results are bit-identical to per-key mix64.
+/// `in` and `out` may alias completely (in == out) but not partially.
+void mix64_batch(const std::uint64_t* in, std::uint64_t* out, std::size_t n);
+
+/// flow_signature over a contiguous array of flow IDs (same per-element
+/// result as flow_signature, computed column-wise).
+void flow_signature_batch(const FlowId* flows, std::uint64_t* out,
+                          std::size_t n);
 
 /// FNV-1a over an arbitrary byte range; used for wire-format checksumming of
 /// trace files (not for sketch indexing, where mix64 is preferred).

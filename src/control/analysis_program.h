@@ -17,6 +17,7 @@
 // into answers.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -69,6 +70,16 @@ class AnalysisProgram final : public core::PipelineObserver {
   // --- PipelineObserver ---
   void on_time(Timestamp now) override;
   void on_dq_trigger(const core::DqNotification& n) override;
+
+  /// on_time(t) does nothing unless t reaches the next poll or, while a
+  /// data-plane query holds the register lock, the pending unlock time —
+  /// whichever comes first. Publishing that bound lets the batched pipeline
+  /// absorb every packet strictly before it without calling on_time at all
+  /// (the PipelineObserver::next_time_event contract).
+  Timestamp next_time_event() const override {
+    return dq_pending_unlock_ ? std::min(next_poll_, dq_unlock_at_)
+                              : next_poll_;
+  }
 
   /// Takes a final checkpoint so data from the tail of a run is readable.
   void finalize(Timestamp end_time);

@@ -85,8 +85,9 @@ ShardedSystem::ShardedSystem(Config cfg)
                                                 faults_.get());
 }
 
-void ShardedSystem::run(std::vector<Packet> packets, unsigned threads) {
-  engine_.run(std::move(packets), threads);
+void ShardedSystem::run(std::vector<Packet> packets, unsigned threads,
+                        std::uint32_t batch) {
+  engine_.run(std::move(packets), threads, batch);
   Timestamp end = 0;
   for (std::uint32_t p = 0; p < engine_.num_ports(); ++p) {
     end = std::max(end, engine_.port(p).stats().last_departure);

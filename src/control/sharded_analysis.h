@@ -115,8 +115,11 @@ class ShardedSystem {
   explicit ShardedSystem(Config cfg);
 
   /// Runs the workload on `threads` workers and takes the final checkpoint
-  /// at the last departure across all ports.
-  void run(std::vector<Packet> packets, unsigned threads = 1);
+  /// at the last departure across all ports. `batch` > 1 drains each shard
+  /// in PacketBatch chunks (see ShardedEngine::run); results are
+  /// byte-identical for any batch size.
+  void run(std::vector<Packet> packets, unsigned threads = 1,
+           std::uint32_t batch = 1);
 
   sim::ShardedEngine& engine() { return engine_; }
   const sim::ShardedEngine& engine() const { return engine_; }

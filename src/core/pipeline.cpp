@@ -104,6 +104,145 @@ void PrintQueuePipeline::on_egress(const sim::EgressContext& ctx) {
   }
 }
 
+bool PrintQueuePipeline::trigger_pending(const sim::PacketBatch& batch,
+                                         std::size_t i) const {
+  // Mirrors the delay_hit/depth_hit/probe_hit predicates in on_egress()
+  // exactly; the predicates depend only on the packet's own metadata, never
+  // on mutable pipeline state, so evaluating them ahead of absorption cannot
+  // change their outcome.
+  return (cfg_.dq_delay_threshold_ns != 0 &&
+          batch.deq_timedelta[i] >= cfg_.dq_delay_threshold_ns) ||
+         (cfg_.dq_depth_threshold_cells != 0 &&
+          batch.enq_qdepth[i] >= cfg_.dq_depth_threshold_cells) ||
+         (cfg_.dq_probe_flow.has_value() &&
+          batch.flow[i] == *cfg_.dq_probe_flow);
+}
+
+void PrintQueuePipeline::absorb_run(const sim::PacketBatch& batch,
+                                    std::size_t i, std::size_t j) {
+  // Contract: deq_scratch_ (and, for single-queue configs, depth_scratch_)
+  // hold the j-i precomputed per-element values for this run — the scan in
+  // absorb_batch() fills them while it searches for the run end.
+  const auto prefix = port_prefix(batch.egress_port[i]);
+  if (!prefix) return;  // flow-table miss: the scalar path ignores these too
+  const std::size_t n = j - i;
+  packets_seen_ += n;
+
+  windows_.absorb_run(*prefix, batch.flow.data() + i, deq_scratch_.data(), n);
+
+  if (cfg_.queues_per_port > 1) {
+    // The monitor partition varies with queue_id, so per-element updates.
+    for (std::size_t x = i; x < j; ++x) {
+      monitor_.on_packet(monitor_partition(*prefix, batch.queue_id[x]),
+                         batch.flow[x],
+                         batch.enq_queue_qdepth[x] + batch.packet_cells[x]);
+    }
+  } else {
+    monitor_.absorb_run(*prefix, batch.flow.data() + i, depth_scratch_.data(),
+                        n);
+  }
+
+  GapTracker& g = gaps_[*prefix];
+  const std::uint32_t* qdepth = batch.enq_qdepth.data() + i;
+  for (std::size_t x = 0; x < n; ++x) {
+    const Timestamp deq_ts = deq_scratch_[x];
+    if (g.has_last && deq_ts > g.last && qdepth[x] > 0) {
+      const double gap = static_cast<double>(deq_ts - g.last);
+      g.ewma = g.ewma == 0.0 ? gap : g.ewma + (gap - g.ewma) / 64.0;
+    }
+    g.last = deq_ts;
+    g.has_last = true;
+  }
+}
+
+void PrintQueuePipeline::absorb_batch(const sim::PacketBatch& batch) {
+  // No observer's events can matter before `boundary`, so elements strictly
+  // below it absorb in branch-light runs; the boundary element itself
+  // replays through the scalar path, which delivers on_time()/
+  // on_dq_trigger() at exactly the per-packet points an unbatched run
+  // would. With no observer, the scalar path has no time events at all, so
+  // only triggers and port changes split runs.
+  //
+  // Trigger elements split a run ONLY while the data-plane query mechanism
+  // is unlocked: a locked pipeline ignores triggers (scalar path: absorb +
+  // ++dq_ignored_, no bank change, no observer call), and the lock cannot
+  // change state mid-run — locking happens in scalar trigger handling and
+  // unlocking in an observer's non-no-op on_time(), which by the
+  // next_time_event() contract cannot occur before `boundary`. So locked
+  // ignored-triggers absorb in the run, with an exact count.
+  constexpr Timestamp kNever = ~Timestamp{0};
+  const std::size_t n = batch.size();
+  const Timestamp* enq = batch.enq_timestamp.data();
+  const Duration* delta = batch.deq_timedelta.data();
+  const std::uint32_t* qdepth = batch.enq_qdepth.data();
+  const std::uint16_t* cells = batch.packet_cells.data();
+  const std::uint32_t* eport = batch.egress_port.data();
+  const FlowId* flows = batch.flow.data();
+  // The trigger predicates are pure functions of per-packet metadata
+  // (trigger_pending() is the reference form); hoist the config loads.
+  const Duration delay_thr = cfg_.dq_delay_threshold_ns;
+  const std::uint32_t depth_thr = cfg_.dq_depth_threshold_cells;
+  const bool has_probe = cfg_.dq_probe_flow.has_value();
+  const FlowId probe = has_probe ? *cfg_.dq_probe_flow : FlowId{};
+  const auto trig = [&](std::size_t x) {
+    return (delay_thr != 0 && delta[x] >= delay_thr) ||
+           (depth_thr != 0 && qdepth[x] >= depth_thr) ||
+           (has_probe && flows[x] == probe);
+  };
+  const bool single_queue = cfg_.queues_per_port == 1;
+  deq_scratch_.resize(n);
+  depth_scratch_.resize(n);
+
+  std::size_t i = 0;
+  while (i < n) {
+    // Recomputed each iteration: a scalar element may have polled,
+    // unlocked, or fired a trigger, moving the next event and lock state.
+    const Timestamp boundary =
+        observer_ != nullptr ? observer_->next_time_event() : kNever;
+    const bool locked =
+        windows_.dataplane_query_locked() || monitor_.dataplane_query_locked();
+    const bool trig_first = trig(i);
+    const Timestamp deq_i = enq[i] + delta[i];
+    if (deq_i >= boundary || (trig_first && !locked)) {
+      on_egress(batch.context(i));
+      ++i;
+      continue;
+    }
+    const std::uint32_t port = eport[i];
+    std::uint64_t ignored = trig_first ? 1 : 0;
+    // One fused pass finds the run end and fills the scratch columns that
+    // absorb_run() consumes, so the run's elements are touched only once.
+    // The vectors were resized to n above; indexed stores avoid per-element
+    // capacity checks.
+    Timestamp* deq_out = deq_scratch_.data();
+    std::uint32_t* depth_out = depth_scratch_.data();
+    deq_out[0] = deq_i;
+    if (single_queue) depth_out[0] = qdepth[i] + cells[i];
+    std::size_t j = i + 1;
+    while (j < n && eport[j] == port) {
+      const Timestamp deq_j = enq[j] + delta[j];
+      if (deq_j >= boundary) break;
+      if (trig(j)) {
+        if (!locked) break;
+        ++ignored;
+      }
+      deq_out[j - i] = deq_j;
+      if (single_queue) depth_out[j - i] = qdepth[j] + cells[j];
+      ++j;
+    }
+    absorb_run(batch, i, j);
+    // Triggers that hit while locked are ignored exactly as in the scalar
+    // path (paper Section 6.2: concurrent reads are dropped). Packets the
+    // flow table ignores never reach the trigger check in the scalar path.
+    if (port_prefix(port).has_value()) dq_ignored_ += ignored;
+    i = j;
+  }
+}
+
+void PrintQueuePipeline::on_egress_batch(const sim::PacketBatch& batch) {
+  absorb_batch(batch);
+}
+
 double PrintQueuePipeline::avg_deq_gap_ns(std::uint32_t port_prefix) const {
   return gaps_.at(port_prefix).ewma;
 }

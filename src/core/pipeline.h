@@ -4,6 +4,7 @@
 // raises data-plane query triggers (Section 6.2, on-demand reads).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -58,6 +59,15 @@ class PipelineObserver {
   virtual void on_time(Timestamp now) = 0;
   /// Called when a data-plane query trigger fires.
   virtual void on_dq_trigger(const DqNotification& n) = 0;
+
+  /// Batching support: the earliest `now` for which on_time(now) would do
+  /// anything. The contract: on_time(t) MUST be a strict no-op for every
+  /// t < next_time_event(), which lets absorb_batch() skip the per-packet
+  /// on_time() call inside a branch-light run and re-enter the scalar path
+  /// exactly at this boundary. The default, 0, declares "every timestamp
+  /// may matter" and forces full per-packet delivery — always correct for
+  /// observers that do not opt in.
+  virtual Timestamp next_time_event() const { return 0; }
 };
 
 class PrintQueuePipeline final : public sim::EgressHook {
@@ -92,6 +102,20 @@ class PrintQueuePipeline final : public sim::EgressHook {
 
   void on_egress(const sim::EgressContext& ctx) override;
 
+  /// The batched hot path (docs/ARCHITECTURE.md §10): splits the batch into
+  /// branch-light runs bounded by (a) the observer's next_time_event(),
+  /// (b) any element that satisfies a DQ-trigger predicate, and (c) egress
+  /// port changes, then absorbs each run through TimeWindowSet::absorb_run /
+  /// QueueMonitor::absorb_run with bank selection hoisted. Boundary elements
+  /// replay through the scalar on_egress() so observer callbacks (polls,
+  /// trigger notifications, lock handling) fire at exactly the same
+  /// per-packet points as an unbatched run. Final state and observer event
+  /// order are byte-identical to per-packet delivery.
+  void on_egress_batch(const sim::PacketBatch& batch) override;
+
+  /// on_egress_batch without the hook indirection (used by replay drivers).
+  void absorb_batch(const sim::PacketBatch& batch);
+
   TimeWindowSet& windows() { return windows_; }
   const TimeWindowSet& windows() const { return windows_; }
   QueueMonitor& monitor() { return monitor_; }
@@ -117,12 +141,26 @@ class PrintQueuePipeline final : public sim::EgressHook {
   std::vector<std::uint32_t> port_table_;
   std::uint32_t next_prefix_ = 0;
 
+  /// True when element i of the batch satisfies any data-plane query
+  /// trigger predicate; such elements must take the scalar path.
+  bool trigger_pending(const sim::PacketBatch& batch, std::size_t i) const;
+
+  /// Absorbs batch elements [i, j) — one port, no observer events, no
+  /// triggers — through the hoisted inner loops.
+  void absorb_run(const sim::PacketBatch& batch, std::size_t i,
+                  std::size_t j);
+
   struct GapTracker {
     Timestamp last = 0;
     bool has_last = false;
     double ewma = 0.0;
   };
   std::vector<GapTracker> gaps_;
+
+  /// Scratch for absorb_run's precomputed per-run columns (reused across
+  /// runs to avoid per-batch allocation).
+  std::vector<Timestamp> deq_scratch_;
+  std::vector<std::uint32_t> depth_scratch_;
 
   std::uint64_t packets_seen_ = 0;
   std::uint64_t dq_fired_ = 0;

@@ -47,6 +47,14 @@ class PortPipeline final : public sim::EgressHook {
     pipe_.on_egress(ctx);
   }
 
+  /// The batched hot path: forwards whole PacketBatch chunks into the
+  /// shard's pipeline (PrintQueuePipeline::absorb_batch), which splits them
+  /// at observer/trigger boundaries itself. Byte-identical to the unrolled
+  /// per-packet default.
+  void on_egress_batch(const sim::PacketBatch& batch) override {
+    pipe_.absorb_batch(batch);
+  }
+
  private:
   static PipelineConfig shard_config(PipelineConfig cfg);
 

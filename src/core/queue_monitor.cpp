@@ -20,29 +20,47 @@ QueueMonitor::QueueMonitor(const QueueMonitorParams& params)
 
 void QueueMonitor::on_packet(std::uint32_t port_prefix, const FlowId& flow,
                              std::uint32_t depth_after_cells) {
+  absorb_run(port_prefix, &flow, &depth_after_cells, 1);
+}
+
+void QueueMonitor::absorb_run(std::uint32_t port_prefix, const FlowId* flows,
+                              const std::uint32_t* depth_after_cells,
+                              std::size_t n) {
+  if (n == 0) return;
+  // Hoisted bank/port-state/sequence lookups: valid for the whole run by
+  // the caller contract (no rotation mid-run).
   Bank& bank = banks_[active_bank()];
   PortState& ps = bank.ports.at(port_prefix);
-  ++updates_;
+  updates_ += n;
 
-  const std::uint32_t level =
-      std::min(depth_after_cells / params_.granularity_cells,
-               params_.levels() - 1);
-  const std::size_t base =
+  const std::uint32_t gran = params_.granularity_cells;
+  const std::uint32_t max_level = params_.levels() - 1;
+  MonitorEntry* entries =
+      bank.entries.data() +
       static_cast<std::size_t>(port_prefix) * params_.levels();
+  std::uint64_t& seq = seq_[port_prefix];
 
-  if (level > ps.last_level) {
-    MonitorHalf& h = bank.entries[base + level].inc;
-    h.flow = flow;
-    h.seq = ++seq_[port_prefix];
-    h.valid = true;
-  } else if (level < ps.last_level) {
-    MonitorHalf& h = bank.entries[base + level].dec;
-    h.flow = flow;
-    h.seq = ++seq_[port_prefix];
-    h.valid = true;
+  // The stack cursor only needs to land in PortState at the end of the run;
+  // intermediate values live in a register.
+  std::uint32_t last = ps.last_level;
+  for (std::size_t x = 0; x < n; ++x) {
+    const std::uint32_t level = std::min(depth_after_cells[x] / gran,
+                                         max_level);
+    if (level > last) {
+      MonitorHalf& h = entries[level].inc;
+      h.flow = flows[x];
+      h.seq = ++seq;
+      h.valid = true;
+    } else if (level < last) {
+      MonitorHalf& h = entries[level].dec;
+      h.flow = flows[x];
+      h.seq = ++seq;
+      h.valid = true;
+    }
+    last = level;
   }
-  ps.last_level = level;
-  ps.top = level;
+  ps.last_level = last;
+  ps.top = last;
 }
 
 std::uint32_t QueueMonitor::flip_periodic() {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
@@ -69,6 +70,13 @@ class QueueMonitor {
   /// depth including this packet (enq_qdepth + its own cells).
   void on_packet(std::uint32_t port_prefix, const FlowId& flow,
                  std::uint32_t depth_after_cells);
+
+  /// Batched update: absorbs `n` consecutive packets of one partition with
+  /// the bank/port-state/sequence lookups hoisted out of the loop. Final
+  /// state is identical to n on_packet() calls in order. Caller contract:
+  /// no bank rotation may occur within a run (docs/ARCHITECTURE.md §10).
+  void absorb_run(std::uint32_t port_prefix, const FlowId* flows,
+                  const std::uint32_t* depth_after_cells, std::size_t n);
 
   // Register-bank control, mirroring the time windows (Fig. 8).
   std::uint32_t flip_periodic();

@@ -1,6 +1,7 @@
 #include "core/time_windows.h"
 
 #include <bit>
+#include <cstring>
 
 namespace pq::core {
 
@@ -23,52 +24,263 @@ TimeWindowSet::TimeWindowSet(const TimeWindowParams& params)
   stats_.stored.assign(params.num_windows, 0);
   stats_.passed.assign(params.num_windows, 0);
   stats_.dropped.assign(params.num_windows, 0);
+  for (std::uint32_t i = 0; i < params.num_windows; ++i) {
+    // The per-window cycle width shrinks by alpha bits per level; with
+    // wrap32, cycle differences are taken modulo that width so behaviour
+    // matches the hardware's finite registers.
+    wrap_mask_[i] = ~std::uint64_t{0};
+    if (params.wrap32) {
+      const std::uint32_t cycle_bits_total =
+          layout_.tts_bits() > params.k + params.alpha * i
+              ? layout_.tts_bits() - params.k - params.alpha * i
+              : 1;
+      if (cycle_bits_total < 64) {
+        wrap_mask_[i] = (1ull << cycle_bits_total) - 1;
+      }
+    }
+  }
 }
 
 void TimeWindowSet::on_packet(std::uint32_t port_prefix, const FlowId& flow,
                               Timestamp deq_timestamp) {
-  const auto& p = layout_.params();
-  const std::uint32_t bank = active_bank();
+  absorb_run(port_prefix, &flow, &deq_timestamp, 1);
+}
 
-  // Algorithm 1. The per-window cycle width shrinks by alpha bits per level;
-  // with wrap32, cycle differences are taken modulo that width so behaviour
-  // matches the hardware's finite registers.
-  std::uint64_t tts = layout_.tts0(deq_timestamp);
+namespace {
+
+/// Loop-invariant state for one absorption run: the active bank's
+/// per-window cell bases, the wrap masks, and where to count stats (either
+/// the structure's own vectors for single packets, or stack-local
+/// accumulators for long runs).
+struct AbsorbCtx {
+  WindowCell* const* win;
+  const std::uint64_t* wrap_mask;
+  std::uint64_t* stored;
+  std::uint64_t* passed;
+  std::uint64_t* dropped;
+  std::uint64_t index_mask;
+  std::uint32_t k;
+  std::uint32_t alpha;
+  std::uint32_t m0;
+  std::uint32_t num_windows;
+  bool wrap32;
+  bool ablate;
+};
+
+/// Algorithm 1 for one dequeued packet. The single definition serves both
+/// the scalar oracle (n == 1) and the batched run loop, so the two paths
+/// cannot drift.
+inline void absorb_one(const AbsorbCtx& cx, const FlowId& flow,
+                       Timestamp deq_timestamp) {
+  const std::uint64_t raw =
+      cx.wrap32 ? (deq_timestamp & 0xffffffffull) : deq_timestamp;
+  std::uint64_t tts = raw >> cx.m0;
   FlowId cur_flow = flow;
-  for (std::uint32_t i = 0; i < p.num_windows; ++i) {
-    const std::uint64_t index = layout_.index_of(tts);
-    const std::uint64_t cycle = layout_.cycle_of(tts);
+  for (std::uint32_t i = 0; i < cx.num_windows; ++i) {
+    const std::uint64_t index = tts & cx.index_mask;
+    const std::uint64_t cycle = tts >> cx.k;
 
-    WindowCell& c = cell(bank, i, port_prefix, index);
+    WindowCell& c = cx.win[i][index];
     const WindowCell evicted = c;
     c.flow = cur_flow;
     c.cycle_id = cycle;
     c.occupied = true;
-    ++stats_.stored[i];
+    ++cx.stored[i];
 
     if (!evicted.occupied) break;
-    if (p.ablate_passing) {
-      ++stats_.dropped[i];
+    if (cx.ablate) {
+      ++cx.dropped[i];
       break;
     }
 
-    std::uint64_t diff = cycle - evicted.cycle_id;
-    if (p.wrap32) {
-      const std::uint32_t cycle_bits_total =
-          layout_.tts_bits() > p.k + p.alpha * i
-              ? layout_.tts_bits() - p.k - p.alpha * i
-              : 1;
-      if (cycle_bits_total < 64) diff &= (1ull << cycle_bits_total) - 1;
-    }
+    const std::uint64_t diff = (cycle - evicted.cycle_id) & cx.wrap_mask[i];
     if (diff == 1) {
       // Pass the evicted packet: reconstruct its TTS and age it by alpha.
-      ++stats_.passed[i];
+      ++cx.passed[i];
       cur_flow = evicted.flow;
-      tts = layout_.combine(evicted.cycle_id, index) >> p.alpha;
+      tts = ((evicted.cycle_id << cx.k) | index) >> cx.alpha;
     } else {
-      ++stats_.dropped[i];
+      ++cx.dropped[i];
       break;
     }
+  }
+}
+
+/// The pass loops move the 13-byte FlowId (sizeof 16 with padding) as two
+/// aligned 64-bit words. A plain struct copy compiles to 8+4+2+1-byte moves,
+/// which measure ~3x slower through the cell array; the padding bytes these
+/// wide copies drag along are dead weight — every reader of a cell or a
+/// survivor goes through the FlowId members, never the raw bytes.
+inline std::uint64_t load_u64(const void* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline void store_u64(void* p, std::uint64_t v) {
+  std::memcpy(p, &v, sizeof(v));
+}
+static_assert(sizeof(FlowId) == 16, "pass loops copy FlowId as two u64s");
+
+}  // namespace
+
+void TimeWindowSet::absorb_run(std::uint32_t port_prefix, const FlowId* flows,
+                               const Timestamp* deq_timestamps,
+                               std::size_t n) {
+  const auto& p = layout_.params();
+  // Hoisted bank selection: valid for the whole run by the caller contract
+  // (no rotation mid-run). The per-window base pointers and wrap masks are
+  // likewise loop-invariant; keeping them in locals frees the inner loop
+  // from double indirection through banks_[bank][i].
+  const std::uint32_t bank = active_bank();
+  const std::uint64_t part_base = static_cast<std::uint64_t>(port_prefix)
+                                  << p.k;
+  constexpr std::uint32_t kMaxWindows = 16;  // TimeWindowParams::validate()
+  WindowCell* win[kMaxWindows];
+  for (std::uint32_t i = 0; i < p.num_windows; ++i) {
+    win[i] = banks_[bank][i].data() + part_base;
+  }
+  AbsorbCtx cx;
+  cx.win = win;
+  cx.wrap_mask = wrap_mask_.data();
+  cx.index_mask = layout_.index_mask();
+  cx.k = p.k;
+  cx.alpha = p.alpha;
+  cx.m0 = p.m0;
+  cx.num_windows = p.num_windows;
+  cx.wrap32 = p.wrap32;
+  cx.ablate = p.ablate_passing;
+
+  if (n == 1) {
+    // The scalar oracle: count straight into the stats vectors, skipping
+    // the accumulate-and-flush that only pays off over long runs.
+    cx.stored = stats_.stored.data();
+    cx.passed = stats_.passed.data();
+    cx.dropped = stats_.dropped.data();
+    absorb_one(cx, flows[0], deq_timestamps[0]);
+    return;
+  }
+
+  // Long runs transpose Algorithm 1: instead of walking each packet's
+  // eviction chain depth-first, one pass per window absorbs every element
+  // at that depth and collects the passed evictions (in eviction order)
+  // as the next pass's input. This is byte-identical to the chain order —
+  // a chain only ever writes windows deeper than the cells it already
+  // visited, so "all of window i, then all of window i+1" preserves every
+  // cell's write sequence — and it turns the chain's unpredictable
+  // loop-exit branch into a branchless conditional append, touches one
+  // window's cells per pass, and makes the data-dependent cell loads
+  // prefetchable (the pass's indices are all known up front).
+  constexpr std::size_t kPrefetchDist = 8;
+  const std::uint64_t index_mask = cx.index_mask;
+  const std::uint32_t k = cx.k;
+  const std::uint32_t alpha = cx.alpha;
+  const bool ablate = cx.ablate;
+
+  if (surv_flow_[0].size() < n) {
+    for (auto& v : surv_flow_) v.resize(n);
+    for (auto& v : surv_tts_) v.resize(n);
+  }
+
+  // Pass 0: every element stores into window 0. Everything the loop reads
+  // lives in locals: a member load (wrap_mask_, layout_) inside the loop
+  // would be reloaded every iteration, because the uint64 stores into the
+  // cells may alias any uint64 member as far as the compiler can prove.
+  std::size_t m = 0;  // survivors entering the next pass
+  {
+    WindowCell* w = win[0];
+    FlowId* out_flow = surv_flow_[0].data();
+    std::uint64_t* out_tts = surv_tts_[0].data();
+    const std::uint64_t wrap_mask_0 = wrap_mask_[0];
+    const std::uint64_t raw_mask = cx.wrap32 ? 0xffffffffull : ~std::uint64_t{0};
+    const std::uint32_t m0 = cx.m0;
+    std::uint64_t drop = 0;
+    for (std::size_t x = 0; x < n; ++x) {
+#if defined(__GNUC__) || defined(__clang__)
+      if (x + kPrefetchDist < n) {
+        const std::uint64_t raw_p = deq_timestamps[x + kPrefetchDist] & raw_mask;
+        __builtin_prefetch(&w[(raw_p >> m0) & index_mask], 1);
+      }
+#endif
+      const std::uint64_t raw = deq_timestamps[x] & raw_mask;
+      const std::uint64_t tts = raw >> m0;
+      const std::uint64_t index = tts & index_mask;
+      const std::uint64_t cycle = tts >> k;
+      WindowCell& c = w[index];
+      char* cp = reinterpret_cast<char*>(&c);
+      const std::uint64_t ev_f0 = load_u64(cp);
+      const std::uint64_t ev_f1 = load_u64(cp + 8);
+      const std::uint64_t ev_cycle = c.cycle_id;
+      const unsigned occ = static_cast<unsigned>(c.occupied);
+      const char* fp = reinterpret_cast<const char*>(&flows[x]);
+      store_u64(cp, load_u64(fp));
+      store_u64(cp + 8, load_u64(fp + 8));
+      c.cycle_id = cycle;
+      c.occupied = true;
+      // Unconditional store + conditional advance, with the predicate built
+      // from bitwise ops (short-circuit && would reintroduce the
+      // unpredictable branch this pass exists to remove). cycle_id is
+      // garbage for unoccupied cells; the `occ` factor masks that out.
+      const unsigned pass =
+          occ & static_cast<unsigned>(!ablate) &
+          static_cast<unsigned>(((cycle - ev_cycle) & wrap_mask_0) == 1);
+      char* op = reinterpret_cast<char*>(&out_flow[m]);
+      store_u64(op, ev_f0);
+      store_u64(op + 8, ev_f1);
+      out_tts[m] = ((ev_cycle << k) | index) >> alpha;
+      m += pass;
+      drop += occ & (pass ^ 1u);
+    }
+    stats_.stored[0] += n;
+    stats_.passed[0] += m;
+    stats_.dropped[0] += drop;
+  }
+
+  // Passes 1..T-1: survivors of pass i-1 store into window i, in eviction
+  // order. Survivors of the deepest window age out (counted in passed[]
+  // exactly as the scalar chain does, then discarded).
+  for (std::uint32_t i = 1; i < p.num_windows && m > 0; ++i) {
+    WindowCell* w = win[i];
+    const FlowId* in_flow = surv_flow_[(i - 1) & 1].data();
+    const std::uint64_t* in_tts = surv_tts_[(i - 1) & 1].data();
+    FlowId* out_flow = surv_flow_[i & 1].data();
+    std::uint64_t* out_tts = surv_tts_[i & 1].data();
+    const std::uint64_t wrap_mask_i = wrap_mask_[i];
+    std::size_t out = 0;
+    std::uint64_t drop = 0;
+    for (std::size_t x = 0; x < m; ++x) {
+#if defined(__GNUC__) || defined(__clang__)
+      if (x + kPrefetchDist < m) {
+        __builtin_prefetch(&w[in_tts[x + kPrefetchDist] & index_mask], 1);
+      }
+#endif
+      const std::uint64_t tts = in_tts[x];
+      const std::uint64_t index = tts & index_mask;
+      const std::uint64_t cycle = tts >> k;
+      WindowCell& c = w[index];
+      char* cp = reinterpret_cast<char*>(&c);
+      const std::uint64_t ev_f0 = load_u64(cp);
+      const std::uint64_t ev_f1 = load_u64(cp + 8);
+      const std::uint64_t ev_cycle = c.cycle_id;
+      const unsigned occ = static_cast<unsigned>(c.occupied);
+      const char* fp = reinterpret_cast<const char*>(&in_flow[x]);
+      store_u64(cp, load_u64(fp));
+      store_u64(cp + 8, load_u64(fp + 8));
+      c.cycle_id = cycle;
+      c.occupied = true;
+      const unsigned pass =
+          occ & static_cast<unsigned>(!ablate) &
+          static_cast<unsigned>(((cycle - ev_cycle) & wrap_mask_i) == 1);
+      char* op = reinterpret_cast<char*>(&out_flow[out]);
+      store_u64(op, ev_f0);
+      store_u64(op + 8, ev_f1);
+      out_tts[out] = ((ev_cycle << k) | index) >> alpha;
+      out += pass;
+      drop += occ & (pass ^ 1u);
+    }
+    stats_.stored[i] += m;
+    stats_.passed[i] += out;
+    stats_.dropped[i] += drop;
+    m = out;
   }
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -50,6 +51,15 @@ class TimeWindowSet {
   /// `port_prefix` selects the port partition (the q bits of Fig. 8).
   void on_packet(std::uint32_t port_prefix, const FlowId& flow,
                  Timestamp deq_timestamp);
+
+  /// Batched Algorithm 1: absorbs `n` consecutive dequeued packets of one
+  /// port with the bank selection hoisted out of the loop. State after the
+  /// call is identical to n on_packet() calls in order. Caller contract: no
+  /// bank rotation (flip_periodic / begin_dataplane_query) may occur within
+  /// a run — the batch pipeline splits batches at those boundaries
+  /// (docs/ARCHITECTURE.md §10).
+  void absorb_run(std::uint32_t port_prefix, const FlowId* flows,
+                  const Timestamp* deq_timestamps, std::size_t n);
 
   // --- Register bank control (Fig. 8) ---
 
@@ -99,6 +109,10 @@ class TimeWindowSet {
   }
 
   TtsLayout layout_;
+  /// Per-window cycle-difference masks (all-ones unless wrap32), derived
+  /// from the parameters once at construction; absorb_run's inner loop
+  /// reads them instead of recomputing the width per eviction.
+  std::array<std::uint64_t, 16> wrap_mask_{};
   std::uint32_t port_partitions_ = 1;
   std::uint32_t dq_bit_ = 0;
   std::uint32_t flip_bit_ = 0;
@@ -108,6 +122,12 @@ class TimeWindowSet {
   /// banks_[bank][window] is a flat array of port_partitions_ << k cells.
   std::array<std::vector<std::vector<WindowCell>>, 4> banks_;
   WindowStats stats_;
+
+  /// Ping-pong survivor buffers for absorb_run's per-window passes: pass i
+  /// appends the evictions it passes onward (flow + reconstructed TTS) for
+  /// pass i+1 to consume. Grown to the largest run seen, reused across runs.
+  std::array<std::vector<FlowId>, 2> surv_flow_;
+  std::array<std::vector<std::uint64_t>, 2> surv_tts_;
 };
 
 }  // namespace pq::core

@@ -20,6 +20,18 @@ void EgressPort::add_hook(EgressHook* hook) {
   if (hook != nullptr) hooks_.push_back(hook);
 }
 
+void EgressPort::set_hook_batch(std::uint32_t batch_size) {
+  flush_hook_batch();  // never reorder: drain what accumulated so far first
+  hook_batch_ = std::max(1u, batch_size);
+  if (hook_batch_ > 1) pending_.reserve(hook_batch_);
+}
+
+void EgressPort::flush_hook_batch() {
+  if (pending_.empty()) return;
+  for (auto* hook : hooks_) hook->on_egress_batch(pending_);
+  pending_.clear();
+}
+
 void EgressPort::offer(const Packet& pkt) {
   if (pkt.arrival_ns < now_) {
     throw std::invalid_argument("EgressPort::offer arrivals must be ordered");
@@ -54,6 +66,7 @@ void EgressPort::offer(const Packet& pkt) {
 
 void EgressPort::drain() {
   advance(std::numeric_limits<Timestamp>::max());
+  flush_hook_batch();
 }
 
 void EgressPort::run(std::vector<Packet> packets) {
@@ -107,7 +120,12 @@ void EgressPort::dequeue_at(Timestamp t_dec) {
   ctx.deq_timedelta = t_dec - qp->enq_timestamp;
   ctx.priority = qp->pkt.priority;
   ctx.packet_id = qp->pkt.id;
-  for (auto* hook : hooks_) hook->on_egress(ctx);
+  if (hook_batch_ > 1 && !hooks_.empty()) {
+    pending_.push(ctx);
+    if (pending_.size() >= hook_batch_) flush_hook_batch();
+  } else {
+    for (auto* hook : hooks_) hook->on_egress(ctx);
+  }
 
   if (cfg_.collect_records) {
     wire::TelemetryRecord rec;

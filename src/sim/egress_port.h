@@ -59,6 +59,17 @@ class EgressPort {
   /// Attaches an egress-pipeline hook (not owned; must outlive the port).
   void add_hook(EgressHook* hook);
 
+  /// Hook-delivery batching (docs/ARCHITECTURE.md §10). With size > 1,
+  /// dequeued packets' egress contexts accumulate in a PacketBatch that is
+  /// delivered to each hook via on_egress_batch() when full, with a final
+  /// flush when drain() empties the port. Records, drops, stats and the
+  /// depth series stay eager — only hook delivery is deferred, and elements
+  /// keep dequeue order. With several hooks attached, each hook sees whole
+  /// batches in attach order instead of the scalar per-packet interleave;
+  /// every in-tree driver attaches a single hook (chain) per port. Size 0
+  /// or 1 selects the scalar per-packet delivery (the default).
+  void set_hook_batch(std::uint32_t batch_size);
+
   /// Offers one packet at its arrival time. Arrival times must be
   /// non-decreasing across calls (throws std::invalid_argument otherwise).
   void offer(const Packet& pkt);
@@ -85,10 +96,13 @@ class EgressPort {
   /// Dequeues while the next departure would happen at or before `horizon`.
   void advance(Timestamp horizon);
   void dequeue_at(Timestamp t_dec);
+  void flush_hook_batch();
 
   PortConfig cfg_;
   std::unique_ptr<Scheduler> sched_;
   std::vector<EgressHook*> hooks_;
+  std::uint32_t hook_batch_ = 1;
+  PacketBatch pending_;  ///< buffered contexts awaiting batched delivery
 
   Timestamp now_ = 0;
   Timestamp serializer_free_at_ = 0;

@@ -3,7 +3,9 @@
 // (after the traffic manager, at dequeue time).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/types.h"
 
@@ -29,12 +31,115 @@ struct EgressContext {
   Timestamp deq_timestamp() const { return enq_timestamp + deq_timedelta; }
 };
 
+/// A fixed-size chunk of the egress stream in structure-of-arrays layout:
+/// the four Table-1 metadata fields (enqueue timestamp, queuing delay,
+/// observed depth, packet id) plus the flow key, each in its own contiguous
+/// array, with the remaining EgressContext fields alongside so any element
+/// can be materialized back into a scalar context. Batch consumers
+/// (core::PrintQueuePipeline::absorb_batch) iterate the arrays directly and
+/// hoist per-packet bookkeeping out of their inner loops; everything else
+/// falls back to `context(i)`.
+///
+/// Element order IS dequeue order — producers append with push() as packets
+/// leave the queue, so index i precedes index i+1 in simulated time.
+///
+/// The columns are plain vectors kept resized to the batch *capacity*; the
+/// logical element count is size(), and elements at [size(), capacity) are
+/// stale garbage from earlier chunks. This lets push() issue eleven plain
+/// indexed stores instead of eleven push_backs with their capacity checks —
+/// the feed loop runs once per packet on the hot path.
+struct PacketBatch {
+  std::vector<FlowId> flow;
+  std::vector<Timestamp> enq_timestamp;
+  std::vector<Duration> deq_timedelta;
+  std::vector<std::uint32_t> enq_qdepth;
+  std::vector<std::uint64_t> packet_id;
+  std::vector<std::uint32_t> egress_port;
+  std::vector<std::uint32_t> size_bytes;
+  std::vector<std::uint16_t> packet_cells;
+  std::vector<std::uint32_t> enq_queue_qdepth;
+  std::vector<std::uint8_t> queue_id;
+  std::vector<std::uint8_t> priority;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return flow.size(); }
+
+  void reserve(std::size_t n) {
+    if (n <= capacity()) return;
+    flow.resize(n);
+    enq_timestamp.resize(n);
+    deq_timedelta.resize(n);
+    enq_qdepth.resize(n);
+    packet_id.resize(n);
+    egress_port.resize(n);
+    size_bytes.resize(n);
+    packet_cells.resize(n);
+    enq_queue_qdepth.resize(n);
+    queue_id.resize(n);
+    priority.resize(n);
+  }
+
+  void clear() { size_ = 0; }
+
+  void push(const EgressContext& ctx) {
+    const std::size_t i = size_;
+    if (i == capacity()) reserve(i == 0 ? 64 : i * 2);
+    flow[i] = ctx.flow;
+    enq_timestamp[i] = ctx.enq_timestamp;
+    deq_timedelta[i] = ctx.deq_timedelta;
+    enq_qdepth[i] = ctx.enq_qdepth;
+    packet_id[i] = ctx.packet_id;
+    egress_port[i] = ctx.egress_port;
+    size_bytes[i] = ctx.size_bytes;
+    packet_cells[i] = ctx.packet_cells;
+    enq_queue_qdepth[i] = ctx.enq_queue_qdepth;
+    queue_id[i] = ctx.queue_id;
+    priority[i] = ctx.priority;
+    size_ = i + 1;
+  }
+
+  Timestamp deq_timestamp(std::size_t i) const {
+    return enq_timestamp[i] + deq_timedelta[i];
+  }
+
+  /// Materializes element i back into the scalar hook representation.
+  EgressContext context(std::size_t i) const {
+    EgressContext ctx;
+    ctx.flow = flow[i];
+    ctx.egress_port = egress_port[i];
+    ctx.size_bytes = size_bytes[i];
+    ctx.packet_cells = packet_cells[i];
+    ctx.enq_qdepth = enq_qdepth[i];
+    ctx.enq_queue_qdepth = enq_queue_qdepth[i];
+    ctx.queue_id = queue_id[i];
+    ctx.enq_timestamp = enq_timestamp[i];
+    ctx.deq_timedelta = deq_timedelta[i];
+    ctx.priority = priority[i];
+    ctx.packet_id = packet_id[i];
+    return ctx;
+  }
+
+  std::size_t size_ = 0;
+};
+
 /// Implemented by PrintQueue's data-plane pipeline (and by test probes).
 /// Called once per dequeued packet, in dequeue order.
 class EgressHook {
  public:
   virtual ~EgressHook() = default;
   virtual void on_egress(const EgressContext& ctx) = 0;
+
+  /// Batched delivery: the elements of `batch` are consecutive dequeued
+  /// packets in dequeue order. The default unrolls to per-packet on_egress
+  /// calls, so any hook is batch-safe by construction; hooks with a real
+  /// batch path (core::PortPipeline) override this. Overrides MUST be
+  /// observably equivalent to the unrolled loop — that is the batch
+  /// determinism contract (docs/ARCHITECTURE.md §10).
+  virtual void on_egress_batch(const PacketBatch& batch) {
+    const std::size_t n = batch.size();
+    for (std::size_t i = 0; i < n; ++i) on_egress(batch.context(i));
+  }
 };
 
 /// An egress hook that forwards to another hook, optionally rewriting the
@@ -43,6 +148,13 @@ class EgressHook {
 /// sit between the traffic manager and the PrintQueue pipeline: chain
 /// interposers by pointing each at the next hook and registering only the
 /// outermost one with the port.
+///
+/// Interposers deliberately inherit the element-wise on_egress_batch
+/// default: a batch entering a fault chain is unrolled and walks the whole
+/// chain one packet at a time, exactly like the scalar path. Stage-at-a-time
+/// batching (transform all, then forward all) would reorder the injectors'
+/// FaultLog entries relative to each other and to poll-time torn reads,
+/// breaking the byte-identical-schedule contract across batch sizes.
 class EgressInterposer : public EgressHook {
  public:
   explicit EgressInterposer(EgressHook* next) : next_(next) {}

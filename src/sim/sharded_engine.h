@@ -47,7 +47,13 @@ class ShardedEngine {
   /// in non-decreasing arrival order; a pre-sorted input (every generator
   /// output is) skips the sort entirely. Throws std::out_of_range if the
   /// forwarding function returns an invalid port.
-  void run(std::vector<Packet> packets, unsigned threads = 1);
+  ///
+  /// `batch` > 1 drains each shard in PacketBatch chunks of that size
+  /// (EgressPort::set_hook_batch): hooks receive on_egress_batch() calls
+  /// instead of per-packet on_egress(), with byte-identical results
+  /// (docs/ARCHITECTURE.md §10). 1 is the scalar oracle path.
+  void run(std::vector<Packet> packets, unsigned threads = 1,
+           std::uint32_t batch = 1);
 
   /// Splits an arrival-ordered packet vector into one arrival-ordered vector
   /// per port. Exposed for tests and for drivers that partition externally.
@@ -76,11 +82,19 @@ class ShardedEngine {
   }
 
  private:
-  void drain_shard(std::size_t p, const std::vector<Packet>& shard);
+  void drain_shard(std::size_t p, const std::vector<Packet>& shard,
+                   std::uint32_t batch);
+  /// The default dst-hash forwarding decision computed column-wise
+  /// (common/hash mix64_batch); same shards as per-packet fwd_.
+  std::vector<std::vector<Packet>> partition_by_dst_hash(
+      const std::vector<Packet>& packets) const;
 
   std::vector<std::unique_ptr<EgressPort>> ports_;
   std::vector<std::uint64_t> drain_ns_;
   std::function<std::uint32_t(const Packet&)> fwd_;
+  /// True until set_forwarding() replaces the built-in dst-hash decision;
+  /// gates the batched partition fast path.
+  bool default_fwd_ = true;
 };
 
 }  // namespace pq::sim

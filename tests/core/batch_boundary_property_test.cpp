@@ -1,0 +1,283 @@
+// Property test for the absorb_run() caller contract (docs/ARCHITECTURE.md
+// §10): splitting one packet stream into arbitrary consecutive runs — any
+// lengths, including runs that end right before or after a bank rotation —
+// leaves TimeWindowSet and QueueMonitor in exactly the state the scalar
+// per-packet path produces. Rotations (flip_periodic) and data-plane query
+// freezes (begin/end_dataplane_query) are interleaved at random between
+// runs, never inside one, which is precisely what PrintQueuePipeline's
+// batch splitter guarantees; all four register banks must match, not just
+// the active one.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/queue_monitor.h"
+#include "core/time_windows.h"
+
+namespace pq::core {
+namespace {
+
+struct Stream {
+  std::vector<FlowId> flows;
+  std::vector<Timestamp> deq;
+  std::vector<std::uint32_t> depth;
+};
+
+/// A congested-looking random stream: mostly small timestamp advances with
+/// occasional same-tick repeats and idle jumps, so eviction chains of every
+/// depth and wrap-around cycles all occur.
+Stream random_stream(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  Stream s;
+  Timestamp t = 1'000;
+  std::uint32_t depth = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto roll = rng.uniform_below(100);
+    if (roll < 20) {
+      // same tick: several dequeues within one window cell
+    } else if (roll < 90) {
+      t += 200 + rng.uniform_below(2'000);
+    } else {
+      t += 100'000 + rng.uniform_below(400'000);  // idle gap
+    }
+    depth = static_cast<std::uint32_t>(rng.uniform_below(2'500));
+    s.flows.push_back(make_flow(static_cast<std::uint32_t>(
+        rng.uniform_below(37))));
+    s.deq.push_back(t);
+    s.depth.push_back(depth + 1);
+  }
+  return s;
+}
+
+/// Mirrors one random interleaving of control-plane events between runs.
+/// `code` at step i: 0 = nothing, 1 = flip_periodic, 2 = toggle data-plane
+/// query (begin if unlocked, end if locked).
+std::vector<int> random_events(std::uint64_t seed, std::size_t steps) {
+  Rng rng(seed);
+  std::vector<int> ev(steps);
+  for (auto& e : ev) {
+    const auto roll = rng.uniform_below(10);
+    e = roll < 6 ? 0 : (roll < 8 ? 1 : 2);
+  }
+  return ev;
+}
+
+/// Random split points: a mix of tiny runs (1-3) and long ones, so runs
+/// straddle every alignment of the stream.
+std::vector<std::size_t> random_splits(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<std::size_t> lens;
+  std::size_t consumed = 0;
+  while (consumed < n) {
+    std::size_t len = rng.uniform_below(2) == 0
+                          ? 1 + rng.uniform_below(3)
+                          : 1 + rng.uniform_below(200);
+    len = std::min(len, n - consumed);
+    lens.push_back(len);
+    consumed += len;
+  }
+  return lens;
+}
+
+TimeWindowParams window_params() {
+  TimeWindowParams p;
+  p.m0 = 8;
+  p.alpha = 2;
+  p.k = 6;  // tiny windows: wrap pressure and deep chains come cheap
+  p.num_windows = 4;
+  p.num_ports = 2;
+  return p;
+}
+
+QueueMonitorParams monitor_params() {
+  QueueMonitorParams p;
+  p.max_depth_cells = 2'600;
+  p.granularity_cells = 64;
+  p.num_ports = 2;
+  return p;
+}
+
+std::vector<WindowState> all_window_banks(const TimeWindowSet& w,
+                                          std::uint32_t ports) {
+  std::vector<WindowState> out;
+  for (std::uint32_t bank = 0; bank < 4; ++bank) {
+    for (std::uint32_t port = 0; port < ports; ++port) {
+      out.push_back(w.read_bank(bank, port));
+    }
+  }
+  return out;
+}
+
+bool cells_equal(const WindowCell& a, const WindowCell& b) {
+  return a.occupied == b.occupied &&
+         (!a.occupied ||
+          (a.flow == b.flow && a.cycle_id == b.cycle_id));
+}
+
+void expect_same_windows(const TimeWindowSet& a, const TimeWindowSet& b) {
+  ASSERT_EQ(a.active_bank(), b.active_bank());
+  ASSERT_EQ(a.rotation_epoch(), b.rotation_epoch());
+  const auto sa = all_window_banks(a, 2);
+  const auto sb = all_window_banks(b, 2);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_EQ(sa[i].size(), sb[i].size());
+    for (std::size_t win = 0; win < sa[i].size(); ++win) {
+      ASSERT_EQ(sa[i][win].size(), sb[i][win].size());
+      for (std::size_t c = 0; c < sa[i][win].size(); ++c) {
+        ASSERT_TRUE(cells_equal(sa[i][win][c], sb[i][win][c]))
+            << "bank/port " << i << " window " << win << " cell " << c;
+      }
+    }
+  }
+  EXPECT_EQ(a.stats().stored, b.stats().stored);
+  EXPECT_EQ(a.stats().passed, b.stats().passed);
+  EXPECT_EQ(a.stats().dropped, b.stats().dropped);
+}
+
+void expect_same_monitor(const QueueMonitor& a, const QueueMonitor& b) {
+  ASSERT_EQ(a.active_bank(), b.active_bank());
+  for (std::uint32_t bank = 0; bank < 4; ++bank) {
+    for (std::uint32_t part = 0; part < 2; ++part) {
+      const auto ma = a.read_bank(bank, part);
+      const auto mb = b.read_bank(bank, part);
+      ASSERT_EQ(ma.top, mb.top) << "bank " << bank << " part " << part;
+      ASSERT_EQ(ma.entries.size(), mb.entries.size());
+      for (std::size_t i = 0; i < ma.entries.size(); ++i) {
+        const auto& ea = ma.entries[i];
+        const auto& eb = mb.entries[i];
+        EXPECT_EQ(ea.inc.valid, eb.inc.valid);
+        EXPECT_EQ(ea.dec.valid, eb.dec.valid);
+        if (ea.inc.valid && eb.inc.valid) {
+          EXPECT_EQ(ea.inc.flow, eb.inc.flow);
+          EXPECT_EQ(ea.inc.seq, eb.inc.seq);
+        }
+        if (ea.dec.valid && eb.dec.valid) {
+          EXPECT_EQ(ea.dec.flow, eb.dec.flow);
+          EXPECT_EQ(ea.dec.seq, eb.dec.seq);
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchBoundaryProperty, WindowsAnySplitMatchesScalar) {
+  constexpr std::size_t kPackets = 6'000;
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    const Stream s = random_stream(100 + trial, kPackets);
+    const auto splits = random_splits(200 + trial, kPackets);
+    const auto events = random_events(300 + trial, splits.size());
+
+    TimeWindowSet scalar(window_params());
+    TimeWindowSet batched(window_params());
+
+    std::size_t off = 0;
+    bool locked = false;
+    for (std::size_t r = 0; r < splits.size(); ++r) {
+      const std::size_t len = splits[r];
+      const std::uint32_t port = static_cast<std::uint32_t>(r & 1);
+      // Scalar oracle: one packet at a time.
+      for (std::size_t i = off; i < off + len; ++i) {
+        scalar.on_packet(port, s.flows[i], s.deq[i]);
+      }
+      // Batched: the whole run in one call.
+      batched.absorb_run(port, s.flows.data() + off, s.deq.data() + off, len);
+      off += len;
+      // Rotation/freeze between runs only — the splitter's contract.
+      if (events[r] == 1) {
+        scalar.flip_periodic();
+        batched.flip_periodic();
+      } else if (events[r] == 2) {
+        if (locked) {
+          scalar.end_dataplane_query();
+          batched.end_dataplane_query();
+          locked = false;
+        } else {
+          ASSERT_EQ(scalar.begin_dataplane_query(),
+                    batched.begin_dataplane_query());
+          locked = true;
+        }
+      }
+    }
+    expect_same_windows(scalar, batched);
+  }
+}
+
+TEST(BatchBoundaryProperty, MonitorAnySplitMatchesScalar) {
+  constexpr std::size_t kPackets = 6'000;
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    const Stream s = random_stream(400 + trial, kPackets);
+    const auto splits = random_splits(500 + trial, kPackets);
+    const auto events = random_events(600 + trial, splits.size());
+
+    QueueMonitor scalar(monitor_params());
+    QueueMonitor batched(monitor_params());
+
+    std::size_t off = 0;
+    bool locked = false;
+    for (std::size_t r = 0; r < splits.size(); ++r) {
+      const std::size_t len = splits[r];
+      const std::uint32_t port = static_cast<std::uint32_t>(r & 1);
+      for (std::size_t i = off; i < off + len; ++i) {
+        scalar.on_packet(port, s.flows[i], s.depth[i]);
+      }
+      batched.absorb_run(port, s.flows.data() + off, s.depth.data() + off,
+                         len);
+      off += len;
+      if (events[r] == 1) {
+        scalar.flip_periodic();
+        batched.flip_periodic();
+      } else if (events[r] == 2) {
+        if (locked) {
+          scalar.end_dataplane_query();
+          batched.end_dataplane_query();
+          locked = false;
+        } else {
+          ASSERT_EQ(scalar.begin_dataplane_query(),
+                    batched.begin_dataplane_query());
+          locked = true;
+        }
+      }
+    }
+    expect_same_monitor(scalar, batched);
+  }
+}
+
+/// The wrap32 configuration narrows per-window cycle arithmetic; the
+/// batched pass loops must apply the same per-window masks the scalar
+/// chain does, including across 32-bit timestamp wrap-around.
+TEST(BatchBoundaryProperty, Wrap32SplitsMatchScalar) {
+  TimeWindowParams p = window_params();
+  p.wrap32 = true;
+  constexpr std::size_t kPackets = 4'000;
+  for (std::uint64_t trial = 0; trial < 4; ++trial) {
+    Rng rng(700 + trial);
+    std::vector<FlowId> flows;
+    std::vector<Timestamp> deq;
+    // Start near the 32-bit boundary so the stream wraps mid-way.
+    Timestamp t = 0xffff0000ull;
+    for (std::size_t i = 0; i < kPackets; ++i) {
+      t += rng.uniform_below(40'000);
+      flows.push_back(make_flow(static_cast<std::uint32_t>(
+          rng.uniform_below(19))));
+      deq.push_back(t);
+    }
+    const auto splits = random_splits(800 + trial, kPackets);
+
+    TimeWindowSet scalar(p);
+    TimeWindowSet batched(p);
+    std::size_t off = 0;
+    for (const std::size_t len : splits) {
+      for (std::size_t i = off; i < off + len; ++i) {
+        scalar.on_packet(0, flows[i], deq[i]);
+      }
+      batched.absorb_run(0, flows.data() + off, deq.data() + off, len);
+      off += len;
+    }
+    expect_same_windows(scalar, batched);
+  }
+}
+
+}  // namespace
+}  // namespace pq::core

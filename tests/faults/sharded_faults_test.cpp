@@ -1,0 +1,160 @@
+// Unit tests for the per-shard fault-plan derivation: every shard draws
+// from its own RNG stream (seed mixed from the plan seed and the port), so
+// one shard's consumption never shifts a sibling's schedule — the property
+// that makes the merged schedule byte-identical for any thread count and
+// any batch size.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "faults/sharded_faults.h"
+
+namespace pq::faults {
+namespace {
+
+faults::FaultPlanConfig base_config() {
+  FaultPlanConfig cfg;
+  cfg.seed = 77;
+  cfg.torn_reads.probability = 0.5;
+  cfg.torn_reads.cells_scrambled = 4;
+  cfg.trigger_storm.probability = 0.4;
+  cfg.trigger_storm.forced_depth_cells = 500;
+  cfg.clock_skew.max_abs_skew_ns = 2'000;
+  return cfg;
+}
+
+/// A fresh, deterministic snapshot for one torn-read probe. Rebuilt per
+/// call because the injector scrambles it in place.
+core::WindowState make_snapshot() {
+  core::WindowState snap(2, std::vector<core::WindowCell>(32));
+  for (std::size_t w = 0; w < snap.size(); ++w) {
+    for (std::size_t c = 0; c < snap[w].size(); ++c) {
+      snap[w][c].flow = make_flow(static_cast<std::uint32_t>(w * 100 + c));
+      snap[w][c].cycle_id = 7;
+      snap[w][c].occupied = true;
+    }
+  }
+  return snap;
+}
+
+/// Drives `reads` torn-read probes against one shard's injector.
+void drive_torn_reads(ShardedFaultPlan& plan, std::uint32_t port,
+                      int reads) {
+  for (int i = 0; i < reads; ++i) {
+    auto snap = make_snapshot();
+    plan.read_faults(port)->on_window_read(0, snap);
+  }
+}
+
+TEST(ShardSeed, DistinctAcrossPortsAndSensitiveToPlanSeed) {
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    seen.insert(shard_seed(77, p));
+  }
+  EXPECT_EQ(seen.size(), 64u) << "per-port seeds must not collide";
+  EXPECT_EQ(seen.count(77), 0u) << "no shard reuses the plan seed verbatim";
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    EXPECT_NE(shard_seed(77, p), shard_seed(78, p)) << "port " << p;
+    EXPECT_EQ(shard_seed(77, p), shard_seed(77, p));  // pure function
+  }
+}
+
+TEST(ShardedFaults, ShardStreamIndependentOfSiblingActivity) {
+  // Plan A exercises port 0 heavily before touching port 1; plan B never
+  // touches port 0. If the shards shared one stream, port 0's draws would
+  // shift port 1's schedule. They must not.
+  ShardedFaultPlan a(base_config());
+  drive_torn_reads(a, /*port=*/0, 40);
+  drive_torn_reads(a, /*port=*/1, 80);
+
+  ShardedFaultPlan b(base_config());
+  drive_torn_reads(b, /*port=*/1, 80);
+
+  ASSERT_FALSE(a.plan_for(1).schedule().empty());
+  EXPECT_EQ(a.plan_for(1).serialize_schedule(),
+            b.plan_for(1).serialize_schedule());
+  // And the sibling did fire on its own stream in plan A.
+  EXPECT_FALSE(a.plan_for(0).schedule().empty());
+  EXPECT_NE(a.plan_for(0).serialize_schedule(),
+            a.plan_for(1).serialize_schedule());
+}
+
+TEST(ShardedFaults, MergedScheduleIndependentOfDriveOrder) {
+  // Thread scheduling decides which shard drains first; the merged
+  // schedule must not care.
+  ShardedFaultPlan a(base_config());
+  drive_torn_reads(a, /*port=*/0, 30);
+  drive_torn_reads(a, /*port=*/2, 50);
+
+  ShardedFaultPlan b(base_config());
+  drive_torn_reads(b, /*port=*/2, 50);
+  drive_torn_reads(b, /*port=*/0, 30);
+
+  ASSERT_FALSE(a.merged_schedule().empty());
+  EXPECT_EQ(a.serialize_merged_schedule(), b.serialize_merged_schedule());
+}
+
+/// Terminal hook recording what actually reaches the pipeline after the
+/// fault chain, flattened to comparable values.
+struct RecordingHook final : sim::EgressHook {
+  std::vector<std::uint64_t> seen;
+  void on_egress(const sim::EgressContext& ctx) override {
+    seen.push_back(flow_signature(ctx.flow));
+    seen.push_back(ctx.deq_timestamp());
+    seen.push_back(ctx.enq_qdepth);
+    seen.push_back(ctx.packet_id);
+  }
+};
+
+std::vector<sim::EgressContext> chain_workload() {
+  std::vector<sim::EgressContext> ctxs;
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    sim::EgressContext c;
+    c.flow = make_flow(i % 13);
+    c.egress_port = 3;
+    c.enq_timestamp = 1'000 + 700ull * i;
+    c.deq_timedelta = 120;
+    c.enq_qdepth = i % 90;  // below the storm's forced depth
+    c.packet_id = i;
+    ctxs.push_back(c);
+  }
+  return ctxs;
+}
+
+TEST(ShardedFaults, EgressChainBatchDeliveryMatchesScalar) {
+  // Interposers inherit the element-wise on_egress_batch default, so a
+  // batch walking the storm+skew chain must produce the same downstream
+  // stream and the same fired-fault schedule as per-packet delivery.
+  const auto ctxs = chain_workload();
+
+  ShardedFaultPlan scalar_plan(base_config());
+  RecordingHook scalar_sink;
+  sim::EgressHook* scalar_chain =
+      scalar_plan.attach_egress_chain(3, &scalar_sink);
+  for (const auto& c : ctxs) scalar_chain->on_egress(c);
+
+  ShardedFaultPlan batch_plan(base_config());
+  RecordingHook batch_sink;
+  sim::EgressHook* batch_chain =
+      batch_plan.attach_egress_chain(3, &batch_sink);
+  sim::PacketBatch pb;
+  for (std::size_t i = 0; i < ctxs.size(); ++i) {
+    pb.push(ctxs[i]);
+    if (pb.size() == 64 || i + 1 == ctxs.size()) {
+      batch_chain->on_egress_batch(pb);
+      pb.clear();
+    }
+  }
+
+  // The storm must have forced triggers (inflated depths) for this to test
+  // anything; skew rewrites every timestamp.
+  ASSERT_FALSE(scalar_plan.plan_for(3).schedule().empty());
+  EXPECT_EQ(scalar_sink.seen, batch_sink.seen);
+  EXPECT_EQ(scalar_plan.serialize_merged_schedule(),
+            batch_plan.serialize_merged_schedule());
+}
+
+}  // namespace
+}  // namespace pq::faults

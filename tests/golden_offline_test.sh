@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Golden-file end-to-end test: replay the committed trace fixture, save
+# register records, query them offline, and compare pq_offline's output
+# byte-for-byte against the committed expectation. Runs the replay through
+# both the scalar oracle (--batch 1) and the batched hot path
+# (--batch 256 --threads 2); both must reproduce the same golden bytes —
+# the whole-toolchain form of the batch determinism contract
+# (docs/ARCHITECTURE.md §10).
+#
+# $1 is the directory holding the pq_* binaries (a build root is accepted
+# and resolved to its tools/ subdirectory); $2 is tests/data/.
+#
+# To regenerate the fixture and expectation after an intentional output
+# change:
+#   pq_gentrace burst tests/data/golden_burst.pqt --ms 2 --seed 11
+#   pq_replay tests/data/golden_burst.pqt --save-records /tmp/g.pqr --batch 1
+#   pq_offline /tmp/g.pqr windows 0 500000 1500000 --top 5 \
+#     >  tests/data/golden_offline_expected.txt
+#   pq_offline /tmp/g.pqr monitor 0 1000000 \
+#     >> tests/data/golden_offline_expected.txt
+set -euo pipefail
+
+TOOLS_DIR="${1:?usage: golden_offline_test.sh <tools-dir-or-build-dir> <data-dir>}"
+DATA_DIR="${2:?usage: golden_offline_test.sh <tools-dir-or-build-dir> <data-dir>}"
+if [[ ! -x "$TOOLS_DIR/pq_replay" && -x "$TOOLS_DIR/tools/pq_replay" ]]; then
+  TOOLS_DIR="$TOOLS_DIR/tools"
+fi
+if [[ ! -x "$TOOLS_DIR/pq_replay" ]]; then
+  echo "pq_replay not found under '$1'" >&2
+  exit 2
+fi
+TRACE="$DATA_DIR/golden_burst.pqt"
+EXPECTED="$DATA_DIR/golden_offline_expected.txt"
+test -f "$TRACE" || { echo "missing fixture $TRACE" >&2; exit 2; }
+test -f "$EXPECTED" || { echo "missing golden $EXPECTED" >&2; exit 2; }
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+run_offline_queries() {
+  local records="$1" out="$2"
+  "$TOOLS_DIR/pq_offline" "$records" windows 0 500000 1500000 --top 5 > "$out"
+  "$TOOLS_DIR/pq_offline" "$records" monitor 0 1000000 >> "$out"
+}
+
+# Scalar oracle.
+"$TOOLS_DIR/pq_replay" "$TRACE" --batch 1 \
+  --save-records "$WORK/scalar.pqr" > /dev/null
+run_offline_queries "$WORK/scalar.pqr" "$WORK/scalar.txt"
+if ! diff -u "$EXPECTED" "$WORK/scalar.txt"; then
+  echo "scalar replay diverged from the golden output" >&2
+  exit 1
+fi
+
+# Batched hot path: same records, same golden bytes.
+"$TOOLS_DIR/pq_replay" "$TRACE" --batch 256 --threads 2 \
+  --save-records "$WORK/batched.pqr" > /dev/null
+run_offline_queries "$WORK/batched.pqr" "$WORK/batched.txt"
+if ! diff -u "$EXPECTED" "$WORK/batched.txt"; then
+  echo "batched replay diverged from the golden output" >&2
+  exit 1
+fi
+cmp "$WORK/scalar.pqr" "$WORK/batched.pqr" || {
+  echo "records files differ between batch 1 and batch 256" >&2
+  exit 1
+}
+
+echo "golden offline ok"

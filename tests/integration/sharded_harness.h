@@ -1,0 +1,161 @@
+// Shared harness for the sharded-stack equivalence tests: one workload, one
+// system configuration, and one flattened RunResult so every test that
+// claims "byte-identical" compares the same, complete surface — pipeline
+// register state across all banks, query answers, merged DQ notification
+// and fault streams, health counters, and the deterministic metrics view.
+//
+// sharded_determinism_test.cpp sweeps thread counts with this harness;
+// batch_differential_test.cpp sweeps batch sizes. New equivalence
+// dimensions should extend run_once() rather than fork the encoders, so a
+// field added to RunResult strengthens every sweep at once.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "control/metrics_export.h"
+#include "control/sharded_analysis.h"
+#include "traffic/distributions.h"
+#include "traffic/trace_gen.h"
+#include "wire/bytes.h"
+
+namespace pq::harness {
+
+constexpr std::uint32_t kPorts = 8;
+
+inline std::vector<Packet> workload() {
+  std::vector<std::vector<Packet>> parts;
+  for (std::uint32_t p = 0; p < kPorts; ++p) {
+    traffic::FlowTraceConfig tcfg;
+    tcfg.flow_sizes = &traffic::web_search_flow_sizes();
+    tcfg.duration_ns = 6'000'000;  // enough for several polls at m0=10,k=9
+    tcfg.seed = 1000 + p;
+    tcfg.flow_id_base = p * 1'000'000;
+    auto pkts = traffic::generate_flow_trace(tcfg);
+    for (auto& pk : pkts) pk.egress_hint = p;
+    parts.push_back(std::move(pkts));
+  }
+  return traffic::merge_traces(std::move(parts));
+}
+
+inline control::ShardedSystem::Config system_config(bool with_faults) {
+  control::ShardedSystem::Config cfg;
+  cfg.ports.resize(kPorts);
+  for (std::uint32_t p = 0; p < kPorts; ++p) {
+    cfg.ports[p].port_id = p;
+    cfg.ports[p].collect_depth_series = false;
+  }
+  cfg.pipeline.windows.m0 = 10;
+  cfg.pipeline.windows.alpha = 1;
+  cfg.pipeline.windows.k = 9;
+  cfg.pipeline.windows.num_windows = 4;
+  cfg.pipeline.monitor.max_depth_cells = 25000;
+  cfg.pipeline.monitor.granularity_cells = 8;
+  cfg.pipeline.dq_depth_threshold_cells = 400;
+  if (with_faults) {
+    faults::FaultPlanConfig f;
+    f.seed = 77;
+    f.torn_reads.probability = 0.25;
+    f.trigger_storm.probability = 0.001;
+    f.trigger_storm.forced_depth_cells = 500;
+    f.clock_skew.max_abs_skew_ns = 2000;
+    cfg.faults = f;
+  }
+  return cfg;
+}
+
+inline void encode_windows(std::vector<std::uint8_t>& buf,
+                           const core::TimeWindowSet& w) {
+  for (std::uint32_t bank = 0; bank < 4; ++bank) {
+    const auto state = w.read_bank(bank, 0);
+    for (const auto& window : state) {
+      for (const auto& cell : window) {
+        wire::put_u64(buf, cell.occupied ? flow_signature(cell.flow) : 0);
+        wire::put_u64(buf, cell.cycle_id);
+        wire::put_u8(buf, cell.occupied ? 1 : 0);
+      }
+    }
+  }
+}
+
+inline void encode_monitor(std::vector<std::uint8_t>& buf,
+                           const core::QueueMonitor& m,
+                           std::uint32_t partitions) {
+  for (std::uint32_t bank = 0; bank < 4; ++bank) {
+    for (std::uint32_t part = 0; part < partitions; ++part) {
+      const auto state = m.read_bank(bank, part);
+      wire::put_u32(buf, state.top);
+      for (const auto& e : state.entries) {
+        wire::put_u64(buf, e.inc.valid ? flow_signature(e.inc.flow) : 0);
+        wire::put_u64(buf, e.inc.seq);
+        wire::put_u64(buf, e.dec.valid ? flow_signature(e.dec.flow) : 0);
+        wire::put_u64(buf, e.dec.seq);
+      }
+    }
+  }
+}
+
+/// Everything the determinism contract promises, flattened to comparable
+/// bytes/values.
+struct RunResult {
+  std::vector<std::uint8_t> registers;  ///< all shards, all banks
+  std::vector<std::pair<std::uint64_t, double>> answers;  ///< sorted counts
+  std::vector<std::uint8_t> fault_schedule;
+  std::vector<std::uint64_t> dq_stream;  ///< (prefix, deq_ts) pairs flattened
+  control::HealthStats health;
+  std::uint64_t packets_seen = 0;
+  std::uint64_t dq_fired = 0;
+  /// Merged pq::obs registry in its deterministic serialization view
+  /// (IncludeTimings::kNo) — must be byte-identical across thread counts
+  /// and batch sizes.
+  std::string metrics_json;
+};
+
+inline RunResult run_once(const std::vector<Packet>& packets, bool with_faults,
+                          unsigned threads, std::uint32_t batch = 1) {
+  control::ShardedSystem sys(system_config(with_faults));
+  sys.run(packets, threads, batch);
+
+  RunResult r;
+  for (std::uint32_t s = 0; s < sys.pipeline().num_shards(); ++s) {
+    auto& pipe = sys.pipeline().shard(s).pipeline();
+    encode_windows(r.registers, pipe.windows());
+    encode_monitor(r.registers, pipe.monitor(),
+                   pipe.monitor().port_partitions());
+  }
+
+  // A mid-trace interval query and a point query on every shard.
+  for (std::uint32_t s = 0; s < sys.pipeline().num_shards(); ++s) {
+    const auto counts =
+        sys.analysis().query_time_windows(s, 2'000'000, 4'000'000);
+    std::vector<std::pair<std::uint64_t, double>> sorted;
+    for (const auto& [flow, n] : counts) {
+      sorted.emplace_back(flow_signature(flow), n);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    r.answers.insert(r.answers.end(), sorted.begin(), sorted.end());
+    for (const auto& c : sys.analysis().query_queue_monitor(s, 3'000'000)) {
+      r.answers.emplace_back(flow_signature(c.flow),
+                             static_cast<double>(c.seq));
+    }
+  }
+
+  for (const auto& d : sys.analysis().merged_dq_notifications()) {
+    r.dq_stream.push_back(d.global_prefix);
+    r.dq_stream.push_back(d.notification.deq_timestamp);
+    r.dq_stream.push_back(flow_signature(d.notification.victim_flow));
+  }
+  if (sys.faults() != nullptr) {
+    r.fault_schedule = sys.faults()->serialize_merged_schedule();
+  }
+  r.health = sys.analysis().health();
+  r.packets_seen = sys.pipeline().packets_seen();
+  r.dq_fired = sys.pipeline().dq_triggers_fired();
+  r.metrics_json = control::collect_system_metrics(sys).to_json(
+      obs::IncludeTimings::kNo);
+  return r;
+}
+
+}  // namespace pq::harness

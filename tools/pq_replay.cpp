@@ -4,14 +4,16 @@
 // Usage:
 //   pq_replay <trace.pqt> [--victim worst|<packet_id>] [--top K]
 //             [--alpha A] [--k K] [--T N] [--m0 M] [--salvage]
-//             [--threads N] [--save-records out.pqr]
+//             [--threads N] [--batch N] [--save-records out.pqr]
 //             [--metrics-out metrics.json] [--metrics-prom metrics.prom]
 //
 // Multi-port traces are replayed through one PortPipeline shard per egress
-// port; `--threads N` drains the shards on a worker pool (results are
-// byte-identical for any N — see docs/ARCHITECTURE.md). Prints the victim's
-// direct, indirect, and original culprits with ground-truth accuracy
-// against the victim port's records.
+// port; `--threads N` drains the shards on a worker pool and `--batch N`
+// (default 256) feeds each shard in PacketBatch chunks through the batched
+// hot path (results are byte-identical for any N and any batch size —
+// see docs/ARCHITECTURE.md §8/§10; `--batch 1` is the scalar oracle).
+// Prints the victim's direct, indirect, and original culprits with
+// ground-truth accuracy against the victim port's records.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -82,7 +84,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: pq_replay <trace.pqt> [--victim worst|<id>] "
                  "[--top K] [--alpha A] [--k K] [--T N] [--m0 M] "
-                 "[--salvage] [--threads N] [--save-records out.pqr] "
+                 "[--salvage] [--threads N] [--batch N] "
+                 "[--save-records out.pqr] "
                  "[--metrics-out out.json] [--metrics-prom out.prom]\n");
     return 2;
   }
@@ -131,6 +134,8 @@ int main(int argc, char** argv) {
 
   const auto threads = std::max(
       1u, static_cast<unsigned>(arg_double(argc, argv, "--threads", 1)));
+  const auto batch = std::max(
+      1u, static_cast<unsigned>(arg_double(argc, argv, "--batch", 256)));
   const unsigned workers = std::min<unsigned>(
       threads, static_cast<unsigned>(pipeline.num_shards()));
   std::atomic<std::uint32_t> next{0};
@@ -138,7 +143,21 @@ int main(int argc, char** argv) {
     for (std::uint32_t s = next.fetch_add(1); s < pipeline.num_shards();
          s = next.fetch_add(1)) {
       auto& shard = pipeline.shard(s);
-      for (const auto& r : shard_records[s]) shard.on_egress(to_context(r));
+      if (batch <= 1) {
+        // The scalar oracle path: one on_egress per record.
+        for (const auto& r : shard_records[s]) shard.on_egress(to_context(r));
+      } else {
+        sim::PacketBatch pb;
+        pb.reserve(batch);
+        for (const auto& r : shard_records[s]) {
+          pb.push(to_context(r));
+          if (pb.size() >= batch) {
+            shard.on_egress_batch(pb);
+            pb.clear();
+          }
+        }
+        if (!pb.empty()) shard.on_egress_batch(pb);
+      }
       analysis.program(s).finalize(
           shard_records[s].back().deq_timestamp() + 1);
     }
