@@ -8,6 +8,9 @@
 //   replay_pps_scalar  pure pipeline-replay throughput at batch 1 (the
 //   replay_pps_batch   scalar oracle) and at --batch; the ratio is
 //   replay_speedup_x   gated by the committed baseline
+//   replay_pps_archive   batched replay with a pq::store archive attached
+//   replay_archive_ratio_x  (fsync none); the ratio to the no-archive run
+//                      gates the archiving overhead (docs/STORAGE.md)
 //   query_p50_ns /     exact quantiles over a fixed batch of coordinator
 //   query_p99_ns       queries (time-window + queue-monitor)
 //   peak_rss_kb        VmHWM from /proc/self/status
@@ -29,12 +32,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "control/metrics_export.h"
 #include "control/sharded_analysis.h"
+#include "store/archive.h"
 #include "traffic/distributions.h"
 #include "traffic/trace_gen.h"
 #include "wire/telemetry.h"
@@ -166,7 +172,8 @@ std::vector<std::vector<sim::PacketBatch>> stage_chunks(
 ReplayOutcome run_replay(
     const std::vector<std::vector<sim::EgressContext>>& shard_ctxs,
     const std::vector<std::vector<sim::PacketBatch>>& shard_chunks,
-    const core::PipelineConfig& pcfg, std::uint32_t batch, int reps) {
+    const core::PipelineConfig& pcfg, std::uint32_t batch, int reps,
+    const std::string& archive_dir = {}) {
   ReplayOutcome out;
   std::size_t total = 0;
   for (const auto& v : shard_ctxs) total += v.size();
@@ -176,6 +183,16 @@ ReplayOutcome run_replay(
       pipeline.enable_port(p);
     }
     control::ShardedAnalysis analysis(pipeline, {});
+    // With an archive dir, every shard streams its telemetry through a
+    // pq::store writer during the timed loop (fsync none) — the archiving
+    // cost lands inside the measured section, which is the point.
+    std::optional<store::Archive> archive;
+    if (!archive_dir.empty()) {
+      store::ArchiveOptions aopts;
+      aopts.dir = archive_dir;
+      archive.emplace(aopts);
+      archive->attach(pipeline, analysis);
+    }
 
     const auto t0 = std::chrono::steady_clock::now();
     for (std::uint32_t s = 0; s < pipeline.num_shards(); ++s) {
@@ -202,6 +219,11 @@ ReplayOutcome run_replay(
     if (rep == reps - 1) {
       out.metrics_json = control::collect_replay_metrics(pipeline, analysis)
                              .to_json(obs::IncludeTimings::kNo);
+    }
+    if (archive) {
+      archive->close();
+      std::error_code ec;
+      std::filesystem::remove_all(archive_dir, ec);  // fresh dir per rep
     }
   }
   return out;
@@ -297,18 +319,38 @@ int main(int argc, char** argv) {
   // mode (both see the same machine conditions), and best-of per mode
   // rejects one-off stalls.
   constexpr int kReplayReps = 3;
+  // Scratch directory for the archive-enabled reps, wiped between reps by
+  // run_replay so every measurement starts from an empty segment chain.
+  std::string archive_scratch =
+      (std::filesystem::temp_directory_path() / "pq-perf-archive-XXXXXX")
+          .string();
+  if (mkdtemp(archive_scratch.data()) == nullptr) {
+    std::fprintf(stderr, "cannot create archive scratch dir\n");
+    return 1;
+  }
+  const std::string archive_dir = archive_scratch + "/archive";
   run_replay(shard_ctxs, shard_chunks, replay_cfg, 1, 1);
   run_replay(shard_ctxs, shard_chunks, replay_cfg, batch, 1);
-  ReplayOutcome scalar, batched;
+  run_replay(shard_ctxs, shard_chunks, replay_cfg, batch, 1, archive_dir);
+  ReplayOutcome scalar, batched, archived;
   for (int rep = 0; rep < kReplayReps; ++rep) {
     const ReplayOutcome s =
         run_replay(shard_ctxs, shard_chunks, replay_cfg, 1, 1);
     const ReplayOutcome b =
         run_replay(shard_ctxs, shard_chunks, replay_cfg, batch, 1);
+    const ReplayOutcome a =
+        run_replay(shard_ctxs, shard_chunks, replay_cfg, batch, 1,
+                   archive_dir);
     scalar.best_pps = std::max(scalar.best_pps, s.best_pps);
     batched.best_pps = std::max(batched.best_pps, b.best_pps);
+    archived.best_pps = std::max(archived.best_pps, a.best_pps);
     scalar.metrics_json = s.metrics_json;
     batched.metrics_json = b.metrics_json;
+    archived.metrics_json = a.metrics_json;
+  }
+  {
+    std::error_code ec;
+    std::filesystem::remove_all(archive_scratch, ec);
   }
   if (scalar.metrics_json != batched.metrics_json) {
     std::fprintf(stderr,
@@ -317,8 +359,16 @@ int main(int argc, char** argv) {
                  batch);
     return 1;
   }
+  if (archived.metrics_json != batched.metrics_json) {
+    std::fprintf(stderr,
+                 "FAIL: attaching the archive perturbed the replay — "
+                 "deterministic metrics views differ\n");
+    return 1;
+  }
   const double replay_speedup =
       scalar.best_pps > 0.0 ? batched.best_pps / scalar.best_pps : 0.0;
+  const double archive_ratio =
+      batched.best_pps > 0.0 ? archived.best_pps / batched.best_pps : 0.0;
 
   std::printf("perf_smoke: %zu pkts, %u ports, %u threads, batch %u\n",
               packets.size(), ports, threads, batch);
@@ -328,6 +378,9 @@ int main(int argc, char** argv) {
               "(%.2fx, deterministic counters identical)\n",
               scalar.best_pps / 1e6, batched.best_pps / 1e6, batch,
               replay_speedup);
+  std::printf("  archive    %.2f Mpps with pq::store attached "
+              "(%.2fx of no-archive)\n",
+              archived.best_pps / 1e6, archive_ratio);
   std::printf("  query p50  %.1f us   p99 %.1f us  (%zu queries)\n",
               p50 / 1e3, p99 / 1e3, query_ns.size());
   std::printf("  peak RSS   %lu kB\n",
@@ -343,6 +396,8 @@ int main(int argc, char** argv) {
                  "  \"replay_pps_scalar\": %.0f,\n"
                  "  \"replay_pps_batch\": %.0f,\n"
                  "  \"replay_speedup_x\": %.3f,\n"
+                 "  \"replay_pps_archive\": %.0f,\n"
+                 "  \"replay_archive_ratio_x\": %.3f,\n"
                  "  \"query_p50_ns\": %.0f,\n"
                  "  \"query_p99_ns\": %.0f,\n"
                  "  \"peak_rss_kb\": %lu,\n"
@@ -355,7 +410,7 @@ int main(int argc, char** argv) {
                  "  \"batch\": %u\n"
                  "}\n",
                  throughput_pps, scalar.best_pps, batched.best_pps,
-                 replay_speedup, p50, p99,
+                 replay_speedup, archived.best_pps, archive_ratio, p50, p99,
                  static_cast<unsigned long>(rss_kb), run_ms, packets.size(),
                  static_cast<unsigned long>(dequeued),
                  static_cast<unsigned long>(dropped), ports, threads, batch);

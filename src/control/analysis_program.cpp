@@ -104,6 +104,9 @@ void AnalysisProgram::poll(Timestamp now) {
     snap.taken_at = now;
     if (read_window_verified(wbank, port, snap)) {
       window_snaps_[port].push_back(std::move(snap));
+      if (sink_ != nullptr) {
+        sink_->on_window_snapshot(port, window_snaps_[port].back());
+      }
     } else {
       // Degrade, don't fabricate: a copy that stayed torn through every
       // retry is dropped — queries into this span return less, not junk.
@@ -119,6 +122,9 @@ void AnalysisProgram::poll(Timestamp now) {
     snap.taken_at = now;
     if (read_monitor_verified(mbank, part, snap)) {
       monitor_snaps_[part].push_back(std::move(snap));
+      if (sink_ != nullptr) {
+        sink_->on_monitor_snapshot(part, monitor_snaps_[part].back());
+      }
     } else {
       ++health_.snapshots_abandoned;
     }
@@ -126,6 +132,18 @@ void AnalysisProgram::poll(Timestamp now) {
                      core::QueueMonitor::kEntryBytesOnSwitch;
   }
   ++polls_;
+  if (sink_ != nullptr) {
+    // The calibration matching this checkpoint: what the offline query path
+    // needs to reproduce a live query issued right now. Emitted after the
+    // poll's snapshots so a torn tail can never strand newer snapshots
+    // behind an older calibration.
+    CalibrationRecord cal;
+    cal.taken_at = now;
+    cal.window_params = pipe_.windows().params();
+    cal.monitor_levels = pipe_.monitor().params().levels();
+    cal.z0 = coefficients(0).z(0);
+    sink_->on_calibration(cal);
+  }
 }
 
 void AnalysisProgram::on_dq_trigger(const core::DqNotification& n) {
@@ -134,6 +152,9 @@ void AnalysisProgram::on_dq_trigger(const core::DqNotification& n) {
   cap.windows = pipe_.windows().read_bank(n.window_bank, n.port_prefix);
   cap.monitor = pipe_.monitor().read_bank(n.monitor_bank, n.port_prefix);
   dq_captures_.at(n.port_prefix).push_back(std::move(cap));
+  if (sink_ != nullptr) {
+    sink_->on_dq_capture(n.port_prefix, dq_captures_.at(n.port_prefix).back());
+  }
   dq_unlock_at_ = n.deq_timestamp + cfg_.dq_read_time_ns;
   dq_pending_unlock_ = true;
 }

@@ -23,6 +23,7 @@
 
 #include "control/health.h"
 #include "control/snapshots.h"
+#include "control/telemetry_sink.h"
 #include "core/coefficients.h"
 #include "core/pipeline.h"
 #include "obs/metrics.h"
@@ -87,6 +88,12 @@ class AnalysisProgram final : public core::PipelineObserver {
   /// Attaches (or detaches, with nullptr) the torn-read fault seam. Not
   /// owned; must outlive the program.
   void set_read_faults(faults::RegisterReadFaults* f) { read_faults_ = f; }
+
+  /// Attaches (or detaches, with nullptr) a telemetry sink that receives
+  /// every verified snapshot, DQ capture and per-poll calibration as it is
+  /// taken (see control/telemetry_sink.h). Not owned; must outlive the
+  /// program. Install before driving packets — events are not replayed.
+  void set_sink(TelemetrySink* sink) { sink_ = sink; }
 
   // --- Asynchronous queries (Section 6.3) ---
 
@@ -181,6 +188,7 @@ class AnalysisProgram final : public core::PipelineObserver {
   std::uint64_t polls_ = 0;
   std::uint64_t bytes_polled_ = 0;
   faults::RegisterReadFaults* read_faults_ = nullptr;
+  TelemetrySink* sink_ = nullptr;
   HealthStats health_;
   obs::Histogram poll_ns_;
 

@@ -153,6 +153,8 @@ void export_fault_metrics(obs::MetricsRegistry& reg,
         return "pq_faults_forced_trigger_total";
       case faults::FaultKind::kSkewApplied:
         return "pq_faults_clock_skew_total";
+      case faults::FaultKind::kTornWrite:
+        return "pq_faults_torn_write_total";
     }
     return "pq_faults_unknown_total";
   };

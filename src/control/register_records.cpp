@@ -4,15 +4,47 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
 
 #include "common/hash.h"
 #include "core/window_filter.h"
-#include "wire/bytes.h"
 
 namespace pq::control {
 
 namespace {
+
+// Minimum encoded footprint of each variable-count element, used to reject
+// counts a truncated or corrupted stream cannot possibly back before any
+// allocation happens. Every element's real encoding is at least this large.
+constexpr std::size_t kMinCellBytes = 1;      // occupied flag
+constexpr std::size_t kMinWindowBytes = 4;    // cell count
+constexpr std::size_t kMinEntryBytes = 1;     // validity flags
+constexpr std::size_t kMinSnapshotBytes = 8 + 8 + 4;  // taken_at, epoch, count
+constexpr std::size_t kMinPortListBytes = 4;  // per-port snapshot count
+
+/// Rejects a count field that promises more elements than the remaining
+/// stream could encode even at minimal size — the oversized-record guard.
+std::uint32_t checked_count(wire::ByteReader& r, std::size_t min_elem_bytes,
+                            const char* what) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok()) {
+    throw RecordsError(RecordsErrorCode::kTruncated,
+                       std::string("records truncated reading ") + what +
+                           " count");
+  }
+  if (static_cast<std::uint64_t>(n) * min_elem_bytes > r.remaining()) {
+    throw RecordsError(RecordsErrorCode::kOversizedField,
+                       std::string(what) + " count " + std::to_string(n) +
+                           " exceeds remaining stream bytes");
+  }
+  return n;
+}
+
+void require_ok(const wire::ByteReader& r, const char* what) {
+  if (!r.ok()) {
+    throw RecordsError(RecordsErrorCode::kTruncated,
+                       std::string("records truncated reading ") + what);
+  }
+}
 
 void put_flow(std::vector<std::uint8_t>& buf, const FlowId& f) {
   wire::put_u32(buf, f.src_ip);
@@ -48,9 +80,9 @@ void put_window_state(std::vector<std::uint8_t>& buf,
 }
 
 core::WindowState get_window_state(wire::ByteReader& r) {
-  core::WindowState state(r.u32());
+  core::WindowState state(checked_count(r, kMinWindowBytes, "window"));
   for (auto& window : state) {
-    window.resize(r.u32());
+    window.resize(checked_count(r, kMinCellBytes, "window cell"));
     for (auto& cell : window) {
       cell.occupied = r.u8() != 0;
       if (cell.occupied) {
@@ -58,6 +90,7 @@ core::WindowState get_window_state(wire::ByteReader& r) {
         cell.cycle_id = r.u64();
       }
     }
+    require_ok(r, "window cells");
   }
   return state;
 }
@@ -84,7 +117,8 @@ void put_monitor_state(std::vector<std::uint8_t>& buf,
 core::MonitorState get_monitor_state(wire::ByteReader& r) {
   core::MonitorState state;
   state.top = r.u32();
-  state.entries.resize(r.u32());
+  require_ok(r, "monitor top");
+  state.entries.resize(checked_count(r, kMinEntryBytes, "monitor entry"));
   for (auto& e : state.entries) {
     const std::uint8_t flags = r.u8();
     if (flags & 1) {
@@ -98,6 +132,7 @@ core::MonitorState get_monitor_state(wire::ByteReader& r) {
       e.dec.seq = r.u64();
     }
   }
+  require_ok(r, "monitor entries");
   return state;
 }
 
@@ -115,6 +150,50 @@ double get_f64(wire::ByteReader& r) {
 }
 
 }  // namespace
+
+const char* to_string(RecordsErrorCode code) {
+  switch (code) {
+    case RecordsErrorCode::kIoError: return "io-error";
+    case RecordsErrorCode::kTruncated: return "truncated";
+    case RecordsErrorCode::kBadMagic: return "bad-magic";
+    case RecordsErrorCode::kChecksumMismatch: return "checksum-mismatch";
+    case RecordsErrorCode::kOversizedField: return "oversized-field";
+    case RecordsErrorCode::kTrailingBytes: return "trailing-bytes";
+  }
+  return "unknown";
+}
+
+void put_window_snapshot(std::vector<std::uint8_t>& buf,
+                         const WindowSnapshot& snap) {
+  wire::put_u64(buf, snap.taken_at);
+  wire::put_u64(buf, snap.epoch);
+  put_window_state(buf, snap.state);
+}
+
+void put_monitor_snapshot(std::vector<std::uint8_t>& buf,
+                          const MonitorSnapshot& snap) {
+  wire::put_u64(buf, snap.taken_at);
+  wire::put_u64(buf, snap.epoch);
+  put_monitor_state(buf, snap.state);
+}
+
+WindowSnapshot get_window_snapshot(wire::ByteReader& r) {
+  WindowSnapshot snap;
+  snap.taken_at = r.u64();
+  snap.epoch = r.u64();
+  require_ok(r, "window snapshot header");
+  snap.state = get_window_state(r);
+  return snap;
+}
+
+MonitorSnapshot get_monitor_snapshot(wire::ByteReader& r) {
+  MonitorSnapshot snap;
+  snap.taken_at = r.u64();
+  snap.epoch = r.u64();
+  require_ok(r, "monitor snapshot header");
+  snap.state = get_monitor_state(r);
+  return snap;
+}
 
 RegisterRecords collect_records(const core::PrintQueuePipeline& pipeline,
                                 const AnalysisProgram& analysis) {
@@ -152,9 +231,7 @@ void write_records(std::ostream& out, const RegisterRecords& records) {
   for (const auto& per_port : records.window_snapshots) {
     wire::put_u32(buf, static_cast<std::uint32_t>(per_port.size()));
     for (const auto& snap : per_port) {
-      wire::put_u64(buf, snap.taken_at);
-      wire::put_u64(buf, snap.epoch);
-      put_window_state(buf, snap.state);
+      put_window_snapshot(buf, snap);
     }
   }
   wire::put_u32(buf, static_cast<std::uint32_t>(
@@ -162,30 +239,36 @@ void write_records(std::ostream& out, const RegisterRecords& records) {
   for (const auto& per_port : records.monitor_snapshots) {
     wire::put_u32(buf, static_cast<std::uint32_t>(per_port.size()));
     for (const auto& snap : per_port) {
-      wire::put_u64(buf, snap.taken_at);
-      wire::put_u64(buf, snap.epoch);
-      put_monitor_state(buf, snap.state);
+      put_monitor_snapshot(buf, snap);
     }
   }
   wire::put_u64(buf, fnv1a(buf.data(), buf.size()));
   out.write(reinterpret_cast<const char*>(buf.data()),
             static_cast<std::streamsize>(buf.size()));
-  if (!out) throw std::runtime_error("register records write failed");
+  if (!out) {
+    throw RecordsError(RecordsErrorCode::kIoError,
+                       "register records write failed");
+  }
 }
 
 RegisterRecords read_records(std::istream& in) {
   std::vector<std::uint8_t> buf(std::istreambuf_iterator<char>(in), {});
-  if (buf.size() < 12) throw std::runtime_error("records truncated");
+  if (buf.size() < 12) {
+    throw RecordsError(RecordsErrorCode::kTruncated, "records truncated");
+  }
   {
     wire::ByteReader tail(
         std::span<const std::uint8_t>(buf).subspan(buf.size() - 8));
     if (fnv1a(buf.data(), buf.size() - 8) != tail.u64()) {
-      throw std::runtime_error("records checksum mismatch");
+      throw RecordsError(RecordsErrorCode::kChecksumMismatch,
+                         "records checksum mismatch");
     }
   }
   wire::ByteReader r(std::span<const std::uint8_t>(buf.data(),
                                                    buf.size() - 8));
-  if (r.u32() != kRecordsMagic) throw std::runtime_error("bad records magic");
+  if (r.u32() != kRecordsMagic) {
+    throw RecordsError(RecordsErrorCode::kBadMagic, "bad records magic");
+  }
   RegisterRecords out;
   out.window_params.m0 = r.u32();
   out.window_params.alpha = r.u32();
@@ -195,39 +278,47 @@ RegisterRecords read_records(std::istream& in) {
   out.window_params.wrap32 = r.u8() != 0;
   out.monitor_levels = r.u32();
   out.z0 = get_f64(r);
+  require_ok(r, "records header");
 
-  out.window_snapshots.resize(r.u32());
+  out.window_snapshots.resize(
+      checked_count(r, kMinPortListBytes, "window port"));
   for (auto& per_port : out.window_snapshots) {
-    per_port.resize(r.u32());
+    per_port.resize(checked_count(r, kMinSnapshotBytes, "window snapshot"));
     for (auto& snap : per_port) {
-      snap.taken_at = r.u64();
-      snap.epoch = r.u64();
-      snap.state = get_window_state(r);
+      snap = get_window_snapshot(r);
     }
   }
-  out.monitor_snapshots.resize(r.u32());
+  out.monitor_snapshots.resize(
+      checked_count(r, kMinPortListBytes, "monitor port"));
   for (auto& per_port : out.monitor_snapshots) {
-    per_port.resize(r.u32());
+    per_port.resize(checked_count(r, kMinSnapshotBytes, "monitor snapshot"));
     for (auto& snap : per_port) {
-      snap.taken_at = r.u64();
-      snap.epoch = r.u64();
-      snap.state = get_monitor_state(r);
+      snap = get_monitor_snapshot(r);
     }
   }
-  if (!r.ok()) throw std::runtime_error("records truncated");
+  require_ok(r, "records body");
+  if (r.remaining() != 0) {
+    throw RecordsError(RecordsErrorCode::kTrailingBytes,
+                       "records carry " + std::to_string(r.remaining()) +
+                           " unconsumed bytes before the checksum");
+  }
   return out;
 }
 
 void write_records_file(const std::string& path,
                         const RegisterRecords& records) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open " + path);
+  if (!out) {
+    throw RecordsError(RecordsErrorCode::kIoError, "cannot open " + path);
+  }
   write_records(out, records);
 }
 
 RegisterRecords read_records_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) {
+    throw RecordsError(RecordsErrorCode::kIoError, "cannot open " + path);
+  }
   return read_records(in);
 }
 

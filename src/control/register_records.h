@@ -7,15 +7,59 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "control/analysis_program.h"
 #include "control/snapshots.h"
+#include "wire/bytes.h"
 
 namespace pq::control {
 
 inline constexpr std::uint32_t kRecordsMagic = 0x50515252;  // "PQRR"
+
+/// What went wrong while decoding a records bundle (or an archived snapshot
+/// block). Every read-path failure maps to exactly one code, so callers can
+/// distinguish "file cut short" from "file lies about its own sizes" without
+/// string-matching what().
+enum class RecordsErrorCode : std::uint8_t {
+  kIoError,           ///< the stream/file could not be read or written
+  kTruncated,         ///< ran out of bytes mid-field
+  kBadMagic,          ///< leading magic mismatch
+  kChecksumMismatch,  ///< trailing checksum does not cover the payload
+  kOversizedField,    ///< a count/length field exceeds the remaining bytes
+  kTrailingBytes,     ///< well-formed payload followed by unconsumed bytes
+};
+
+const char* to_string(RecordsErrorCode code);
+
+/// Typed decode/encode error. Derives from std::runtime_error so existing
+/// catch sites keep working; new callers can switch on code().
+class RecordsError : public std::runtime_error {
+ public:
+  RecordsError(RecordsErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  RecordsErrorCode code() const { return code_; }
+
+ private:
+  RecordsErrorCode code_;
+};
+
+// --- Snapshot codec -------------------------------------------------------
+// The per-snapshot byte encoding, shared between the one-shot records bundle
+// below and pq::store's segmented archive blocks (both must serialize a
+// snapshot to the identical bytes for the cross-tool byte-match contracts).
+// Decoders bounds-check every count against the reader's remaining bytes and
+// throw RecordsError (kOversizedField / kTruncated) on malformed input —
+// never allocate from an unvalidated length, never return silent garbage.
+
+void put_window_snapshot(std::vector<std::uint8_t>& buf,
+                         const WindowSnapshot& snap);
+void put_monitor_snapshot(std::vector<std::uint8_t>& buf,
+                          const MonitorSnapshot& snap);
+WindowSnapshot get_window_snapshot(wire::ByteReader& r);
+MonitorSnapshot get_monitor_snapshot(wire::ByteReader& r);
 
 /// Everything needed to answer queries offline: the layout parameters and
 /// the per-port snapshot sequences.
@@ -32,8 +76,8 @@ struct RegisterRecords {
 RegisterRecords collect_records(const core::PrintQueuePipeline& pipeline,
                                 const AnalysisProgram& analysis);
 
-/// Serialization. Throws std::runtime_error on I/O failure, truncation,
-/// magic or checksum mismatch.
+/// Serialization. Throws RecordsError (a std::runtime_error) on I/O
+/// failure, truncation, oversized counts, magic or checksum mismatch.
 void write_records(std::ostream& out, const RegisterRecords& records);
 RegisterRecords read_records(std::istream& in);
 void write_records_file(const std::string& path,

@@ -1,0 +1,54 @@
+// Event seam between the control plane and long-term telemetry storage.
+//
+// The AnalysisProgram's poll loop is the moment history becomes durable in
+// the paper's Fig. 3 workflow: every periodic bank rotation freezes a
+// window/monitor snapshot, and every data-plane query freezes a capture.
+// A TelemetrySink subscribes to exactly those events — one sink per shard,
+// invoked synchronously on the shard's own thread, so the stream a sink
+// observes is byte-deterministic for any thread count or batch size (the
+// same contract as every other shard-local output).
+//
+// pq::store::ArchiveWriter is the production implementation; tests install
+// in-memory sinks.
+#pragma once
+
+#include <cstdint>
+
+#include "control/snapshots.h"
+#include "core/tts_layout.h"
+
+namespace pq::control {
+
+/// Everything the offline query path needs besides the snapshots
+/// themselves: the register layout and the coefficient-recovery calibration
+/// in effect when the emitting poll fired. Re-emitted on every poll so a
+/// crash-recovered archive prefix still carries the calibration matching
+/// its newest surviving checkpoint.
+struct CalibrationRecord {
+  Timestamp taken_at = 0;
+  core::TimeWindowParams window_params;
+  std::uint32_t monitor_levels = 0;
+  double z0 = 1.0;  ///< window-0 fill probability (Theorem 3)
+};
+
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+
+  /// A verified (epoch-consistent) periodic window checkpoint for one local
+  /// port partition. Abandoned torn reads are never delivered.
+  virtual void on_window_snapshot(std::uint32_t port,
+                                  const WindowSnapshot& snap) = 0;
+
+  /// A verified periodic queue-monitor checkpoint for one local partition.
+  virtual void on_monitor_snapshot(std::uint32_t partition,
+                                   const MonitorSnapshot& snap) = 0;
+
+  /// A data-plane-query capture (frozen special banks + the trigger).
+  virtual void on_dq_capture(std::uint32_t port, const DqCapture& cap) = 0;
+
+  /// Emitted once per poll, after the poll's snapshots.
+  virtual void on_calibration(const CalibrationRecord& cal) = 0;
+};
+
+}  // namespace pq::control

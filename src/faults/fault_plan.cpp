@@ -70,6 +70,19 @@ std::uint32_t TornReadInjector::on_monitor_read(std::uint32_t partition,
   return 1;
 }
 
+std::size_t TornWriteInjector::on_append(std::span<std::uint8_t> frame) {
+  if (frame.empty() || !rng_.chance(cfg_.probability)) return frame.size();
+  ++tears_;
+  // Persist a strict prefix: [0, frame.size()) bytes, never the full frame
+  // (a tear that loses nothing is not a tear).
+  const std::size_t keep = rng_.uniform_below(frame.size());
+  if (keep > 0 && rng_.chance(cfg_.corrupt_tail_probability)) {
+    frame[keep - 1] ^= static_cast<std::uint8_t>(1u << rng_.uniform_below(8));
+  }
+  log_->record(FaultSite::kArchiveWrite, FaultKind::kTornWrite, keep);
+  return keep;
+}
+
 bool TriggerStormInjector::transform(sim::EgressContext& ctx) {
   if (cfg_.probability > 0.0 && rng_.chance(cfg_.probability)) {
     ctx.enq_qdepth = std::max(ctx.enq_qdepth, cfg_.forced_depth_cells);
@@ -165,6 +178,9 @@ std::vector<std::vector<std::uint8_t>> LossyChannel::flush() {
 FaultPlan::FaultPlan(const FaultPlanConfig& cfg) : cfg_(cfg) {
   torn_ = std::make_unique<TornReadInjector>(
       cfg_.torn_reads, stream_seed(cfg_.seed, FaultSite::kTornRead), &log_);
+  torn_writes_ = std::make_unique<TornWriteInjector>(
+      cfg_.torn_writes, stream_seed(cfg_.seed, FaultSite::kArchiveWrite),
+      &log_);
   request_channel_ = std::make_unique<LossyChannel>(
       cfg_.request_channel, stream_seed(cfg_.seed, FaultSite::kRequestChannel),
       &log_, FaultSite::kRequestChannel);

@@ -38,6 +38,7 @@ enum class FaultSite : std::uint8_t {
   kResponseChannel = 3,
   kTriggerStorm = 4,
   kClockSkew = 5,
+  kArchiveWrite = 6,
 };
 
 enum class FaultKind : std::uint8_t {
@@ -49,6 +50,7 @@ enum class FaultKind : std::uint8_t {
   kReorder = 6,
   kForcedTrigger = 7,
   kSkewApplied = 8,
+  kTornWrite = 9,
 };
 
 /// One fault that actually fired. `seq` is the global firing order across
@@ -183,6 +185,40 @@ class ClockSkewInjector final : public sim::EgressInterposer {
   std::vector<std::pair<std::uint32_t, std::int64_t>> offsets_;
 };
 
+struct TornWriteConfig {
+  /// Probability that one appended frame is torn: the process "dies" mid
+  /// write, so only a prefix of the frame reaches stable storage and
+  /// nothing after it is ever written.
+  double probability = 0.0;
+  /// Probability that the surviving prefix's final byte is additionally
+  /// corrupted — a sector half-flushed at crash time.
+  double corrupt_tail_probability = 0.5;
+};
+
+/// Models a crash mid-append on the telemetry archive's write path: the
+/// frame being written survives only as a prefix (possibly with a mangled
+/// last byte), exactly the torn tail pq::store's recovery scan must
+/// truncate away. Consumers treat a tear as process death — after
+/// on_append returns a short count, no further bytes may be persisted.
+class TornWriteInjector {
+ public:
+  TornWriteInjector(TornWriteConfig cfg, std::uint64_t seed, FaultLog* log)
+      : cfg_(cfg), rng_(seed), log_(log) {}
+
+  /// Called with a frame about to be appended. Returns how many leading
+  /// bytes actually persist — frame.size() for a clean write, less for a
+  /// tear (the torn prefix may be corrupted in place).
+  std::size_t on_append(std::span<std::uint8_t> frame);
+
+  std::uint64_t tears_injected() const { return tears_; }
+
+ private:
+  TornWriteConfig cfg_;
+  Rng rng_;
+  FaultLog* log_;
+  std::uint64_t tears_ = 0;
+};
+
 struct LossyChannelConfig {
   double drop_rate = 0.0;
   double duplicate_rate = 0.0;
@@ -229,6 +265,7 @@ class LossyChannel {
 struct FaultPlanConfig {
   std::uint64_t seed = 1;
   TornReadConfig torn_reads;
+  TornWriteConfig torn_writes;
   LossyChannelConfig request_channel;
   LossyChannelConfig response_channel;
   TriggerStormConfig trigger_storm;
@@ -246,6 +283,7 @@ class FaultPlan {
   const FaultPlanConfig& config() const { return cfg_; }
 
   TornReadInjector& torn_reads() { return *torn_; }
+  TornWriteInjector& torn_writes() { return *torn_writes_; }
   LossyChannel& request_channel() { return *request_channel_; }
   LossyChannel& response_channel() { return *response_channel_; }
 
@@ -268,6 +306,7 @@ class FaultPlan {
   FaultPlanConfig cfg_;
   FaultLog log_;
   std::unique_ptr<TornReadInjector> torn_;
+  std::unique_ptr<TornWriteInjector> torn_writes_;
   std::unique_ptr<LossyChannel> request_channel_;
   std::unique_ptr<LossyChannel> response_channel_;
   std::unique_ptr<TriggerStormInjector> storm_;

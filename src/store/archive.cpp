@@ -1,0 +1,439 @@
+#include "store/archive.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "common/hash.h"
+#include "control/register_records.h"
+#include "control/sharded_analysis.h"
+#include "core/port_pipeline.h"
+#include "faults/sharded_faults.h"
+#include "wire/bytes.h"
+
+namespace pq::store {
+
+namespace {
+
+void put_f64(std::vector<std::uint8_t>& buf, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  wire::put_u64(buf, bits);
+}
+
+void put_flow(std::vector<std::uint8_t>& buf, const FlowId& f) {
+  wire::put_u32(buf, f.src_ip);
+  wire::put_u32(buf, f.dst_ip);
+  wire::put_u16(buf, f.src_port);
+  wire::put_u16(buf, f.dst_port);
+  wire::put_u8(buf, f.proto);
+}
+
+}  // namespace
+
+const char* to_string(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kWindowSnapshot: return "window-snapshot";
+    case BlockKind::kMonitorSnapshot: return "monitor-snapshot";
+    case BlockKind::kDqCapture: return "dq-capture";
+    case BlockKind::kCalibration: return "calibration";
+  }
+  return "unknown";
+}
+
+bool is_valid(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kWindowSnapshot:
+    case BlockKind::kMonitorSnapshot:
+    case BlockKind::kDqCapture:
+    case BlockKind::kCalibration:
+      return true;
+  }
+  return false;
+}
+
+void encode_segment_header(std::vector<std::uint8_t>& buf,
+                           const SegmentHeader& header) {
+  wire::put_u32(buf, kSegmentMagic);
+  wire::put_u16(buf, kFormatVersion);
+  wire::put_u16(buf, 0);  // reserved
+  wire::put_u32(buf, header.port);
+  wire::put_u32(buf, header.segment_index);
+  const auto& p = header.window_params;
+  wire::put_u32(buf, p.m0);
+  wire::put_u32(buf, p.alpha);
+  wire::put_u32(buf, p.k);
+  wire::put_u32(buf, p.num_windows);
+  wire::put_u32(buf, p.num_ports);
+  wire::put_u8(buf, p.wrap32 ? 1 : 0);
+  wire::put_u32(buf, header.monitor_levels);
+  wire::put_u32(buf, crc32(buf.data(), buf.size()));
+}
+
+bool decode_segment_header(std::span<const std::uint8_t> data,
+                           SegmentHeader& out, std::size_t& consumed) {
+  wire::ByteReader r(data);
+  if (r.u32() != kSegmentMagic) return false;
+  if (r.u16() != kFormatVersion) return false;
+  r.u16();  // reserved
+  out.port = r.u32();
+  out.segment_index = r.u32();
+  out.window_params.m0 = r.u32();
+  out.window_params.alpha = r.u32();
+  out.window_params.k = r.u32();
+  out.window_params.num_windows = r.u32();
+  out.window_params.num_ports = r.u32();
+  out.window_params.wrap32 = r.u8() != 0;
+  out.monitor_levels = r.u32();
+  const std::size_t crc_off = r.offset();
+  const std::uint32_t stored = r.u32();
+  if (!r.ok()) return false;
+  if (crc32(data.data(), crc_off) != stored) return false;
+  consumed = r.offset();
+  return true;
+}
+
+std::vector<std::uint8_t> encode_block(BlockKind kind, std::uint32_t partition,
+                                       std::uint64_t t_lo, std::uint64_t t_hi,
+                                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(kBlockOverheadBytes + payload.size());
+  wire::put_u32(buf, kBlockMagic);
+  wire::put_u8(buf, static_cast<std::uint8_t>(kind));
+  wire::put_u32(buf, partition);
+  wire::put_u64(buf, t_lo);
+  wire::put_u64(buf, t_hi);
+  wire::put_u32(buf, static_cast<std::uint32_t>(payload.size()));
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  wire::put_u32(buf, crc32(buf.data(), buf.size()));
+  return buf;
+}
+
+std::vector<std::uint8_t> encode_footer(std::uint64_t blocks_bytes,
+                                        const std::vector<IndexEntry>& index) {
+  std::vector<std::uint8_t> buf;
+  wire::put_u32(buf, kFooterMagic);
+  wire::put_u64(buf, blocks_bytes);
+  wire::put_u64(buf, index.size());
+  for (const auto& e : index) {
+    wire::put_u8(buf, static_cast<std::uint8_t>(e.kind));
+    wire::put_u32(buf, e.partition);
+    wire::put_u64(buf, e.t_lo);
+    wire::put_u64(buf, e.t_hi);
+    wire::put_u64(buf, e.offset);
+    wire::put_u32(buf, e.length);
+  }
+  wire::put_u32(buf, crc32(buf.data(), buf.size()));
+  // Trailer: footer length (magic through crc) + end magic, so the footer
+  // is locatable from EOF without scanning.
+  wire::put_u32(buf, static_cast<std::uint32_t>(buf.size()));
+  wire::put_u32(buf, kEndMagic);
+  return buf;
+}
+
+std::string port_dir(const std::string& archive_dir, std::uint32_t port) {
+  return archive_dir + "/port-" + std::to_string(port);
+}
+
+std::string segment_path(const std::string& archive_dir, std::uint32_t port,
+                         std::uint32_t segment_index) {
+  char name[32];
+  std::snprintf(name, sizeof name, "seg-%06u.pqs", segment_index);
+  return port_dir(archive_dir, port) + "/" + name;
+}
+
+// --- ArchiveWriter --------------------------------------------------------
+
+ArchiveWriter::ArchiveWriter(std::uint32_t port,
+                             const core::TimeWindowParams& params,
+                             std::uint32_t monitor_levels, ArchiveOptions opts,
+                             faults::TornWriteInjector* write_faults)
+    : port_(port),
+      params_(params),
+      monitor_levels_(monitor_levels),
+      opts_(std::move(opts)),
+      write_faults_(write_faults),
+      t_set_(core::TtsLayout(params).set_period_ns()) {}
+
+ArchiveWriter::~ArchiveWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor path: losing the footer degrades to the crash-recovery
+    // case, which is always safe to read.
+  }
+}
+
+void ArchiveWriter::on_window_snapshot(std::uint32_t port,
+                                       const control::WindowSnapshot& snap) {
+  std::vector<std::uint8_t> payload;
+  control::put_window_snapshot(payload, snap);
+  const std::uint64_t t_lo =
+      snap.taken_at > static_cast<Timestamp>(t_set_)
+          ? snap.taken_at - static_cast<Timestamp>(t_set_)
+          : 0;
+  enqueue(BlockKind::kWindowSnapshot, port, t_lo, snap.taken_at, payload);
+}
+
+void ArchiveWriter::on_monitor_snapshot(std::uint32_t partition,
+                                        const control::MonitorSnapshot& snap) {
+  std::vector<std::uint8_t> payload;
+  control::put_monitor_snapshot(payload, snap);
+  enqueue(BlockKind::kMonitorSnapshot, partition, snap.taken_at,
+          snap.taken_at, payload);
+}
+
+void ArchiveWriter::on_dq_capture(std::uint32_t port,
+                                  const control::DqCapture& cap) {
+  std::vector<std::uint8_t> payload;
+  const auto& n = cap.notification;
+  wire::put_u32(payload, n.port_prefix);
+  put_flow(payload, n.victim_flow);
+  wire::put_u64(payload, n.enq_timestamp);
+  wire::put_u64(payload, n.deq_timestamp);
+  wire::put_u32(payload, n.enq_qdepth);
+  wire::put_u32(payload, n.window_bank);
+  wire::put_u32(payload, n.monitor_bank);
+  // The frozen banks reuse the snapshot codec (taken_at = capture time,
+  // epoch 0: a dq capture freezes the banks, there is no rotation race).
+  control::put_window_snapshot(payload, {n.deq_timestamp, 0, cap.windows});
+  control::put_monitor_snapshot(payload, {n.deq_timestamp, 0, cap.monitor});
+  enqueue(BlockKind::kDqCapture, port, n.enq_timestamp, n.deq_timestamp,
+          payload);
+}
+
+void ArchiveWriter::on_calibration(const control::CalibrationRecord& cal) {
+  std::vector<std::uint8_t> payload;
+  wire::put_u64(payload, cal.taken_at);
+  const auto& p = cal.window_params;
+  wire::put_u32(payload, p.m0);
+  wire::put_u32(payload, p.alpha);
+  wire::put_u32(payload, p.k);
+  wire::put_u32(payload, p.num_windows);
+  wire::put_u32(payload, p.num_ports);
+  wire::put_u8(payload, p.wrap32 ? 1 : 0);
+  wire::put_u32(payload, cal.monitor_levels);
+  put_f64(payload, cal.z0);
+  enqueue(BlockKind::kCalibration, 0, cal.taken_at, cal.taken_at, payload);
+}
+
+void ArchiveWriter::enqueue(BlockKind kind, std::uint32_t partition,
+                            std::uint64_t t_lo, std::uint64_t t_hi,
+                            std::span<const std::uint8_t> payload) {
+  if (dead_ || closed_) return;
+  PendingBlock block;
+  block.frame = encode_block(kind, partition, t_lo, t_hi, payload);
+  block.meta = {kind, partition, t_lo, t_hi, 0,
+                static_cast<std::uint32_t>(block.frame.size())};
+  if (queued_bytes_ + block.frame.size() > opts_.queue_bytes) {
+    if (opts_.queue == QueuePolicy::kDropNewest) {
+      ++stats_.blocks_dropped;
+      return;
+    }
+    flush();  // backpressure: the producer stalls while the queue drains
+  }
+  queued_bytes_ += block.frame.size();
+  if (queued_bytes_ > stats_.queue_peak_bytes) {
+    stats_.queue_peak_bytes = queued_bytes_;
+  }
+  queue_.push_back(std::move(block));
+  if (queued_bytes_ >= opts_.flush_watermark_bytes) flush();
+}
+
+void ArchiveWriter::flush() {
+  if (queue_.empty()) return;
+  ++stats_.flushes;
+  for (auto& block : queue_) {
+    append_block(block);
+    if (dead_) break;  // the simulated process died mid-flush
+  }
+  queue_.clear();
+  queued_bytes_ = 0;
+}
+
+void ArchiveWriter::append_block(PendingBlock& block) {
+  if (dead_) return;
+  if (file_ == nullptr) {
+    open_segment();
+  } else if (segment_block_bytes_ > 0 &&
+             header_bytes_ + segment_block_bytes_ + block.frame.size() >
+                 opts_.segment_bytes) {
+    close_segment();
+    open_segment();
+  }
+
+  const std::size_t persisted =
+      write_faults_ != nullptr
+          ? write_faults_->on_append(
+                std::span<std::uint8_t>(block.frame.data(),
+                                        block.frame.size()))
+          : block.frame.size();
+  if (persisted > 0 &&
+      std::fwrite(block.frame.data(), 1, persisted, file_) != persisted) {
+    throw std::runtime_error("pq::store: segment append failed");
+  }
+  if (persisted < block.frame.size()) {
+    // Injected crash: the prefix reaches disk, then the process is gone.
+    // No footer, no further appends — recovery is the reader's job.
+    ++stats_.torn_writes;
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+    dead_ = true;
+    return;
+  }
+
+  block.meta.offset = header_bytes_ + segment_block_bytes_;
+  segment_index_.push_back(block.meta);
+  segment_block_bytes_ += block.frame.size();
+  ++stats_.blocks_appended;
+  stats_.bytes_appended += block.frame.size();
+  if (opts_.fsync == FsyncPolicy::kPerBlock) sync_file();
+}
+
+void ArchiveWriter::open_segment() {
+  std::error_code ec;
+  std::filesystem::create_directories(port_dir(opts_.dir, port_), ec);
+  if (ec) {
+    throw std::runtime_error("pq::store: cannot create " +
+                             port_dir(opts_.dir, port_) + ": " + ec.message());
+  }
+  const std::string path =
+      segment_path(opts_.dir, port_, next_segment_index_);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("pq::store: cannot open " + path);
+  }
+  std::vector<std::uint8_t> header;
+  encode_segment_header(
+      header, {port_, next_segment_index_, params_, monitor_levels_});
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    throw std::runtime_error("pq::store: segment header write failed");
+  }
+  header_bytes_ = header.size();
+  segment_block_bytes_ = 0;
+  segment_index_.clear();
+  ++next_segment_index_;
+  ++stats_.segments_opened;
+}
+
+void ArchiveWriter::close_segment() {
+  if (file_ == nullptr) return;
+  const auto footer = encode_footer(segment_block_bytes_, segment_index_);
+  if (std::fwrite(footer.data(), 1, footer.size(), file_) != footer.size()) {
+    throw std::runtime_error("pq::store: segment footer write failed");
+  }
+  if (opts_.fsync != FsyncPolicy::kNone) sync_file();
+  std::fclose(file_);
+  file_ = nullptr;
+  segment_index_.clear();
+  ++stats_.segments_closed;
+}
+
+void ArchiveWriter::sync_file() {
+  std::fflush(file_);
+  ::fsync(::fileno(file_));
+  ++stats_.fsyncs;
+}
+
+void ArchiveWriter::close() {
+  if (closed_) return;
+  if (!dead_) {
+    flush();
+    close_segment();
+  }
+  closed_ = true;
+}
+
+// --- Archive --------------------------------------------------------------
+
+Archive::Archive(ArchiveOptions opts) : opts_(std::move(opts)) {}
+
+Archive::~Archive() {
+  try {
+    close();
+  } catch (...) {
+  }
+}
+
+ArchiveWriter& Archive::writer(std::uint32_t port,
+                               const core::TimeWindowParams& params,
+                               std::uint32_t monitor_levels,
+                               faults::TornWriteInjector* write_faults) {
+  auto it = writers_.find(port);
+  if (it == writers_.end()) {
+    it = writers_
+             .emplace(port, std::make_unique<ArchiveWriter>(
+                                port, params, monitor_levels, opts_,
+                                write_faults))
+             .first;
+  }
+  return *it->second;
+}
+
+void Archive::attach(core::ShardedPipeline& pipeline,
+                     control::ShardedAnalysis& analysis,
+                     faults::ShardedFaultPlan* faults) {
+  for (std::uint32_t prefix = 0;
+       prefix < static_cast<std::uint32_t>(pipeline.num_shards()); ++prefix) {
+    auto& pipe = pipeline.shard(prefix).pipeline();
+    faults::TornWriteInjector* injector =
+        faults != nullptr ? &faults->plan_for(prefix).torn_writes() : nullptr;
+    auto& w = writer(prefix, pipe.windows().params(),
+                     pipe.monitor().params().levels(), injector);
+    analysis.program(prefix).set_sink(&w);
+  }
+}
+
+void Archive::close() {
+  for (auto& [port, w] : writers_) w->close();
+}
+
+WriterStats Archive::stats() const {
+  WriterStats sum;
+  for (const auto& [port, w] : writers_) {
+    const WriterStats& s = w->stats();
+    sum.blocks_appended += s.blocks_appended;
+    sum.bytes_appended += s.bytes_appended;
+    sum.segments_opened += s.segments_opened;
+    sum.segments_closed += s.segments_closed;
+    sum.flushes += s.flushes;
+    sum.fsyncs += s.fsyncs;
+    sum.blocks_dropped += s.blocks_dropped;
+    sum.queue_peak_bytes = std::max(sum.queue_peak_bytes, s.queue_peak_bytes);
+    sum.torn_writes += s.torn_writes;
+  }
+  return sum;
+}
+
+void export_writer_metrics(obs::MetricsRegistry& reg, const WriterStats& s) {
+  reg.counter("pq_store_blocks_appended_total",
+              "telemetry blocks appended to archive segments")
+      .inc(s.blocks_appended);
+  reg.counter("pq_store_bytes_appended_total",
+              "bytes appended to archive segments (frames incl. overhead)")
+      .inc(s.bytes_appended);
+  reg.counter("pq_store_segments_opened_total", "segment files created")
+      .inc(s.segments_opened);
+  reg.counter("pq_store_segments_closed_total",
+              "segment files closed cleanly (footer written)")
+      .inc(s.segments_closed);
+  reg.counter("pq_store_flushes_total", "append-queue drains").inc(s.flushes);
+  reg.counter("pq_store_fsyncs_total", "fsync calls per the durability policy")
+      .inc(s.fsyncs);
+  reg.counter("pq_store_blocks_dropped_total",
+              "blocks dropped at the full queue (drop-newest policy)")
+      .inc(s.blocks_dropped);
+  reg.counter("pq_store_torn_writes_total",
+              "injected mid-append crashes (faults layer)")
+      .inc(s.torn_writes);
+  reg.gauge("pq_store_queue_peak_bytes", obs::GaugeMode::kMax,
+            "append-queue fill high-watermark in bytes")
+      .set_max(s.queue_peak_bytes);
+}
+
+}  // namespace pq::store

@@ -1,0 +1,160 @@
+// pq::store — crash-safe, segmented archive of the control plane's
+// telemetry stream, with retroactive querying (archive_reader.h).
+//
+// The paper's workflow keeps register records only as long as the analysis
+// process lives; this subsystem makes them durable. One ArchiveWriter per
+// shard subscribes (as a control::TelemetrySink) to that shard's verified
+// snapshots, data-plane captures and per-poll calibrations, frames each
+// event as a CRC32-guarded block and appends it to fixed-capacity segment
+// files. Writes are buffered in a bounded queue with an explicit policy
+// (backpressure or drop-newest) and made durable per the configured fsync
+// policy.
+//
+// Determinism contract: a writer runs entirely on its shard's thread and
+// consumes a shard-local, schedule-independent event stream, so the
+// archive's logical content (ArchiveReader::logical_content) — and, with
+// equal options, its physical bytes — are identical for any thread count
+// and batch size. Crash contract: after a crash at any byte boundary, the
+// reader recovers exactly the longest valid prefix of each port's stream.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "control/telemetry_sink.h"
+#include "obs/metrics.h"
+#include "store/archive_format.h"
+
+namespace pq::core {
+class ShardedPipeline;
+}  // namespace pq::core
+namespace pq::control {
+class ShardedAnalysis;
+}  // namespace pq::control
+namespace pq::faults {
+class TornWriteInjector;
+class ShardedFaultPlan;
+}  // namespace pq::faults
+
+namespace pq::store {
+
+/// Appends one port's telemetry stream to its segment chain. Not
+/// thread-safe by design: exactly one shard drives it, synchronously.
+class ArchiveWriter final : public control::TelemetrySink {
+ public:
+  /// `params`/`monitor_levels` describe the emitting pipeline's register
+  /// layout (stamped into every segment header, so a reader can decode the
+  /// stream even if no calibration block survives). `write_faults`, when
+  /// set, interposes on every block append and may tear it (the injected
+  /// crash); not owned, must outlive the writer.
+  ArchiveWriter(std::uint32_t port, const core::TimeWindowParams& params,
+                std::uint32_t monitor_levels, ArchiveOptions opts,
+                faults::TornWriteInjector* write_faults = nullptr);
+  ~ArchiveWriter() override;
+
+  ArchiveWriter(const ArchiveWriter&) = delete;
+  ArchiveWriter& operator=(const ArchiveWriter&) = delete;
+
+  // --- control::TelemetrySink ---
+  void on_window_snapshot(std::uint32_t port,
+                          const control::WindowSnapshot& snap) override;
+  void on_monitor_snapshot(std::uint32_t partition,
+                           const control::MonitorSnapshot& snap) override;
+  void on_dq_capture(std::uint32_t port,
+                     const control::DqCapture& cap) override;
+  void on_calibration(const control::CalibrationRecord& cal) override;
+
+  /// Drains the queue, writes the open segment's footer and closes it.
+  /// Idempotent. Without close(), the archive is still recoverable — it
+  /// just looks like a crash (that is the point).
+  void close();
+
+  /// True after an injected torn write: the simulated process is dead, all
+  /// further events are discarded and no footer will be written.
+  bool dead() const { return dead_; }
+
+  std::uint32_t port() const { return port_; }
+  const WriterStats& stats() const { return stats_; }
+
+ private:
+  struct PendingBlock {
+    IndexEntry meta;  ///< offset filled in at write time
+    std::vector<std::uint8_t> frame;
+  };
+
+  void enqueue(BlockKind kind, std::uint32_t partition, std::uint64_t t_lo,
+               std::uint64_t t_hi, std::span<const std::uint8_t> payload);
+  void flush();
+  void append_block(PendingBlock& block);
+  void open_segment();
+  void close_segment();
+  void sync_file();
+
+  std::uint32_t port_;
+  core::TimeWindowParams params_;
+  std::uint32_t monitor_levels_;
+  ArchiveOptions opts_;
+  faults::TornWriteInjector* write_faults_;
+  Duration t_set_;  ///< window-set period (a checkpoint's coverage depth)
+
+  std::FILE* file_ = nullptr;
+  std::uint32_t next_segment_index_ = 0;
+  std::uint64_t header_bytes_ = 0;
+  std::uint64_t segment_block_bytes_ = 0;
+  std::vector<IndexEntry> segment_index_;
+
+  std::vector<PendingBlock> queue_;
+  std::uint64_t queued_bytes_ = 0;
+
+  bool dead_ = false;
+  bool closed_ = false;
+  WriterStats stats_;
+};
+
+/// Owns the per-port writers of one archive directory and wires them into a
+/// sharded run. Writers are created lazily per port; attach() covers every
+/// shard of a system in one call.
+class Archive {
+ public:
+  explicit Archive(ArchiveOptions opts);
+  ~Archive();
+
+  Archive(const Archive&) = delete;
+  Archive& operator=(const Archive&) = delete;
+
+  /// The port's writer, created on first use. With `faults`, the port's
+  /// shard-local torn-write injector interposes on its appends.
+  ArchiveWriter& writer(std::uint32_t port,
+                        const core::TimeWindowParams& params,
+                        std::uint32_t monitor_levels,
+                        faults::TornWriteInjector* write_faults = nullptr);
+
+  /// Creates one writer per shard and installs it as the shard program's
+  /// telemetry sink. Call before driving packets; the sinks stay installed
+  /// until the analysis is destroyed, so the Archive must outlive the run.
+  void attach(core::ShardedPipeline& pipeline,
+              control::ShardedAnalysis& analysis,
+              faults::ShardedFaultPlan* faults = nullptr);
+
+  /// Closes every writer (footer + fsync per policy). Idempotent.
+  void close();
+
+  const ArchiveOptions& options() const { return opts_; }
+
+  /// Per-port writer stats summed (queue peak: max) across all writers.
+  WriterStats stats() const;
+
+ private:
+  ArchiveOptions opts_;
+  /// Ordered by port so close order and summed stats are deterministic.
+  std::map<std::uint32_t, std::unique_ptr<ArchiveWriter>> writers_;
+};
+
+/// Flattens writer counters into a registry (pq_store_* namespace). Same
+/// add-into contract as control/metrics_export.h.
+void export_writer_metrics(obs::MetricsRegistry& reg, const WriterStats& s);
+
+}  // namespace pq::store

@@ -1,0 +1,152 @@
+// On-disk format of the pq::store telemetry archive.
+//
+// An archive directory holds one subdirectory per port (`port-<P>/`), each
+// a sequence of fixed-capacity segment files (`seg-000000.pqs`, ...). A
+// segment is:
+//
+//   [header]  magic, version, port, segment index, register layout, crc32
+//   [blocks]  append-only CRC32-framed telemetry blocks
+//   [footer]  block index keyed by (kind, partition, time range), crc32 —
+//             written only on clean close; its absence marks a crash
+//
+// Every block frame is independently verifiable: a reader that scans frames
+// sequentially and stops at the first CRC mismatch recovers exactly the
+// longest valid prefix the writer persisted before a crash. Block payloads
+// reuse the control-plane snapshot codec (control/register_records.h), so
+// an archived snapshot is byte-identical to the same snapshot in a one-shot
+// records bundle — the basis of the pq_query / pq_offline byte-match
+// contract. All integers are big-endian (wire/bytes.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/tts_layout.h"
+
+namespace pq::store {
+
+inline constexpr std::uint32_t kSegmentMagic = 0x50515341;  // "PQSA"
+inline constexpr std::uint32_t kBlockMagic = 0x50514231;    // "PQB1"
+inline constexpr std::uint32_t kFooterMagic = 0x50514654;   // "PQFT"
+inline constexpr std::uint32_t kEndMagic = 0x50514531;      // "PQE1"
+inline constexpr std::uint16_t kFormatVersion = 1;
+
+/// What one block carries. Values are stable on-disk identifiers.
+enum class BlockKind : std::uint8_t {
+  kWindowSnapshot = 1,   ///< one verified periodic window checkpoint
+  kMonitorSnapshot = 2,  ///< one verified periodic monitor checkpoint
+  kDqCapture = 3,        ///< one data-plane-query capture (frozen banks)
+  kCalibration = 4,      ///< per-poll layout + z0 calibration record
+};
+
+const char* to_string(BlockKind kind);
+bool is_valid(BlockKind kind);
+
+/// Fixed bytes around a block payload: magic u32, kind u8, partition u32,
+/// t_lo u64, t_hi u64, payload_len u32, payload, crc32 u32 (over everything
+/// from the magic through the payload).
+inline constexpr std::size_t kBlockOverheadBytes = 4 + 1 + 4 + 8 + 8 + 4 + 4;
+
+/// One block's index entry, as written into the segment footer.
+struct IndexEntry {
+  BlockKind kind = BlockKind::kWindowSnapshot;
+  std::uint32_t partition = 0;
+  /// Time span the block's data covers: [t_lo, t_hi]. Window checkpoints
+  /// cover (taken_at - t_set, taken_at]; point records use t_lo == t_hi.
+  std::uint64_t t_lo = 0;
+  std::uint64_t t_hi = 0;
+  std::uint64_t offset = 0;  ///< file offset of the frame's first byte
+  std::uint32_t length = 0;  ///< full frame length including overhead
+};
+
+struct SegmentHeader {
+  std::uint32_t port = 0;
+  std::uint32_t segment_index = 0;
+  core::TimeWindowParams window_params;
+  std::uint32_t monitor_levels = 0;
+};
+
+/// Header/frame/footer codecs shared by ArchiveWriter and ArchiveReader.
+void encode_segment_header(std::vector<std::uint8_t>& buf,
+                           const SegmentHeader& header);
+/// Returns false (leaving `out` unspecified) on bad magic, version, crc or
+/// truncation. `consumed` receives the encoded header size on success.
+bool decode_segment_header(std::span<const std::uint8_t> data,
+                           SegmentHeader& out, std::size_t& consumed);
+
+/// Builds one complete block frame around `payload`.
+std::vector<std::uint8_t> encode_block(BlockKind kind, std::uint32_t partition,
+                                       std::uint64_t t_lo, std::uint64_t t_hi,
+                                       std::span<const std::uint8_t> payload);
+
+/// Segment footer written on clean close: magic, blocks_bytes u64 (bytes of
+/// block frames between header and footer), entry count u64, entries,
+/// crc32, footer length u32, end magic. The trailing length + end magic make
+/// the footer locatable from EOF; readers cross-check it against their own
+/// sequential scan.
+std::vector<std::uint8_t> encode_footer(std::uint64_t blocks_bytes,
+                                        const std::vector<IndexEntry>& index);
+
+/// How durable each append is. kNone relies on the OS page cache (fastest;
+/// crash-consistency of *completed* writes is still guaranteed by the CRC
+/// framing, only recently appended blocks can be lost).
+enum class FsyncPolicy : std::uint8_t {
+  kNone = 0,
+  kPerSegment = 1,  ///< fsync when a segment is closed
+  kPerBlock = 2,    ///< fsync after every appended block
+};
+
+/// What happens when the in-memory append queue is full.
+enum class QueuePolicy : std::uint8_t {
+  /// Flush inline — the producer (the shard's poll loop) stalls until the
+  /// queue drains. Loses nothing; the default, and the only policy under
+  /// which the archive is a complete record of the telemetry stream.
+  kBackpressure = 0,
+  /// Drop the newest block and count it. Bounds producer latency at the
+  /// price of holes in history (still deterministic: whether a block is
+  /// dropped depends only on the shard-local stream, never on scheduling).
+  kDropNewest = 1,
+};
+
+struct ArchiveOptions {
+  std::string dir;
+  /// Target segment capacity; a segment rolls when the next block would
+  /// push it past this (a single oversized block is still written whole).
+  std::uint64_t segment_bytes = 1ull << 20;
+  /// In-memory append queue cap, and the fill level that triggers a flush.
+  std::uint64_t queue_bytes = 4ull << 20;
+  std::uint64_t flush_watermark_bytes = 256ull << 10;
+  FsyncPolicy fsync = FsyncPolicy::kNone;
+  QueuePolicy queue = QueuePolicy::kBackpressure;
+};
+
+/// Writer-side counters, summed across per-port writers by Archive::stats.
+struct WriterStats {
+  std::uint64_t blocks_appended = 0;
+  std::uint64_t bytes_appended = 0;
+  std::uint64_t segments_opened = 0;
+  std::uint64_t segments_closed = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t blocks_dropped = 0;     ///< QueuePolicy::kDropNewest only
+  std::uint64_t queue_peak_bytes = 0;   ///< high-watermark (merge: max)
+  std::uint64_t torn_writes = 0;        ///< injected crashes (faults/)
+};
+
+/// Reader-side counters from the recovery scan.
+struct ReaderStats {
+  std::uint64_t segments_opened = 0;
+  std::uint64_t footer_hits = 0;   ///< segments whose footer checked out
+  std::uint64_t recoveries = 0;    ///< segments that needed tail truncation
+  std::uint64_t blocks_recovered = 0;
+  std::uint64_t bytes_truncated = 0;  ///< torn/corrupt bytes discarded
+};
+
+/// Filesystem layout helpers.
+std::string port_dir(const std::string& archive_dir, std::uint32_t port);
+std::string segment_path(const std::string& archive_dir, std::uint32_t port,
+                         std::uint32_t segment_index);
+
+}  // namespace pq::store

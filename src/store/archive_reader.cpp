@@ -1,0 +1,311 @@
+#include "store/archive_reader.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/hash.h"
+#include "wire/bytes.h"
+
+namespace pq::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+double get_f64(wire::ByteReader& r) {
+  const std::uint64_t bits = r.u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+FlowId get_flow(wire::ByteReader& r) {
+  FlowId f;
+  f.src_ip = r.u32();
+  f.dst_ip = r.u32();
+  f.src_port = r.u16();
+  f.dst_port = r.u16();
+  f.proto = r.u8();
+  return f;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return {std::istreambuf_iterator<char>(in), {}};
+}
+
+/// True if `data[offset..]` is a footer that runs exactly to EOF, passes
+/// its CRC, and agrees with the sequential scan (`blocks_bytes` frames
+/// after a `header_bytes` header, `block_count` of them).
+bool footer_checks_out(std::span<const std::uint8_t> data, std::size_t offset,
+                       std::uint64_t header_bytes, std::uint64_t block_count) {
+  // Trailer: footer length u32 + end magic u32 at EOF.
+  if (data.size() < offset + 8) return false;
+  wire::ByteReader trailer(data.subspan(data.size() - 8));
+  const std::uint32_t footer_len = trailer.u32();
+  if (trailer.u32() != kEndMagic) return false;
+  if (footer_len + 8ull != data.size() - offset) return false;
+  const auto footer = data.subspan(offset, footer_len);
+  wire::ByteReader r(footer);
+  if (r.u32() != kFooterMagic) return false;
+  const std::uint64_t blocks_bytes = r.u64();
+  const std::uint64_t count = r.u64();
+  if (blocks_bytes != offset - header_bytes || count != block_count) {
+    return false;
+  }
+  r.skip(count * 33);  // index entries: 1+4+8+8+8+4 bytes each
+  const std::size_t crc_off = r.offset();
+  const std::uint32_t stored = r.u32();
+  if (!r.ok() || r.offset() != footer.size()) return false;
+  return crc32(footer.data(), crc_off) == stored;
+}
+
+}  // namespace
+
+ArchiveReader::ArchiveReader(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw std::runtime_error("pq::store: not an archive directory: " + dir);
+  }
+  // Ports in ascending numeric order so the scan (and stats) are
+  // deterministic regardless of directory iteration order.
+  std::map<std::uint32_t, std::vector<std::string>> port_segments;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (!entry.is_directory() || name.rfind("port-", 0) != 0) continue;
+    std::uint32_t port = 0;
+    try {
+      port = static_cast<std::uint32_t>(std::stoul(name.substr(5)));
+    } catch (...) {
+      continue;  // foreign directory, not ours
+    }
+    auto& segments = port_segments[port];
+    for (const auto& seg : fs::directory_iterator(entry.path())) {
+      const std::string sname = seg.path().filename().string();
+      if (seg.is_regular_file() && sname.rfind("seg-", 0) == 0 &&
+          sname.size() > 4 && sname.substr(sname.size() - 4) == ".pqs") {
+        segments.push_back(seg.path().string());
+      }
+    }
+    // Zero-padded names: lexicographic order is segment order.
+    std::sort(segments.begin(), segments.end());
+  }
+  for (const auto& [port, segments] : port_segments) {
+    scan_port(port, segments);
+  }
+}
+
+void ArchiveReader::scan_port(std::uint32_t port,
+                              const std::vector<std::string>& segment_files) {
+  RecoveredPort recovered;
+  bool have_header = false;
+  std::uint32_t expected_index = 0;
+  for (std::size_t i = 0; i < segment_files.size(); ++i) {
+    if (!scan_segment(port, segment_files[i], expected_index, recovered)) {
+      // Torn or corrupt segment: everything after it is no longer a prefix
+      // of the written stream, so the port stops here.
+      ++stats_.recoveries;
+      for (std::size_t j = i + 1; j < segment_files.size(); ++j) {
+        std::error_code ec;
+        const auto size = fs::file_size(segment_files[j], ec);
+        if (!ec) stats_.bytes_truncated += size;
+      }
+      break;
+    }
+    have_header = true;
+    ++expected_index;
+  }
+  if (have_header || !recovered.blocks.empty()) {
+    ports_.emplace(port, std::move(recovered));
+  }
+}
+
+bool ArchiveReader::scan_segment(std::uint32_t port, const std::string& path,
+                                 std::uint32_t expected_index,
+                                 RecoveredPort& out) {
+  const std::vector<std::uint8_t> data = read_file(path);
+  ++stats_.segments_opened;
+  const std::span<const std::uint8_t> span(data);
+
+  SegmentHeader header;
+  std::size_t offset = 0;
+  if (!decode_segment_header(span, header, offset) || header.port != port ||
+      header.segment_index != expected_index) {
+    stats_.bytes_truncated += data.size();
+    return false;
+  }
+  if (expected_index == 0) out.header = header;
+  const std::uint64_t header_bytes = offset;
+
+  // Sequential scan: every frame re-verified, stop at the first bad byte.
+  std::uint64_t blocks_here = 0;
+  while (offset < data.size()) {
+    wire::ByteReader r(span.subspan(offset));
+    if (r.u32() != kBlockMagic) break;
+    const auto kind = static_cast<BlockKind>(r.u8());
+    const std::uint32_t partition = r.u32();
+    const std::uint64_t t_lo = r.u64();
+    const std::uint64_t t_hi = r.u64();
+    const std::uint32_t payload_len = r.u32();
+    if (!r.ok() || !is_valid(kind)) break;
+    if (payload_len + 4ull > r.remaining()) break;  // frame overruns EOF
+    const std::size_t frame_len = kBlockOverheadBytes + payload_len;
+    const std::uint32_t computed =
+        crc32(span.data() + offset, frame_len - 4);
+    wire::ByteReader crc_r(span.subspan(offset + frame_len - 4));
+    if (computed != crc_r.u32()) break;
+
+    RecoveredBlock block;
+    block.kind = kind;
+    block.partition = partition;
+    block.t_lo = t_lo;
+    block.t_hi = t_hi;
+    const auto payload = span.subspan(offset + kBlockOverheadBytes - 4,
+                                      payload_len);
+    block.payload.assign(payload.begin(), payload.end());
+    out.blocks.push_back(std::move(block));
+    ++blocks_here;
+    ++stats_.blocks_recovered;
+    offset += frame_len;
+  }
+
+  if (footer_checks_out(span, offset, header_bytes, blocks_here)) {
+    ++stats_.footer_hits;
+    return true;
+  }
+  stats_.bytes_truncated += data.size() - offset;
+  return false;
+}
+
+std::vector<std::uint32_t> ArchiveReader::ports() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(ports_.size());
+  for (const auto& [port, rec] : ports_) out.push_back(port);
+  return out;
+}
+
+control::RegisterRecords ArchiveReader::to_records(std::uint32_t port) const {
+  const RecoveredPort& rec = ports_.at(port);
+  control::RegisterRecords records;
+  records.window_params = rec.header.window_params;
+  records.monitor_levels = rec.header.monitor_levels;
+  records.z0 = 1.0;
+
+  std::uint32_t window_parts = 1;
+  std::uint32_t monitor_parts = 1;
+  for (const auto& b : rec.blocks) {
+    if (b.kind == BlockKind::kWindowSnapshot) {
+      window_parts = std::max(window_parts, b.partition + 1);
+    } else if (b.kind == BlockKind::kMonitorSnapshot) {
+      monitor_parts = std::max(monitor_parts, b.partition + 1);
+    }
+  }
+  records.window_snapshots.resize(window_parts);
+  records.monitor_snapshots.resize(monitor_parts);
+
+  for (const auto& b : rec.blocks) {
+    wire::ByteReader r(b.payload);
+    switch (b.kind) {
+      case BlockKind::kWindowSnapshot:
+        records.window_snapshots[b.partition].push_back(
+            control::get_window_snapshot(r));
+        break;
+      case BlockKind::kMonitorSnapshot:
+        records.monitor_snapshots[b.partition].push_back(
+            control::get_monitor_snapshot(r));
+        break;
+      case BlockKind::kCalibration: {
+        // The newest surviving calibration wins — exactly what the live
+        // program would have used at the last recovered checkpoint.
+        r.u64();  // taken_at
+        records.window_params.m0 = r.u32();
+        records.window_params.alpha = r.u32();
+        records.window_params.k = r.u32();
+        records.window_params.num_windows = r.u32();
+        records.window_params.num_ports = r.u32();
+        records.window_params.wrap32 = r.u8() != 0;
+        records.monitor_levels = r.u32();
+        records.z0 = get_f64(r);
+        break;
+      }
+      case BlockKind::kDqCapture:
+        break;  // not part of the records bundle; see dq_captures()
+    }
+  }
+  return records;
+}
+
+core::FlowCounts ArchiveReader::query_time_windows(
+    std::uint32_t port, Timestamp t1, Timestamp t2,
+    std::uint32_t partition) const {
+  return control::offline_query_time_windows(to_records(port), partition, t1,
+                                             t2);
+}
+
+std::vector<core::OriginalCulprit> ArchiveReader::query_queue_monitor(
+    std::uint32_t port, Timestamp t, std::uint32_t partition) const {
+  return control::offline_query_queue_monitor(to_records(port), partition, t);
+}
+
+std::vector<control::DqCapture> ArchiveReader::dq_captures(
+    std::uint32_t port) const {
+  std::vector<control::DqCapture> out;
+  for (const auto& b : ports_.at(port).blocks) {
+    if (b.kind != BlockKind::kDqCapture) continue;
+    wire::ByteReader r(b.payload);
+    control::DqCapture cap;
+    cap.notification.port_prefix = r.u32();
+    cap.notification.victim_flow = get_flow(r);
+    cap.notification.enq_timestamp = r.u64();
+    cap.notification.deq_timestamp = r.u64();
+    cap.notification.enq_qdepth = r.u32();
+    cap.notification.window_bank = r.u32();
+    cap.notification.monitor_bank = r.u32();
+    cap.windows = control::get_window_snapshot(r).state;
+    cap.monitor = control::get_monitor_snapshot(r).state;
+    out.push_back(std::move(cap));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ArchiveReader::logical_content() const {
+  std::vector<std::uint8_t> buf;
+  wire::put_u32(buf, static_cast<std::uint32_t>(ports_.size()));
+  for (const auto& [port, rec] : ports_) {
+    wire::put_u32(buf, port);
+    wire::put_u64(buf, rec.blocks.size());
+    for (const auto& b : rec.blocks) {
+      wire::put_u8(buf, static_cast<std::uint8_t>(b.kind));
+      wire::put_u32(buf, b.partition);
+      wire::put_u64(buf, b.t_lo);
+      wire::put_u64(buf, b.t_hi);
+      wire::put_u32(buf, static_cast<std::uint32_t>(b.payload.size()));
+      buf.insert(buf.end(), b.payload.begin(), b.payload.end());
+    }
+  }
+  return buf;
+}
+
+void export_reader_metrics(obs::MetricsRegistry& reg, const ReaderStats& s) {
+  reg.counter("pq_store_reader_segments_total",
+              "segment files scanned during recovery")
+      .inc(s.segments_opened);
+  reg.counter("pq_store_reader_footer_hits_total",
+              "segments whose clean-close footer matched the scan")
+      .inc(s.footer_hits);
+  reg.counter("pq_store_reader_recoveries_total",
+              "segments recovered by truncating a torn or corrupt tail")
+      .inc(s.recoveries);
+  reg.counter("pq_store_reader_blocks_total",
+              "CRC-verified blocks recovered")
+      .inc(s.blocks_recovered);
+  reg.counter("pq_store_reader_bytes_truncated_total",
+              "torn or corrupt bytes discarded during recovery")
+      .inc(s.bytes_truncated);
+}
+
+}  // namespace pq::store

@@ -1,0 +1,98 @@
+// Recovery scan and retroactive query engine over a pq::store archive.
+//
+// The reader trusts nothing but the CRCs: on open it scans every segment's
+// blocks sequentially, keeps exactly the longest valid prefix of each
+// port's stream and truncates everything after the first torn or corrupt
+// byte (the footer, when present and consistent with the scan, only
+// confirms a clean close — it is never used to skip verification). Queries
+// then run through the same offline execution path as a one-shot records
+// bundle (control/register_records.h), so a query against an archive is
+// byte-identical to the same query against pq_replay --save-records output
+// over the surviving span.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "control/register_records.h"
+#include "obs/metrics.h"
+#include "store/archive_format.h"
+
+namespace pq::store {
+
+/// One CRC-verified block, in the writer's append order.
+struct RecoveredBlock {
+  BlockKind kind = BlockKind::kWindowSnapshot;
+  std::uint32_t partition = 0;
+  std::uint64_t t_lo = 0;
+  std::uint64_t t_hi = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// One port's surviving stream: the first segment's header (the register
+/// layout of last resort) plus every recovered block.
+struct RecoveredPort {
+  SegmentHeader header;
+  std::vector<RecoveredBlock> blocks;
+};
+
+class ArchiveReader {
+ public:
+  /// Opens `dir` and recovers every port. Never throws on torn or corrupt
+  /// data — damage only shrinks the recovered prefix and is counted in
+  /// stats(). Throws std::runtime_error only if `dir` itself is unreadable.
+  explicit ArchiveReader(const std::string& dir);
+
+  /// Recovered ports in ascending order.
+  std::vector<std::uint32_t> ports() const;
+  bool has_port(std::uint32_t port) const {
+    return ports_.find(port) != ports_.end();
+  }
+  const std::map<std::uint32_t, RecoveredPort>& recovered() const {
+    return ports_;
+  }
+
+  /// Rebuilds a RegisterRecords bundle from the port's surviving blocks:
+  /// snapshots in append order, layout and z0 from the newest recovered
+  /// calibration (falling back to the segment header and z0 = 1.0 — the
+  /// torn tail can cost calibration freshness, never correctness).
+  control::RegisterRecords to_records(std::uint32_t port) const;
+
+  /// The retroactive queries, same semantics (and bytes) as pq_offline
+  /// against the reconstructed records. `partition` is the shard-local
+  /// window/monitor partition (0 unless multi-queue).
+  core::FlowCounts query_time_windows(std::uint32_t port, Timestamp t1,
+                                      Timestamp t2,
+                                      std::uint32_t partition = 0) const;
+  std::vector<core::OriginalCulprit> query_queue_monitor(
+      std::uint32_t port, Timestamp t, std::uint32_t partition = 0) const;
+
+  /// Recovered data-plane captures for a port, in firing order.
+  std::vector<control::DqCapture> dq_captures(std::uint32_t port) const;
+
+  /// Canonical byte encoding of everything recovered (ports ascending,
+  /// blocks in append order, payload bytes verbatim). This is the archive's
+  /// determinism surface: byte-identical across thread counts and batch
+  /// sizes, and segment-size independent.
+  std::vector<std::uint8_t> logical_content() const;
+
+  const ReaderStats& stats() const { return stats_; }
+
+ private:
+  void scan_port(std::uint32_t port,
+                 const std::vector<std::string>& segment_files);
+  /// Scans one segment; returns true if it closed cleanly (valid footer
+  /// consistent with the scan), false if the port must stop here.
+  bool scan_segment(std::uint32_t port, const std::string& path,
+                    std::uint32_t expected_index, RecoveredPort& out);
+
+  std::map<std::uint32_t, RecoveredPort> ports_;
+  ReaderStats stats_;
+};
+
+/// Flattens reader counters into a registry (pq_store_reader_* namespace).
+void export_reader_metrics(obs::MetricsRegistry& reg, const ReaderStats& s);
+
+}  // namespace pq::store

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <sstream>
 
+#include "common/hash.h"
 #include "sim/egress_port.h"
 #include "traffic/trace_gen.h"
+#include "wire/bytes.h"
 
 namespace pq::control {
 namespace {
@@ -121,6 +124,103 @@ TEST(RegisterRecords, DetectsTruncation) {
   std::string data = ss.str();
   std::stringstream bad(data.substr(0, data.size() / 3));
   EXPECT_THROW(read_records(bad), std::runtime_error);
+}
+
+// --- Typed error codes ---------------------------------------------------
+// Each read-path failure mode maps to exactly one RecordsErrorCode, so
+// callers can branch on code() instead of string-matching what(). These
+// tests hand-craft byte streams around a minimal (empty) bundle; the
+// checksum is recomputed so each case isolates its own failure.
+
+/// A minimal valid bundle's bytes, checksum stripped.
+std::vector<std::uint8_t> minimal_payload() {
+  std::stringstream ss;
+  write_records(ss, RegisterRecords{});
+  const std::string s = ss.str();
+  return {s.begin(), s.end() - 8};
+}
+
+/// Re-checksums `payload`, decodes it, and returns the typed error (or
+/// nullopt if the decode succeeded).
+std::optional<RecordsErrorCode> decode_error(
+    std::vector<std::uint8_t> payload) {
+  wire::put_u64(payload, fnv1a(payload.data(), payload.size()));
+  std::stringstream in(std::string(payload.begin(), payload.end()));
+  try {
+    read_records(in);
+  } catch (const RecordsError& e) {
+    return e.code();
+  }
+  return std::nullopt;
+}
+
+// Byte offset of the first count field (window port count): magic + the
+// fixed header (m0, alpha, k, T, ports: 5×u32, wrap32 u8, levels u32,
+// z0 f64).
+constexpr std::size_t kHeaderBytes = 4 + 5 * 4 + 1 + 4 + 8;
+
+TEST(RegisterRecordsErrors, MinimalBundleDecodes) {
+  EXPECT_EQ(decode_error(minimal_payload()), std::nullopt);
+}
+
+TEST(RegisterRecordsErrors, ChecksumMismatch) {
+  // A flipped payload byte with the stale checksum left in place.
+  std::stringstream ss;
+  write_records(ss, RegisterRecords{});
+  std::string data = ss.str();
+  data[kHeaderBytes / 2] ^= 0x10;
+  std::stringstream in(data);
+  try {
+    read_records(in);
+    FAIL() << "decode accepted a corrupt bundle";
+  } catch (const RecordsError& e) {
+    EXPECT_EQ(e.code(), RecordsErrorCode::kChecksumMismatch);
+  }
+}
+
+TEST(RegisterRecordsErrors, BadMagic) {
+  auto payload = minimal_payload();
+  payload[0] ^= 0xFF;
+  EXPECT_EQ(decode_error(std::move(payload)), RecordsErrorCode::kBadMagic);
+}
+
+TEST(RegisterRecordsErrors, TruncatedMidHeader) {
+  auto payload = minimal_payload();
+  payload.resize(kHeaderBytes / 2);
+  EXPECT_EQ(decode_error(std::move(payload)), RecordsErrorCode::kTruncated);
+}
+
+TEST(RegisterRecordsErrors, OversizedCountRejectedBeforeAllocation) {
+  // A port count promising far more elements than the stream holds must be
+  // rejected up front, not discovered after a giant resize.
+  auto payload = minimal_payload();
+  payload.resize(kHeaderBytes);
+  wire::put_u32(payload, 0x00FFFFFF);
+  EXPECT_EQ(decode_error(std::move(payload)),
+            RecordsErrorCode::kOversizedField);
+}
+
+TEST(RegisterRecordsErrors, TrailingBytesRejected) {
+  // A well-formed bundle followed by unconsumed (but checksummed) bytes.
+  auto payload = minimal_payload();
+  payload.insert(payload.end(), {0xDE, 0xAD, 0xBE, 0xEF});
+  EXPECT_EQ(decode_error(std::move(payload)),
+            RecordsErrorCode::kTrailingBytes);
+}
+
+TEST(RegisterRecordsErrors, FileIoErrorsAreTyped) {
+  try {
+    read_records_file("/nonexistent/pq-records.pqr");
+    FAIL() << "read of a missing file succeeded";
+  } catch (const RecordsError& e) {
+    EXPECT_EQ(e.code(), RecordsErrorCode::kIoError);
+  }
+  try {
+    write_records_file("/nonexistent/pq-records.pqr", RegisterRecords{});
+    FAIL() << "write into a missing directory succeeded";
+  } catch (const RecordsError& e) {
+    EXPECT_EQ(e.code(), RecordsErrorCode::kIoError);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Golden-file end-to-end test for pq::store: replay the committed trace
+# fixture with --archive-dir alongside --save-records, then answer the same
+# culprit queries twice — pq_query against the archive, pq_offline against
+# the one-shot records bundle — and require byte-identical bodies (the first
+# line of each tool is its own header and is stripped). This is the
+# retroactive-query contract of docs/STORAGE.md: an archive answers exactly
+# what the live collect/analyze path would have.
+#
+# The replay runs batched and multi-threaded, so the comparison also
+# re-checks the archive determinism contract end to end through the CLI.
+#
+# $1 is the directory holding the pq_* binaries (a build root is accepted
+# and resolved to its tools/ subdirectory); $2 is tests/data/.
+set -euo pipefail
+
+TOOLS_DIR="${1:?usage: golden_archive_test.sh <tools-dir-or-build-dir> <data-dir>}"
+DATA_DIR="${2:?usage: golden_archive_test.sh <tools-dir-or-build-dir> <data-dir>}"
+if [[ ! -x "$TOOLS_DIR/pq_replay" && -x "$TOOLS_DIR/tools/pq_replay" ]]; then
+  TOOLS_DIR="$TOOLS_DIR/tools"
+fi
+if [[ ! -x "$TOOLS_DIR/pq_query" ]]; then
+  echo "pq_query not found under '$1'" >&2
+  exit 2
+fi
+TRACE="$DATA_DIR/golden_burst.pqt"
+test -f "$TRACE" || { echo "missing fixture $TRACE" >&2; exit 2; }
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$TOOLS_DIR/pq_replay" "$TRACE" --batch 256 --threads 2 \
+  --save-records "$WORK/g.pqr" --archive-dir "$WORK/archive" \
+  --archive-fsync segment > /dev/null
+
+# Same queries as golden_offline_test.sh, through both engines; everything
+# after each tool's header line must be byte-identical.
+"$TOOLS_DIR/pq_offline" "$WORK/g.pqr" windows 0 500000 1500000 --top 5 \
+  | sed 1d >  "$WORK/offline.txt"
+"$TOOLS_DIR/pq_offline" "$WORK/g.pqr" monitor 0 1000000 \
+  | sed 1d >> "$WORK/offline.txt"
+"$TOOLS_DIR/pq_query" "$WORK/archive" windows 0 500000 1500000 --top 5 \
+  | sed 1d >  "$WORK/archive.txt"
+"$TOOLS_DIR/pq_query" "$WORK/archive" monitor 0 1000000 \
+  | sed 1d >> "$WORK/archive.txt"
+if ! diff -u "$WORK/offline.txt" "$WORK/archive.txt"; then
+  echo "pq_query answers diverged from pq_offline" >&2
+  exit 1
+fi
+
+# A clean close leaves every segment with a footer and zero recoveries.
+"$TOOLS_DIR/pq_query" "$WORK/archive" info | tee "$WORK/info.txt" >&2
+grep -q ' 0 recoveries' "$WORK/info.txt" || {
+  echo "clean archive reported recoveries" >&2
+  exit 1
+}
+
+# Crash simulation: chop the tail off the newest segment and re-query. The
+# reader must still answer (recovered prefix), and report the recovery.
+LAST_SEG="$(find "$WORK/archive" -name 'seg-*.pqs' | sort | tail -1)"
+SIZE="$(stat -c %s "$LAST_SEG")"
+truncate -s "$((SIZE - SIZE / 3))" "$LAST_SEG"
+"$TOOLS_DIR/pq_query" "$WORK/archive" info | tee "$WORK/torn.txt" >&2
+grep -q ' 0 recoveries' "$WORK/torn.txt" && {
+  echo "truncated archive did not report a recovery" >&2
+  exit 1
+}
+"$TOOLS_DIR/pq_query" "$WORK/archive" windows 0 500000 1500000 --top 5 \
+  > /dev/null
+
+echo "golden archive ok"

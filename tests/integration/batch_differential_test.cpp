@@ -37,7 +37,9 @@ TEST_P(BatchDifferential, ByteIdenticalToScalarOracle) {
     EXPECT_GT(oracle.health.torn_reads_detected, 0u);
   }
 
-  for (const std::uint32_t batch : {3u, 64u, 1024u}) {
+  ASSERT_FALSE(oracle.archive_bytes.empty());
+
+  for (const std::uint32_t batch : {3u, 64u, 256u, 1024u}) {
     for (const unsigned threads : {1u, 2u, 8u}) {
       const RunResult got = run_once(packets, with_faults, threads, batch);
       const auto label = ::testing::Message()
@@ -50,6 +52,7 @@ TEST_P(BatchDifferential, ByteIdenticalToScalarOracle) {
       EXPECT_EQ(oracle.packets_seen, got.packets_seen) << label;
       EXPECT_EQ(oracle.dq_fired, got.dq_fired) << label;
       EXPECT_EQ(oracle.metrics_json, got.metrics_json) << label;
+      EXPECT_EQ(oracle.archive_bytes, got.archive_bytes) << label;
     }
   }
 }

@@ -34,6 +34,7 @@ TEST_P(ShardedDeterminism, ByteIdenticalAcrossThreadCounts) {
     EXPECT_GT(base.health.torn_reads_detected, 0u);
   }
   EXPECT_GT(base.dq_fired, 0u);
+  ASSERT_FALSE(base.archive_bytes.empty());
 
   for (const unsigned threads : {2u, 8u}) {
     const RunResult other = run_once(packets, with_faults, threads);
@@ -46,6 +47,8 @@ TEST_P(ShardedDeterminism, ByteIdenticalAcrossThreadCounts) {
     EXPECT_EQ(base.packets_seen, other.packets_seen) << "threads=" << threads;
     EXPECT_EQ(base.dq_fired, other.dq_fired) << "threads=" << threads;
     EXPECT_EQ(base.metrics_json, other.metrics_json) << "threads=" << threads;
+    EXPECT_EQ(base.archive_bytes, other.archive_bytes)
+        << "threads=" << threads;
   }
 }
 

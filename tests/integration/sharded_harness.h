@@ -11,12 +11,17 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "control/metrics_export.h"
 #include "control/sharded_analysis.h"
+#include "store/archive.h"
+#include "store/archive_reader.h"
 #include "traffic/distributions.h"
 #include "traffic/trace_gen.h"
 #include "wire/bytes.h"
@@ -97,6 +102,41 @@ inline void encode_monitor(std::vector<std::uint8_t>& buf,
   }
 }
 
+/// A mkdtemp-backed scratch directory, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "pq-archive-XXXXXX")
+            .string();
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      throw std::runtime_error("mkdtemp failed for " + tmpl);
+    }
+    path_ = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Archive options the equivalence sweeps use: segments small enough that
+/// every run rolls several per port, so segment boundaries are part of what
+/// the byte-identity assertions exercise.
+inline store::ArchiveOptions harness_archive_options(const std::string& dir) {
+  store::ArchiveOptions opts;
+  opts.dir = dir;
+  opts.segment_bytes = 32 * 1024;
+  opts.flush_watermark_bytes = 16 * 1024;
+  return opts;
+}
+
 /// Everything the determinism contract promises, flattened to comparable
 /// bytes/values.
 struct RunResult {
@@ -111,14 +151,22 @@ struct RunResult {
   /// (IncludeTimings::kNo) — must be byte-identical across thread counts
   /// and batch sizes.
   std::string metrics_json;
+  /// pq::store archive written during the run, reduced to its logical
+  /// content (ArchiveReader::logical_content) — same contract.
+  std::vector<std::uint8_t> archive_bytes;
 };
 
 inline RunResult run_once(const std::vector<Packet>& packets, bool with_faults,
                           unsigned threads, std::uint32_t batch = 1) {
   control::ShardedSystem sys(system_config(with_faults));
+  const TempDir archive_dir;
+  store::Archive archive(harness_archive_options(archive_dir.path()));
+  archive.attach(sys.pipeline(), sys.analysis());
   sys.run(packets, threads, batch);
+  archive.close();
 
   RunResult r;
+  r.archive_bytes = store::ArchiveReader(archive_dir.path()).logical_content();
   for (std::uint32_t s = 0; s < sys.pipeline().num_shards(); ++s) {
     auto& pipe = sys.pipeline().shard(s).pipeline();
     encode_windows(r.registers, pipe.windows());

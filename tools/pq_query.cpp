@@ -1,0 +1,118 @@
+// pq_query — retroactive culprit queries against a pq::store archive
+// directory (produced by `pq_replay --archive-dir`), including one that a
+// crash left without clean-close footers: the reader recovers the longest
+// CRC-valid prefix of every port's stream and answers from that.
+//
+// Usage:
+//   pq_query <archive-dir> windows <port> <t1_ns> <t2_ns> [--top K]
+//   pq_query <archive-dir> monitor <port> <t_ns>
+//   pq_query <archive-dir> info
+//
+// The windows/monitor output bodies are byte-identical to pq_offline over
+// the same span (both run control::offline_query_*); only the first header
+// line differs. tests/golden_archive_test.sh relies on that.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "store/archive_reader.h"
+
+int main(int argc, char** argv) {
+  using namespace pq;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: pq_query <archive-dir> windows <port> <t1> <t2> "
+                 "[--top K]\n"
+                 "       pq_query <archive-dir> monitor <port> <t>\n"
+                 "       pq_query <archive-dir> info\n");
+    return 2;
+  }
+
+  std::unique_ptr<store::ArchiveReader> reader;
+  try {
+    reader = std::make_unique<store::ArchiveReader>(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot read %s: %s\n", argv[1], e.what());
+    return 1;
+  }
+  const auto& stats = reader->stats();
+  std::printf("archive: %zu port(s), %llu block(s) in %llu segment(s), "
+              "%llu recover%s\n",
+              reader->ports().size(),
+              static_cast<unsigned long long>(stats.blocks_recovered),
+              static_cast<unsigned long long>(stats.segments_opened),
+              static_cast<unsigned long long>(stats.recoveries),
+              stats.recoveries == 1 ? "y" : "ies");
+
+  const std::string mode = argv[2];
+  if (mode == "info") {
+    std::printf("  footer hits: %llu of %llu segment(s)\n",
+                static_cast<unsigned long long>(stats.footer_hits),
+                static_cast<unsigned long long>(stats.segments_opened));
+    std::printf("  bytes truncated by recovery: %llu\n",
+                static_cast<unsigned long long>(stats.bytes_truncated));
+    for (const auto port : reader->ports()) {
+      const auto& rec = reader->recovered().at(port);
+      const auto records = reader->to_records(port);
+      std::printf("  port %u: %zu block(s), m0=%u alpha=%u k=%u T=%u, "
+                  "%zu checkpoint(s), %zu capture(s), z0=%.3f\n",
+                  port, rec.blocks.size(), records.window_params.m0,
+                  records.window_params.alpha, records.window_params.k,
+                  records.window_params.num_windows,
+                  records.window_snapshots.empty()
+                      ? std::size_t{0}
+                      : records.window_snapshots[0].size(),
+                  reader->dq_captures(port).size(), records.z0);
+    }
+    return 0;
+  }
+
+  if (argc < 5) {
+    std::fprintf(stderr, "%s mode needs <port> and timestamp(s)\n",
+                 mode.c_str());
+    return 2;
+  }
+  const auto port = static_cast<std::uint32_t>(std::atoi(argv[3]));
+  if (!reader->has_port(port)) {
+    std::fprintf(stderr, "port %u not present in archive\n", port);
+    return 1;
+  }
+
+  if (mode == "windows") {
+    if (argc < 6) {
+      std::fprintf(stderr, "windows mode needs <t1> <t2>\n");
+      return 2;
+    }
+    const auto t1 = static_cast<Timestamp>(std::atoll(argv[4]));
+    const auto t2 = static_cast<Timestamp>(std::atoll(argv[5]));
+    std::size_t top = 10;
+    for (int i = 6; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--top") == 0) {
+        top = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+      }
+    }
+    const auto counts = reader->query_time_windows(port, t1, t2);
+    std::printf("\nper-flow packet counts over [%llu, %llu) ns "
+                "(%zu flows):\n",
+                static_cast<unsigned long long>(t1),
+                static_cast<unsigned long long>(t2), counts.size());
+    for (const auto& [flow, n] : core::top_k_flows(counts, top)) {
+      std::printf("  %-44s %10.1f\n", to_string(flow).c_str(), n);
+    }
+  } else if (mode == "monitor") {
+    const auto t = static_cast<Timestamp>(std::atoll(argv[4]));
+    const auto culprits = reader->query_queue_monitor(port, t);
+    std::printf("\noriginal culprits near t=%llu ns (%zu entries):\n",
+                static_cast<unsigned long long>(t), culprits.size());
+    const auto counts = core::culprit_counts(culprits);
+    for (const auto& [flow, n] : core::top_k_flows(counts, 10)) {
+      std::printf("  %-44s %10.0f packets\n", to_string(flow).c_str(), n);
+    }
+  } else {
+    std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+    return 2;
+  }
+  return 0;
+}

@@ -5,6 +5,8 @@
 //   pq_replay <trace.pqt> [--victim worst|<packet_id>] [--top K]
 //             [--alpha A] [--k K] [--T N] [--m0 M] [--salvage]
 //             [--threads N] [--batch N] [--save-records out.pqr]
+//             [--archive-dir dir] [--archive-fsync none|segment|block]
+//             [--archive-segment-bytes N]
 //             [--metrics-out metrics.json] [--metrics-prom metrics.prom]
 //
 // Multi-port traces are replayed through one PortPipeline shard per egress
@@ -12,6 +14,9 @@
 // (default 256) feeds each shard in PacketBatch chunks through the batched
 // hot path (results are byte-identical for any N and any batch size —
 // see docs/ARCHITECTURE.md §8/§10; `--batch 1` is the scalar oracle).
+// `--archive-dir` additionally streams every shard's telemetry into a
+// crash-safe pq::store archive (docs/STORAGE.md) that pq_query can answer
+// the same culprit queries from after the process is gone.
 // Prints the victim's direct, indirect, and original culprits with
 // ground-truth accuracy against the victim port's records.
 #include <algorithm>
@@ -19,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +34,7 @@
 #include "control/sharded_analysis.h"
 #include "ground/ground_truth.h"
 #include "ground/metrics.h"
+#include "store/archive.h"
 #include "wire/trace_io.h"
 
 namespace {
@@ -85,7 +92,9 @@ int main(int argc, char** argv) {
                  "usage: pq_replay <trace.pqt> [--victim worst|<id>] "
                  "[--top K] [--alpha A] [--k K] [--T N] [--m0 M] "
                  "[--salvage] [--threads N] [--batch N] "
-                 "[--save-records out.pqr] "
+                 "[--save-records out.pqr] [--archive-dir dir] "
+                 "[--archive-fsync none|segment|block] "
+                 "[--archive-segment-bytes N] "
                  "[--metrics-out out.json] [--metrics-prom out.prom]\n");
     return 2;
   }
@@ -132,6 +141,35 @@ int main(int argc, char** argv) {
   acfg.salvage_stale_cells = arg_flag(argc, argv, "--salvage");
   control::ShardedAnalysis analysis(pipeline, acfg);
 
+  // Durable telemetry archive: one writer per shard, installed as the
+  // shard program's sink before any packet is replayed.
+  std::optional<store::Archive> archive;
+  if (const char* dir = arg_str(argc, argv, "--archive-dir", nullptr)) {
+    store::ArchiveOptions aopts;
+    aopts.dir = dir;
+    aopts.segment_bytes = static_cast<std::uint64_t>(arg_double(
+        argc, argv, "--archive-segment-bytes",
+        static_cast<double>(aopts.segment_bytes)));
+    const char* fsync = arg_str(argc, argv, "--archive-fsync", "none");
+    if (std::strcmp(fsync, "block") == 0) {
+      aopts.fsync = store::FsyncPolicy::kPerBlock;
+    } else if (std::strcmp(fsync, "segment") == 0) {
+      aopts.fsync = store::FsyncPolicy::kPerSegment;
+    } else if (std::strcmp(fsync, "none") == 0) {
+      aopts.fsync = store::FsyncPolicy::kNone;
+    } else {
+      std::fprintf(stderr, "unknown --archive-fsync '%s'\n", fsync);
+      return 2;
+    }
+    try {
+      archive.emplace(aopts);
+      archive->attach(pipeline, analysis);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot open archive %s: %s\n", dir, e.what());
+      return 1;
+    }
+  }
+
   const auto threads = std::max(
       1u, static_cast<unsigned>(arg_double(argc, argv, "--threads", 1)));
   const auto batch = std::max(
@@ -168,6 +206,19 @@ int main(int argc, char** argv) {
     std::vector<std::thread> pool;
     for (unsigned t = 0; t < workers; ++t) pool.emplace_back(replay_shards);
     for (auto& t : pool) t.join();
+  }
+
+  if (archive) {
+    archive->close();
+    const auto s = archive->stats();
+    std::printf("archive: %llu blocks / %llu bytes in %llu segment%s "
+                "written to %s (%llu dropped)\n",
+                static_cast<unsigned long long>(s.blocks_appended),
+                static_cast<unsigned long long>(s.bytes_appended),
+                static_cast<unsigned long long>(s.segments_closed),
+                s.segments_closed == 1 ? "" : "s",
+                arg_str(argc, argv, "--archive-dir", ""),
+                static_cast<unsigned long long>(s.blocks_dropped));
   }
 
   // Victim selection.
@@ -242,7 +293,8 @@ int main(int argc, char** argv) {
   const char* metrics_json = arg_str(argc, argv, "--metrics-out", nullptr);
   const char* metrics_prom = arg_str(argc, argv, "--metrics-prom", nullptr);
   if (metrics_json != nullptr || metrics_prom != nullptr) {
-    const auto metrics = control::collect_replay_metrics(pipeline, analysis);
+    auto metrics = control::collect_replay_metrics(pipeline, analysis);
+    if (archive) store::export_writer_metrics(metrics, archive->stats());
     auto write_file = [](const char* path, const std::string& body) {
       std::FILE* f = std::fopen(path, "w");
       if (f == nullptr) {
