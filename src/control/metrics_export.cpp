@@ -155,6 +155,12 @@ void export_fault_metrics(obs::MetricsRegistry& reg,
         return "pq_faults_clock_skew_total";
       case faults::FaultKind::kTornWrite:
         return "pq_faults_torn_write_total";
+      case faults::FaultKind::kTruncate:
+        return "pq_faults_feed_truncate_total";
+      case faults::FaultKind::kGarbage:
+        return "pq_faults_feed_garbage_total";
+      case faults::FaultKind::kStall:
+        return "pq_faults_feed_stall_total";
     }
     return "pq_faults_unknown_total";
   };

@@ -102,6 +102,21 @@ std::vector<std::uint8_t> encode_response(const QueryResponse& resp) {
   return buf;
 }
 
+bool decode_request(std::span<const std::uint8_t> buf, QueryRequest& out) {
+  const auto payload = checked_payload(buf);
+  if (payload.empty() || payload.size() != kRequestBytes - kCrcBytes) {
+    return false;
+  }
+  wire::ByteReader r(payload);
+  if (r.u32() != kQueryRequestMagic) return false;
+  out.type = static_cast<QueryType>(r.u8());
+  out.port_prefix = r.u32();
+  out.t1 = r.u64();
+  out.t2 = r.u64();
+  out.request_id = r.u64();
+  return r.ok();
+}
+
 QueryResponse decode_response(std::span<const std::uint8_t> buf) {
   QueryResponse resp;
   resp.status = QueryStatus::kMalformed;

@@ -79,6 +79,13 @@ struct QueryResponse {
 /// Request codec (used by clients). Appends the CRC32 trailer.
 std::vector<std::uint8_t> encode_request(const QueryRequest& req);
 
+/// Verifies and parses a serialized request — the same checks handle()
+/// applies before executing. Returns false on truncation, bad magic, or a
+/// CRC trailer that disagrees; `out.type` may still be an unknown value
+/// (the caller decides how to reject it). Routers that dispatch one
+/// request across shards use this to pick a target before re-encoding.
+bool decode_request(std::span<const std::uint8_t> buf, QueryRequest& out);
+
 /// Response codec (used by clients; the service encodes internally).
 /// decode_response never throws: a truncated, corrupted, or lying frame
 /// (bad CRC, entry count exceeding the buffer) yields kMalformed with

@@ -121,6 +121,84 @@ bool ClockSkewInjector::transform(sim::EgressContext& ctx) {
   return true;
 }
 
+void FeedFaultInjector::emit_quantum(std::span<const std::uint8_t> quantum,
+                                     std::vector<std::uint8_t>& out) {
+  ++quanta_seen_;
+  std::vector<std::uint8_t> bytes(quantum.begin(), quantum.end());
+
+  if (!bytes.empty() && rng_.chance(cfg_.truncate_rate)) {
+    const std::size_t keep = rng_.uniform_below(bytes.size());
+    bytes_truncated_ += bytes.size() - keep;
+    log_->record(FaultSite::kFeedChannel, FaultKind::kTruncate,
+                 bytes.size() - keep);
+    bytes.resize(keep);
+  }
+  if (!bytes.empty() && rng_.chance(cfg_.corrupt_rate)) {
+    ++corrupted_;
+    const std::uint64_t flips = 1 + rng_.uniform_below(3);
+    for (std::uint64_t i = 0; i < flips; ++i) {
+      const std::uint64_t byte = rng_.uniform_below(bytes.size());
+      bytes[byte] ^= static_cast<std::uint8_t>(1u << rng_.uniform_below(8));
+      log_->record(FaultSite::kFeedChannel, FaultKind::kCorrupt, byte);
+    }
+  }
+  if (rng_.chance(cfg_.garbage_rate)) {
+    ++garbage_;
+    const std::uint64_t n = 1 + rng_.uniform_below(16);
+    std::vector<std::uint8_t> junk;
+    junk.reserve(n + bytes.size());
+    for (std::uint64_t i = 0; i < n; ++i) {
+      junk.push_back(static_cast<std::uint8_t>(rng_()));
+    }
+    log_->record(FaultSite::kFeedChannel, FaultKind::kGarbage, n);
+    junk.insert(junk.end(), bytes.begin(), bytes.end());
+    bytes = std::move(junk);
+  }
+  if (stall_remaining_ == 0 && rng_.chance(cfg_.stall_rate)) {
+    ++stalls_;
+    stall_remaining_ = cfg_.stall_quanta + 1;  // this quantum plus the next N
+    log_->record(FaultSite::kFeedChannel, FaultKind::kStall,
+                 cfg_.stall_quanta);
+  }
+
+  if (stall_remaining_ > 0) {
+    --stall_remaining_;
+    held_.insert(held_.end(), bytes.begin(), bytes.end());
+    if (stall_remaining_ == 0) {
+      // Stall over: everything withheld goes out now, still in order.
+      out.insert(out.end(), held_.begin(), held_.end());
+      held_.clear();
+    }
+  } else {
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+}
+
+std::vector<std::uint8_t> FeedFaultInjector::transmit(
+    std::span<const std::uint8_t> chunk) {
+  std::vector<std::uint8_t> out;
+  pending_.insert(pending_.end(), chunk.begin(), chunk.end());
+  const std::size_t quantum = std::max<std::uint32_t>(1, cfg_.quantum_bytes);
+  std::size_t pos = 0;
+  while (pending_.size() - pos >= quantum) {
+    emit_quantum(std::span<const std::uint8_t>(pending_).subspan(pos, quantum),
+                 out);
+    pos += quantum;
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return out;
+}
+
+std::vector<std::uint8_t> FeedFaultInjector::flush() {
+  std::vector<std::uint8_t> out = std::move(held_);
+  held_.clear();
+  stall_remaining_ = 0;
+  out.insert(out.end(), pending_.begin(), pending_.end());
+  pending_.clear();
+  return out;
+}
+
 std::vector<std::uint8_t> LossyChannel::maybe_corrupt(
     std::vector<std::uint8_t> msg) {
   if (msg.empty() || !rng_.chance(cfg_.corrupt_rate)) return msg;
@@ -188,6 +266,9 @@ FaultPlan::FaultPlan(const FaultPlanConfig& cfg) : cfg_(cfg) {
       cfg_.response_channel,
       stream_seed(cfg_.seed, FaultSite::kResponseChannel), &log_,
       FaultSite::kResponseChannel);
+  feed_channel_ = std::make_unique<FeedFaultInjector>(
+      cfg_.feed_channel, stream_seed(cfg_.seed, FaultSite::kFeedChannel),
+      &log_);
 }
 
 sim::EgressHook* FaultPlan::attach_egress_chain(sim::EgressHook* next) {

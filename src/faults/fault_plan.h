@@ -39,6 +39,7 @@ enum class FaultSite : std::uint8_t {
   kTriggerStorm = 4,
   kClockSkew = 5,
   kArchiveWrite = 6,
+  kFeedChannel = 7,
 };
 
 enum class FaultKind : std::uint8_t {
@@ -51,6 +52,9 @@ enum class FaultKind : std::uint8_t {
   kForcedTrigger = 7,
   kSkewApplied = 8,
   kTornWrite = 9,
+  kTruncate = 10,
+  kGarbage = 11,
+  kStall = 12,
 };
 
 /// One fault that actually fired. `seq` is the global firing order across
@@ -219,6 +223,69 @@ class TornWriteInjector {
   std::uint64_t tears_ = 0;
 };
 
+struct FeedChannelConfig {
+  /// Per-quantum probability that the quantum arrives as a strict prefix
+  /// (bytes vanish mid-stream, as if the producer died or the tail file was
+  /// torn). The downstream frame decoder must resync past the damage.
+  double truncate_rate = 0.0;
+  /// Per-quantum probability of flipping 1-3 bits in flight.
+  double corrupt_rate = 0.0;
+  /// Per-quantum probability of 1-16 garbage bytes injected *before* the
+  /// quantum (interleaved junk between frames).
+  double garbage_rate = 0.0;
+  /// Per-quantum probability that delivery stalls: this and the following
+  /// stall_quanta quanta are withheld and released later, in order.
+  double stall_rate = 0.0;
+  std::uint32_t stall_quanta = 4;
+  /// Fault-decision granularity in bytes. Defaults to the stream frame size
+  /// so the schedule is a pure function of the byte stream, independent of
+  /// how the feed happens to chunk its reads (the seed-reproducibility
+  /// contract for continuous mode).
+  std::uint32_t quantum_bytes = 61;
+};
+
+/// A byte-oriented channel between a telemetry producer and the pq_serve
+/// feed decoder. Unlike LossyChannel it has no message boundaries: input
+/// bytes are processed in fixed quanta (carrying remainders across calls),
+/// one fault draw per quantum, so identical byte streams replay identical
+/// fault schedules regardless of read chunking or timing. Stalls delay
+/// delivery but never reorder — content damage comes only from truncation,
+/// corruption and garbage.
+class FeedFaultInjector {
+ public:
+  FeedFaultInjector(FeedChannelConfig cfg, std::uint64_t seed, FaultLog* log)
+      : cfg_(cfg), rng_(seed), log_(log) {}
+
+  /// Maps raw producer bytes to the bytes that actually arrive now. Bytes
+  /// withheld by a stall are delivered by a later call (or flush()).
+  std::vector<std::uint8_t> transmit(std::span<const std::uint8_t> chunk);
+
+  /// End of input: releases every pending byte (partial quantum + stalled
+  /// backlog) unmodified.
+  std::vector<std::uint8_t> flush();
+
+  std::uint64_t bytes_truncated() const { return bytes_truncated_; }
+  std::uint64_t quanta_corrupted() const { return corrupted_; }
+  std::uint64_t garbage_injections() const { return garbage_; }
+  std::uint64_t stalls() const { return stalls_; }
+
+ private:
+  void emit_quantum(std::span<const std::uint8_t> quantum,
+                    std::vector<std::uint8_t>& out);
+
+  FeedChannelConfig cfg_;
+  Rng rng_;
+  FaultLog* log_;
+  std::vector<std::uint8_t> pending_;  ///< partial quantum carried over
+  std::vector<std::uint8_t> held_;     ///< stalled output awaiting release
+  std::uint32_t stall_remaining_ = 0;
+  std::uint64_t quanta_seen_ = 0;
+  std::uint64_t bytes_truncated_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t garbage_ = 0;
+  std::uint64_t stalls_ = 0;
+};
+
 struct LossyChannelConfig {
   double drop_rate = 0.0;
   double duplicate_rate = 0.0;
@@ -270,6 +337,7 @@ struct FaultPlanConfig {
   LossyChannelConfig response_channel;
   TriggerStormConfig trigger_storm;
   ClockSkewConfig clock_skew;
+  FeedChannelConfig feed_channel;
 };
 
 /// Owns one injector of each kind, all drawing from independent streams of
@@ -286,6 +354,7 @@ class FaultPlan {
   TornWriteInjector& torn_writes() { return *torn_writes_; }
   LossyChannel& request_channel() { return *request_channel_; }
   LossyChannel& response_channel() { return *response_channel_; }
+  FeedFaultInjector& feed_channel() { return *feed_channel_; }
 
   /// Builds the egress-side interposers around `next` (usually the
   /// PrintQueue pipeline). Register the returned hook with the port. The
@@ -309,6 +378,7 @@ class FaultPlan {
   std::unique_ptr<TornWriteInjector> torn_writes_;
   std::unique_ptr<LossyChannel> request_channel_;
   std::unique_ptr<LossyChannel> response_channel_;
+  std::unique_ptr<FeedFaultInjector> feed_channel_;
   std::unique_ptr<TriggerStormInjector> storm_;
   std::unique_ptr<ClockSkewInjector> skew_;
 };

@@ -1,0 +1,36 @@
+// Loading a FaultPlanConfig from a flat JSON file, so chaos runs of the
+// daemon are declared in version-controllable plans:
+//
+//   {
+//     "seed": 7,
+//     "feed_channel.corrupt_rate": 0.01,
+//     "feed_channel.stall_rate": 0.002,
+//     "trigger_storm.probability": 0.001,
+//     "trigger_storm.forced_depth_cells": 900,
+//     "clock_skew.max_abs_skew_ns": 5000
+//   }
+//
+// The accepted grammar is deliberately tiny: one flat object, string keys
+// of the form "section.field" (or bare "seed"), numeric values. Unknown
+// keys are an error (a typoed rate silently defaulting to 0 would make a
+// chaos test vacuously green); malformed input returns false with a
+// message, never throws.
+#pragma once
+
+#include <string>
+
+#include "faults/fault_plan.h"
+
+namespace pq::serve {
+
+/// Parses the JSON text into `out` (fields not mentioned keep their
+/// defaults). Returns false and fills `error` on malformed syntax, an
+/// unknown key, or a non-numeric value.
+bool parse_fault_config(const std::string& text, faults::FaultPlanConfig& out,
+                        std::string& error);
+
+/// File convenience: reads `path` and parses it.
+bool load_fault_config(const std::string& path, faults::FaultPlanConfig& out,
+                       std::string& error);
+
+}  // namespace pq::serve

@@ -1,0 +1,61 @@
+#include "serve/feed.h"
+
+#include <algorithm>
+
+namespace pq::serve {
+
+std::size_t StreamDecoder::ingest(std::span<const std::uint8_t> bytes,
+                                  std::vector<wire::TelemetryRecord>& out) {
+  stats_.bytes_in += bytes.size();
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  stats_.buffer_peak = std::max(stats_.buffer_peak, buf_.size());
+
+  std::size_t appended = 0;
+  std::size_t pos = 0;
+  while (pos < buf_.size()) {
+    const auto d = wire::decode_record_frame(
+        std::span<const std::uint8_t>(buf_).subspan(pos));
+    if (d.status == wire::FrameStatus::kIncomplete) break;
+    if (d.status == wire::FrameStatus::kOk) {
+      out.push_back(d.record);
+      ++appended;
+      ++stats_.frames_ok;
+    } else {
+      ++stats_.frames_rejected;
+      stats_.bytes_resynced += d.consumed;
+    }
+    pos += d.consumed;
+  }
+  // Compact: only the (< kRecordFrameBytes) incomplete tail survives, so the
+  // carry buffer is bounded by one frame regardless of input size.
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return appended;
+}
+
+FileTailFeed::~FileTailFeed() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::size_t FileTailFeed::poll(std::vector<std::uint8_t>& out,
+                               std::size_t max_bytes) {
+  if (file_ == nullptr) {
+    file_ = std::fopen(path_.c_str(), "rb");
+    if (file_ == nullptr) return 0;  // producer has not created it yet
+    if (offset_ > 0) {
+      std::fseek(file_, static_cast<long>(offset_), SEEK_SET);
+    }
+  }
+  if (max_bytes == 0) return 0;
+  const std::size_t old = out.size();
+  out.resize(old + max_bytes);
+  // clearerr so a previous EOF does not mask bytes appended since: tailing
+  // a growing file means EOF is a temporary condition, not a terminal one.
+  std::clearerr(file_);
+  const std::size_t got = std::fread(out.data() + old, 1, max_bytes, file_);
+  out.resize(old + got);
+  offset_ += got;
+  return got;
+}
+
+}  // namespace pq::serve

@@ -1,0 +1,74 @@
+// The pq_serve ingest edge: turning an untrusted, arbitrarily-chunked byte
+// stream into TelemetryRecords without ever crashing or growing without
+// bound. Two pieces:
+//
+//   StreamDecoder  — incremental frame decoder over wire::decode_record_frame.
+//                    Feed it any chunking (single bytes, torn frames, a
+//                    megabyte at once); it emits exactly the records a
+//                    one-shot decode of the concatenated stream would. A
+//                    kIncomplete tail is carried over (bounded: always
+//                    < kRecordFrameBytes after compaction), corrupt spans are
+//                    skipped and counted, never fatal.
+//
+//   FileTailFeed   — tails a growing stream file from a remembered offset,
+//                    tolerating the file not existing yet (the producer may
+//                    start later). Reads are pull-based so the daemon's pump
+//                    loop controls pacing and backpressure.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "wire/trace_io.h"
+
+namespace pq::serve {
+
+struct DecodeStats {
+  std::uint64_t frames_ok = 0;
+  std::uint64_t frames_rejected = 0;  ///< corrupt spans skipped (resyncs)
+  std::uint64_t bytes_resynced = 0;   ///< bytes discarded while resyncing
+  std::uint64_t bytes_in = 0;
+  std::size_t buffer_peak = 0;  ///< high-watermark of the carry buffer
+};
+
+class StreamDecoder {
+ public:
+  /// Decodes every complete frame in `bytes` (plus any carried prefix),
+  /// appending records to `out`. Returns the number appended.
+  std::size_t ingest(std::span<const std::uint8_t> bytes,
+                     std::vector<wire::TelemetryRecord>& out);
+
+  const DecodeStats& stats() const { return stats_; }
+
+  /// Bytes currently carried as an incomplete frame prefix.
+  std::size_t pending_bytes() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  DecodeStats stats_;
+};
+
+class FileTailFeed {
+ public:
+  explicit FileTailFeed(std::string path) : path_(std::move(path)) {}
+  ~FileTailFeed();
+  FileTailFeed(const FileTailFeed&) = delete;
+  FileTailFeed& operator=(const FileTailFeed&) = delete;
+
+  /// Reads up to `max_bytes` of new content into `out` (appended). Returns
+  /// the number of bytes read; 0 means no new data yet (not an error — the
+  /// file may not exist yet or the producer is idle).
+  std::size_t poll(std::vector<std::uint8_t>& out, std::size_t max_bytes);
+
+  std::uint64_t offset() const { return offset_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t offset_ = 0;
+};
+
+}  // namespace pq::serve

@@ -1,0 +1,125 @@
+// Bounded record queue between the pq_serve feed pump and one shard
+// worker. The cap is the daemon's memory contract: under overload the
+// queue either blocks the producer (backpressure — the archive stays a
+// complete record) or sheds the newest record with an exact counter
+// (drop-newest — ingest latency stays bounded); it never grows without
+// limit. One producer (the feed pump) and one consumer (the shard worker)
+// plus read-only observers (watchdog, metrics) — a mutex + two condvars is
+// plenty at telemetry rates.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "wire/telemetry.h"
+
+namespace pq::serve {
+
+class IngestQueue {
+ public:
+  enum class Push : std::uint8_t {
+    kOk = 0,
+    kShed = 1,    ///< full queue, record dropped and counted
+    kClosed = 2,  ///< draining, no new records accepted
+  };
+
+  explicit IngestQueue(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+  /// Backpressure push: blocks until there is room (the feed pump stalls,
+  /// bounding memory by stalling the producer). Returns kClosed if the
+  /// queue closes while waiting.
+  Push push_wait(const wire::TelemetryRecord& rec) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+    if (closed_) return Push::kClosed;
+    q_.push_back(rec);
+    peak_depth_ = std::max(peak_depth_, q_.size());
+    lk.unlock();
+    not_empty_.notify_one();
+    return Push::kOk;
+  }
+
+  /// Shedding push: never blocks; a full queue drops the newest record and
+  /// increments the shed counter (the explicit-degradation policy).
+  Push try_push(const wire::TelemetryRecord& rec) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return Push::kClosed;
+      if (q_.size() >= capacity_) {
+        ++shed_;
+        return Push::kShed;
+      }
+      q_.push_back(rec);
+      peak_depth_ = std::max(peak_depth_, q_.size());
+    }
+    not_empty_.notify_one();
+    return Push::kOk;
+  }
+
+  /// Pops up to `max` records into `out` (appended), waiting up to `wait`
+  /// for the first one. Returns the number popped; 0 with closed() true
+  /// means fully drained.
+  std::size_t pop_batch(std::vector<wire::TelemetryRecord>& out,
+                        std::size_t max, std::chrono::milliseconds wait) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait_for(lk, wait, [&] { return closed_ || !q_.empty(); });
+    const std::size_t n = std::min(max, q_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(q_.front());
+      q_.pop_front();
+    }
+    lk.unlock();
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
+  /// Begins the drain: no new records, consumers pop what remains.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+  bool drained() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_ && q_.empty();
+  }
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+  }
+  std::size_t peak_depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return peak_depth_;
+  }
+  std::uint64_t shed_total() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return shed_;
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<wire::TelemetryRecord> q_;
+  std::size_t peak_depth_ = 0;
+  std::uint64_t shed_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace pq::serve

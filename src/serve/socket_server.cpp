@@ -1,0 +1,249 @@
+#include "serve/socket_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace pq::serve {
+
+namespace {
+
+/// Reads exactly n bytes, tolerating EINTR and partial reads. Returns
+/// false on EOF or error.
+bool read_exact(int fd, std::uint8_t* dst, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, dst + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+    } else if (r == 0) {
+      return false;
+    } else if (errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* src, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that hung up mid-response yields EPIPE here,
+    // never a process-killing SIGPIPE.
+    const ssize_t r = ::send(fd, src + sent, n - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<std::size_t>(r);
+    } else if (r < 0 && errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint32_t load_u32be(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+void store_u32be(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("pq_serve: socket path too long: " + path_);
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+  ::unlink(path_.c_str());
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("pq_serve: cannot create socket for " + path_);
+  }
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(fd_, 8) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("pq_serve: cannot bind " + path_);
+  }
+}
+
+UnixListener::~UnixListener() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+int UnixListener::accept_ready(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc <= 0 || (pfd.revents & POLLIN) == 0) return -1;
+  return ::accept(fd_, nullptr, nullptr);
+}
+
+QueryServer::QueryServer(const std::string& path, Handler handler)
+    : listener_(path), handler_(std::move(handler)) {}
+
+QueryServer::~QueryServer() { stop(); }
+
+void QueryServer::start() {
+  if (thread_.joinable()) return;
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void QueryServer::stop() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+void QueryServer::serve_loop() {
+  while (!stop_.load()) {
+    const int fd = listener_.accept_ready(50);
+    if (fd < 0) continue;
+    ++stats_.connections;
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void QueryServer::serve_connection(int fd) {
+  while (!stop_.load()) {
+    std::uint8_t len_buf[4];
+    if (!read_exact(fd, len_buf, sizeof len_buf)) return;
+    const std::uint32_t len = load_u32be(len_buf);
+    std::vector<std::uint8_t> payload;
+    if (len > kMaxFrameBytes) {
+      // Reject before reading (or allocating) the claimed payload: the
+      // handler answers an empty frame with its malformed reject, the
+      // client gets a decodable refusal, and the connection ends — the
+      // stream position is unrecoverable after a lying length.
+      ++stats_.oversized;
+    } else {
+      payload.resize(len);
+      if (len > 0 && !read_exact(fd, payload.data(), len)) return;
+    }
+    ++stats_.frames;
+    const std::vector<std::uint8_t> response = handler_(payload);
+    std::uint8_t resp_len[4];
+    store_u32be(resp_len, static_cast<std::uint32_t>(response.size()));
+    if (!write_all(fd, resp_len, sizeof resp_len) ||
+        !write_all(fd, response.data(), response.size())) {
+      return;
+    }
+    if (len > kMaxFrameBytes) return;
+  }
+}
+
+MetricsServer::MetricsServer(const std::string& path, Renderer renderer)
+    : listener_(path), renderer_(std::move(renderer)) {}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::start() {
+  if (thread_.joinable()) return;
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void MetricsServer::stop() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsServer::serve_loop() {
+  while (!stop_.load()) {
+    const int fd = listener_.accept_ready(50);
+    if (fd < 0) continue;
+    ++stats_.connections;
+    // One best-effort request read (curl sends its GET line immediately;
+    // raw clients may send nothing — poll briefly, then render anyway).
+    char req[256] = {};
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    ssize_t got = 0;
+    if (::poll(&pfd, 1, 100) > 0 && (pfd.revents & POLLIN) != 0) {
+      got = ::read(fd, req, sizeof req - 1);
+    }
+    ++stats_.frames;
+    const std::string body = renderer_();
+    std::string out;
+    if (got >= 4 && std::strncmp(req, "GET ", 4) == 0) {
+      out = "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n"
+            "Content-Length: " +
+            std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+    }
+    out += body;
+    write_all(fd, reinterpret_cast<const std::uint8_t*>(out.data()),
+              out.size());
+    ::close(fd);
+  }
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_frame(int fd, std::span<const std::uint8_t> payload) {
+  std::uint8_t len_buf[4];
+  store_u32be(len_buf, static_cast<std::uint32_t>(payload.size()));
+  return write_all(fd, len_buf, sizeof len_buf) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+bool recv_frame(int fd, std::vector<std::uint8_t>& out) {
+  std::uint8_t len_buf[4];
+  if (!read_exact(fd, len_buf, sizeof len_buf)) return false;
+  const std::uint32_t len = load_u32be(len_buf);
+  if (len > kMaxResponseFrameBytes) return false;
+  out.resize(len);
+  return len == 0 || read_exact(fd, out.data(), len);
+}
+
+std::string fetch_text(const std::string& path, const std::string& request) {
+  const int fd = connect_unix(path);
+  if (fd < 0) return {};
+  if (!request.empty()) {
+    write_all(fd, reinterpret_cast<const std::uint8_t*>(request.data()),
+              request.size());
+  }
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof buf);
+    if (r > 0) {
+      out.append(buf, static_cast<std::size_t>(r));
+    } else if (r == 0 || errno != EINTR) {
+      break;
+    }
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace pq::serve

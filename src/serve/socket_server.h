@@ -1,0 +1,129 @@
+// Unix-domain socket servers for pq_serve, plus the matching client
+// helpers (pq_ctl, tests).
+//
+// Query protocol: length-framed — u32 big-endian payload length, then the
+// payload (a control::QueryService request frame); the response comes back
+// the same way. A length above kMaxFrameBytes is rejected *before* any
+// payload is read (counted, the handler sees an empty frame and answers
+// with its malformed reject, then the connection closes) — an oversized
+// prefix can never drive allocation. Short reads, EOF mid-frame, and
+// garbage payloads end the connection, never the daemon.
+//
+// Metrics protocol: connect, optionally send an HTTP GET line, receive the
+// Prometheus text exposition (wrapped in a minimal HTTP/1.0 response when
+// the peer spoke HTTP) and the connection closes. Enough for curl and
+// prometheus scrapers without an HTTP library.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pq::serve {
+
+/// Hard cap on a length-framed query payload. Requests are 37 bytes; the
+/// cap leaves generous room for protocol growth while keeping a hostile
+/// length prefix harmless.
+inline constexpr std::size_t kMaxFrameBytes = 4096;
+
+/// Cap on a *response* frame (client side). Responses scale with the flow
+/// population — a queue-monitor answer can carry thousands of culprit
+/// entries — so the bound is generous, but still a bound.
+inline constexpr std::size_t kMaxResponseFrameBytes = 8u << 20;
+
+/// Atomics so a metrics snapshot can read while the server thread counts.
+struct ServerStats {
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> frames{0};
+  std::atomic<std::uint64_t> oversized{0};  ///< lengths above kMaxFrameBytes
+};
+
+/// RAII listening socket bound to a filesystem path (unlinked first, and
+/// again on destruction). Throws std::runtime_error on bind failure.
+class UnixListener {
+ public:
+  explicit UnixListener(const std::string& path);
+  ~UnixListener();
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Accepts one pending connection, waiting up to `timeout_ms`. Returns
+  /// the connected fd or -1 on timeout/shutdown.
+  int accept_ready(int timeout_ms);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Serves length-framed queries on a background thread, one connection at
+/// a time (clients connect per command; queries are milliseconds).
+class QueryServer {
+ public:
+  using Handler =
+      std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>)>;
+
+  QueryServer(const std::string& path, Handler handler);
+  ~QueryServer();
+
+  void start();
+  void stop();
+
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  void serve_loop();
+  void serve_connection(int fd);
+
+  UnixListener listener_;
+  Handler handler_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  ServerStats stats_;
+};
+
+/// Serves the metrics text on a background thread: one render per
+/// connection, then close.
+class MetricsServer {
+ public:
+  using Renderer = std::function<std::string()>;
+
+  MetricsServer(const std::string& path, Renderer renderer);
+  ~MetricsServer();
+
+  void start();
+  void stop();
+
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  void serve_loop();
+
+  UnixListener listener_;
+  Renderer renderer_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  ServerStats stats_;
+};
+
+// --- Client side ----------------------------------------------------------
+
+/// Connects to a unix-domain socket; returns the fd or -1.
+int connect_unix(const std::string& path);
+
+/// Length-framed send/receive over a connected fd. recv_frame returns
+/// false on EOF, short read, or an oversized length.
+bool send_frame(int fd, std::span<const std::uint8_t> payload);
+bool recv_frame(int fd, std::vector<std::uint8_t>& out);
+
+/// One-shot metrics fetch: connect, send `request`, read until EOF.
+/// Returns empty on connection failure.
+std::string fetch_text(const std::string& path, const std::string& request);
+
+}  // namespace pq::serve

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <stdexcept>
 #include <utility>
 
@@ -135,6 +136,65 @@ std::vector<std::uint8_t> encode_footer(std::uint64_t blocks_bytes,
   return buf;
 }
 
+SegmentScan scan_segment_bytes(std::span<const std::uint8_t> data,
+                               std::uint32_t expected_port) {
+  SegmentScan scan;
+  std::size_t offset = 0;
+  if (!decode_segment_header(data, scan.header, offset) ||
+      scan.header.port != expected_port) {
+    return scan;
+  }
+  scan.header_ok = true;
+  scan.header_bytes = offset;
+
+  // Sequential scan: every frame re-verified, stop at the first bad byte.
+  while (offset < data.size()) {
+    wire::ByteReader r(data.subspan(offset));
+    if (r.u32() != kBlockMagic) break;
+    const auto kind = static_cast<BlockKind>(r.u8());
+    const std::uint32_t partition = r.u32();
+    const std::uint64_t t_lo = r.u64();
+    const std::uint64_t t_hi = r.u64();
+    const std::uint32_t payload_len = r.u32();
+    if (!r.ok() || !is_valid(kind)) break;
+    if (payload_len + 4ull > r.remaining()) break;  // frame overruns EOF
+    const std::size_t frame_len = kBlockOverheadBytes + payload_len;
+    const std::uint32_t computed = crc32(data.data() + offset, frame_len - 4);
+    wire::ByteReader crc_r(data.subspan(offset + frame_len - 4));
+    if (computed != crc_r.u32()) break;
+
+    scan.entries.push_back({kind, partition, t_lo, t_hi, offset,
+                            static_cast<std::uint32_t>(frame_len)});
+    offset += frame_len;
+  }
+  scan.blocks_bytes = offset - scan.header_bytes;
+
+  // Footer check: must run exactly to EOF, pass its CRC, and agree with the
+  // sequential scan (it only ever *confirms* a clean close).
+  const auto footer_checks_out = [&]() -> bool {
+    if (data.size() < offset + 8) return false;
+    wire::ByteReader trailer(data.subspan(data.size() - 8));
+    const std::uint32_t footer_len = trailer.u32();
+    if (trailer.u32() != kEndMagic) return false;
+    if (footer_len + 8ull != data.size() - offset) return false;
+    const auto footer = data.subspan(offset, footer_len);
+    wire::ByteReader r(footer);
+    if (r.u32() != kFooterMagic) return false;
+    const std::uint64_t blocks_bytes = r.u64();
+    const std::uint64_t count = r.u64();
+    if (blocks_bytes != scan.blocks_bytes || count != scan.entries.size()) {
+      return false;
+    }
+    r.skip(count * 33);  // index entries: 1+4+8+8+8+4 bytes each
+    const std::size_t crc_off = r.offset();
+    const std::uint32_t stored = r.u32();
+    if (!r.ok() || r.offset() != footer.size()) return false;
+    return crc32(footer.data(), crc_off) == stored;
+  };
+  scan.footer_ok = footer_checks_out();
+  return scan;
+}
+
 std::string port_dir(const std::string& archive_dir, std::uint32_t port) {
   return archive_dir + "/port-" + std::to_string(port);
 }
@@ -144,6 +204,24 @@ std::string segment_path(const std::string& archive_dir, std::uint32_t port,
   char name[32];
   std::snprintf(name, sizeof name, "seg-%06u.pqs", segment_index);
   return port_dir(archive_dir, port) + "/" + name;
+}
+
+bool parse_segment_filename(const std::string& filename,
+                            std::uint32_t& index) {
+  if (filename.rfind("seg-", 0) != 0 || filename.size() <= 8 ||
+      filename.substr(filename.size() - 4) != ".pqs") {
+    return false;
+  }
+  const std::string digits = filename.substr(4, filename.size() - 8);
+  if (digits.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    if (v > 0xFFFFFFFFull) return false;
+  }
+  index = static_cast<std::uint32_t>(v);
+  return true;
 }
 
 // --- ArchiveWriter --------------------------------------------------------
@@ -157,7 +235,9 @@ ArchiveWriter::ArchiveWriter(std::uint32_t port,
       monitor_levels_(monitor_levels),
       opts_(std::move(opts)),
       write_faults_(write_faults),
-      t_set_(core::TtsLayout(params).set_period_ns()) {}
+      t_set_(core::TtsLayout(params).set_period_ns()) {
+  if (opts_.resume) resume_from_disk();
+}
 
 ArchiveWriter::~ArchiveWriter() {
   try {
@@ -255,6 +335,15 @@ void ArchiveWriter::flush() {
   queued_bytes_ = 0;
 }
 
+void ArchiveWriter::flush_queue() {
+  if (closed_ || dead_) return;
+  flush();
+  // Push stdio's buffer into the kernel as well: the page cache survives a
+  // SIGKILL, the user-space FILE buffer does not. Durability against power
+  // loss is still governed by the fsync policy, not by this call.
+  if (file_ != nullptr) std::fflush(file_);
+}
+
 void ArchiveWriter::append_block(PendingBlock& block) {
   if (dead_) return;
   if (file_ == nullptr) {
@@ -295,6 +384,92 @@ void ArchiveWriter::append_block(PendingBlock& block) {
   if (opts_.fsync == FsyncPolicy::kPerBlock) sync_file();
 }
 
+void ArchiveWriter::resume_from_disk() {
+  namespace fs = std::filesystem;
+  const std::string dir = port_dir(opts_.dir, port_);
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return;  // fresh port, nothing to repair
+
+  std::vector<std::pair<std::uint32_t, std::string>> segments;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::uint32_t index = 0;
+    if (entry.is_regular_file() &&
+        parse_segment_filename(entry.path().filename().string(), index)) {
+      segments.emplace_back(index, entry.path().string());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+
+  // Walk the chain exactly like the reader would: contiguous indices from
+  // the first file, every segment clean. The first deviation is the torn
+  // tail — repair it in place, then delete everything after it (the reader
+  // could never have reached those bytes anyway).
+  std::size_t keep = 0;
+  bool repaired = false;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const bool contiguous =
+        i == 0 || segments[i].first == segments[i - 1].first + 1;
+    std::vector<std::uint8_t> data;
+    {
+      std::ifstream in(segments[i].second, std::ios::binary);
+      if (in) data.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    SegmentScan scan = scan_segment_bytes(data, port_);
+    const bool index_ok =
+        scan.header_ok && scan.header.segment_index == segments[i].first;
+    if (!contiguous || !index_ok) break;  // this file and the rest go
+    if (scan.footer_ok) {
+      keep = i + 1;
+      continue;
+    }
+    // Torn tail: truncate to the CRC-valid prefix and write the footer the
+    // crash withheld. The surviving blocks are exactly what ArchiveReader
+    // recovers from the torn file, so the repair is content-neutral.
+    fs::resize_file(segments[i].second,
+                    scan.header_bytes + scan.blocks_bytes, ec);
+    if (ec) break;
+    std::FILE* f = std::fopen(segments[i].second.c_str(), "ab");
+    if (f == nullptr) break;
+    const auto footer = encode_footer(scan.blocks_bytes, scan.entries);
+    const bool ok =
+        std::fwrite(footer.data(), 1, footer.size(), f) == footer.size();
+    if (opts_.fsync != FsyncPolicy::kNone) {
+      std::fflush(f);
+      ::fsync(::fileno(f));
+    }
+    std::fclose(f);
+    if (!ok) break;
+    ++stats_.tail_repairs;
+    repaired = true;
+    keep = i + 1;
+    break;  // nothing after a repaired segment is reachable
+  }
+  if (!repaired && keep < segments.size()) {
+    // The chain broke on an unrepairable file (bad header or index gap);
+    // count it like a repair so operators can see the restart discarded it.
+    ++stats_.tail_repairs;
+  }
+  for (std::size_t i = keep; i < segments.size(); ++i) {
+    fs::remove(segments[i].second, ec);
+  }
+  for (std::size_t i = 0; i < keep; ++i) {
+    live_segments_.push_back(segments[i].first);
+  }
+  next_segment_index_ =
+      live_segments_.empty() ? 0 : live_segments_.back() + 1;
+}
+
+void ArchiveWriter::apply_retention() {
+  if (opts_.retain_segments == 0) return;
+  std::error_code ec;
+  while (live_segments_.size() > opts_.retain_segments) {
+    std::filesystem::remove(
+        segment_path(opts_.dir, port_, live_segments_.front()), ec);
+    live_segments_.erase(live_segments_.begin());
+    ++stats_.segments_retired;
+  }
+}
+
 void ArchiveWriter::open_segment() {
   std::error_code ec;
   std::filesystem::create_directories(port_dir(opts_.dir, port_), ec);
@@ -317,6 +492,7 @@ void ArchiveWriter::open_segment() {
   header_bytes_ = header.size();
   segment_block_bytes_ = 0;
   segment_index_.clear();
+  live_segments_.push_back(next_segment_index_);
   ++next_segment_index_;
   ++stats_.segments_opened;
 }
@@ -332,6 +508,7 @@ void ArchiveWriter::close_segment() {
   file_ = nullptr;
   segment_index_.clear();
   ++stats_.segments_closed;
+  apply_retention();
 }
 
 void ArchiveWriter::sync_file() {
@@ -393,6 +570,10 @@ void Archive::close() {
   for (auto& [port, w] : writers_) w->close();
 }
 
+void Archive::flush_all() {
+  for (auto& [port, w] : writers_) w->flush_queue();
+}
+
 WriterStats Archive::stats() const {
   WriterStats sum;
   for (const auto& [port, w] : writers_) {
@@ -406,6 +587,8 @@ WriterStats Archive::stats() const {
     sum.blocks_dropped += s.blocks_dropped;
     sum.queue_peak_bytes = std::max(sum.queue_peak_bytes, s.queue_peak_bytes);
     sum.torn_writes += s.torn_writes;
+    sum.segments_retired += s.segments_retired;
+    sum.tail_repairs += s.tail_repairs;
   }
   return sum;
 }
@@ -431,6 +614,12 @@ void export_writer_metrics(obs::MetricsRegistry& reg, const WriterStats& s) {
   reg.counter("pq_store_torn_writes_total",
               "injected mid-append crashes (faults layer)")
       .inc(s.torn_writes);
+  reg.counter("pq_store_segments_retired_total",
+              "segment files deleted by the retention policy")
+      .inc(s.segments_retired);
+  reg.counter("pq_store_tail_repairs_total",
+              "torn segment tails repaired (or discarded) on resume")
+      .inc(s.tail_repairs);
   reg.gauge("pq_store_queue_peak_bytes", obs::GaugeMode::kMax,
             "append-queue fill high-watermark in bytes")
       .set_max(s.queue_peak_bytes);

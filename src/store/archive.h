@@ -72,6 +72,13 @@ class ArchiveWriter final : public control::TelemetrySink {
   /// just looks like a crash (that is the point).
   void close();
 
+  /// Drains the append queue to disk without closing the segment. Small
+  /// blocks (a calibration record is 41 bytes) can sit below the flush
+  /// watermark indefinitely; a long-running process calls this on a timer
+  /// so a crash loses at most one tick of telemetry, not an arbitrarily
+  /// old tail. No-op once closed or dead.
+  void flush_queue();
+
   /// True after an injected torn write: the simulated process is dead, all
   /// further events are discarded and no footer will be written.
   bool dead() const { return dead_; }
@@ -92,6 +99,13 @@ class ArchiveWriter final : public control::TelemetrySink {
   void open_segment();
   void close_segment();
   void sync_file();
+  /// ArchiveOptions::resume: repairs the port's surviving chain (truncate
+  /// the torn tail to its CRC-valid prefix + write the missing footer, drop
+  /// unreachable later segments) and positions the writer after it.
+  void resume_from_disk();
+  /// ArchiveOptions::retain_segments: deletes the oldest on-disk segments
+  /// beyond the retention cap.
+  void apply_retention();
 
   std::uint32_t port_;
   core::TimeWindowParams params_;
@@ -102,6 +116,7 @@ class ArchiveWriter final : public control::TelemetrySink {
 
   std::FILE* file_ = nullptr;
   std::uint32_t next_segment_index_ = 0;
+  std::vector<std::uint32_t> live_segments_;  ///< on-disk indices, oldest first
   std::uint64_t header_bytes_ = 0;
   std::uint64_t segment_block_bytes_ = 0;
   std::vector<IndexEntry> segment_index_;
@@ -141,6 +156,10 @@ class Archive {
 
   /// Closes every writer (footer + fsync per policy). Idempotent.
   void close();
+
+  /// flush_queue() on every writer (the caller must hold whatever locks
+  /// normally serialize appends to these writers).
+  void flush_all();
 
   const ArchiveOptions& options() const { return opts_; }
 

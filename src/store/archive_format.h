@@ -120,6 +120,17 @@ struct ArchiveOptions {
   std::uint64_t flush_watermark_bytes = 256ull << 10;
   FsyncPolicy fsync = FsyncPolicy::kNone;
   QueuePolicy queue = QueuePolicy::kBackpressure;
+  /// Keep at most this many segment files per port, deleting the oldest
+  /// after every segment close (0 = unlimited). The surviving chain stays
+  /// contiguous, it just no longer starts at index 0.
+  std::uint32_t retain_segments = 0;
+  /// Reopen an existing archive directory: on construction each writer
+  /// repairs its port's torn tail (truncate to the CRC-valid prefix, write
+  /// the missing footer, drop unreachable later segments) and continues
+  /// appending in a fresh segment after the highest surviving index. The
+  /// repair keeps exactly the prefix ArchiveReader would have recovered, so
+  /// restart never changes what queries can see.
+  bool resume = false;
 };
 
 /// Writer-side counters, summed across per-port writers by Archive::stats.
@@ -133,6 +144,8 @@ struct WriterStats {
   std::uint64_t blocks_dropped = 0;     ///< QueuePolicy::kDropNewest only
   std::uint64_t queue_peak_bytes = 0;   ///< high-watermark (merge: max)
   std::uint64_t torn_writes = 0;        ///< injected crashes (faults/)
+  std::uint64_t segments_retired = 0;   ///< deleted by the retention policy
+  std::uint64_t tail_repairs = 0;       ///< torn tails repaired on resume
 };
 
 /// Reader-side counters from the recovery scan.
@@ -144,9 +157,31 @@ struct ReaderStats {
   std::uint64_t bytes_truncated = 0;  ///< torn/corrupt bytes discarded
 };
 
+/// One segment file's trust-nothing scan result, shared by the reader's
+/// recovery pass and the writer's resume-time tail repair (so both always
+/// agree on exactly which prefix of a damaged segment survives).
+struct SegmentScan {
+  bool header_ok = false;
+  SegmentHeader header;
+  std::uint64_t header_bytes = 0;
+  /// CRC-valid block frames in append order, offsets into the file.
+  std::vector<IndexEntry> entries;
+  std::uint64_t blocks_bytes = 0;  ///< bytes of valid frames after the header
+  bool footer_ok = false;          ///< clean close confirmed against the scan
+};
+
+/// Scans one segment's bytes sequentially, verifying every CRC. Never
+/// throws; damage only shortens `entries`. Pass `expected_port` to reject a
+/// segment filed under the wrong directory.
+SegmentScan scan_segment_bytes(std::span<const std::uint8_t> data,
+                               std::uint32_t expected_port);
+
 /// Filesystem layout helpers.
 std::string port_dir(const std::string& archive_dir, std::uint32_t port);
 std::string segment_path(const std::string& archive_dir, std::uint32_t port,
                          std::uint32_t segment_index);
+/// Parses the segment index out of a `seg-%06u.pqs` filename; returns false
+/// for foreign files.
+bool parse_segment_filename(const std::string& filename, std::uint32_t& index);
 
 }  // namespace pq::store

@@ -38,32 +38,6 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
   return {std::istreambuf_iterator<char>(in), {}};
 }
 
-/// True if `data[offset..]` is a footer that runs exactly to EOF, passes
-/// its CRC, and agrees with the sequential scan (`blocks_bytes` frames
-/// after a `header_bytes` header, `block_count` of them).
-bool footer_checks_out(std::span<const std::uint8_t> data, std::size_t offset,
-                       std::uint64_t header_bytes, std::uint64_t block_count) {
-  // Trailer: footer length u32 + end magic u32 at EOF.
-  if (data.size() < offset + 8) return false;
-  wire::ByteReader trailer(data.subspan(data.size() - 8));
-  const std::uint32_t footer_len = trailer.u32();
-  if (trailer.u32() != kEndMagic) return false;
-  if (footer_len + 8ull != data.size() - offset) return false;
-  const auto footer = data.subspan(offset, footer_len);
-  wire::ByteReader r(footer);
-  if (r.u32() != kFooterMagic) return false;
-  const std::uint64_t blocks_bytes = r.u64();
-  const std::uint64_t count = r.u64();
-  if (blocks_bytes != offset - header_bytes || count != block_count) {
-    return false;
-  }
-  r.skip(count * 33);  // index entries: 1+4+8+8+8+4 bytes each
-  const std::size_t crc_off = r.offset();
-  const std::uint32_t stored = r.u32();
-  if (!r.ok() || r.offset() != footer.size()) return false;
-  return crc32(footer.data(), crc_off) == stored;
-}
-
 }  // namespace
 
 ArchiveReader::ArchiveReader(const std::string& dir) {
@@ -103,9 +77,15 @@ void ArchiveReader::scan_port(std::uint32_t port,
                               const std::vector<std::string>& segment_files) {
   RecoveredPort recovered;
   bool have_header = false;
+  // The chain may start above index 0 when retention pruned old segments;
+  // the first file anchors the expected sequence, which must then stay
+  // contiguous (a gap means the middle of the stream is gone — everything
+  // after it is no longer a prefix and cannot be trusted).
   std::uint32_t expected_index = 0;
   for (std::size_t i = 0; i < segment_files.size(); ++i) {
-    if (!scan_segment(port, segment_files[i], expected_index, recovered)) {
+    if (!scan_segment(port, segment_files[i], have_header ? &expected_index
+                                                          : nullptr,
+                      recovered)) {
       // Torn or corrupt segment: everything after it is no longer a prefix
       // of the written stream, so the port stops here.
       ++stats_.recoveries;
@@ -117,7 +97,7 @@ void ArchiveReader::scan_port(std::uint32_t port,
       break;
     }
     have_header = true;
-    ++expected_index;
+    expected_index = recovered.last_index + 1;
   }
   if (have_header || !recovered.blocks.empty()) {
     ports_.emplace(port, std::move(recovered));
@@ -125,59 +105,41 @@ void ArchiveReader::scan_port(std::uint32_t port,
 }
 
 bool ArchiveReader::scan_segment(std::uint32_t port, const std::string& path,
-                                 std::uint32_t expected_index,
+                                 const std::uint32_t* expected_index,
                                  RecoveredPort& out) {
   const std::vector<std::uint8_t> data = read_file(path);
   ++stats_.segments_opened;
   const std::span<const std::uint8_t> span(data);
 
-  SegmentHeader header;
-  std::size_t offset = 0;
-  if (!decode_segment_header(span, header, offset) || header.port != port ||
-      header.segment_index != expected_index) {
+  const SegmentScan scan = scan_segment_bytes(span, port);
+  if (!scan.header_ok ||
+      (expected_index != nullptr &&
+       scan.header.segment_index != *expected_index)) {
     stats_.bytes_truncated += data.size();
     return false;
   }
-  if (expected_index == 0) out.header = header;
-  const std::uint64_t header_bytes = offset;
+  if (expected_index == nullptr) out.header = scan.header;
+  out.last_index = scan.header.segment_index;
 
-  // Sequential scan: every frame re-verified, stop at the first bad byte.
-  std::uint64_t blocks_here = 0;
-  while (offset < data.size()) {
-    wire::ByteReader r(span.subspan(offset));
-    if (r.u32() != kBlockMagic) break;
-    const auto kind = static_cast<BlockKind>(r.u8());
-    const std::uint32_t partition = r.u32();
-    const std::uint64_t t_lo = r.u64();
-    const std::uint64_t t_hi = r.u64();
-    const std::uint32_t payload_len = r.u32();
-    if (!r.ok() || !is_valid(kind)) break;
-    if (payload_len + 4ull > r.remaining()) break;  // frame overruns EOF
-    const std::size_t frame_len = kBlockOverheadBytes + payload_len;
-    const std::uint32_t computed =
-        crc32(span.data() + offset, frame_len - 4);
-    wire::ByteReader crc_r(span.subspan(offset + frame_len - 4));
-    if (computed != crc_r.u32()) break;
-
+  for (const auto& e : scan.entries) {
     RecoveredBlock block;
-    block.kind = kind;
-    block.partition = partition;
-    block.t_lo = t_lo;
-    block.t_hi = t_hi;
-    const auto payload = span.subspan(offset + kBlockOverheadBytes - 4,
-                                      payload_len);
+    block.kind = e.kind;
+    block.partition = e.partition;
+    block.t_lo = e.t_lo;
+    block.t_hi = e.t_hi;
+    const auto payload = span.subspan(e.offset + kBlockOverheadBytes - 4,
+                                      e.length - kBlockOverheadBytes);
     block.payload.assign(payload.begin(), payload.end());
     out.blocks.push_back(std::move(block));
-    ++blocks_here;
     ++stats_.blocks_recovered;
-    offset += frame_len;
   }
 
-  if (footer_checks_out(span, offset, header_bytes, blocks_here)) {
+  if (scan.footer_ok) {
     ++stats_.footer_hits;
     return true;
   }
-  stats_.bytes_truncated += data.size() - offset;
+  stats_.bytes_truncated +=
+      data.size() - (scan.header_bytes + scan.blocks_bytes);
   return false;
 }
 
@@ -188,7 +150,8 @@ std::vector<std::uint32_t> ArchiveReader::ports() const {
   return out;
 }
 
-control::RegisterRecords ArchiveReader::to_records(std::uint32_t port) const {
+control::RegisterRecords ArchiveReader::to_records(std::uint32_t port,
+                                                   Timestamp as_of) const {
   const RecoveredPort& rec = ports_.at(port);
   control::RegisterRecords records;
   records.window_params = rec.header.window_params;
@@ -208,6 +171,7 @@ control::RegisterRecords ArchiveReader::to_records(std::uint32_t port) const {
   records.monitor_snapshots.resize(monitor_parts);
 
   for (const auto& b : rec.blocks) {
+    if (b.t_hi > as_of) continue;
     wire::ByteReader r(b.payload);
     switch (b.kind) {
       case BlockKind::kWindowSnapshot:
@@ -239,16 +203,19 @@ control::RegisterRecords ArchiveReader::to_records(std::uint32_t port) const {
   return records;
 }
 
-core::FlowCounts ArchiveReader::query_time_windows(
-    std::uint32_t port, Timestamp t1, Timestamp t2,
-    std::uint32_t partition) const {
-  return control::offline_query_time_windows(to_records(port), partition, t1,
-                                             t2);
+core::FlowCounts ArchiveReader::query_time_windows(std::uint32_t port,
+                                                   Timestamp t1, Timestamp t2,
+                                                   std::uint32_t partition,
+                                                   Timestamp as_of) const {
+  return control::offline_query_time_windows(to_records(port, as_of),
+                                             partition, t1, t2);
 }
 
 std::vector<core::OriginalCulprit> ArchiveReader::query_queue_monitor(
-    std::uint32_t port, Timestamp t, std::uint32_t partition) const {
-  return control::offline_query_queue_monitor(to_records(port), partition, t);
+    std::uint32_t port, Timestamp t, std::uint32_t partition,
+    Timestamp as_of) const {
+  return control::offline_query_queue_monitor(to_records(port, as_of),
+                                              partition, t);
 }
 
 std::vector<control::DqCapture> ArchiveReader::dq_captures(

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -32,9 +33,12 @@ struct RecoveredBlock {
 };
 
 /// One port's surviving stream: the first segment's header (the register
-/// layout of last resort) plus every recovered block.
+/// layout of last resort) plus every recovered block. With retention the
+/// chain may start above segment index 0; `header.segment_index` and
+/// `last_index` bound the surviving on-disk chain.
 struct RecoveredPort {
   SegmentHeader header;
+  std::uint32_t last_index = 0;  ///< newest successfully scanned segment
   std::vector<RecoveredBlock> blocks;
 };
 
@@ -58,16 +62,25 @@ class ArchiveReader {
   /// snapshots in append order, layout and z0 from the newest recovered
   /// calibration (falling back to the segment header and z0 = 1.0 — the
   /// torn tail can cost calibration freshness, never correctness).
-  control::RegisterRecords to_records(std::uint32_t port) const;
+  /// `as_of` restricts the bundle to blocks with t_hi <= as_of: "answer as
+  /// the archive stood at time T". Because later calibrations rescale
+  /// earlier spans (newest-wins, matching the live program), bounding BOTH
+  /// of two archives to a common horizon is what makes their answers
+  /// comparable — the kill-and-recover proof relies on this.
+  control::RegisterRecords to_records(
+      std::uint32_t port,
+      Timestamp as_of = std::numeric_limits<Timestamp>::max()) const;
 
   /// The retroactive queries, same semantics (and bytes) as pq_offline
   /// against the reconstructed records. `partition` is the shard-local
   /// window/monitor partition (0 unless multi-queue).
-  core::FlowCounts query_time_windows(std::uint32_t port, Timestamp t1,
-                                      Timestamp t2,
-                                      std::uint32_t partition = 0) const;
+  core::FlowCounts query_time_windows(
+      std::uint32_t port, Timestamp t1, Timestamp t2,
+      std::uint32_t partition = 0,
+      Timestamp as_of = std::numeric_limits<Timestamp>::max()) const;
   std::vector<core::OriginalCulprit> query_queue_monitor(
-      std::uint32_t port, Timestamp t, std::uint32_t partition = 0) const;
+      std::uint32_t port, Timestamp t, std::uint32_t partition = 0,
+      Timestamp as_of = std::numeric_limits<Timestamp>::max()) const;
 
   /// Recovered data-plane captures for a port, in firing order.
   std::vector<control::DqCapture> dq_captures(std::uint32_t port) const;
@@ -84,9 +97,12 @@ class ArchiveReader {
   void scan_port(std::uint32_t port,
                  const std::vector<std::string>& segment_files);
   /// Scans one segment; returns true if it closed cleanly (valid footer
-  /// consistent with the scan), false if the port must stop here.
+  /// consistent with the scan), false if the port must stop here. A null
+  /// `expected_index` marks the first file of the chain: any header index
+  /// is accepted (retention may have pruned the head) and anchors the
+  /// sequence.
   bool scan_segment(std::uint32_t port, const std::string& path,
-                    std::uint32_t expected_index, RecoveredPort& out);
+                    const std::uint32_t* expected_index, RecoveredPort& out);
 
   std::map<std::uint32_t, RecoveredPort> ports_;
   ReaderStats stats_;

@@ -1,0 +1,308 @@
+// In-process lifecycle coverage for serve::Daemon: graceful drains lose
+// nothing, restarts answer recovered queries byte-equal to the offline
+// path, archive output is a deterministic function of the feed (so chaos
+// runs are seed-reproducible), retention prunes history, and the fault
+// plan loader rejects typos instead of silently neutering a chaos test.
+#include "serve/daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <thread>
+
+#include "control/register_records.h"
+#include "serve/fault_config.h"
+#include "store/archive_reader.h"
+#include "wire/trace_io.h"
+#include "../integration/sharded_harness.h"
+
+namespace pq::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using harness::TempDir;
+
+std::vector<wire::TelemetryRecord> feed_records(std::size_t n,
+                                                std::uint32_t port) {
+  std::vector<wire::TelemetryRecord> recs;
+  recs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    wire::TelemetryRecord r;
+    r.flow = make_flow(static_cast<std::uint32_t>(1 + i % 40));
+    r.egress_port = port;
+    r.size_bytes = 120 + static_cast<std::uint32_t>(i % 900);
+    r.enq_timestamp = 700 * (i + 1);
+    r.deq_timedelta = 350;
+    r.enq_qdepth = static_cast<std::uint32_t>(i % 300);
+    r.packet_id = i + 1;
+    recs.push_back(r);
+  }
+  return recs;
+}
+
+DaemonConfig base_config(const std::string& feed, const std::string& arch) {
+  DaemonConfig dc;
+  dc.ports = {6};
+  dc.pipeline.windows.m0 = 10;
+  dc.pipeline.windows.alpha = 1;
+  dc.pipeline.windows.k = 6;
+  dc.pipeline.windows.num_windows = 3;
+  dc.pipeline.monitor.max_depth_cells = 25000;
+  dc.feed_path = feed;
+  dc.follow = false;  // one pass, then drain — the unit-test lifecycle
+  dc.archive_dir = arch;
+  dc.watchdog_ms = 0;
+  return dc;
+}
+
+/// Every regular file under `dir`, keyed by relative path.
+std::map<std::string, std::vector<char>> dir_contents(const std::string& dir) {
+  std::map<std::string, std::vector<char>> out;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    out[fs::relative(entry.path(), dir).string()] = std::move(bytes);
+  }
+  return out;
+}
+
+TEST(DaemonLifecycle, GracefulDrainAbsorbsEveryFedRecord) {
+  const TempDir dir;
+  const std::string feed = dir.path() + "/feed.pqsm";
+  const auto recs = feed_records(30000, 6);
+  wire::write_stream_file(feed, recs);
+
+  std::atomic<bool> stop{false};
+  Daemon daemon(base_config(feed, dir.path() + "/arch"));
+  EXPECT_EQ(daemon.run(stop), 0);
+
+  EXPECT_EQ(daemon.supervisor().records_absorbed(), recs.size());
+  EXPECT_EQ(daemon.supervisor().shed_total(), 0u);
+  EXPECT_EQ(daemon.decode_stats().frames_ok, recs.size());
+  EXPECT_EQ(daemon.decode_stats().frames_rejected, 0u);
+
+  // The drain closed the archive cleanly: a trust-nothing scan finds a
+  // footer on every segment and truncates nothing.
+  store::ArchiveReader reader(dir.path() + "/arch");
+  EXPECT_EQ(reader.stats().recoveries, 0u);
+  EXPECT_EQ(reader.stats().bytes_truncated, 0u);
+  EXPECT_GT(reader.stats().blocks_recovered, 0u);
+}
+
+TEST(DaemonLifecycle, StopFlagDrainsInsteadOfDropping) {
+  const TempDir dir;
+  const std::string feed = dir.path() + "/feed.pqsm";
+  const auto recs = feed_records(20000, 6);
+  wire::write_stream_file(feed, recs);
+
+  auto dc = base_config(feed, "");
+  dc.follow = true;  // would tail forever; the stop flag must end it
+  Daemon daemon(std::move(dc));
+
+  std::atomic<bool> stop{false};
+  std::thread runner([&] { EXPECT_EQ(daemon.run(stop), 0); });
+  // Let it ingest the whole file, then ask for a graceful stop.
+  while (daemon.supervisor().records_submitted() < recs.size()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  runner.join();
+
+  // Everything submitted before the stop was absorbed, not dropped.
+  EXPECT_EQ(daemon.supervisor().records_absorbed(), recs.size());
+  EXPECT_EQ(daemon.supervisor().queue_depth(), 0u);
+}
+
+TEST(DaemonLifecycle, RestartAnswersRecoveredQueriesOverTheSocket) {
+  const TempDir dir;
+  const std::string feed = dir.path() + "/feed.pqsm";
+  const std::string arch = dir.path() + "/arch";
+  const auto recs = feed_records(30000, 6);
+  wire::write_stream_file(feed, recs);
+
+  {
+    std::atomic<bool> stop{false};
+    Daemon first(base_config(feed, arch));
+    ASSERT_EQ(first.run(stop), 0);
+  }
+
+  // The offline oracle over the archive the first run left behind.
+  store::ArchiveReader reader(arch);
+  const auto oracle_records = reader.to_records(0);
+  Timestamp horizon = 0;
+  for (const auto& part : oracle_records.window_snapshots) {
+    for (const auto& snap : part) horizon = std::max(horizon, snap.taken_at);
+  }
+  ASSERT_GT(horizon, 0u);
+  const auto expected =
+      control::offline_query_time_windows(oracle_records, 0, 0, horizon);
+
+  // Restart over the same archive with nothing new to ingest, and query
+  // the recovered span through the daemon's unix socket.
+  auto dc = base_config(dir.path() + "/none.pqsm", arch);
+  dc.follow = true;
+  dc.query_socket = dir.path() + "/q.sock";
+  Daemon second(std::move(dc));
+  ASSERT_TRUE(second.recovery().scanned);
+
+  std::atomic<bool> stop{false};
+  std::thread runner([&] { EXPECT_EQ(second.run(stop), 0); });
+
+  int fd = -1;
+  for (int tries = 0; tries < 200 && fd < 0; ++tries) {
+    fd = connect_unix(dir.path() + "/q.sock");
+    if (fd < 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(fd, 0);
+
+  control::QueryRequest req;
+  req.type = control::QueryType::kTimeWindows;
+  req.request_id = 11;
+  req.port_prefix = 6;  // the egress port, mapped onto archive prefix 0
+  req.t1 = 0;
+  req.t2 = horizon;
+  ASSERT_TRUE(send_frame(fd, control::encode_request(req)));
+  std::vector<std::uint8_t> resp_bytes;
+  ASSERT_TRUE(recv_frame(fd, resp_bytes));
+  ::close(fd);
+
+  stop.store(true);
+  runner.join();
+
+  const control::QueryResponse resp = control::decode_response(resp_bytes);
+  EXPECT_EQ(resp.status, control::QueryStatus::kOk);
+  EXPECT_EQ(resp.request_id, 11u);
+  EXPECT_DOUBLE_EQ(resp.confidence, 1.0);
+  EXPECT_EQ(resp.counts, expected);
+}
+
+TEST(DaemonLifecycle, ArchiveBytesAreADeterministicFunctionOfTheFeed) {
+  const TempDir dir;
+  const std::string feed = dir.path() + "/feed.pqsm";
+  const auto recs = feed_records(25000, 6);
+  wire::write_stream_file(feed, recs);
+
+  // Two independent daemon processes over the same feed — worker batch
+  // boundaries differ with scheduling, but absorb_batch split-invariance
+  // makes the archives byte-identical anyway.
+  for (const char* sub : {"/a", "/b"}) {
+    std::atomic<bool> stop{false};
+    Daemon d(base_config(feed, dir.path() + sub));
+    ASSERT_EQ(d.run(stop), 0);
+  }
+  const auto a = dir_contents(dir.path() + "/a");
+  const auto b = dir_contents(dir.path() + "/b");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(DaemonLifecycle, FaultPlanRunsAreSeedReproducible) {
+  const TempDir dir;
+  const std::string feed = dir.path() + "/feed.pqsm";
+  const auto recs = feed_records(25000, 6);
+  wire::write_stream_file(feed, recs);
+
+  faults::FaultPlanConfig fcfg;
+  std::string error;
+  ASSERT_TRUE(parse_fault_config(R"({
+    "seed": 11,
+    "feed_channel.corrupt_rate": 0.01,
+    "feed_channel.garbage_rate": 0.01,
+    "trigger_storm.probability": 0.002,
+    "trigger_storm.forced_depth_cells": 800,
+    "clock_skew.max_abs_skew_ns": 3000
+  })",
+                                 fcfg, error))
+      << error;
+
+  auto run = [&](const char* sub, std::uint64_t seed) {
+    auto dc = base_config(feed, dir.path() + sub);
+    dc.faults = fcfg;
+    dc.faults->seed = seed;
+    std::atomic<bool> stop{false};
+    Daemon d(std::move(dc));
+    EXPECT_EQ(d.run(stop), 0);
+    return dir_contents(dir.path() + sub);
+  };
+
+  const auto first = run("/s11a", 11);
+  const auto second = run("/s11b", 11);
+  const auto other = run("/s12", 12);
+  ASSERT_FALSE(first.empty());
+  // Same plan, same seed -> the same damage, the same archive bytes.
+  EXPECT_EQ(first, second);
+  // A different seed draws a different schedule somewhere in a 25k-record
+  // run with three active injectors.
+  EXPECT_NE(first, other);
+}
+
+TEST(DaemonLifecycle, RetentionBoundsSegmentCount) {
+  const TempDir dir;
+  const std::string feed = dir.path() + "/feed.pqsm";
+  const auto recs = feed_records(30000, 6);
+  wire::write_stream_file(feed, recs);
+
+  auto count_segments = [](const std::string& arch) {
+    std::size_t n = 0;
+    for (const auto& e : fs::recursive_directory_iterator(arch)) {
+      if (e.is_regular_file()) ++n;
+    }
+    return n;
+  };
+
+  auto dc = base_config(feed, dir.path() + "/all");
+  dc.archive_segment_bytes = 64 * 1024;  // force frequent rollover
+  {
+    std::atomic<bool> stop{false};
+    Daemon d(std::move(dc));
+    ASSERT_EQ(d.run(stop), 0);
+  }
+  const std::size_t unbounded = count_segments(dir.path() + "/all");
+  ASSERT_GT(unbounded, 2u) << "fixture too small to exercise retention";
+
+  auto dc2 = base_config(feed, dir.path() + "/kept");
+  dc2.archive_segment_bytes = 64 * 1024;
+  dc2.retain_segments = 2;
+  {
+    std::atomic<bool> stop{false};
+    Daemon d(std::move(dc2));
+    ASSERT_EQ(d.run(stop), 0);
+  }
+  const std::size_t kept = count_segments(dir.path() + "/kept");
+  EXPECT_LT(kept, unbounded);
+  // retain_segments bounds finished segments; the active one rides along.
+  EXPECT_LE(kept, 3u);
+
+  // The pruned archive still scans clean and answers queries.
+  store::ArchiveReader reader(dir.path() + "/kept");
+  EXPECT_GT(reader.stats().blocks_recovered, 0u);
+}
+
+TEST(FaultConfig, RejectsTyposAndGarbage) {
+  faults::FaultPlanConfig cfg;
+  std::string error;
+
+  EXPECT_TRUE(parse_fault_config(R"({"seed": 3})", cfg, error)) << error;
+  EXPECT_EQ(cfg.seed, 3u);
+
+  // An unknown key is an error, not a silently-defaulted knob.
+  EXPECT_FALSE(
+      parse_fault_config(R"({"feed_channel.corupt_rate": 0.5})", cfg, error));
+  EXPECT_NE(error.find("corupt_rate"), std::string::npos);
+
+  EXPECT_FALSE(parse_fault_config(R"({"seed": "lots"})", cfg, error));
+  EXPECT_FALSE(parse_fault_config(R"({"seed": 1} trailing)", cfg, error));
+  EXPECT_FALSE(parse_fault_config("not json at all", cfg, error));
+
+  // Missing file: a clear error, no throw.
+  EXPECT_FALSE(load_fault_config("/nonexistent/plan.json", cfg, error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace pq::serve

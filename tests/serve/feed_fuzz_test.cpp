@@ -1,0 +1,301 @@
+// Fuzz/property coverage for the pq_serve ingest edge (serve/feed.h): the
+// StreamDecoder must turn ANY byte stream — torn, bit-flipped, stuffed
+// with garbage, or lying about its length — into a subset of the original
+// records without crashing, without unbounded buffering, and with exact
+// accounting. The FeedFaultInjector half proves the chaos schedule is a
+// pure function of (seed, byte stream), independent of read chunking.
+#include "serve/feed.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "wire/trace_io.h"
+
+namespace pq::serve {
+namespace {
+
+std::vector<wire::TelemetryRecord> sample_records(std::size_t n) {
+  std::vector<wire::TelemetryRecord> recs;
+  recs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    wire::TelemetryRecord r;
+    r.flow = make_flow(static_cast<std::uint32_t>(i + 1));
+    r.egress_port = static_cast<std::uint32_t>(i % 3);
+    r.size_bytes = 64 + static_cast<std::uint32_t>(i % 1400);
+    r.enq_timestamp = 1000 * (i + 1);
+    r.deq_timedelta = 13 * (i + 1);
+    r.enq_qdepth = static_cast<std::uint32_t>(i);
+    r.packet_id = i + 1;
+    recs.push_back(r);
+  }
+  return recs;
+}
+
+std::vector<std::uint8_t> stream_bytes(
+    const std::vector<wire::TelemetryRecord>& recs) {
+  std::vector<std::uint8_t> buf;
+  for (const auto& r : recs) wire::append_record_frame(buf, r);
+  return buf;
+}
+
+bool same_record(const wire::TelemetryRecord& a,
+                 const wire::TelemetryRecord& b) {
+  return a.flow == b.flow && a.egress_port == b.egress_port &&
+         a.size_bytes == b.size_bytes && a.enq_timestamp == b.enq_timestamp &&
+         a.deq_timedelta == b.deq_timedelta && a.enq_qdepth == b.enq_qdepth &&
+         a.packet_id == b.packet_id;
+}
+
+/// Every decoded record must appear in `originals`, in order (the CRC
+/// guarantees a damaged frame is dropped, never emitted mutated).
+void expect_subsequence(const std::vector<wire::TelemetryRecord>& decoded,
+                        const std::vector<wire::TelemetryRecord>& originals) {
+  std::size_t j = 0;
+  for (const auto& d : decoded) {
+    while (j < originals.size() && !same_record(originals[j], d)) ++j;
+    ASSERT_LT(j, originals.size())
+        << "decoded a record that is not in the original stream";
+    ++j;
+  }
+}
+
+TEST(StreamDecoder, ChunkingInvariance) {
+  const auto recs = sample_records(200);
+  const auto bytes = stream_bytes(recs);
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{61}, std::size_t{1000},
+                                  bytes.size()}) {
+    StreamDecoder dec;
+    std::vector<wire::TelemetryRecord> out;
+    for (std::size_t pos = 0; pos < bytes.size(); pos += chunk) {
+      const std::size_t n = std::min(chunk, bytes.size() - pos);
+      dec.ingest(std::span(bytes).subspan(pos, n), out);
+      // The carry buffer can never hold a full frame after compaction.
+      EXPECT_LT(dec.pending_bytes(), wire::kRecordFrameBytes);
+    }
+    ASSERT_EQ(out.size(), recs.size()) << "chunk=" << chunk;
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      EXPECT_TRUE(same_record(out[i], recs[i]));
+    }
+    EXPECT_EQ(dec.stats().frames_ok, recs.size());
+    EXPECT_EQ(dec.stats().frames_rejected, 0u);
+    EXPECT_EQ(dec.stats().bytes_in, bytes.size());
+  }
+}
+
+TEST(StreamDecoder, TruncatedTailIsCarriedNotLost) {
+  const auto recs = sample_records(10);
+  const auto bytes = stream_bytes(recs);
+
+  for (std::size_t cut = 1; cut < wire::kRecordFrameBytes; ++cut) {
+    StreamDecoder dec;
+    std::vector<wire::TelemetryRecord> out;
+    dec.ingest(std::span(bytes).subspan(0, bytes.size() - cut), out);
+    EXPECT_EQ(out.size(), recs.size() - 1);
+    EXPECT_EQ(dec.pending_bytes(), wire::kRecordFrameBytes - cut);
+
+    // Delivering the missing tail completes the frame.
+    dec.ingest(std::span(bytes).subspan(bytes.size() - cut), out);
+    EXPECT_EQ(out.size(), recs.size());
+    EXPECT_EQ(dec.pending_bytes(), 0u);
+  }
+}
+
+TEST(StreamDecoder, SingleBitFlipLosesAtMostOneFrame) {
+  const auto recs = sample_records(50);
+  const auto clean = stream_bytes(recs);
+
+  std::mt19937_64 rng(0xfeedf00d);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto bytes = clean;
+    const std::size_t pos = rng() % bytes.size();
+    bytes[pos] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+
+    StreamDecoder dec;
+    std::vector<wire::TelemetryRecord> out;
+    dec.ingest(bytes, out);
+    // The flipped frame fails its CRC (or its magic, costing a resync);
+    // every other frame must survive.
+    EXPECT_GE(out.size(), recs.size() - 1);
+    EXPECT_LE(out.size(), recs.size());
+    expect_subsequence(out, recs);
+    EXPECT_EQ(dec.stats().frames_ok + dec.stats().frames_rejected,
+              recs.size())
+        << "flip at " << pos;
+  }
+}
+
+TEST(StreamDecoder, OversizedLengthPrefixCannotDriveAllocation) {
+  // A frame header claiming a huge payload must be rejected before any
+  // buffering happens: magic + lying length + junk, then a clean stream.
+  const auto recs = sample_records(5);
+  const auto clean = stream_bytes(recs);
+
+  std::vector<std::uint8_t> bytes;
+  bytes.push_back(0x50);  // 'PQFR' little-endian magic bytes
+  bytes.push_back(0x51);
+  bytes.push_back(0x46);
+  bytes.push_back(0x52);
+  for (int i = 0; i < 4; ++i) bytes.push_back(0xff);  // payload_len ~ 4 GiB
+  for (int i = 0; i < 32; ++i) bytes.push_back(0xaa);
+  bytes.insert(bytes.end(), clean.begin(), clean.end());
+
+  StreamDecoder dec;
+  std::vector<wire::TelemetryRecord> out;
+  dec.ingest(bytes, out);
+  EXPECT_EQ(out.size(), recs.size());
+  EXPECT_GE(dec.stats().frames_rejected, 1u);
+  // Bounded memory: carry buffer peaked below input size + one frame, and
+  // nothing tried to reserve the claimed 4 GiB.
+  EXPECT_LE(dec.stats().buffer_peak, bytes.size());
+  EXPECT_LT(dec.pending_bytes(), wire::kRecordFrameBytes);
+}
+
+TEST(StreamDecoder, GarbagePrefixIsResynced) {
+  const auto recs = sample_records(20);
+  const auto clean = stream_bytes(recs);
+
+  std::mt19937_64 rng(42);
+  for (const std::size_t junk : {std::size_t{1}, std::size_t{3},
+                                 std::size_t{60}, std::size_t{200}}) {
+    std::vector<std::uint8_t> bytes;
+    for (std::size_t i = 0; i < junk; ++i) {
+      // Avoid accidentally starting a valid magic at the junk tail.
+      bytes.push_back(static_cast<std::uint8_t>(rng() % 0x40));
+    }
+    bytes.insert(bytes.end(), clean.begin(), clean.end());
+
+    StreamDecoder dec;
+    std::vector<wire::TelemetryRecord> out;
+    dec.ingest(bytes, out);
+    ASSERT_EQ(out.size(), recs.size()) << "junk=" << junk;
+    EXPECT_EQ(dec.stats().bytes_resynced, junk);
+  }
+}
+
+TEST(StreamDecoder, RandomMutationFuzzNeverCrashesAndAccountsExactly) {
+  const auto recs = sample_records(120);
+  const auto clean = stream_bytes(recs);
+
+  std::mt19937_64 rng(0xabcdef);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto bytes = clean;
+    // A burst of random damage: flips, deletions, garbage insertions.
+    const int edits = 1 + static_cast<int>(rng() % 8);
+    for (int e = 0; e < edits; ++e) {
+      switch (rng() % 3) {
+        case 0:
+          bytes[rng() % bytes.size()] ^= static_cast<std::uint8_t>(rng());
+          break;
+        case 1: {
+          const std::size_t pos = rng() % bytes.size();
+          const std::size_t len = std::min<std::size_t>(
+              1 + rng() % 100, bytes.size() - pos);
+          bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                      bytes.begin() + static_cast<std::ptrdiff_t>(pos + len));
+          break;
+        }
+        default: {
+          const std::size_t pos = rng() % bytes.size();
+          std::vector<std::uint8_t> junk(1 + rng() % 50);
+          for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+          bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                       junk.begin(), junk.end());
+          break;
+        }
+      }
+    }
+    if (bytes.empty()) continue;
+
+    // Feed in random chunk sizes; must never crash, never hold a frame's
+    // worth of carry, and every emitted record must be genuine.
+    StreamDecoder dec;
+    std::vector<wire::TelemetryRecord> out;
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(1 + rng() % 200, bytes.size() - pos);
+      dec.ingest(std::span(bytes).subspan(pos, n), out);
+      EXPECT_LT(dec.pending_bytes(), wire::kRecordFrameBytes);
+      pos += n;
+    }
+    EXPECT_LE(out.size(), recs.size());
+    expect_subsequence(out, recs);
+    EXPECT_EQ(dec.stats().bytes_in, bytes.size());
+  }
+}
+
+TEST(FeedFaultInjector, ScheduleIsIndependentOfChunking) {
+  const auto recs = sample_records(300);
+  const auto bytes = stream_bytes(recs);
+
+  faults::FeedChannelConfig cfg;
+  cfg.truncate_rate = 0.02;
+  cfg.corrupt_rate = 0.03;
+  cfg.garbage_rate = 0.02;
+  cfg.stall_rate = 0.05;
+  cfg.stall_quanta = 3;
+
+  auto deliver = [&](std::size_t chunk) {
+    faults::FaultLog log;
+    faults::FeedFaultInjector inj(cfg, /*seed=*/1234, &log);
+    std::vector<std::uint8_t> out;
+    for (std::size_t pos = 0; pos < bytes.size(); pos += chunk) {
+      const std::size_t n = std::min(chunk, bytes.size() - pos);
+      const auto got = inj.transmit(std::span(bytes).subspan(pos, n));
+      out.insert(out.end(), got.begin(), got.end());
+    }
+    const auto rest = inj.flush();
+    out.insert(out.end(), rest.begin(), rest.end());
+    return out;
+  };
+
+  const auto whole = deliver(bytes.size());
+  EXPECT_EQ(deliver(1), whole);
+  EXPECT_EQ(deliver(61), whole);
+  EXPECT_EQ(deliver(4096), whole);
+
+  // Different seed, different schedule (the knob actually does something).
+  faults::FaultLog other_log;
+  faults::FeedFaultInjector other(cfg, /*seed=*/99, &other_log);
+  auto alt = other.transmit(bytes);
+  const auto alt_rest = other.flush();
+  alt.insert(alt.end(), alt_rest.begin(), alt_rest.end());
+  EXPECT_NE(alt, whole);
+}
+
+TEST(FeedFaultInjector, DamagedStreamStaysDecodable) {
+  const auto recs = sample_records(400);
+  const auto bytes = stream_bytes(recs);
+
+  faults::FeedChannelConfig cfg;
+  cfg.truncate_rate = 0.05;
+  cfg.corrupt_rate = 0.05;
+  cfg.garbage_rate = 0.05;
+
+  faults::FaultLog log;
+  faults::FeedFaultInjector inj(cfg, /*seed=*/7, &log);
+  auto delivered = inj.transmit(bytes);
+  const auto rest = inj.flush();
+  delivered.insert(delivered.end(), rest.begin(), rest.end());
+
+  StreamDecoder dec;
+  std::vector<wire::TelemetryRecord> out;
+  dec.ingest(delivered, out);
+
+  // Chaos costs frames but the stream keeps flowing: a healthy majority
+  // decodes, everything decoded is genuine, accounting is self-consistent.
+  EXPECT_GT(out.size(), recs.size() / 2);
+  EXPECT_LT(out.size(), recs.size());
+  expect_subsequence(out, recs);
+  EXPECT_GT(dec.stats().frames_rejected, 0u);
+  EXPECT_EQ(dec.stats().frames_ok, out.size());
+}
+
+}  // namespace
+}  // namespace pq::serve

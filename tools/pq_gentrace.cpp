@@ -6,6 +6,12 @@
 // Usage:
 //   pq_gentrace <uw|ws|dm|burst|casestudy> <output.pqt>
 //               [--ms N] [--seed S] [--rate GBPS] [--buffer CELLS]
+//               [--stream] [--port P]
+//
+// `--stream` writes the self-delimiting frame-per-record format pq_serve
+// tails (append_record_frame) instead of the one-shot trace bundle;
+// `--port P` rewrites every record's egress port (the simulated port is
+// single-ported; serving tests want distinct port IDs).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,7 +29,7 @@ namespace {
   std::fprintf(stderr,
                "usage: pq_gentrace <uw|ws|dm|burst|casestudy> <output.pqt>\n"
                "                   [--ms N] [--seed S] [--rate GBPS]\n"
-               "                   [--buffer CELLS]\n");
+               "                   [--buffer CELLS] [--stream] [--port P]\n");
   std::exit(2);
 }
 
@@ -32,6 +38,13 @@ double arg_double(int argc, char** argv, const char* name, double dflt) {
     if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
   }
   return dflt;
+}
+
+bool arg_flag(int argc, char** argv, const char* name) {
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -79,7 +92,18 @@ int main(int argc, char** argv) {
     usage();
   }
 
-  wire::write_trace_file(out_path, port.records());
+  std::vector<wire::TelemetryRecord> records = port.records();
+  const double port_override = arg_double(argc, argv, "--port", -1.0);
+  if (port_override >= 0.0) {
+    for (auto& r : records) {
+      r.egress_port = static_cast<std::uint32_t>(port_override);
+    }
+  }
+  if (arg_flag(argc, argv, "--stream")) {
+    wire::write_stream_file(out_path, records);
+  } else {
+    wire::write_trace_file(out_path, records);
+  }
   std::printf("%s: %zu records (%llu dropped), peak depth %u cells, "
               "span %.2f ms\n",
               out_path.c_str(), port.records().size(),

@@ -6,17 +6,38 @@
 // Usage:
 //   pq_query <archive-dir> windows <port> <t1_ns> <t2_ns> [--top K]
 //   pq_query <archive-dir> monitor <port> <t_ns>
+//   pq_query <archive-dir> blocks <port>
 //   pq_query <archive-dir> info
+//   (any mode) [--strict] [--as-of T_ns]
+//
+// `--as-of T` answers from only the blocks with t_hi <= T — the archive as
+// it stood at time T. Calibration is newest-wins, so a later checkpoint
+// legitimately rescales answers over earlier spans; bounding two archives
+// to a common horizon is how the kill-and-recover test compares a crash
+// survivor against its uninterrupted oracle.
 //
 // The windows/monitor output bodies are byte-identical to pq_offline over
 // the same span (both run control::offline_query_*); only the first header
 // line differs. tests/golden_archive_test.sh relies on that.
+//
+// `blocks` prints one canonical line per recovered block (kind, partition,
+// time span, payload length and CRC) — a block-level fingerprint of the
+// surviving stream, so crash-recovery tests can assert that one archive is
+// an exact prefix of another with head/diff.
+//
+// `--strict` turns recovery into a visible failure: whenever the scan had
+// to truncate anything (a crash-torn tail, a corrupt block), a one-line
+// summary goes to stderr and the exit code is 3. The answers themselves
+// are unchanged — strict mode is for scripts that must distinguish "clean
+// archive" from "recovered archive".
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 
+#include "common/hash.h"
 #include "store/archive_reader.h"
 
 int main(int argc, char** argv) {
@@ -24,10 +45,20 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: pq_query <archive-dir> windows <port> <t1> <t2> "
-                 "[--top K]\n"
-                 "       pq_query <archive-dir> monitor <port> <t>\n"
-                 "       pq_query <archive-dir> info\n");
+                 "[--top K] [--strict]\n"
+                 "       pq_query <archive-dir> monitor <port> <t> "
+                 "[--strict]\n"
+                 "       pq_query <archive-dir> blocks <port> [--strict]\n"
+                 "       pq_query <archive-dir> info [--strict]\n");
     return 2;
+  }
+  bool strict = false;
+  auto as_of = std::numeric_limits<Timestamp>::max();
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) strict = true;
+    if (std::strcmp(argv[i], "--as-of") == 0 && i + 1 < argc) {
+      as_of = static_cast<Timestamp>(std::atoll(argv[i + 1]));
+    }
   }
 
   std::unique_ptr<store::ArchiveReader> reader;
@@ -45,6 +76,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.segments_opened),
               static_cast<unsigned long long>(stats.recoveries),
               stats.recoveries == 1 ? "y" : "ies");
+
+  // Shared epilogue: recovery is always announced on stderr (stdout bodies
+  // stay byte-stable for the golden tests); strict mode makes it fatal.
+  const bool dirty = stats.recoveries > 0 || stats.bytes_truncated > 0;
+  auto finish = [&]() -> int {
+    if (dirty) {
+      std::fprintf(stderr,
+                   "recovery: %llu recover%s, %llu byte(s) truncated, "
+                   "%llu of %llu segment(s) footer-clean\n",
+                   static_cast<unsigned long long>(stats.recoveries),
+                   stats.recoveries == 1 ? "y" : "ies",
+                   static_cast<unsigned long long>(stats.bytes_truncated),
+                   static_cast<unsigned long long>(stats.footer_hits),
+                   static_cast<unsigned long long>(stats.segments_opened));
+    }
+    return strict && dirty ? 3 : 0;
+  };
 
   const std::string mode = argv[2];
   if (mode == "info") {
@@ -66,18 +114,34 @@ int main(int argc, char** argv) {
                       : records.window_snapshots[0].size(),
                   reader->dq_captures(port).size(), records.z0);
     }
-    return 0;
+    return finish();
   }
 
-  if (argc < 5) {
-    std::fprintf(stderr, "%s mode needs <port> and timestamp(s)\n",
-                 mode.c_str());
+  if (argc < (mode == "blocks" ? 4 : 5)) {
+    std::fprintf(stderr, "%s mode needs <port>%s\n", mode.c_str(),
+                 mode == "blocks" ? "" : " and timestamp(s)");
     return 2;
   }
   const auto port = static_cast<std::uint32_t>(std::atoi(argv[3]));
   if (!reader->has_port(port)) {
     std::fprintf(stderr, "port %u not present in archive\n", port);
     return 1;
+  }
+
+  if (mode == "blocks") {
+    // One line per recovered block, in append order. The payload CRC makes
+    // each line a content fingerprint: `head -n K | diff` proves one
+    // archive's surviving stream is a prefix of another's.
+    const auto& rec = reader->recovered().at(port);
+    for (const auto& b : rec.blocks) {
+      std::printf("block kind=%u part=%u t_lo=%llu t_hi=%llu len=%zu "
+                  "crc=%08x\n",
+                  static_cast<unsigned>(b.kind), b.partition,
+                  static_cast<unsigned long long>(b.t_lo),
+                  static_cast<unsigned long long>(b.t_hi), b.payload.size(),
+                  crc32(b.payload.data(), b.payload.size()));
+    }
+    return finish();
   }
 
   if (mode == "windows") {
@@ -93,7 +157,7 @@ int main(int argc, char** argv) {
         top = static_cast<std::size_t>(std::atoi(argv[i + 1]));
       }
     }
-    const auto counts = reader->query_time_windows(port, t1, t2);
+    const auto counts = reader->query_time_windows(port, t1, t2, 0, as_of);
     std::printf("\nper-flow packet counts over [%llu, %llu) ns "
                 "(%zu flows):\n",
                 static_cast<unsigned long long>(t1),
@@ -103,7 +167,7 @@ int main(int argc, char** argv) {
     }
   } else if (mode == "monitor") {
     const auto t = static_cast<Timestamp>(std::atoll(argv[4]));
-    const auto culprits = reader->query_queue_monitor(port, t);
+    const auto culprits = reader->query_queue_monitor(port, t, 0, as_of);
     std::printf("\noriginal culprits near t=%llu ns (%zu entries):\n",
                 static_cast<unsigned long long>(t), culprits.size());
     const auto counts = core::culprit_counts(culprits);
@@ -114,5 +178,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
     return 2;
   }
-  return 0;
+  return finish();
 }
