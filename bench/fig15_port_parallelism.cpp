@@ -1,20 +1,32 @@
 // Reproduces paper Fig. 15 — asynchronous-query accuracy and total
 // data-plane SRAM utilisation as PrintQueue is activated on more ports
-// simultaneously (WS traces) — and, new with the port-sharded engine,
-// measures the wall-clock speedup of draining those ports on a worker pool.
-// As in the paper, alpha and k are tightened as the port count grows so the
-// total register budget stays affordable:
+// simultaneously (WS traces) — and proves the port-sharded engine scales:
+// the port sweep runs 1/2/4/8/16/32 ports, and an 8-port thread sweep
+// (batch 256, the threads x batch product of docs/ARCHITECTURE.md §8/§10)
+// measures wall-clock speedup over the single-thread drain. As in the
+// paper, alpha and k tighten as the port count grows so the total register
+// budget stays affordable:
 //   1 port:  alpha=1, k=12     2 ports: alpha=1, k=11
-//   4/8/10 ports: alpha=2, k=10
+//   4/8/16 ports: alpha=2, k=10     32 ports: alpha=2, k=9
 //
-// Expected shape: accuracy declines gently as the per-port structures
-// shrink; SRAM grows with the port count; run time shrinks with the thread
-// count while every accuracy column stays bit-identical (the determinism
-// contract of docs/ARCHITECTURE.md). Results land in
-// BENCH_port_parallelism.json.
+// Methodology (docs/EXPERIMENTS.md): traffic is generated per port, so the
+// staged shards feed run_partitioned() directly — no partition pass in the
+// timed region — and each timed run drains a fresh ShardedSystem from
+// pre-copied shards. The timer covers exactly the parallel section: worker
+// drains plus the caller-thread epoch merge of the default 4 ms handoff.
+// Accuracy columns must be bit-identical across every thread count (the
+// determinism contract); the speedup headline `shard_scaling_8t_x` is
+// gated in CI against bench/baselines/port_parallelism_baseline.json.
+//
+// Usage: fig15_port_parallelism [--quick] [--out BENCH_port_parallelism.json]
+//   --quick  shorter traces and fewer sampled victims; same sweep shape.
+//            CI runs this mode and still enforces the scaling gate.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
+#include <utility>
 
 #include "bench/common/experiment.h"
 #include "bench/common/table.h"
@@ -32,27 +44,28 @@ struct PortSetup {
 struct Row {
   std::uint32_t ports = 0, alpha = 0, k = 0;
   unsigned threads = 1;
+  std::uint32_t batch = 1;
   double run_ms = 0.0, speedup = 1.0;
   double precision = 0.0, recall = 0.0;
   std::size_t victims = 0;
   double windows_sram = 0.0, monitor_sram = 0.0;
 };
 
-std::vector<Packet> make_workload(std::uint32_t ports) {
-  std::vector<std::vector<Packet>> parts;
+/// One arrival-ordered trace per port: the natural input of
+/// run_partitioned(), so staging never serialises a merge + re-partition.
+std::vector<std::vector<Packet>> make_shards(std::uint32_t ports,
+                                             Duration duration_ns) {
+  std::vector<std::vector<Packet>> shards(ports);
   for (std::uint32_t p = 0; p < ports; ++p) {
     traffic::FlowTraceConfig tcfg;
     tcfg.flow_sizes = &traffic::web_search_flow_sizes();
-    // Long enough to cover several set periods of the largest config
-    // (alpha=2, k=10, m0=10 has t_set ~ 22 ms; alpha=1, k=12 ~ 63 ms).
-    tcfg.duration_ns = 250'000'000;
+    tcfg.duration_ns = duration_ns;
     tcfg.seed = 42 + p;
     tcfg.flow_id_base = p * 1'000'000;
-    auto pkts = traffic::generate_flow_trace(tcfg);
-    for (auto& pk : pkts) pk.egress_hint = p;
-    parts.push_back(std::move(pkts));
+    shards[p] = traffic::generate_flow_trace(tcfg);
+    for (auto& pk : shards[p]) pk.egress_hint = p;
   }
-  return traffic::merge_traces(std::move(parts));
+  return shards;
 }
 
 control::ShardedSystem::Config system_config(const PortSetup& setup) {
@@ -78,13 +91,18 @@ control::ShardedSystem::Config system_config(const PortSetup& setup) {
   return cfg;
 }
 
-/// Runs one configuration on `threads` workers; fills accuracy from port 0.
-Row run_setup(const PortSetup& setup, const std::vector<Packet>& packets,
-              unsigned threads) {
+/// Runs one configuration: copies the staged shards outside the timer,
+/// then times exactly sys.run_partitioned() — worker drains plus the
+/// caller-thread epoch merge. Fills accuracy from port 0.
+Row run_setup(const PortSetup& setup,
+              const std::vector<std::vector<Packet>>& shards,
+              unsigned threads, std::uint32_t batch, std::size_t max_victims) {
   control::ShardedSystem sys(system_config(setup));
+  auto opts = sys.default_run_options(threads, batch);
+  auto staged = shards;  // the copy is staging, not parallel work: untimed
 
   const auto t0 = std::chrono::steady_clock::now();
-  sys.run(packets, threads);
+  sys.run_partitioned(std::move(staged), opts);
   const auto t1 = std::chrono::steady_clock::now();
 
   Row row;
@@ -92,6 +110,7 @@ Row run_setup(const PortSetup& setup, const std::vector<Packet>& packets,
   row.alpha = setup.alpha;
   row.k = setup.k;
   row.threads = threads;
+  row.batch = batch;
   row.run_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   row.windows_sram = 100.0 * control::TofinoResourceModel::sram_utilization(
@@ -104,8 +123,8 @@ Row run_setup(const PortSetup& setup, const std::vector<Packet>& packets,
   ground::GroundTruth truth(records);
   OnlineStats prec, rec;
   Rng rng(7);
-  const auto victims =
-      ground::sample_victims(records, ground::paper_depth_bins(), 60, rng);
+  const auto victims = ground::sample_victims(
+      records, ground::paper_depth_bins(), max_victims, rng);
   for (const auto& v : victims) {
     const Timestamp t1v = v.record.enq_timestamp;
     const Timestamp t2v = v.record.deq_timestamp();
@@ -122,72 +141,153 @@ Row run_setup(const PortSetup& setup, const std::vector<Packet>& packets,
   return row;
 }
 
-void write_json(const std::vector<Row>& rows) {
-  std::FILE* f = std::fopen("BENCH_port_parallelism.json", "w");
+void write_json(const char* path, const std::vector<Row>& rows,
+                double scaling_2t, double scaling_4t, double scaling_8t,
+                double run_ms_1t, double run_ms_8t, std::uint32_t ports_max,
+                bool accuracy_identical, unsigned hw) {
+  std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_port_parallelism.json\n");
-    return;
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
   }
-  std::fprintf(f, "[\n");
+  // Flat headline keys first (tools/check_bench_regression.py reads these),
+  // the full sweep as a "rows" array after.
+  std::fprintf(f,
+               "{\n"
+               "  \"shard_scaling_2t_x\": %.3f,\n"
+               "  \"shard_scaling_4t_x\": %.3f,\n"
+               "  \"shard_scaling_8t_x\": %.3f,\n"
+               "  \"sweep_run_ms_1t\": %.2f,\n"
+               "  \"sweep_run_ms_8t\": %.2f,\n"
+               "  \"ports_max\": %u,\n"
+               "  \"accuracy_identical\": %d,\n"
+               "  \"hw_threads\": %u,\n"
+               "  \"rows\": [\n",
+               scaling_2t, scaling_4t, scaling_8t, run_ms_1t, run_ms_8t,
+               ports_max, accuracy_identical ? 1 : 0, hw);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
-                 "  {\"ports\": %u, \"alpha\": %u, \"k\": %u, "
-                 "\"threads\": %u, \"run_ms\": %.2f, \"speedup\": %.3f, "
-                 "\"precision\": %.4f, \"recall\": %.4f, \"victims\": %zu, "
-                 "\"windows_sram_pct\": %.2f, \"monitor_sram_pct\": %.2f}%s\n",
-                 r.ports, r.alpha, r.k, r.threads, r.run_ms, r.speedup,
-                 r.precision, r.recall, r.victims, r.windows_sram,
+                 "    {\"ports\": %u, \"alpha\": %u, \"k\": %u, "
+                 "\"threads\": %u, \"batch\": %u, \"run_ms\": %.2f, "
+                 "\"speedup\": %.3f, \"precision\": %.4f, \"recall\": %.4f, "
+                 "\"victims\": %zu, \"windows_sram_pct\": %.2f, "
+                 "\"monitor_sram_pct\": %.2f}%s\n",
+                 r.ports, r.alpha, r.k, r.threads, r.batch, r.run_ms,
+                 r.speedup, r.precision, r.recall, r.victims, r.windows_sram,
                  r.monitor_sram, i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+const char* arg_str(int argc, char** argv, const char* name,
+                    const char* dflt) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return dflt;
 }
 
 }  // namespace
 }  // namespace pq::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pq::bench;
+  const bool quick = has_flag(argc, argv, "--quick");
+  const char* out_path =
+      arg_str(argc, argv, "--out", "BENCH_port_parallelism.json");
+  // Full mode covers several set periods of the largest config (alpha=1,
+  // k=12, m0=10 has t_set ~ 63 ms); quick mode trades accuracy-sample
+  // depth for CI wall clock but keeps the identical sweep shape.
+  const pq::Duration port_sweep_ns = quick ? 40'000'000 : 250'000'000;
+  const pq::Duration thread_sweep_ns = quick ? 80'000'000 : 250'000'000;
+  const std::size_t max_victims = quick ? 12 : 60;
   std::vector<Row> rows;
 
-  std::printf("== Fig. 15: accuracy vs number of active ports (WS) ==\n");
-  Table t({"ports", "config", "precision", "recall", "windows SRAM",
-           "monitor SRAM", "n"});
+  std::printf("== Fig. 15: accuracy vs number of active ports (WS%s) ==\n",
+              quick ? ", --quick" : "");
+  Table t({"ports", "config", "threads", "run ms", "precision", "recall",
+           "windows SRAM", "monitor SRAM", "n"});
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  for (const auto& s : {PortSetup{1, 1, 12}, PortSetup{2, 1, 11},
-                        PortSetup{4, 2, 10}, PortSetup{8, 2, 10},
-                        PortSetup{10, 2, 10}}) {
-    const auto packets = make_workload(s.ports);
-    Row row = run_setup(s, packets, std::min<unsigned>(hw, s.ports));
+  std::uint32_t ports_max = 0;
+  for (const auto& s :
+       {PortSetup{1, 1, 12}, PortSetup{2, 1, 11}, PortSetup{4, 2, 10},
+        PortSetup{8, 2, 10}, PortSetup{16, 2, 10}, PortSetup{32, 2, 9}}) {
+    const auto shards = make_shards(s.ports, port_sweep_ns);
+    const unsigned threads = std::min<unsigned>(hw, s.ports);
+    Row row = run_setup(s, shards, threads, 256, max_victims);
+    ports_max = std::max(ports_max, s.ports);
     char label[32];
     std::snprintf(label, sizeof label, "alpha=%u k=%u", s.alpha, s.k);
-    t.row({std::to_string(row.ports), label, fmt(row.precision),
-           fmt(row.recall), fmt(row.windows_sram, 1) + "%",
-           fmt(row.monitor_sram, 1) + "%", std::to_string(row.victims)});
+    t.row({std::to_string(row.ports), label, std::to_string(row.threads),
+           fmt(row.run_ms, 1), fmt(row.precision), fmt(row.recall),
+           fmt(row.windows_sram, 1) + "%", fmt(row.monitor_sram, 1) + "%",
+           std::to_string(row.victims)});
     rows.push_back(row);
   }
   t.print();
 
   std::printf("\n== Port-sharded engine: wall clock vs thread count "
-              "(8 ports, alpha=2 k=10) ==\n");
-  Table st({"threads", "run ms", "speedup", "precision", "recall"});
+              "(8 ports, alpha=2 k=10, batch 256) ==\n");
+  Table st({"threads", "batch", "run ms", "speedup", "precision", "recall"});
   const PortSetup sweep{8, 2, 10};
-  const auto packets = make_workload(sweep.ports);
-  double base_ms = 0.0;
+  const auto shards = make_shards(sweep.ports, thread_sweep_ns);
+  double base_ms = 0.0, run_ms_8t = 0.0;
+  double scaling_2t = 1.0, scaling_4t = 1.0, scaling_8t = 1.0;
+  double base_precision = 0.0, base_recall = 0.0;
+  bool accuracy_identical = true;
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
-    Row row = run_setup(sweep, packets, threads);
-    if (threads == 1) base_ms = row.run_ms;
+    // Best-of-3 per thread count: the sweep measures capacity, and
+    // best-of rejects one-off scheduler stalls without hiding a real
+    // regression (every repetition drains the identical staged shards).
+    Row row;
+    for (int rep = 0; rep < 3; ++rep) {
+      Row attempt = run_setup(sweep, shards, threads, 256, max_victims);
+      if (rep == 0 || attempt.run_ms < row.run_ms) row = attempt;
+    }
+    if (threads == 1) {
+      base_ms = row.run_ms;
+      base_precision = row.precision;
+      base_recall = row.recall;
+    }
     row.speedup = base_ms > 0.0 ? base_ms / row.run_ms : 1.0;
-    st.row({std::to_string(row.threads), fmt(row.run_ms, 1),
-            fmt(row.speedup, 2) + "x", fmt(row.precision), fmt(row.recall)});
+    // The determinism contract, enforced: accuracy columns may not move
+    // with the thread count.
+    if (row.precision != base_precision || row.recall != base_recall) {
+      accuracy_identical = false;
+    }
+    if (threads == 2) scaling_2t = row.speedup;
+    if (threads == 4) scaling_4t = row.speedup;
+    if (threads == 8) {
+      scaling_8t = row.speedup;
+      run_ms_8t = row.run_ms;
+    }
+    st.row({std::to_string(row.threads), std::to_string(row.batch),
+            fmt(row.run_ms, 1), fmt(row.speedup, 2) + "x",
+            fmt(row.precision), fmt(row.recall)});
     rows.push_back(row);
   }
   st.print();
-  std::printf("(accuracy columns must be identical across thread counts; "
-              "hardware threads here: %u)\n", hw);
+  std::printf("(hardware threads here: %u; shard_scaling_8t_x = %.2f — the "
+              "CI gate needs >= 4 cores to be meaningful)\n",
+              hw, scaling_8t);
+  if (!accuracy_identical) {
+    std::fprintf(stderr,
+                 "FAIL: accuracy moved with the thread count — the "
+                 "determinism contract is broken\n");
+    return 1;
+  }
 
-  write_json(rows);
-  std::printf("\nwrote BENCH_port_parallelism.json\n");
+  write_json(out_path, rows, scaling_2t, scaling_4t, scaling_8t, base_ms,
+             run_ms_8t, ports_max, accuracy_identical, hw);
+  std::printf("\nwrote %s\n", out_path);
   return 0;
 }

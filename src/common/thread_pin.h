@@ -1,0 +1,42 @@
+// Best-effort CPU pinning for shard workers (`--pin-threads`).
+//
+// Pinning worker i to core i % ncpu keeps a shard's register state hot in
+// one core's cache instead of migrating with the scheduler; on a loaded box
+// it is also what makes per-shard drain_ns numbers comparable across runs.
+// It is strictly best-effort: on failure (restricted affinity mask, exotic
+// kernel, non-Linux) the worker simply runs unpinned and reports -1, and no
+// result bytes depend on it — placement is a timing concern only, so the
+// effective CPU is exported as a timing-tagged metric, outside the
+// deterministic view.
+#pragma once
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include <thread>
+
+namespace pq {
+
+/// Pins the calling thread to one CPU chosen round-robin from the worker
+/// index. Returns the CPU the thread is actually running on after the
+/// attempt, or -1 when pinning is unsupported or failed.
+inline int pin_current_thread(unsigned worker_index) {
+#if defined(__linux__)
+  const unsigned ncpu = std::thread::hardware_concurrency();
+  if (ncpu == 0) return -1;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(worker_index % ncpu, &set);
+  if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
+    return -1;
+  }
+  return sched_getcpu();
+#else
+  (void)worker_index;
+  return -1;
+#endif
+}
+
+}  // namespace pq

@@ -242,6 +242,23 @@ obs::MetricsRegistry Daemon::collect_metrics() {
   reg.gauge("pq_serve_queue_depth_peak", obs::GaugeMode::kMax,
             "per-shard ingest queue high-watermark")
       .set_max(supervisor_->queue_peak_depth());
+  if (cfg_.supervisor.pin_threads) {
+    // Worker placement is scheduling metadata: timing-tagged, outside the
+    // deterministic metrics view.
+    std::uint64_t pinned = 0;
+    for (std::uint32_t s = 0; s < supervisor_->num_shards(); ++s) {
+      const int cpu = supervisor_->worker_cpu(s);
+      if (cpu < 0) continue;
+      ++pinned;
+      reg.gauge("pq_serve_shard" + std::to_string(s) + "_cpu",
+                obs::GaugeMode::kMax, "effective CPU of the shard worker",
+                /*timing=*/true)
+          .set(static_cast<std::uint64_t>(cpu));
+    }
+    reg.gauge("pq_serve_pinned_workers", obs::GaugeMode::kMax,
+              "shard workers successfully pinned", /*timing=*/true)
+        .set(pinned);
+  }
 
   if (query_server_) {
     const ServerStats& s = query_server_->stats();

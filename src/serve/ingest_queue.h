@@ -3,19 +3,23 @@
 // queue either blocks the producer (backpressure — the archive stays a
 // complete record) or sheds the newest record with an exact counter
 // (drop-newest — ingest latency stays bounded); it never grows without
-// limit. One producer (the feed pump) and one consumer (the shard worker)
-// plus read-only observers (watchdog, metrics) — a mutex + two condvars is
-// plenty at telemetry rates.
+// limit.
+//
+// Exactly one producer (the feed pump) and one consumer (the shard worker)
+// touch the data path, so this sits directly on the lock-free SPSC ring
+// (common/spsc_queue.h) — the same handoff primitive the sharded engine's
+// epoch merge uses — instead of the old mutex + two condvars. Per record
+// the handoff is one release/acquire pair; observers (watchdog, metrics)
+// read depth/peak/shed from atomics without ever blocking an absorb.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <mutex>
 #include <vector>
 
+#include "common/spsc_queue.h"
 #include "wire/telemetry.h"
 
 namespace pq::serve {
@@ -29,37 +33,24 @@ class IngestQueue {
   };
 
   explicit IngestQueue(std::size_t capacity)
-      : capacity_(std::max<std::size_t>(1, capacity)) {}
+      : ring_(std::max<std::size_t>(1, capacity)) {}
 
   /// Backpressure push: blocks until there is room (the feed pump stalls,
   /// bounding memory by stalling the producer). Returns kClosed if the
   /// queue closes while waiting.
   Push push_wait(const wire::TelemetryRecord& rec) {
-    std::unique_lock<std::mutex> lk(mu_);
-    not_full_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
-    if (closed_) return Push::kClosed;
-    q_.push_back(rec);
-    peak_depth_ = std::max(peak_depth_, q_.size());
-    lk.unlock();
-    not_empty_.notify_one();
-    return Push::kOk;
+    wire::TelemetryRecord copy = rec;
+    return ring_.push_wait(std::move(copy)) ? Push::kOk : Push::kClosed;
   }
 
   /// Shedding push: never blocks; a full queue drops the newest record and
   /// increments the shed counter (the explicit-degradation policy).
   Push try_push(const wire::TelemetryRecord& rec) {
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (closed_) return Push::kClosed;
-      if (q_.size() >= capacity_) {
-        ++shed_;
-        return Push::kShed;
-      }
-      q_.push_back(rec);
-      peak_depth_ = std::max(peak_depth_, q_.size());
-    }
-    not_empty_.notify_one();
-    return Push::kOk;
+    if (ring_.closed()) return Push::kClosed;
+    wire::TelemetryRecord copy = rec;
+    if (ring_.try_push(std::move(copy))) return Push::kOk;
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Push::kShed;
   }
 
   /// Pops up to `max` records into `out` (appended), waiting up to `wait`
@@ -67,59 +58,36 @@ class IngestQueue {
   /// means fully drained.
   std::size_t pop_batch(std::vector<wire::TelemetryRecord>& out,
                         std::size_t max, std::chrono::milliseconds wait) {
-    std::unique_lock<std::mutex> lk(mu_);
-    not_empty_.wait_for(lk, wait, [&] { return closed_ || !q_.empty(); });
-    const std::size_t n = std::min(max, q_.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      out.push_back(q_.front());
-      q_.pop_front();
+    if (max == 0) return 0;
+    wire::TelemetryRecord rec;
+    if (!ring_.pop_wait(
+            rec, std::chrono::duration_cast<std::chrono::microseconds>(wait))) {
+      return 0;
     }
-    lk.unlock();
-    if (n > 0) not_full_.notify_all();
+    out.push_back(std::move(rec));
+    std::size_t n = 1;
+    while (n < max && ring_.try_pop(rec)) {
+      out.push_back(std::move(rec));
+      ++n;
+    }
     return n;
   }
 
   /// Begins the drain: no new records, consumers pop what remains.
-  void close() {
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      closed_ = true;
-    }
-    not_full_.notify_all();
-    not_empty_.notify_all();
-  }
+  void close() { ring_.close(); }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return closed_;
-  }
-  bool drained() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return closed_ && q_.empty();
-  }
-  std::size_t depth() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return q_.size();
-  }
-  std::size_t peak_depth() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return peak_depth_;
-  }
+  bool closed() const { return ring_.closed(); }
+  bool drained() const { return ring_.drained(); }
+  std::size_t depth() const { return ring_.size(); }
+  std::size_t peak_depth() const { return ring_.peak_depth(); }
   std::uint64_t shed_total() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return shed_;
+    return shed_.load(std::memory_order_relaxed);
   }
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const { return ring_.capacity(); }
 
  private:
-  const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<wire::TelemetryRecord> q_;
-  std::size_t peak_depth_ = 0;
-  std::uint64_t shed_ = 0;
-  bool closed_ = false;
+  SpscQueue<wire::TelemetryRecord> ring_;
+  std::atomic<std::uint64_t> shed_{0};
 };
 
 }  // namespace pq::serve

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_pin.h"
+
 namespace pq::serve {
 
 sim::EgressContext to_context(const wire::TelemetryRecord& r) {
@@ -48,6 +50,9 @@ void ShardSupervisor::start() {
 
 void ShardSupervisor::worker_loop(std::uint32_t prefix) {
   Shard& sh = *shards_[prefix];
+  if (opts_.pin_threads) {
+    sh.cpu.store(pin_current_thread(prefix), std::memory_order_relaxed);
+  }
   std::vector<wire::TelemetryRecord> recs;
   sim::PacketBatch pb;
   pb.reserve(opts_.batch);

@@ -46,6 +46,10 @@ struct SupervisorOptions {
   std::size_t queue_capacity = 8192; ///< per-shard ingest queue cap
   OverloadPolicy overload = OverloadPolicy::kBackpressure;
   std::chrono::milliseconds pop_wait{20};
+  /// Best-effort round-robin CPU pinning of the shard workers
+  /// (common/thread_pin.h). Placement is a timing concern only — the
+  /// effective CPU is reported via worker_cpu(), never in results.
+  bool pin_threads = false;
 };
 
 enum class Submit : std::uint8_t {
@@ -100,6 +104,12 @@ class ShardSupervisor {
   std::size_t num_shards() const { return shards_.size(); }
   bool draining() const;
 
+  /// CPU the shard's worker is running on after the pin attempt: -1 when
+  /// unpinned, unsupported, or the worker has not started yet.
+  int worker_cpu(std::uint32_t prefix) const {
+    return shards_[prefix]->cpu.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Shard {
     explicit Shard(std::size_t cap) : queue(cap) {}
@@ -109,6 +119,7 @@ class ShardSupervisor {
     std::atomic<std::uint64_t> heartbeat{0};
     std::uint64_t heartbeat_seen = 0;  ///< watchdog-thread private
     std::atomic<std::uint64_t> absorbed{0};
+    std::atomic<int> cpu{-1};  ///< effective worker CPU (-1 = unpinned)
     Timestamp last_deq = 0;  ///< guarded by mu
     sim::EgressHook* hook = nullptr;
   };

@@ -69,6 +69,13 @@ void EgressPort::drain() {
   flush_hook_batch();
 }
 
+void EgressPort::advance_to(Timestamp horizon) {
+  advance(horizon);
+  now_ = std::max(now_, horizon);
+}
+
+bool EgressPort::queue_empty() const { return sched_->empty(); }
+
 void EgressPort::run(std::vector<Packet> packets) {
   std::stable_sort(packets.begin(), packets.end(),
                    [](const Packet& a, const Packet& b) {

@@ -1,0 +1,132 @@
+#include "sim/epoch_handoff.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pq::sim {
+
+namespace {
+constexpr std::size_t kQueueCapacity = 64;  // chunks in flight per shard
+}  // namespace
+
+EpochCollector::EpochCollector(std::size_t num_shards, bool concurrent,
+                               std::vector<wire::TelemetryRecord>& merged_out,
+                               const EpochHooks* hooks)
+    : shards_(num_shards),
+      merged_(merged_out),
+      hooks_(hooks),
+      concurrent_(concurrent) {
+  if (concurrent_) {
+    queues_.reserve(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      queues_.push_back(
+          std::make_unique<SpscQueue<RecordChunk>>(kQueueCapacity));
+    }
+  }
+}
+
+void EpochCollector::publish(std::uint32_t shard, RecordChunk&& chunk) {
+  if (concurrent_) {
+    queues_[shard]->push_wait(std::move(chunk));
+    return;
+  }
+  // Single-worker run: the producer IS the consumer, so merge inline at the
+  // seal points — same merge code, same order, no queue round trip.
+  accept(shard, std::move(chunk));
+  while (try_merge_next()) {
+  }
+}
+
+void EpochCollector::accept(std::uint32_t shard, RecordChunk&& chunk) {
+  ShardState& st = shards_[shard];
+  assert(chunk.epoch == st.received && "chunks must arrive in epoch order");
+  st.received = chunk.epoch + 1;
+  if (chunk.final_chunk) {
+    st.final_received = true;
+    st.final_epoch = chunk.epoch;
+    ++finals_seen_;
+  }
+  st.pending.push_back(std::move(chunk));
+}
+
+bool EpochCollector::poll() {
+  bool progressed = false;
+  RecordChunk chunk;
+  for (std::uint32_t s = 0; s < queues_.size(); ++s) {
+    while (queues_[s]->try_pop(chunk)) {
+      accept(s, std::move(chunk));
+      progressed = true;
+    }
+  }
+  while (try_merge_next()) progressed = true;
+  return progressed;
+}
+
+void EpochCollector::finish() {
+  if (concurrent_) {
+    // Every producer has published its final chunk by now; one sweep over
+    // the queues picks up whatever poll() had not seen yet.
+    RecordChunk chunk;
+    for (std::uint32_t s = 0; s < queues_.size(); ++s) {
+      while (queues_[s]->try_pop(chunk)) accept(s, std::move(chunk));
+    }
+  }
+  while (try_merge_next()) {
+  }
+  assert(complete_ && "finish() before every shard sealed its final chunk");
+}
+
+bool EpochCollector::try_merge_next() {
+  if (complete_) return false;
+  for (const ShardState& st : shards_) {
+    const bool covers = st.received > next_;
+    const bool past = st.final_received && st.final_epoch < next_;
+    if (!covers && !past) return false;
+  }
+
+  // Gather epoch `next_` in shard-index order. Each chunk's records are in
+  // dequeue order and every timestamp lies in this epoch's half-open span,
+  // so appending in shard order and stable-sorting the appended span on the
+  // timestamp alone reproduces the global (deq_timestamp, shard, per-shard
+  // order) merge.
+  std::vector<std::shared_ptr<void>> sidecars(shards_.size());
+  const std::size_t merged_base = merged_.size();
+  std::size_t contributors = 0;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    ShardState& st = shards_[s];
+    if (st.pending.empty() || st.pending.front().epoch != next_) continue;
+    RecordChunk& chunk = st.pending.front();
+    if (!chunk.records.empty()) {
+      merged_.insert(merged_.end(),
+                     std::make_move_iterator(chunk.records.begin()),
+                     std::make_move_iterator(chunk.records.end()));
+      ++contributors;
+    }
+    sidecars[s] = std::move(chunk.sidecar);
+    st.pending.pop_front();
+  }
+  if (contributors > 1) {
+    std::stable_sort(merged_.begin() + static_cast<std::ptrdiff_t>(merged_base),
+                     merged_.end(),
+                     [](const wire::TelemetryRecord& a,
+                        const wire::TelemetryRecord& b) {
+                       return a.deq_timestamp() < b.deq_timestamp();
+                     });
+  }
+
+  bool all_drained = finals_seen_ == shards_.size();
+  for (const ShardState& st : shards_) {
+    if (!st.pending.empty()) all_drained = false;
+  }
+  if (all_drained) complete_ = true;
+
+  if (hooks_ != nullptr && hooks_->ready) {
+    hooks_->ready(next_, sidecars, complete_);
+  }
+  ++next_;
+  return true;
+}
+
+bool EpochCollector::complete() const { return complete_; }
+
+}  // namespace pq::sim

@@ -7,8 +7,19 @@
 // per-port arrival order) and drains each shard on a worker from a small
 // thread pool. Shards share no mutable state — each worker touches exactly
 // one EgressPort and the hooks registered on it — so the per-port outputs
-// are byte-identical for any thread count, including 1. Cross-shard views
-// (merged_records) are produced by a deterministic dequeue-timestamp merge.
+// are byte-identical for any thread count, including 1.
+//
+// Two things used to keep threads from paying off, and both are gone:
+//   - staging was serial (one pass over every packet on the caller thread,
+//     plus a redundant sort). Partitioning now runs on the worker pool
+//     (two-pass count/scatter, byte-identical shards), and drivers that
+//     already hold per-port streams skip it entirely via run_partitioned().
+//   - cross-shard views were produced at an end-of-run merge barrier. With
+//     RunOptions::epoch_ns set, shards seal per-epoch record chunks into
+//     per-shard SPSC queues and the caller thread merges them incrementally
+//     while the workers drain (sim/epoch_handoff.h) — deterministically, in
+//     (deq_timestamp, shard index, per-shard order) just like the barrier
+//     did.
 //
 // Determinism contract: a hook registered on one port only ever runs on the
 // worker draining that port, and sees that port's packets in dequeue order.
@@ -24,11 +35,30 @@
 
 #include "obs/metrics.h"
 #include "sim/egress_port.h"
+#include "sim/epoch_handoff.h"
 
 namespace pq::sim {
 
 class ShardedEngine {
  public:
+  /// How a run executes. Every combination produces byte-identical shard
+  /// outputs and merged views — threads, batch, epoch size and pinning are
+  /// pure scheduling knobs (docs/ARCHITECTURE.md §8/§10).
+  struct RunOptions {
+    /// Worker threads, clamped to [1, num_ports()].
+    unsigned threads = 1;
+    /// > 1 drains each shard in PacketBatch chunks of this size
+    /// (EgressPort::set_hook_batch); 1 is the scalar oracle path.
+    std::uint32_t batch = 1;
+    /// > 0 enables the epoch-batched handoff: shards seal records every
+    /// `epoch_ns` of simulated time and the caller thread merges sealed
+    /// epochs while workers drain. 0 keeps the legacy end-of-run merge.
+    Duration epoch_ns = 0;
+    /// Best-effort round-robin CPU pinning of the workers
+    /// (common/thread_pin.h); failures are recorded, never fatal.
+    bool pin_threads = false;
+  };
+
   explicit ShardedEngine(std::vector<PortConfig> port_configs);
 
   /// Replaces the forwarding function (packet -> egress port index).
@@ -42,21 +72,31 @@ class ShardedEngine {
   /// drains this port, concurrently with other shards' hooks.
   void add_hook(std::uint32_t port_index, EgressHook* hook);
 
-  /// Partitions `packets` by the forwarding decision and drains every shard,
-  /// using `threads` workers (clamped to [1, num_ports()]). Packets must be
-  /// in non-decreasing arrival order; a pre-sorted input (every generator
-  /// output is) skips the sort entirely. Throws std::out_of_range if the
-  /// forwarding function returns an invalid port.
-  ///
-  /// `batch` > 1 drains each shard in PacketBatch chunks of that size
-  /// (EgressPort::set_hook_batch): hooks receive on_egress_batch() calls
-  /// instead of per-packet on_egress(), with byte-identical results
-  /// (docs/ARCHITECTURE.md §10). 1 is the scalar oracle path.
+  /// Registers the control layer's epoch-handoff callbacks (not owned).
+  /// Only consulted when a run sets epoch_ns > 0. See sim/epoch_handoff.h.
+  void set_epoch_hooks(const EpochHooks* hooks) { epoch_hooks_ = hooks; }
+
+  /// Partitions `packets` by the forwarding decision and drains every
+  /// shard. Packets must be in non-decreasing arrival order; a pre-sorted
+  /// input (every generator output is) skips the sort entirely, and with
+  /// opts.threads > 1 the partition itself runs on the worker pool. Throws
+  /// std::out_of_range if the forwarding function returns an invalid port.
+  void run(std::vector<Packet> packets, const RunOptions& opts);
+
+  /// Legacy signature; equivalent to run(packets, {threads, batch}).
   void run(std::vector<Packet> packets, unsigned threads = 1,
            std::uint32_t batch = 1);
 
+  /// Drains pre-staged per-port streams (shards[p] feeds port p, in
+  /// arrival order) without touching the partition path at all — the fast
+  /// lane for drivers that generate or receive traffic per port. Missing
+  /// trailing shards are treated as empty; extra shards throw.
+  void run_partitioned(std::vector<std::vector<Packet>> shards,
+                       const RunOptions& opts);
+
   /// Splits an arrival-ordered packet vector into one arrival-ordered vector
   /// per port. Exposed for tests and for drivers that partition externally.
+  /// Single-threaded; run() uses the parallel equivalent internally.
   static std::vector<std::vector<Packet>> partition(
       const std::vector<Packet>& packets,
       const std::function<std::uint32_t(const Packet&)>& fwd,
@@ -64,7 +104,8 @@ class ShardedEngine {
 
   /// All ports' telemetry records merged in dequeue-timestamp order (ties
   /// broken by egress port index, then per-port record order) — the
-  /// deterministic cross-shard view of the run.
+  /// deterministic cross-shard view of the run. Epoch-handoff runs build
+  /// this incrementally while draining; otherwise it is merged here.
   std::vector<wire::TelemetryRecord> merged_records() const;
 
   EgressPort& port(std::uint32_t index) { return *ports_.at(index); }
@@ -81,17 +122,32 @@ class ShardedEngine {
     return drain_ns_.at(index);
   }
 
+  /// CPU each worker of the last run ended up on: -1 when unpinned,
+  /// unsupported, or the pin failed. Empty before the first run. Timing
+  /// metadata only — results never depend on placement.
+  const std::vector<int>& worker_cpus() const { return worker_cpus_; }
+
  private:
+  void run_shards(std::vector<std::vector<Packet>>&& shards,
+                  const RunOptions& opts);
   void drain_shard(std::size_t p, const std::vector<Packet>& shard,
                    std::uint32_t batch);
-  /// The default dst-hash forwarding decision computed column-wise
-  /// (common/hash mix64_batch); same shards as per-packet fwd_.
-  std::vector<std::vector<Packet>> partition_by_dst_hash(
-      const std::vector<Packet>& packets) const;
+  /// Epoch-stepped drain: advance to each boundary, flush, seal a chunk.
+  void drain_shard_epochs(std::size_t p, const std::vector<Packet>& shard,
+                          const RunOptions& opts, EpochCollector& collector);
+  /// Two-pass parallel partition (count then scatter), byte-identical to
+  /// the sequential partition for any worker count.
+  std::vector<std::vector<Packet>> partition_parallel(
+      const std::vector<Packet>& packets, unsigned workers) const;
 
   std::vector<std::unique_ptr<EgressPort>> ports_;
   std::vector<std::uint64_t> drain_ns_;
+  std::vector<int> worker_cpus_;
   std::function<std::uint32_t(const Packet&)> fwd_;
+  const EpochHooks* epoch_hooks_ = nullptr;
+  /// Records merged incrementally by epoch-handoff runs; merged_records()
+  /// serves from here when it covers everything the ports collected.
+  std::vector<wire::TelemetryRecord> merged_;
   /// True until set_forwarding() replaces the built-in dst-hash decision;
   /// gates the batched partition fast path.
   bool default_fwd_ = true;

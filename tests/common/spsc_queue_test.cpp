@@ -1,0 +1,98 @@
+// The SPSC ring underneath the epoch handoff and the pq_serve ingest path:
+// strict FIFO order, a hard capacity bound (full ring refuses, never
+// grows), close semantics that let the consumer drain the remainder, and a
+// producer/consumer thread pair moving a six-figure element count without
+// loss or reordering (the TSan job runs this too).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.h"
+
+namespace pq {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(SpscQueue, FifoOrderSingleThread) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  EXPECT_EQ(q.size(), 5u);
+  int v = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, CapacityIsAHardBound) {
+  SpscQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  EXPECT_FALSE(q.try_push(99));  // full: refuse, never grow
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.peak_depth(), 4u);
+  int v = -1;
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(q.try_push(4));  // one slot freed, one accepted
+  EXPECT_EQ(q.peak_depth(), 4u);
+}
+
+TEST(SpscQueue, CloseLetsConsumerDrain) {
+  SpscQueue<int> q(8);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.drained());
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_FALSE(q.push_wait(3));  // returns, does not block forever
+  int v = -1;
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 1);
+  ASSERT_TRUE(q.pop_wait(v, 1000us));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(q.drained());
+  EXPECT_FALSE(q.pop_wait(v, 1000us));  // closed + empty: immediate false
+}
+
+TEST(SpscQueue, PopWaitTimesOutOnEmptyOpenQueue) {
+  SpscQueue<int> q(4);
+  int v = -1;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_wait(v, 2000us));
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 1ms);
+}
+
+TEST(SpscQueue, ConcurrentHandoffKeepsOrderAndCount) {
+  constexpr std::uint64_t kCount = 200'000;
+  SpscQueue<std::uint64_t> q(64);  // small ring: constant backpressure
+  std::thread producer([&] {
+    bool all_pushed = true;
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      all_pushed = q.push_wait(std::uint64_t{i}) && all_pushed;
+    }
+    q.close();
+    EXPECT_TRUE(all_pushed);
+  });
+  std::uint64_t expect = 0;
+  std::uint64_t v = 0;
+  while (q.pop_wait(v, std::chrono::microseconds{200'000})) {
+    ASSERT_EQ(v, expect);
+    ++expect;
+  }
+  producer.join();
+  EXPECT_EQ(expect, kCount);
+  EXPECT_TRUE(q.drained());
+  EXPECT_GE(q.peak_depth(), 1u);
+  EXPECT_LE(q.peak_depth(), q.capacity());
+}
+
+}  // namespace
+}  // namespace pq

@@ -63,5 +63,37 @@ INSTANTIATE_TEST_SUITE_P(WithAndWithoutFaults, BatchDifferential,
                            return tpi.param ? "FaultPlan" : "Clean";
                          });
 
+// Batched drains on 16 genuinely concurrent workers (16 ports) under an
+// active FaultPlan — the batch counterpart of the determinism suite's wide
+// sweep. Odd batch 3 exercises misaligned epoch-boundary flushes; 1024 is
+// larger than many shard backlogs.
+TEST(BatchDifferential, SixteenThreadsWideWorkload) {
+  const auto packets = workload(harness::kPortsWide);
+  harness::RunSpec oracle_spec;
+  oracle_spec.with_faults = true;
+  oracle_spec.ports = harness::kPortsWide;
+  const RunResult oracle = run_once(packets, oracle_spec);
+  ASSERT_GT(oracle.packets_seen, 0u);
+  ASSERT_FALSE(oracle.fault_schedule.empty());
+  EXPECT_GT(oracle.dq_fired, 0u);
+
+  for (const std::uint32_t batch : {3u, 1024u}) {
+    harness::RunSpec spec = oracle_spec;
+    spec.threads = 16;
+    spec.batch = batch;
+    const RunResult got = run_once(packets, spec);
+    const auto label = ::testing::Message() << "batch=" << batch;
+    EXPECT_EQ(oracle.registers, got.registers) << label;
+    EXPECT_EQ(oracle.answers, got.answers) << label;
+    EXPECT_EQ(oracle.fault_schedule, got.fault_schedule) << label;
+    EXPECT_EQ(oracle.dq_stream, got.dq_stream) << label;
+    EXPECT_EQ(oracle.health, got.health) << label;
+    EXPECT_EQ(oracle.packets_seen, got.packets_seen) << label;
+    EXPECT_EQ(oracle.dq_fired, got.dq_fired) << label;
+    EXPECT_EQ(oracle.metrics_json, got.metrics_json) << label;
+    EXPECT_EQ(oracle.archive_bytes, got.archive_bytes) << label;
+  }
+}
+
 }  // namespace
 }  // namespace pq

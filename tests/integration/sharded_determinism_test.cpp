@@ -58,6 +58,75 @@ INSTANTIATE_TEST_SUITE_P(WithAndWithoutFaults, ShardedDeterminism,
                            return tpi.param ? "FaultPlan" : "Clean";
                          });
 
+void expect_equal(const RunResult& base, const RunResult& other,
+                  const ::testing::Message& label) {
+  EXPECT_EQ(base.registers, other.registers) << label;
+  EXPECT_EQ(base.answers, other.answers) << label;
+  EXPECT_EQ(base.fault_schedule, other.fault_schedule) << label;
+  EXPECT_EQ(base.dq_stream, other.dq_stream) << label;
+  EXPECT_EQ(base.health, other.health) << label;
+  EXPECT_EQ(base.packets_seen, other.packets_seen) << label;
+  EXPECT_EQ(base.dq_fired, other.dq_fired) << label;
+  EXPECT_EQ(base.metrics_json, other.metrics_json) << label;
+  EXPECT_EQ(base.archive_bytes, other.archive_bytes) << label;
+}
+
+// Sixteen genuinely concurrent workers (16 ports, so no thread clamps away)
+// under an active FaultPlan, with and without pinning, against the scalar
+// single-thread oracle — the widest sweep in the suite.
+TEST(ShardedDeterminism, SixteenThreadsWideWorkload) {
+  const auto packets = workload(harness::kPortsWide);
+  harness::RunSpec oracle_spec;
+  oracle_spec.with_faults = true;
+  oracle_spec.ports = harness::kPortsWide;
+  const RunResult oracle = run_once(packets, oracle_spec);
+
+  ASSERT_GT(oracle.packets_seen, 0u);
+  ASSERT_FALSE(oracle.fault_schedule.empty());
+  EXPECT_GT(oracle.dq_fired, 0u);
+  EXPECT_GT(oracle.health.torn_reads_detected, 0u);
+
+  for (const unsigned threads : {2u, 8u, 16u}) {
+    for (const std::uint32_t batch : {1u, 256u}) {
+      harness::RunSpec spec = oracle_spec;
+      spec.threads = threads;
+      spec.batch = batch;
+      spec.pin_threads = threads == 16;  // pinning must be a pure no-op
+      expect_equal(oracle, run_once(packets, spec),
+                   ::testing::Message()
+                       << "threads=" << threads << " batch=" << batch);
+    }
+  }
+}
+
+// The epoch-batched handoff is a scheduling change, not a semantic one: any
+// epoch size (tiny and relatively prime to everything, the 4 ms default,
+// absurdly large) must be byte-identical to the legacy end-of-run merge
+// barrier (epoch_ns = 0), at any thread count, under an active FaultPlan.
+TEST(ShardedDeterminism, EpochHandoffMatchesLegacyMerge) {
+  const auto packets = workload();
+  harness::RunSpec legacy;
+  legacy.with_faults = true;
+  legacy.epoch_ns = 0;
+  const RunResult oracle = run_once(packets, legacy);
+  ASSERT_GT(oracle.packets_seen, 0u);
+  EXPECT_GT(oracle.dq_fired, 0u);
+
+  for (const Duration epoch : {Duration{100'003}, Duration{4'000'000},
+                               Duration{1} << 40}) {
+    for (const unsigned threads : {1u, 8u}) {
+      harness::RunSpec spec;
+      spec.with_faults = true;
+      spec.threads = threads;
+      spec.batch = 64;
+      spec.epoch_ns = epoch;
+      expect_equal(oracle, run_once(packets, spec),
+                   ::testing::Message()
+                       << "epoch_ns=" << epoch << " threads=" << threads);
+    }
+  }
+}
+
 // The sharded stack and the monolithic pipeline answer the same queries on
 // the same per-port traffic: sanity that sharding did not change what a
 // shard computes (same windows, same coefficients, same filtering).

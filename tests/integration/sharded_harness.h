@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -29,10 +30,13 @@
 namespace pq::harness {
 
 constexpr std::uint32_t kPorts = 8;
+/// Wide variant: enough shards that a 16-thread sweep actually runs 16
+/// concurrent workers (threads clamp to the port count).
+constexpr std::uint32_t kPortsWide = 16;
 
-inline std::vector<Packet> workload() {
+inline std::vector<Packet> workload(std::uint32_t ports = kPorts) {
   std::vector<std::vector<Packet>> parts;
-  for (std::uint32_t p = 0; p < kPorts; ++p) {
+  for (std::uint32_t p = 0; p < ports; ++p) {
     traffic::FlowTraceConfig tcfg;
     tcfg.flow_sizes = &traffic::web_search_flow_sizes();
     tcfg.duration_ns = 6'000'000;  // enough for several polls at m0=10,k=9
@@ -45,10 +49,11 @@ inline std::vector<Packet> workload() {
   return traffic::merge_traces(std::move(parts));
 }
 
-inline control::ShardedSystem::Config system_config(bool with_faults) {
+inline control::ShardedSystem::Config system_config(
+    bool with_faults, std::uint32_t ports = kPorts) {
   control::ShardedSystem::Config cfg;
-  cfg.ports.resize(kPorts);
-  for (std::uint32_t p = 0; p < kPorts; ++p) {
+  cfg.ports.resize(ports);
+  for (std::uint32_t p = 0; p < ports; ++p) {
     cfg.ports[p].port_id = p;
     cfg.ports[p].collect_depth_series = false;
   }
@@ -156,13 +161,31 @@ struct RunResult {
   std::vector<std::uint8_t> archive_bytes;
 };
 
-inline RunResult run_once(const std::vector<Packet>& packets, bool with_faults,
-                          unsigned threads, std::uint32_t batch = 1) {
-  control::ShardedSystem sys(system_config(with_faults));
+/// One equivalence-sweep execution, fully specified. Everything here is a
+/// pure scheduling knob: any two specs over the same packets and
+/// with_faults must produce byte-identical RunResults.
+struct RunSpec {
+  bool with_faults = false;
+  unsigned threads = 1;
+  std::uint32_t batch = 1;
+  std::uint32_t ports = kPorts;
+  /// Engine epoch size; nullopt = the ShardedSystem::Config default
+  /// (epoch handoff on), 0 = the legacy end-of-run merge barrier.
+  std::optional<Duration> epoch_ns;
+  bool pin_threads = false;
+};
+
+inline RunResult run_once(const std::vector<Packet>& packets,
+                          const RunSpec& spec) {
+  auto cfg = system_config(spec.with_faults, spec.ports);
+  if (spec.epoch_ns.has_value()) cfg.epoch_ns = *spec.epoch_ns;
+  control::ShardedSystem sys(std::move(cfg));
   const TempDir archive_dir;
   store::Archive archive(harness_archive_options(archive_dir.path()));
   archive.attach(sys.pipeline(), sys.analysis());
-  sys.run(packets, threads, batch);
+  auto opts = sys.default_run_options(spec.threads, spec.batch);
+  opts.pin_threads = spec.pin_threads;
+  sys.run(packets, opts);
   archive.close();
 
   RunResult r;
@@ -204,6 +227,16 @@ inline RunResult run_once(const std::vector<Packet>& packets, bool with_faults,
   r.metrics_json = control::collect_system_metrics(sys).to_json(
       obs::IncludeTimings::kNo);
   return r;
+}
+
+/// Legacy signature used by the original 8-port sweeps.
+inline RunResult run_once(const std::vector<Packet>& packets, bool with_faults,
+                          unsigned threads, std::uint32_t batch = 1) {
+  RunSpec spec;
+  spec.with_faults = with_faults;
+  spec.threads = threads;
+  spec.batch = batch;
+  return run_once(packets, spec);
 }
 
 }  // namespace pq::harness

@@ -4,7 +4,8 @@
 // Usage:
 //   pq_replay <trace.pqt> [--victim worst|<packet_id>] [--top K]
 //             [--alpha A] [--k K] [--T N] [--m0 M] [--salvage]
-//             [--threads N] [--batch N] [--save-records out.pqr]
+//             [--threads N] [--batch N] [--pin-threads]
+//             [--save-records out.pqr]
 //             [--archive-dir dir] [--archive-fsync none|segment|block]
 //             [--archive-segment-bytes N]
 //             [--metrics-out metrics.json] [--metrics-prom metrics.prom]
@@ -14,6 +15,9 @@
 // (default 256) feeds each shard in PacketBatch chunks through the batched
 // hot path (results are byte-identical for any N and any batch size —
 // see docs/ARCHITECTURE.md §8/§10; `--batch 1` is the scalar oracle).
+// `--pin-threads` pins each worker to a CPU round-robin (best effort; the
+// effective placement lands in --metrics-out as timing-tagged gauges and
+// never affects results).
 // `--archive-dir` additionally streams every shard's telemetry into a
 // crash-safe pq::store archive (docs/STORAGE.md) that pq_query can answer
 // the same culprit queries from after the process is gone.
@@ -29,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_pin.h"
 #include "control/metrics_export.h"
 #include "control/register_records.h"
 #include "control/sharded_analysis.h"
@@ -91,7 +96,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: pq_replay <trace.pqt> [--victim worst|<id>] "
                  "[--top K] [--alpha A] [--k K] [--T N] [--m0 M] "
-                 "[--salvage] [--threads N] [--batch N] "
+                 "[--salvage] [--threads N] [--batch N] [--pin-threads] "
                  "[--save-records out.pqr] [--archive-dir dir] "
                  "[--archive-fsync none|segment|block] "
                  "[--archive-segment-bytes N] "
@@ -174,10 +179,15 @@ int main(int argc, char** argv) {
       1u, static_cast<unsigned>(arg_double(argc, argv, "--threads", 1)));
   const auto batch = std::max(
       1u, static_cast<unsigned>(arg_double(argc, argv, "--batch", 256)));
+  const bool pin_threads = arg_flag(argc, argv, "--pin-threads");
   const unsigned workers = std::min<unsigned>(
       threads, static_cast<unsigned>(pipeline.num_shards()));
+  std::vector<int> worker_cpus(workers, -1);
   std::atomic<std::uint32_t> next{0};
-  auto replay_shards = [&] {
+  auto replay_shards = [&](unsigned worker_index) {
+    if (pin_threads) {
+      worker_cpus[worker_index] = pin_current_thread(worker_index);
+    }
     for (std::uint32_t s = next.fetch_add(1); s < pipeline.num_shards();
          s = next.fetch_add(1)) {
       auto& shard = pipeline.shard(s);
@@ -201,10 +211,12 @@ int main(int argc, char** argv) {
     }
   };
   if (workers == 1) {
-    replay_shards();
+    replay_shards(0);
   } else {
     std::vector<std::thread> pool;
-    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(replay_shards);
+    for (unsigned t = 0; t < workers; ++t) {
+      pool.emplace_back(replay_shards, t);
+    }
     for (auto& t : pool) t.join();
   }
 
@@ -295,6 +307,24 @@ int main(int argc, char** argv) {
   if (metrics_json != nullptr || metrics_prom != nullptr) {
     auto metrics = control::collect_replay_metrics(pipeline, analysis);
     if (archive) store::export_writer_metrics(metrics, archive->stats());
+    // Worker placement is scheduling metadata: timing-tagged, so it never
+    // enters the deterministic (IncludeTimings::kNo) view.
+    if (pin_threads) {
+      std::uint64_t pinned = 0;
+      for (unsigned t = 0; t < workers; ++t) {
+        if (worker_cpus[t] < 0) continue;
+        ++pinned;
+        metrics
+            .gauge("pq_replay_worker" + std::to_string(t) + "_cpu",
+                   obs::GaugeMode::kMax, "effective CPU of replay worker",
+                   /*timing=*/true)
+            .set(static_cast<std::uint64_t>(worker_cpus[t]));
+      }
+      metrics
+          .gauge("pq_replay_pinned_workers", obs::GaugeMode::kMax,
+                 "replay workers successfully pinned", /*timing=*/true)
+          .set(pinned);
+    }
     auto write_file = [](const char* path, const std::string& body) {
       std::FILE* f = std::fopen(path, "w");
       if (f == nullptr) {

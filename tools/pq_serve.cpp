@@ -10,6 +10,7 @@
 // Usage:
 //   pq_serve --ports P1[,P2...] [--feed trace.pqsm] [--exit-at-eof]
 //            [--batch N] [--queue-cap N] [--overload backpressure|shed]
+//            [--pin-threads]
 //            [--archive-dir DIR] [--retain-segments N]
 //            [--archive-segment-bytes N] [--archive-fsync none|segment|block]
 //            [--query-sock PATH] [--metrics-sock PATH]
@@ -115,6 +116,7 @@ int main(int argc, char** argv) {
       arg_double(argc, argv, "--batch", 256));
   dc.supervisor.queue_capacity = static_cast<std::size_t>(
       arg_double(argc, argv, "--queue-cap", 8192));
+  dc.supervisor.pin_threads = arg_flag(argc, argv, "--pin-threads");
   const char* overload = arg_str(argc, argv, "--overload", "backpressure");
   if (std::strcmp(overload, "shed") == 0) {
     dc.supervisor.overload = serve::OverloadPolicy::kShedNewest;
