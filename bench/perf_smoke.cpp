@@ -11,6 +11,11 @@
 //   replay_pps_archive   batched replay with a pq::store archive attached
 //   replay_archive_ratio_x  (fsync none); the ratio to the no-archive run
 //                      gates the archiving overhead (docs/STORAGE.md)
+//   simd_speedup_x     batched replay at the native dispatch level over the
+//                      same replay forced to PQ_SIMD_LEVEL=scalar; 1.0 when
+//                      the host has no AVX2 (the baseline gates it only
+//                      when simd_avx2_available is 1 — see `requires` in
+//                      tools/check_bench_regression.py)
 //   query_p50_ns /     exact quantiles over a fixed batch of coordinator
 //   query_p99_ns       queries (time-window + queue-monitor)
 //   peak_rss_kb        VmHWM from /proc/self/status
@@ -26,6 +31,7 @@
 // the "instrumentation is within noise" acceptance check meaningful.
 //
 // Usage: perf_smoke [--threads N] [--ports P] [--ms D] [--batch N]
+//                   [--simd auto|avx2|scalar]
 //                   [--out BENCH_perf_smoke.json] [--metrics-out metrics.json]
 #include <algorithm>
 #include <chrono>
@@ -38,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/simd/dispatch.h"
 #include "control/metrics_export.h"
 #include "control/sharded_analysis.h"
 #include "store/archive.h"
@@ -244,6 +251,14 @@ int main(int argc, char** argv) {
       arg_str(argc, argv, "--out", "BENCH_perf_smoke.json");
   const char* metrics_path =
       arg_str(argc, argv, "--metrics-out", "metrics.json");
+  if (const char* req = arg_str(argc, argv, "--simd", nullptr)) {
+    const auto parsed = simd::parse_request(req);
+    if (!parsed) {
+      std::fprintf(stderr, "unknown --simd '%s' (auto|avx2|scalar)\n", req);
+      return 2;
+    }
+    simd::configure(*parsed);
+  }
 
   const auto packets = make_workload(
       ports, static_cast<Duration>(duration_ms * 1e6));
@@ -332,7 +347,13 @@ int main(int argc, char** argv) {
   run_replay(shard_ctxs, shard_chunks, replay_cfg, 1, 1);
   run_replay(shard_ctxs, shard_chunks, replay_cfg, batch, 1);
   run_replay(shard_ctxs, shard_chunks, replay_cfg, batch, 1, archive_dir);
-  ReplayOutcome scalar, batched, archived;
+  // The SIMD leg: the identical batched replay with dispatch forced to
+  // scalar, interleaved with the native-level reps like everything else.
+  // The ratio isolates the vector kernels (same batching, same staging);
+  // the deterministic metrics views must still be byte-identical, which
+  // makes the bench a cross-dispatch-level correctness gate too.
+  const simd::Level native_level = simd::active_level();
+  ReplayOutcome scalar, batched, archived, forced_scalar;
   for (int rep = 0; rep < kReplayReps; ++rep) {
     const ReplayOutcome s =
         run_replay(shard_ctxs, shard_chunks, replay_cfg, 1, 1);
@@ -341,12 +362,18 @@ int main(int argc, char** argv) {
     const ReplayOutcome a =
         run_replay(shard_ctxs, shard_chunks, replay_cfg, batch, 1,
                    archive_dir);
+    simd::set_active_level(simd::Level::kScalar);
+    const ReplayOutcome v =
+        run_replay(shard_ctxs, shard_chunks, replay_cfg, batch, 1);
+    simd::set_active_level(native_level);
     scalar.best_pps = std::max(scalar.best_pps, s.best_pps);
     batched.best_pps = std::max(batched.best_pps, b.best_pps);
     archived.best_pps = std::max(archived.best_pps, a.best_pps);
+    forced_scalar.best_pps = std::max(forced_scalar.best_pps, v.best_pps);
     scalar.metrics_json = s.metrics_json;
     batched.metrics_json = b.metrics_json;
     archived.metrics_json = a.metrics_json;
+    forced_scalar.metrics_json = v.metrics_json;
   }
   {
     std::error_code ec;
@@ -365,10 +392,24 @@ int main(int argc, char** argv) {
                  "deterministic metrics views differ\n");
     return 1;
   }
+  if (forced_scalar.metrics_json != batched.metrics_json) {
+    std::fprintf(stderr,
+                 "FAIL: SIMD dispatch level %s diverged from forced-scalar "
+                 "dispatch — deterministic metrics views differ\n",
+                 simd::to_string(native_level));
+    return 1;
+  }
   const double replay_speedup =
       scalar.best_pps > 0.0 ? batched.best_pps / scalar.best_pps : 0.0;
   const double archive_ratio =
       batched.best_pps > 0.0 ? archived.best_pps / batched.best_pps : 0.0;
+  const bool simd_avx2_available = simd::supported(simd::Level::kAvx2);
+  // 1.0 when dispatch already lands on scalar (no AVX2, or --simd scalar):
+  // the two legs measured the same code and their ratio is only noise.
+  const double simd_speedup =
+      native_level != simd::Level::kScalar && forced_scalar.best_pps > 0.0
+          ? batched.best_pps / forced_scalar.best_pps
+          : 1.0;
 
   std::printf("perf_smoke: %zu pkts, %u ports, %u threads, batch %u\n",
               packets.size(), ports, threads, batch);
@@ -381,6 +422,10 @@ int main(int argc, char** argv) {
   std::printf("  archive    %.2f Mpps with pq::store attached "
               "(%.2fx of no-archive)\n",
               archived.best_pps / 1e6, archive_ratio);
+  std::printf("  simd       %s landed, %.2f Mpps forced-scalar dispatch "
+              "(%.2fx, deterministic counters identical)\n",
+              simd::to_string(native_level), forced_scalar.best_pps / 1e6,
+              simd_speedup);
   std::printf("  query p50  %.1f us   p99 %.1f us  (%zu queries)\n",
               p50 / 1e3, p99 / 1e3, query_ns.size());
   std::printf("  peak RSS   %lu kB\n",
@@ -398,6 +443,8 @@ int main(int argc, char** argv) {
                  "  \"replay_speedup_x\": %.3f,\n"
                  "  \"replay_pps_archive\": %.0f,\n"
                  "  \"replay_archive_ratio_x\": %.3f,\n"
+                 "  \"simd_speedup_x\": %.3f,\n"
+                 "  \"simd_avx2_available\": %d,\n"
                  "  \"query_p50_ns\": %.0f,\n"
                  "  \"query_p99_ns\": %.0f,\n"
                  "  \"peak_rss_kb\": %lu,\n"
@@ -410,7 +457,8 @@ int main(int argc, char** argv) {
                  "  \"batch\": %u\n"
                  "}\n",
                  throughput_pps, scalar.best_pps, batched.best_pps,
-                 replay_speedup, archived.best_pps, archive_ratio, p50, p99,
+                 replay_speedup, archived.best_pps, archive_ratio,
+                 simd_speedup, simd_avx2_available ? 1 : 0, p50, p99,
                  static_cast<unsigned long>(rss_kb), run_ms, packets.size(),
                  static_cast<unsigned long>(dequeued),
                  static_cast<unsigned long>(dropped), ports, threads, batch);

@@ -2,6 +2,11 @@
 
 #include <array>
 
+#include "common/simd/dispatch.h"
+#if defined(PQ_SIMD_AVX2)
+#include "common/simd/kernels_avx2.h"
+#endif
+
 namespace pq {
 
 std::uint64_t fnv1a(const void* data, std::size_t len) {
@@ -41,11 +46,23 @@ std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
 }
 
 void mix64_batch(const std::uint64_t* in, std::uint64_t* out, std::size_t n) {
+#if defined(PQ_SIMD_AVX2)
+  if (simd::active_level() == simd::Level::kAvx2) {
+    simd::mix64_batch_avx2(in, out, n);
+    return;
+  }
+#endif
   for (std::size_t i = 0; i < n; ++i) out[i] = mix64(in[i]);
 }
 
 void flow_signature_batch(const FlowId* flows, std::uint64_t* out,
                           std::size_t n) {
+#if defined(PQ_SIMD_AVX2)
+  if (simd::active_level() == simd::Level::kAvx2) {
+    simd::flow_signature_batch_avx2(flows, out, n);
+    return;
+  }
+#endif
   for (std::size_t i = 0; i < n; ++i) out[i] = flow_signature(flows[i]);
 }
 

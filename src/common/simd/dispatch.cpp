@@ -1,0 +1,139 @@
+#include "common/simd/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pq::simd {
+
+namespace {
+
+/// One process-wide dispatch state: the request that was applied and the
+/// level it landed on. Packed into a single atomic word so a reader never
+/// observes a torn (request, level) pair.
+std::atomic<std::uint16_t> g_state{0xffff};  // 0xffff = not initialized
+
+constexpr std::uint16_t pack(Request r, Level l) {
+  return static_cast<std::uint16_t>((static_cast<std::uint16_t>(r) << 8) |
+                                    static_cast<std::uint16_t>(l));
+}
+
+Request env_request() {
+  const char* env = std::getenv("PQ_SIMD_LEVEL");
+  if (env == nullptr || env[0] == '\0') return Request::kAuto;
+  if (const auto parsed = parse_request(env)) return *parsed;
+  // A malformed override silently running at a different level than the
+  // operator believes would be the worst outcome; warn once, land on auto.
+  std::fprintf(stderr,
+               "pq::simd: ignoring malformed PQ_SIMD_LEVEL='%s' "
+               "(want auto|avx2|scalar)\n",
+               env);
+  return Request::kAuto;
+}
+
+std::uint16_t init_state() {
+  std::uint16_t expected = 0xffff;
+  const Request req = env_request();
+  const std::uint16_t fresh = pack(req, resolve(req));
+  // First caller wins; a concurrent initializer computed the same value
+  // anyway (the environment cannot change between the two reads).
+  g_state.compare_exchange_strong(expected, fresh,
+                                  std::memory_order_relaxed);
+  return g_state.load(std::memory_order_relaxed);
+}
+
+std::uint16_t state() {
+  const std::uint16_t s = g_state.load(std::memory_order_relaxed);
+  return s == 0xffff ? init_state() : s;
+}
+
+}  // namespace
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+const char* to_string(Request request) {
+  switch (request) {
+    case Request::kAuto: return "auto";
+    case Request::kAvx2: return "avx2";
+    case Request::kScalar: return "scalar";
+  }
+  return "?";
+}
+
+std::optional<Request> parse_request(std::string_view text) {
+  if (text == "auto") return Request::kAuto;
+  if (text == "avx2") return Request::kAvx2;
+  if (text == "scalar") return Request::kScalar;
+  return std::nullopt;
+}
+
+bool compiled(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kAvx2:
+#if defined(PQ_SIMD_AVX2)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool cpu_supports(Level level) {
+  if (level == Level::kScalar) return true;
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool supported(Level level) {
+  return compiled(level) && cpu_supports(level);
+}
+
+Level resolve(Request request) {
+  switch (request) {
+    case Request::kScalar:
+      return Level::kScalar;
+    case Request::kAvx2:
+    case Request::kAuto:
+      return supported(Level::kAvx2) ? Level::kAvx2 : Level::kScalar;
+  }
+  return Level::kScalar;
+}
+
+Level active_level() {
+  return static_cast<Level>(state() & 0xff);
+}
+
+Request active_request() {
+  return static_cast<Request>(state() >> 8);
+}
+
+void set_active_level(Level level) {
+  // A level that cannot run here must never become active: dispatching an
+  // AVX2 kernel on a CPU without AVX2 is an illegal-instruction fault, not
+  // a recoverable error. Landing on scalar mirrors resolve()'s fallback.
+  if (!supported(level)) level = Level::kScalar;
+  const Request req =
+      level == Level::kAvx2 ? Request::kAvx2 : Request::kScalar;
+  g_state.store(pack(req, level), std::memory_order_relaxed);
+}
+
+Level configure(std::optional<Request> request) {
+  const Request req = request.value_or(env_request());
+  const Level landed = resolve(req);
+  g_state.store(pack(req, landed), std::memory_order_relaxed);
+  return landed;
+}
+
+}  // namespace pq::simd

@@ -1,0 +1,75 @@
+// Runtime SIMD dispatch for the data-plane hot path (docs/ARCHITECTURE.md
+// §13). The library ships two implementations of each hot kernel — portable
+// scalar code (the correctness oracle) and AVX2 — and selects between them
+// ONCE, at startup, based on CPUID plus an explicit override:
+//
+//   PQ_SIMD_LEVEL=auto|avx2|scalar   (environment, read on first use)
+//   --simd auto|avx2|scalar          (pq_replay / pq_serve / benches,
+//                                     takes precedence over the env var)
+//
+// "auto" lands on the widest level that is both compiled in (-DPQ_SIMD=ON
+// on an x86-64 toolchain) and supported by the running CPU. Forcing a level
+// that is not available falls back to scalar rather than faulting — the
+// landed level is what active_level() reports, and every tool logs it, so a
+// fallback is visible, never silent.
+//
+// The dispatch contract: every SIMD kernel is byte-identical to its scalar
+// oracle for all inputs (pure integer arithmetic, no reassociation of
+// floating point), so switching levels — even mid-process, as the
+// differential tests do — can never change results, only throughput.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace pq::simd {
+
+/// An implementation tier the process can execute. Levels are ordered:
+/// higher enum value = wider vectors.
+enum class Level : std::uint8_t { kScalar = 0, kAvx2 = 1 };
+
+/// What the user asked for (kAuto = widest available).
+enum class Request : std::uint8_t { kAuto = 0, kAvx2 = 1, kScalar = 2 };
+
+const char* to_string(Level level);
+const char* to_string(Request request);
+
+/// Parses "auto" / "avx2" / "scalar"; nullopt on anything else.
+std::optional<Request> parse_request(std::string_view text);
+
+/// True when the kernels for `level` were compiled into this binary
+/// (scalar always; AVX2 only under -DPQ_SIMD=ON on an x86-64 toolchain).
+bool compiled(Level level);
+
+/// True when the running CPU can execute `level` (CPUID; scalar always).
+bool cpu_supports(Level level);
+
+/// compiled() && cpu_supports(): the level is actually usable here.
+bool supported(Level level);
+
+/// Maps a request to the level it lands on: kAuto picks the widest
+/// supported level; a forced level that is not supported falls back to
+/// kScalar (the caller can detect the fallback by comparing against the
+/// request — tools log it).
+Level resolve(Request request);
+
+/// The level the hot-path kernels dispatch on right now. Initialized on
+/// first use from PQ_SIMD_LEVEL (malformed values warn on stderr once and
+/// mean kAuto), then stable until set_active_level() is called.
+Level active_level();
+
+/// Forces the active level. Intended for startup flag handling and for the
+/// differential tests' dispatch sweeps; thread-safe, but callers must not
+/// expect kernels already in flight on other threads to re-dispatch.
+void set_active_level(Level level);
+
+/// The request that produced the current active level (kAuto until a
+/// configure()/set override happens).
+Request active_request();
+
+/// Applies an explicit request (e.g. a parsed --simd flag); with nullopt,
+/// re-applies the environment/default request. Returns the landed level.
+Level configure(std::optional<Request> request = std::nullopt);
+
+}  // namespace pq::simd

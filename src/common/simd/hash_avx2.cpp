@@ -1,0 +1,93 @@
+// AVX2 implementations of the batch hash kernels (see kernels_avx2.h for
+// the contract). This TU is compiled with -mavx2; nothing here may be
+// inlined into headers other TUs include.
+#include "common/simd/kernels_avx2.h"
+
+#include <immintrin.h>
+
+#include "common/hash.h"
+
+namespace pq::simd {
+
+namespace {
+
+inline __m256i set1_u64(std::uint64_t v) {
+  return _mm256_set1_epi64x(static_cast<long long>(v));
+}
+
+/// Lane-wise 64x64 -> low 64 multiply. AVX2 has only 32x32 -> 64 multiplies;
+/// the cross terms reconstruct the low half exactly (the high half of the
+/// product, which would need the carries we drop, is never used by mix64).
+inline __m256i mul64_lo(__m256i a, __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross = _mm256_add_epi64(
+      _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)),
+      _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// SplitMix64 finalizer, 4 lanes; bit-identical to pq::mix64 per lane.
+inline __m256i mix64_vec(__m256i x) {
+  x = _mm256_add_epi64(x, set1_u64(0x9e3779b97f4a7c15ull));
+  x = mul64_lo(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)),
+               set1_u64(0xbf58476d1ce4e5b9ull));
+  x = mul64_lo(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)),
+               set1_u64(0x94d049bb133111ebull));
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+}  // namespace
+
+void mix64_batch_avx2(const std::uint64_t* in, std::uint64_t* out,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), mix64_vec(x));
+  }
+  for (; i < n; ++i) out[i] = mix64(in[i]);
+}
+
+void flow_signature_batch_avx2(const FlowId* flows, std::uint64_t* out,
+                               std::size_t n) {
+  // flow_signature(f) = mix64(a ^ mix64(b)) with
+  //   a = (src_ip << 32) | dst_ip
+  //   b = (src_port << 24) | (dst_port << 8) | proto
+  // A FlowId is 16 bytes; its first little-endian qword q0 holds
+  // src_ip | (dst_ip << 32) — `a` with the halves swapped, one 32-bit
+  // rotate away — and its second qword q1 holds
+  // src_port | (dst_port << 16) | (proto << 32) plus three padding bytes
+  // the masks below discard (the scalar code never reads them either).
+  static_assert(sizeof(FlowId) == 16, "qword unpack assumes 16-byte FlowId");
+  const __m256i m16 = set1_u64(0xffffull);
+  const __m256i m8 = set1_u64(0xffull);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i s01 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(flows + i));
+    const __m256i s23 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(flows + i + 2));
+    // In-lane unpacks interleave: q0 lanes are flows (0,2,1,3), q1 likewise.
+    // mix64 is lane-wise, so the order only matters at the final store — one
+    // permute puts the signatures back in element order.
+    const __m256i q0 = _mm256_unpacklo_epi64(s01, s23);
+    const __m256i q1 = _mm256_unpackhi_epi64(s01, s23);
+    const __m256i a = _mm256_or_si256(_mm256_slli_epi64(q0, 32),
+                                      _mm256_srli_epi64(q0, 32));
+    const __m256i src_port = _mm256_and_si256(q1, m16);
+    const __m256i dst_port =
+        _mm256_and_si256(_mm256_srli_epi64(q1, 16), m16);
+    const __m256i proto = _mm256_and_si256(_mm256_srli_epi64(q1, 32), m8);
+    const __m256i b = _mm256_or_si256(
+        _mm256_or_si256(_mm256_slli_epi64(src_port, 24),
+                        _mm256_slli_epi64(dst_port, 8)),
+        proto);
+    __m256i sig = mix64_vec(_mm256_xor_si256(a, mix64_vec(b)));
+    sig = _mm256_permute4x64_epi64(sig, _MM_SHUFFLE(3, 1, 2, 0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), sig);
+  }
+  for (; i < n; ++i) out[i] = flow_signature(flows[i]);
+}
+
+}  // namespace pq::simd

@@ -1,0 +1,28 @@
+// AVX2 kernel entry points for pq_common's hot hash functions. Declarations
+// only: the definitions live in simd/hash_avx2.cpp, the sole TU in
+// pq_common built with -mavx2, and exist only when the build sets
+// PQ_SIMD_AVX2 — call sites must guard with `#if defined(PQ_SIMD_AVX2)` AND
+// check simd::active_level() at runtime before calling (the dispatch
+// contract, docs/ARCHITECTURE.md §13).
+//
+// Every kernel here is byte-identical to its scalar counterpart in
+// common/hash.cpp for all inputs; the differential suites sweep dispatch
+// levels to prove it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pq::simd {
+
+/// mix64 over a column, 4 lanes at a time. `in`/`out` may alias completely.
+void mix64_batch_avx2(const std::uint64_t* in, std::uint64_t* out,
+                      std::size_t n);
+
+/// flow_signature over a contiguous FlowId array, 4 structs at a time.
+void flow_signature_batch_avx2(const FlowId* flows, std::uint64_t* out,
+                               std::size_t n);
+
+}  // namespace pq::simd

@@ -1,5 +1,7 @@
 #include "control/metrics_export.h"
 
+#include "common/simd/dispatch.h"
+
 namespace pq::control {
 
 namespace {
@@ -192,6 +194,16 @@ obs::MetricsRegistry collect_shard_metrics(const ShardedSystem& sys,
   return reg;
 }
 
+void export_simd_metrics(obs::MetricsRegistry& reg) {
+  reg.gauge("pq_simd_level", obs::GaugeMode::kMax,
+            "landed SIMD dispatch level (0=scalar, 1=avx2)", /*timing=*/true)
+      .set(static_cast<std::uint64_t>(simd::active_level()));
+  reg.gauge("pq_simd_avx2_supported", obs::GaugeMode::kMax,
+            "AVX2 kernels compiled in and executable on this CPU",
+            /*timing=*/true)
+      .set(simd::supported(simd::Level::kAvx2) ? 1 : 0);
+}
+
 obs::MetricsRegistry collect_system_metrics(const ShardedSystem& sys) {
   obs::MetricsRegistry merged;
   for (std::uint32_t s = 0; s < sys.pipeline().num_shards(); ++s) {
@@ -200,6 +212,7 @@ obs::MetricsRegistry collect_system_metrics(const ShardedSystem& sys) {
   merge_histogram(merged, "pq_control_query_ns",
                   "wall-clock ns per routed coordinator query (timing)",
                   sys.analysis().query_latency_ns());
+  export_simd_metrics(merged);
   return merged;
 }
 
@@ -215,6 +228,7 @@ obs::MetricsRegistry collect_replay_metrics(
   merge_histogram(merged, "pq_control_query_ns",
                   "wall-clock ns per routed coordinator query (timing)",
                   analysis.query_latency_ns());
+  export_simd_metrics(merged);
   return merged;
 }
 

@@ -48,6 +48,14 @@ void export_analysis_metrics(obs::MetricsRegistry& reg,
 void export_fault_metrics(obs::MetricsRegistry& reg,
                           const faults::FaultPlan& plan);
 
+/// Process-wide SIMD dispatch facts (docs/ARCHITECTURE.md §13): the landed
+/// level and whether AVX2 is usable here. Registered timing-tagged — the
+/// dispatch level can never change results (every SIMD kernel is
+/// byte-identical to its scalar oracle), so it must not enter the
+/// deterministic serialization view that the differential suites compare
+/// across levels.
+void export_simd_metrics(obs::MetricsRegistry& reg);
+
 /// One shard of a ShardedSystem flattened into a fresh registry
 /// (port + engine + pipeline + analysis + faults for that shard).
 obs::MetricsRegistry collect_shard_metrics(const ShardedSystem& sys,

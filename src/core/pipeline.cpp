@@ -2,9 +2,22 @@
 
 #include <stdexcept>
 
+#include "common/simd/dispatch.h"
+#if defined(PQ_SIMD_AVX2)
+#include "core/simd_kernels_avx2.h"
+#endif
+
 namespace pq::core {
 
 namespace {
+
+/// EWMA smoothing factor 1/64 as an exact multiply: for any double x,
+/// x * 0x1p-6 and x / 64.0 are the same correctly-rounded operation on the
+/// same real value, so the rewrite is bit-identical — but the multiply's
+/// latency is a third of the divide's, and this chain is the one serial
+/// floating-point dependency on the hot path. Both the scalar and batched
+/// EWMA sites must use the same form.
+constexpr double kGapEwmaFactor = 0x1p-6;
 
 core::QueueMonitorParams scaled_monitor(const PipelineConfig& cfg) {
   QueueMonitorParams p = cfg.monitor;
@@ -63,7 +76,7 @@ void PrintQueuePipeline::on_egress(const sim::EgressContext& ctx) {
   GapTracker& g = gaps_[*prefix];
   if (g.has_last && deq_ts > g.last && ctx.enq_qdepth > 0) {
     const double gap = static_cast<double>(deq_ts - g.last);
-    g.ewma = g.ewma == 0.0 ? gap : g.ewma + (gap - g.ewma) / 64.0;
+    g.ewma = g.ewma == 0.0 ? gap : g.ewma + (gap - g.ewma) * kGapEwmaFactor;
   }
   g.last = deq_ts;
   g.has_last = true;
@@ -148,7 +161,7 @@ void PrintQueuePipeline::absorb_run(const sim::PacketBatch& batch,
     const Timestamp deq_ts = deq_scratch_[x];
     if (g.has_last && deq_ts > g.last && qdepth[x] > 0) {
       const double gap = static_cast<double>(deq_ts - g.last);
-      g.ewma = g.ewma == 0.0 ? gap : g.ewma + (gap - g.ewma) / 64.0;
+      g.ewma = g.ewma == 0.0 ? gap : g.ewma + (gap - g.ewma) * kGapEwmaFactor;
     }
     g.last = deq_ts;
     g.has_last = true;
@@ -192,6 +205,13 @@ void PrintQueuePipeline::absorb_batch(const sim::PacketBatch& batch) {
   const bool single_queue = cfg_.queues_per_port == 1;
   deq_scratch_.resize(n);
   depth_scratch_.resize(n);
+#if defined(PQ_SIMD_AVX2)
+  // Probe-flow configs compare full 5-tuples per element; they stay on the
+  // portable scan. The dispatch level is stable for the whole batch (it only
+  // changes at startup or between test runs), so hoist the check.
+  const bool avx2_scan =
+      !has_probe && simd::active_level() == simd::Level::kAvx2;
+#endif
 
   std::size_t i = 0;
   while (i < n) {
@@ -216,19 +236,42 @@ void PrintQueuePipeline::absorb_batch(const sim::PacketBatch& batch) {
     // capacity checks.
     Timestamp* deq_out = deq_scratch_.data();
     std::uint32_t* depth_out = depth_scratch_.data();
-    deq_out[0] = deq_i;
-    if (single_queue) depth_out[0] = qdepth[i] + cells[i];
-    std::size_t j = i + 1;
-    while (j < n && eport[j] == port) {
-      const Timestamp deq_j = enq[j] + delta[j];
-      if (deq_j >= boundary) break;
-      if (trig(j)) {
-        if (!locked) break;
-        ++ignored;
+    std::size_t j;
+#if defined(PQ_SIMD_AVX2)
+    if (avx2_scan) {
+      simd_avx2::BatchScanArgs sa;
+      sa.enq = enq + i;
+      sa.delta = delta + i;
+      sa.qdepth = qdepth + i;
+      sa.cells = cells + i;
+      sa.eport = eport + i;
+      sa.deq_out = deq_out;
+      sa.depth_out = single_queue ? depth_out : nullptr;
+      sa.boundary = boundary;
+      sa.delay_thr = delay_thr;
+      sa.depth_thr = depth_thr;
+      sa.port = port;
+      sa.locked = locked;
+      const auto sr = simd_avx2::batch_scan(sa, n - i);
+      j = i + sr.len;
+      ignored += sr.ignored;
+    } else
+#endif
+    {
+      deq_out[0] = deq_i;
+      if (single_queue) depth_out[0] = qdepth[i] + cells[i];
+      j = i + 1;
+      while (j < n && eport[j] == port) {
+        const Timestamp deq_j = enq[j] + delta[j];
+        if (deq_j >= boundary) break;
+        if (trig(j)) {
+          if (!locked) break;
+          ++ignored;
+        }
+        deq_out[j - i] = deq_j;
+        if (single_queue) depth_out[j - i] = qdepth[j] + cells[j];
+        ++j;
       }
-      deq_out[j - i] = deq_j;
-      if (single_queue) depth_out[j - i] = qdepth[j] + cells[j];
-      ++j;
     }
     absorb_run(batch, i, j);
     // Triggers that hit while locked are ignored exactly as in the scalar

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/simd/dispatch.h"
+#if defined(PQ_SIMD_AVX2)
+#include "core/simd_kernels_avx2.h"
+#endif
+
 namespace pq::core {
 
 QueueMonitor::QueueMonitor(const QueueMonitorParams& params)
@@ -39,6 +44,23 @@ void QueueMonitor::absorb_run(std::uint32_t port_prefix, const FlowId* flows,
       bank.entries.data() +
       static_cast<std::size_t>(port_prefix) * params_.levels();
   std::uint64_t& seq = seq_[port_prefix];
+
+#if defined(PQ_SIMD_AVX2)
+  // Power-of-two granularities (the common configuration) turn the level
+  // computation into a shift, which the AVX2 kernel evaluates eight packets
+  // at a time; only level-change elements touch the entries array, exactly
+  // like the loop below. Other granularities keep the portable loop.
+  if (n > 1 && std::has_single_bit(gran) &&
+      simd::active_level() == simd::Level::kAvx2) {
+    const std::uint32_t last_out = simd_avx2::monitor_absorb(
+        entries, flows, depth_after_cells, n,
+        static_cast<std::uint32_t>(std::countr_zero(gran)), max_level,
+        ps.last_level, &seq);
+    ps.last_level = last_out;
+    ps.top = last_out;
+    return;
+  }
+#endif
 
   // The stack cursor only needs to land in PortState at the end of the run;
   // intermediate values live in a register.

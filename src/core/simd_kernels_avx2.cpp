@@ -1,0 +1,437 @@
+// AVX2 implementations of the core hot-path kernels (see
+// simd_kernels_avx2.h for the contracts). This is the only TU in pq_core
+// compiled with -mavx2; it must stay free of anything a header could inline
+// into baseline-ISA TUs.
+#include "core/simd_kernels_avx2.h"
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstring>
+
+#include "core/queue_monitor.h"
+#include "core/time_windows.h"
+
+namespace pq::core::simd_avx2 {
+
+
+namespace {
+
+inline __m256i set1_u64(std::uint64_t v) {
+  return _mm256_set1_epi64x(static_cast<long long>(v));
+}
+
+inline std::uint64_t load_u64(const void* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline void store_u64(void* p, std::uint64_t v) {
+  std::memcpy(p, &v, sizeof(v));
+}
+
+/// Unsigned 64-bit a >= b per lane: AVX2 only has signed compares, so both
+/// sides get their sign bit flipped first.
+inline __m256i cmpge_epu64(__m256i a, __m256i b) {
+  const __m256i msb = set1_u64(0x8000000000000000ull);
+  const __m256i gt =
+      _mm256_cmpgt_epi64(_mm256_xor_si256(a, msb), _mm256_xor_si256(b, msb));
+  return _mm256_or_si256(gt, _mm256_cmpeq_epi64(a, b));
+}
+
+// window_pass treats a cell as one 32-byte line: the flow's two qwords at
+// 0/8, the cycle at 16, and the occupied byte at 24 followed by dead padding
+// (initialized to zero, zeroed again by the vector store path, and never
+// read as data).
+static_assert(sizeof(WindowCell) == 32, "cell loads assume 32B cells");
+static_assert(offsetof(WindowCell, flow) == 0 && sizeof(FlowId) == 16,
+              "cell loads assume flow at 0..15");
+static_assert(offsetof(WindowCell, cycle_id) == 16,
+              "cell loads assume cycle_id at 16");
+static_assert(offsetof(WindowCell, occupied) == 24,
+              "cell loads assume occupied at 24");
+
+/// Dword-index table for vpermd, compacting the passing 64-bit lanes of a
+/// vector to the front; indexed by the 4-bit pass mask, entries past the
+/// popcount are don't-care.
+alignas(32) constexpr std::uint32_t kCompact64[16][8] = {
+    {0, 0, 0, 0, 0, 0, 0, 0},
+    {0, 1, 0, 0, 0, 0, 0, 0},
+    {2, 3, 0, 0, 0, 0, 0, 0},
+    {0, 1, 2, 3, 0, 0, 0, 0},
+    {4, 5, 0, 0, 0, 0, 0, 0},
+    {0, 1, 4, 5, 0, 0, 0, 0},
+    {2, 3, 4, 5, 0, 0, 0, 0},
+    {0, 1, 2, 3, 4, 5, 0, 0},
+    {6, 7, 0, 0, 0, 0, 0, 0},
+    {0, 1, 6, 7, 0, 0, 0, 0},
+    {2, 3, 6, 7, 0, 0, 0, 0},
+    {0, 1, 2, 3, 6, 7, 0, 0},
+    {4, 5, 6, 7, 0, 0, 0, 0},
+    {0, 1, 4, 5, 6, 7, 0, 0},
+    {2, 3, 4, 5, 6, 7, 0, 0},
+    {0, 1, 2, 3, 4, 5, 6, 7},
+};
+
+}  // namespace
+
+WindowPassResult window_pass(const WindowPassArgs& a, std::size_t n) {
+  WindowPassResult r;
+  WindowCell* const cells = a.cells;
+  const std::uint64_t index_mask = a.index_mask;
+  const std::uint64_t wrap_mask = a.wrap_mask;
+  const std::uint32_t k = a.k;
+  const std::uint32_t alpha = a.alpha;
+  const bool pass0 = a.in_ts != nullptr;
+
+  // The scalar oracle for one element, used for the tail and for groups
+  // whose cell indices collide (eviction order inside a group matters then).
+  // Must mirror the pass-loop bodies in time_windows.cpp exactly.
+  const auto scalar_one = [&](std::size_t x, std::size_t& m) {
+    const std::uint64_t tts =
+        pass0 ? ((a.in_ts[x] & a.raw_mask) >> a.m0) : a.in_tts[x];
+    const std::uint64_t index = tts & index_mask;
+    const std::uint64_t cycle = tts >> k;
+    WindowCell& c = cells[index];
+    char* cp = reinterpret_cast<char*>(&c);
+    const std::uint64_t ev_f0 = load_u64(cp);
+    const std::uint64_t ev_f1 = load_u64(cp + 8);
+    const std::uint64_t ev_cycle = c.cycle_id;
+    const unsigned occ = static_cast<unsigned>(c.occupied);
+    const char* fp = reinterpret_cast<const char*>(&a.in_flow[x]);
+    store_u64(cp, load_u64(fp));
+    store_u64(cp + 8, load_u64(fp + 8));
+    c.cycle_id = cycle;
+    c.occupied = true;
+    const unsigned pass =
+        occ & static_cast<unsigned>(((cycle - ev_cycle) & wrap_mask) == 1);
+    char* op = reinterpret_cast<char*>(&a.out_flow[m]);
+    store_u64(op, ev_f0);
+    store_u64(op + 8, ev_f1);
+    a.out_tts[m] = ((ev_cycle << k) | index) >> alpha;
+    m += pass;
+    r.dropped += occ & (pass ^ 1u);
+  };
+
+  const __m256i vindex_mask = set1_u64(index_mask);
+  const __m256i vwrap_mask = set1_u64(wrap_mask);
+  const __m256i vraw_mask = set1_u64(a.raw_mask);
+  const __m256i one = set1_u64(1);
+  const __m128i kc = _mm_cvtsi32_si128(static_cast<int>(k));
+  const __m128i m0c = _mm_cvtsi32_si128(static_cast<int>(a.m0));
+  const __m128i alphac = _mm_cvtsi32_si128(static_cast<int>(alpha));
+
+  std::size_t m = 0;
+  std::size_t x = 0;
+  // Scalar head: the vector loop reads element x-1 (the previous element's
+  // TTS) for its duplicate/monotonicity checks, so the first group always
+  // replays through the oracle.
+  const std::size_t head = n < 4 ? n : 4;
+  for (; x < head; ++x) scalar_one(x, m);
+  for (; x + 4 <= n; x += 4) {
+    __m256i tts, tts_prev;
+    if (pass0) {
+      const __m256i ts = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(a.in_ts + x));
+      const __m256i tp = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(a.in_ts + x - 1));
+      tts = _mm256_srl_epi64(_mm256_and_si256(ts, vraw_mask), m0c);
+      tts_prev = _mm256_srl_epi64(_mm256_and_si256(tp, vraw_mask), m0c);
+    } else {
+      tts = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(a.in_tts + x));
+      tts_prev = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(a.in_tts + x - 1));
+    }
+    const __m256i cyc = _mm256_srl_epi64(tts, kc);
+    const __m256i cyc_prev = _mm256_srl_epi64(tts_prev, kc);
+
+    // Intra-group index collisions make lane order matter (a later element
+    // must evict the earlier element's write). The overwhelmingly common
+    // collision is the benign one: equal TTS values. Run inputs are monotone
+    // in time (pass 0 is dequeue order; survivor TTS is input TTS minus one
+    // cycle, so deeper passes inherit the order), which means equal TTS
+    // values sit in adjacent lanes, and their semantics are exact: each
+    // duplicate evicts its predecessor's just-written cell with cycle
+    // difference 0 — a drop, never a survivor — and the last duplicate's
+    // write stands. Those groups stay on the vector path with the duplicate
+    // lanes forced to drop.
+    //
+    // Lane l compares against element x+l-1 via an unaligned load — one
+    // load instead of the cross-lane permute a rotation would need (the
+    // whole pass budget is ~7 shuffle-port uops per group; see below). The
+    // vector path requires (a) monotone TTS across [x-1, x+3] and (b) one
+    // shared cycle ID across [x-1, x+3]: under (a)+(b), equal indices imply
+    // equal TTS, so every collision is an adjacent duplicate chain. Groups
+    // violating either — a non-monotone stretch, or a cycle-boundary
+    // crossing (~one group per 2^k cells of trace time) — replay through
+    // the scalar oracle in element order, which is always safe.
+    const unsigned mono_bits = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(cmpge_epu64(tts, tts_prev))));
+    const unsigned cyc_bits = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(cyc, cyc_prev))));
+    const unsigned dup_bits = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(tts, tts_prev))));
+    if (mono_bits != 0xfu || cyc_bits != 0xfu) {
+      for (std::size_t l = 0; l < 4; ++l) scalar_one(x + l, m);
+      continue;
+    }
+
+    // TTS as scalars via extracts; index and cycle scalars are plain ALU
+    // from there. This port-5 budget (3 extract uops here, 3 for the
+    // ev_cyc build, 1 for the survivor compaction) is what lets the vector
+    // path beat the scalar pass: the earlier transpose-heavy version spent
+    // ~23 shuffle-port uops per group and ran no faster than scalar.
+    const __m128i tts_lo128 = _mm256_castsi256_si128(tts);
+    const __m128i tts_hi128 = _mm256_extracti128_si256(tts, 1);
+    const auto t0 = static_cast<std::uint64_t>(_mm_cvtsi128_si64(tts_lo128));
+    const auto t1 =
+        static_cast<std::uint64_t>(_mm_extract_epi64(tts_lo128, 1));
+    const auto t2 = static_cast<std::uint64_t>(_mm_cvtsi128_si64(tts_hi128));
+    const auto t3 =
+        static_cast<std::uint64_t>(_mm_extract_epi64(tts_hi128, 1));
+    char* const cp0 = reinterpret_cast<char*>(cells + (t0 & index_mask));
+    char* const cp1 = reinterpret_cast<char*>(cells + (t1 & index_mask));
+    char* const cp2 = reinterpret_cast<char*>(cells + (t2 & index_mask));
+    char* const cp3 = reinterpret_cast<char*>(cells + (t3 & index_mask));
+
+    // Evicted cycles: four 8-byte loads, paired into one vector. vpgather
+    // is pathologically slow on Xeons carrying the Downfall (GDS) microcode
+    // mitigation, so plain loads win even before the port argument.
+    const __m128i h0 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(cp0 + 16));
+    const __m128i h1 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(cp1 + 16));
+    const __m128i h2 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(cp2 + 16));
+    const __m128i h3 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(cp3 + 16));
+    const __m256i ev_cyc = _mm256_set_m128i(_mm_unpacklo_epi64(h2, h3),
+                                            _mm_unpacklo_epi64(h0, h1));
+    // Occupancy as scalar byte loads — no transpose needed for one bit per
+    // lane.
+    const unsigned occ_bits =
+        static_cast<unsigned>(static_cast<unsigned char>(cp0[24])) |
+        (static_cast<unsigned>(static_cast<unsigned char>(cp1[24])) << 1) |
+        (static_cast<unsigned>(static_cast<unsigned char>(cp2[24])) << 2) |
+        (static_cast<unsigned>(static_cast<unsigned char>(cp3[24])) << 3);
+    const unsigned diff_bits =
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(
+            _mm256_cmpeq_epi64(
+                _mm256_and_si256(_mm256_sub_epi64(cyc, ev_cyc), vwrap_mask),
+                one))));
+    // Duplicate lanes saw a stale load (their predecessor's store was still
+    // in flight): their real eviction is the predecessor itself — occupied,
+    // cycle difference 0 — so they drop, unconditionally, and never pass.
+    const unsigned pass_bits = occ_bits & diff_bits & ~dup_bits;
+    r.dropped += static_cast<unsigned>(
+        std::popcount((occ_bits & ~pass_bits & ~dup_bits) | dup_bits));
+
+    // Survivor append, store-minimized: the TTS quad is compacted
+    // in-register and lands as one 32-byte store; flows store at their
+    // compacted positions directly (a non-passing lane's store is
+    // overwritten by the next survivor, or is the one-slot-ahead garbage
+    // the scalar pass also leaves). Stays inside the output buffers:
+    // m <= x <= n - 4 here.
+    if (pass_bits != 0) {
+      const __m256i idx = _mm256_and_si256(tts, vindex_mask);
+      const __m256i out_tts = _mm256_srl_epi64(
+          _mm256_or_si256(_mm256_sll_epi64(ev_cyc, kc), idx), alphac);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(a.out_tts + m),
+          _mm256_permutevar8x32_epi32(
+              out_tts, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                           kCompact64[pass_bits]))));
+      std::size_t mm = m;
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(&a.out_flow[mm]),
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cp0)));
+      mm += pass_bits & 1u;
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(&a.out_flow[mm]),
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cp1)));
+      mm += (pass_bits >> 1) & 1u;
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(&a.out_flow[mm]),
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cp2)));
+      mm += (pass_bits >> 2) & 1u;
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(&a.out_flow[mm]),
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cp3)));
+      mm += (pass_bits >> 3) & 1u;
+      m = mm;
+    }
+    // New cell contents, in lane order (a duplicate chain's last write
+    // wins, matching the scalar order): 16-byte flow store plus an 8-byte
+    // cycle store per cell. The occupied bytes only ever transition 0 -> 1,
+    // so once the group's cells are all occupied (the steady state) those
+    // four stores are skipped entirely; the 8-byte form zeroes the cell's
+    // dead padding, which the zero-initialized scalar path also guarantees.
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(cp0),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&a.in_flow[x + 0])));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(cp1),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&a.in_flow[x + 1])));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(cp2),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&a.in_flow[x + 2])));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(cp3),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&a.in_flow[x + 3])));
+    store_u64(cp0 + 16, t0 >> k);
+    store_u64(cp1 + 16, t1 >> k);
+    store_u64(cp2 + 16, t2 >> k);
+    store_u64(cp3 + 16, t3 >> k);
+    if (occ_bits != 0xfu) {
+      store_u64(cp0 + 24, 1);
+      store_u64(cp1 + 24, 1);
+      store_u64(cp2 + 24, 1);
+      store_u64(cp3 + 24, 1);
+    }
+  }
+  for (; x < n; ++x) scalar_one(x, m);
+  r.passed = m;
+  return r;
+}
+
+std::uint32_t monitor_absorb(MonitorEntry* entries, const FlowId* flows,
+                             const std::uint32_t* depth_after_cells,
+                             std::size_t n, std::uint32_t shift,
+                             std::uint32_t max_level, std::uint32_t last_level,
+                             std::uint64_t* seq) {
+  const __m128i shc = _mm_cvtsi32_si128(static_cast<int>(shift));
+  const __m256i vmax = _mm256_set1_epi32(static_cast<int>(max_level));
+  // Rotates each 32-bit lane one to the left (lane l reads lane l-1); lane 0
+  // is then blended with the running cursor.
+  const __m256i rot = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+  const __m256i ones = _mm256_set1_epi32(-1);
+
+  std::uint32_t last = last_level;
+  std::uint64_t s = *seq;
+  std::size_t x = 0;
+  for (; x + 8 <= n; x += 8) {
+    const __m256i d = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(depth_after_cells + x));
+    const __m256i lv = _mm256_min_epu32(_mm256_srl_epi32(d, shc), vmax);
+    __m256i prev = _mm256_permutevar8x32_epi32(lv, rot);
+    prev = _mm256_blend_epi32(
+        prev, _mm256_set1_epi32(static_cast<int>(last)), 0x01);
+    const __m256i changed =
+        _mm256_xor_si256(_mm256_cmpeq_epi32(lv, prev), ones);
+    unsigned bits = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(changed)));
+    if (bits != 0) {
+      alignas(32) std::uint32_t lv_a[8];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lv_a), lv);
+      do {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::uint32_t level = lv_a[l];
+        const std::uint32_t before = l == 0 ? last : lv_a[l - 1];
+        MonitorHalf& h =
+            level > before ? entries[level].inc : entries[level].dec;
+        h.flow = flows[x + l];
+        h.seq = ++s;
+        h.valid = true;
+      } while (bits != 0);
+      last = lv_a[7];
+    }
+    // No change across the group means every lane equals `last` already.
+  }
+  for (; x < n; ++x) {
+    const std::uint32_t level =
+        std::min(depth_after_cells[x] >> shift, max_level);
+    if (level != last) {
+      MonitorHalf& h = level > last ? entries[level].inc : entries[level].dec;
+      h.flow = flows[x];
+      h.seq = ++s;
+      h.valid = true;
+      last = level;
+    }
+  }
+  *seq = s;
+  return last;
+}
+
+BatchScanResult batch_scan(const BatchScanArgs& a, std::size_t n) {
+  BatchScanResult r;
+  // Element 0 is pre-validated by the caller: fill and move on.
+  a.deq_out[0] = a.enq[0] + a.delta[0];
+  if (a.depth_out != nullptr) a.depth_out[0] = a.qdepth[0] + a.cells[0];
+  r.len = 1;
+  if (n <= 1) return r;
+
+  const bool delay_on = a.delay_thr != 0;
+  const bool depth_on = a.depth_thr != 0;
+  const __m256i vboundary = set1_u64(a.boundary);
+  const __m256i vdelay = set1_u64(a.delay_thr);
+  const __m128i vdepth = _mm_set1_epi32(static_cast<int>(a.depth_thr));
+  const __m128i vport = _mm_set1_epi32(static_cast<int>(a.port));
+
+  std::size_t x = 1;
+  for (; x + 4 <= n; x += 4) {
+    const __m256i enq = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a.enq + x));
+    const __m256i dlt = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a.delta + x));
+    const __m256i deq = _mm256_add_epi64(enq, dlt);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a.deq_out + x), deq);
+    const __m128i qd = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(a.qdepth + x));
+    if (a.depth_out != nullptr) {
+      const __m128i cl = _mm_cvtepu16_epi32(_mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(a.cells + x)));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(a.depth_out + x),
+                       _mm_add_epi32(qd, cl));
+    }
+
+    const __m128i ep = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(a.eport + x));
+    const unsigned port_bad =
+        static_cast<unsigned>(
+            _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(ep, vport)))) ^
+        0xfu;
+    const unsigned bhit = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(cmpge_epu64(deq, vboundary))));
+    unsigned trig = 0;
+    if (delay_on) {
+      trig |= static_cast<unsigned>(
+          _mm256_movemask_pd(_mm256_castsi256_pd(cmpge_epu64(dlt, vdelay))));
+    }
+    if (depth_on) {
+      // Unsigned u32 >= via max: max(qd, thr) == qd  <=>  qd >= thr.
+      trig |= static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(
+          _mm_cmpeq_epi32(_mm_max_epu32(qd, vdepth), qd))));
+    }
+    const unsigned stop = port_bad | bhit | (a.locked ? 0u : trig);
+    if (stop != 0) {
+      const unsigned take = static_cast<unsigned>(std::countr_zero(stop));
+      if (a.locked) {
+        r.ignored += static_cast<unsigned>(
+            std::popcount(trig & ((1u << take) - 1u)));
+      }
+      r.len = x + take;
+      return r;
+    }
+    if (a.locked) r.ignored += static_cast<unsigned>(std::popcount(trig));
+  }
+  for (; x < n; ++x) {
+    if (a.eport[x] != a.port) break;
+    const std::uint64_t deq = a.enq[x] + a.delta[x];
+    if (deq >= a.boundary) break;
+    const bool t = (delay_on && a.delta[x] >= a.delay_thr) ||
+                   (depth_on && a.qdepth[x] >= a.depth_thr);
+    if (t) {
+      if (!a.locked) break;
+      ++r.ignored;
+    }
+    a.deq_out[x] = deq;
+    if (a.depth_out != nullptr) a.depth_out[x] = a.qdepth[x] + a.cells[x];
+  }
+  r.len = x;
+  return r;
+}
+
+}  // namespace pq::core::simd_avx2

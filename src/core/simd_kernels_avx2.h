@@ -1,0 +1,93 @@
+// AVX2 kernel entry points for the core hot path: the TimeWindowSet window
+// pass, QueueMonitor bank updates, and the batch-scan predicate loop.
+// Declarations only — definitions live in simd_kernels_avx2.cpp, the sole
+// TU in pq_core built with -mavx2, and exist only when PQ_SIMD_AVX2 is set.
+// Call sites guard with `#if defined(PQ_SIMD_AVX2)` AND check
+// simd::active_level() at runtime (docs/ARCHITECTURE.md §13).
+//
+// Every kernel is byte-identical to its scalar counterpart: all arithmetic
+// is integer (exact), eviction/write order is preserved (groups whose cell
+// indices collide are replayed through an in-kernel scalar path in element
+// order), and the floating-point gap EWMA is never touched here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pq::core {
+
+struct WindowCell;
+struct MonitorEntry;
+
+namespace simd_avx2 {
+
+/// One TimeWindowSet::absorb_run pass over a single window (the pass-0 /
+/// pass-i loop bodies in time_windows.cpp are the scalar oracle). Inputs are
+/// the pass's n elements; survivors (evictions whose cycle difference is
+/// exactly 1) are appended to out_flow/out_tts in element order.
+struct WindowPassArgs {
+  WindowCell* cells;            ///< window base, already port-offset
+  const FlowId* in_flow;        ///< n flows entering this window
+  const std::uint64_t* in_tts;  ///< n TTS values (null for pass 0)
+  const std::uint64_t* in_ts;   ///< n raw timestamps (pass 0 only, else null)
+  FlowId* out_flow;             ///< survivor flows, capacity >= n
+  std::uint64_t* out_tts;       ///< survivor TTS, capacity >= n
+  std::uint64_t index_mask;
+  std::uint64_t wrap_mask;
+  std::uint64_t raw_mask;       ///< pass 0: wrap32 timestamp mask
+  std::uint32_t k;
+  std::uint32_t alpha;
+  std::uint32_t m0;             ///< pass 0: TTS shift
+};
+
+struct WindowPassResult {
+  std::size_t passed = 0;    ///< survivors appended
+  std::uint64_t dropped = 0; ///< occupied evictions not passed on
+};
+
+WindowPassResult window_pass(const WindowPassArgs& args, std::size_t n);
+
+/// QueueMonitor::absorb_run body for power-of-two granularities
+/// (level = min(depth >> shift, max_level)). Levels are computed 8-wide and
+/// compared against their predecessors; only level-change elements touch the
+/// entries array, exactly as the scalar loop does. Returns the final level
+/// cursor; *seq is advanced once per write.
+std::uint32_t monitor_absorb(MonitorEntry* entries, const FlowId* flows,
+                             const std::uint32_t* depth_after_cells,
+                             std::size_t n, std::uint32_t shift,
+                             std::uint32_t max_level, std::uint32_t last_level,
+                             std::uint64_t* seq);
+
+/// The fused run scan of PrintQueuePipeline::absorb_batch (no probe-flow
+/// configs — those fall back to the portable loop). Element 0 is the run
+/// head the caller already validated (right port, deq < boundary, trigger
+/// accounted for): the kernel fills its outputs unconditionally, then
+/// extends the run while the port matches, deq < boundary, and any trigger
+/// is masked by `locked`; fills deq_out (enq+delta) and, when depth_out is
+/// non-null, depth_out (qdepth+cells) for every run element.
+struct BatchScanArgs {
+  const std::uint64_t* enq;       ///< enq timestamps
+  const std::uint64_t* delta;     ///< deq timedeltas
+  const std::uint32_t* qdepth;
+  const std::uint16_t* cells;
+  const std::uint32_t* eport;
+  std::uint64_t* deq_out;
+  std::uint32_t* depth_out;       ///< null for multi-queue configs
+  std::uint64_t boundary;         ///< first observer event time (or kNever)
+  std::uint64_t delay_thr;        ///< 0 = disabled
+  std::uint32_t depth_thr;        ///< 0 = disabled
+  std::uint32_t port;             ///< the run's port
+  bool locked;                    ///< triggers are ignored (counted) if true
+};
+
+struct BatchScanResult {
+  std::size_t len = 0;           ///< run length (elements filled)
+  std::uint64_t ignored = 0;     ///< triggers absorbed while locked
+};
+
+BatchScanResult batch_scan(const BatchScanArgs& args, std::size_t n);
+
+}  // namespace simd_avx2
+}  // namespace pq::core

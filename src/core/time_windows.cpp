@@ -3,6 +3,11 @@
 #include <bit>
 #include <cstring>
 
+#include "common/simd/dispatch.h"
+#if defined(PQ_SIMD_AVX2)
+#include "core/simd_kernels_avx2.h"
+#endif
+
 namespace pq::core {
 
 namespace {
@@ -180,6 +185,49 @@ void TimeWindowSet::absorb_run(std::uint32_t port_prefix, const FlowId* flows,
     for (auto& v : surv_flow_) v.resize(n);
     for (auto& v : surv_tts_) v.resize(n);
   }
+
+#if defined(PQ_SIMD_AVX2)
+  // The AVX2 tier runs the same per-window passes four lanes at a time
+  // (groups with intra-group index collisions replay through the in-kernel
+  // scalar oracle, preserving eviction order). The ablate_passing variant
+  // stays on the portable loops — it is a measurement configuration, not a
+  // hot path.
+  if (!ablate && simd::active_level() == simd::Level::kAvx2) {
+    simd_avx2::WindowPassArgs wa;
+    wa.cells = win[0];
+    wa.in_flow = flows;
+    wa.in_tts = nullptr;
+    wa.in_ts = deq_timestamps;
+    wa.out_flow = surv_flow_[0].data();
+    wa.out_tts = surv_tts_[0].data();
+    wa.index_mask = index_mask;
+    wa.wrap_mask = wrap_mask_[0];
+    wa.raw_mask = cx.wrap32 ? 0xffffffffull : ~std::uint64_t{0};
+    wa.k = k;
+    wa.alpha = alpha;
+    wa.m0 = cx.m0;
+    const auto r0 = simd_avx2::window_pass(wa, n);
+    stats_.stored[0] += n;
+    stats_.passed[0] += r0.passed;
+    stats_.dropped[0] += r0.dropped;
+    std::size_t mv = r0.passed;
+    wa.in_ts = nullptr;
+    for (std::uint32_t i = 1; i < p.num_windows && mv > 0; ++i) {
+      wa.cells = win[i];
+      wa.in_flow = surv_flow_[(i - 1) & 1].data();
+      wa.in_tts = surv_tts_[(i - 1) & 1].data();
+      wa.out_flow = surv_flow_[i & 1].data();
+      wa.out_tts = surv_tts_[i & 1].data();
+      wa.wrap_mask = wrap_mask_[i];
+      const auto ri = simd_avx2::window_pass(wa, mv);
+      stats_.stored[i] += mv;
+      stats_.passed[i] += ri.passed;
+      stats_.dropped[i] += ri.dropped;
+      mv = ri.passed;
+    }
+    return;
+  }
+#endif
 
   // Pass 0: every element stores into window 0. Everything the loop reads
   // lives in locals: a member load (wrap_mask_, layout_) inside the loop

@@ -48,6 +48,20 @@ struct EgressContext {
 /// stale garbage from earlier chunks. This lets push() issue eleven plain
 /// indexed stores instead of eleven push_backs with their capacity checks —
 /// the feed loop runs once per packet on the hot path.
+///
+/// Overread guarantee for vector consumers (docs/ARCHITECTURE.md §13):
+/// because the columns are *resized* (not merely reserved) to capacity(),
+/// every byte of [0, capacity()) is allocated, initialized storage. A SIMD
+/// loop may therefore load a full vector group that straddles size() —
+/// rounding its read extent up to at most capacity() — without undefined
+/// behaviour or sanitizer reports, provided it masks the lanes at
+/// [size(), ...) out of any *result*: their values are stale garbage and
+/// carry no meaning. The shipped AVX2 kernels are stricter than the
+/// guarantee requires — they bound vector groups at size() and hand
+/// 0..width-1 leftover elements to the scalar tail — so this clause exists
+/// for future consumers, and relaxing a kernel to exploit it is safe
+/// without changing this struct. No column is over-aligned: kernels must
+/// (and do) use unaligned loads.
 struct PacketBatch {
   std::vector<FlowId> flow;
   std::vector<Timestamp> enq_timestamp;

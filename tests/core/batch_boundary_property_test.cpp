@@ -12,11 +12,28 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/simd/dispatch.h"
 #include "core/queue_monitor.h"
 #include "core/time_windows.h"
 
 namespace pq::core {
 namespace {
+
+/// Dispatch levels to sweep the batched side across (the scalar per-packet
+/// oracle never enters a SIMD kernel, so only the batched object cares).
+/// {kScalar} on hosts without AVX2 — the property still holds, vacuously
+/// for the vector path.
+std::vector<simd::Level> sweep_levels() {
+  std::vector<simd::Level> v{simd::Level::kScalar};
+  if (simd::supported(simd::Level::kAvx2)) v.push_back(simd::Level::kAvx2);
+  return v;
+}
+
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(simd::Level level) { simd::set_active_level(level); }
+  ~ScopedLevel() { simd::configure(); }
+};
 
 struct Stream {
   std::vector<FlowId> flows;
@@ -164,6 +181,9 @@ void expect_same_monitor(const QueueMonitor& a, const QueueMonitor& b) {
 
 TEST(BatchBoundaryProperty, WindowsAnySplitMatchesScalar) {
   constexpr std::size_t kPackets = 6'000;
+  for (const simd::Level level : sweep_levels()) {
+  SCOPED_TRACE(simd::to_string(level));
+  ScopedLevel scope(level);
   for (std::uint64_t trial = 0; trial < 8; ++trial) {
     const Stream s = random_stream(100 + trial, kPackets);
     const auto splits = random_splits(200 + trial, kPackets);
@@ -202,10 +222,14 @@ TEST(BatchBoundaryProperty, WindowsAnySplitMatchesScalar) {
     }
     expect_same_windows(scalar, batched);
   }
+  }
 }
 
 TEST(BatchBoundaryProperty, MonitorAnySplitMatchesScalar) {
   constexpr std::size_t kPackets = 6'000;
+  for (const simd::Level level : sweep_levels()) {
+  SCOPED_TRACE(simd::to_string(level));
+  ScopedLevel scope(level);
   for (std::uint64_t trial = 0; trial < 8; ++trial) {
     const Stream s = random_stream(400 + trial, kPackets);
     const auto splits = random_splits(500 + trial, kPackets);
@@ -242,6 +266,7 @@ TEST(BatchBoundaryProperty, MonitorAnySplitMatchesScalar) {
     }
     expect_same_monitor(scalar, batched);
   }
+  }
 }
 
 /// The wrap32 configuration narrows per-window cycle arithmetic; the
@@ -251,6 +276,9 @@ TEST(BatchBoundaryProperty, Wrap32SplitsMatchScalar) {
   TimeWindowParams p = window_params();
   p.wrap32 = true;
   constexpr std::size_t kPackets = 4'000;
+  for (const simd::Level level : sweep_levels()) {
+  SCOPED_TRACE(simd::to_string(level));
+  ScopedLevel scope(level);
   for (std::uint64_t trial = 0; trial < 4; ++trial) {
     Rng rng(700 + trial);
     std::vector<FlowId> flows;
@@ -276,6 +304,7 @@ TEST(BatchBoundaryProperty, Wrap32SplitsMatchScalar) {
       off += len;
     }
     expect_same_windows(scalar, batched);
+  }
   }
 }
 

@@ -9,6 +9,7 @@
 // across thread counts 1, 2 and 8, with and without an active FaultPlan.
 #include <gtest/gtest.h>
 
+#include "common/simd/dispatch.h"
 #include "sharded_harness.h"
 
 namespace pq {
@@ -17,6 +18,22 @@ namespace {
 using harness::run_once;
 using harness::RunResult;
 using harness::workload;
+
+/// SIMD dispatch levels the batched runs are swept across. The oracle
+/// (batch 1) absorbs packet-at-a-time and never enters a SIMD kernel, so
+/// one oracle serves every level; on a host without AVX2 the sweep is just
+/// {kScalar}.
+std::vector<simd::Level> sweep_levels() {
+  std::vector<simd::Level> v{simd::Level::kScalar};
+  if (simd::supported(simd::Level::kAvx2)) v.push_back(simd::Level::kAvx2);
+  return v;
+}
+
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(simd::Level level) { simd::set_active_level(level); }
+  ~ScopedLevel() { simd::configure(); }
+};
 
 class BatchDifferential : public ::testing::TestWithParam<bool> {};
 
@@ -39,11 +56,14 @@ TEST_P(BatchDifferential, ByteIdenticalToScalarOracle) {
 
   ASSERT_FALSE(oracle.archive_bytes.empty());
 
+  for (const simd::Level level : sweep_levels()) {
+    ScopedLevel scope(level);
   for (const std::uint32_t batch : {3u, 64u, 256u, 1024u}) {
     for (const unsigned threads : {1u, 2u, 8u}) {
       const RunResult got = run_once(packets, with_faults, threads, batch);
       const auto label = ::testing::Message()
-                         << "batch=" << batch << " threads=" << threads;
+                         << "simd=" << simd::to_string(level)
+                         << " batch=" << batch << " threads=" << threads;
       EXPECT_EQ(oracle.registers, got.registers) << label;
       EXPECT_EQ(oracle.answers, got.answers) << label;
       EXPECT_EQ(oracle.fault_schedule, got.fault_schedule) << label;
@@ -54,6 +74,7 @@ TEST_P(BatchDifferential, ByteIdenticalToScalarOracle) {
       EXPECT_EQ(oracle.metrics_json, got.metrics_json) << label;
       EXPECT_EQ(oracle.archive_bytes, got.archive_bytes) << label;
     }
+  }
   }
 }
 
@@ -77,12 +98,16 @@ TEST(BatchDifferential, SixteenThreadsWideWorkload) {
   ASSERT_FALSE(oracle.fault_schedule.empty());
   EXPECT_GT(oracle.dq_fired, 0u);
 
+  for (const simd::Level level : sweep_levels()) {
+    ScopedLevel scope(level);
   for (const std::uint32_t batch : {3u, 1024u}) {
     harness::RunSpec spec = oracle_spec;
     spec.threads = 16;
     spec.batch = batch;
     const RunResult got = run_once(packets, spec);
-    const auto label = ::testing::Message() << "batch=" << batch;
+    const auto label = ::testing::Message()
+                       << "simd=" << simd::to_string(level)
+                       << " batch=" << batch;
     EXPECT_EQ(oracle.registers, got.registers) << label;
     EXPECT_EQ(oracle.answers, got.answers) << label;
     EXPECT_EQ(oracle.fault_schedule, got.fault_schedule) << label;
@@ -92,6 +117,7 @@ TEST(BatchDifferential, SixteenThreadsWideWorkload) {
     EXPECT_EQ(oracle.dq_fired, got.dq_fired) << label;
     EXPECT_EQ(oracle.metrics_json, got.metrics_json) << label;
     EXPECT_EQ(oracle.archive_bytes, got.archive_bytes) << label;
+  }
   }
 }
 

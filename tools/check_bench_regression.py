@@ -20,8 +20,12 @@ Baseline format (bench/baselines/perf_smoke_baseline.json):
 
 Per-metric "tolerance_pct" overrides the global tolerance (--tolerance or
 $PQ_BENCH_TOLERANCE, default 15). "gate": false records a metric for the
-report without failing on it. Improvements never fail; they are reported so
-the baseline can be refreshed (see docs/OBSERVABILITY.md).
+report without failing on it. "requires": "<key>" gates the metric only
+when the named key is present and non-zero in the current results — used
+for gates that only make sense on capable hosts, e.g. simd_speedup_x
+requires simd_avx2_available (a runner without AVX2 reports SKIPPED
+instead of failing). Improvements never fail; they are reported so the
+baseline can be refreshed (see docs/OBSERVABILITY.md).
 
 Usage:
     check_bench_regression.py CURRENT.json BASELINE.json [--tolerance PCT]
@@ -48,6 +52,12 @@ def compare(current, baseline, tolerance_pct):
             raise ValueError(f"{name}: bad 'better' value {better!r}")
         gated = bool(spec.get("gate", True))
         tol = float(spec.get("tolerance_pct", tolerance_pct))
+
+        requires = spec.get("requires")
+        if requires is not None and not float(current.get(requires, 0)):
+            rows.append((name, base_value, current.get(name),
+                         f"SKIPPED ({requires} is 0)"))
+            continue
 
         if name not in current:
             failures.append(f"{name}: missing from current results")
@@ -183,6 +193,26 @@ def self_test():
     failures, _ = compare({"run_ms": 450}, loose, DEFAULT_TOLERANCE_PCT)
     checks.append(("per-metric tolerance still enforced",
                    len(failures) == 1))
+
+    # `requires`: the gate only applies on hosts that report the capability.
+    simd_base = {
+        "metrics": {
+            "simd_speedup_x": {"value": 2.0, "better": "higher",
+                               "requires": "simd_avx2_available"},
+        }
+    }
+    no_avx2 = {"simd_speedup_x": 1.0, "simd_avx2_available": 0}
+    failures, rows = compare(no_avx2, simd_base, DEFAULT_TOLERANCE_PCT)
+    checks.append(("requires-gated metric skipped without capability",
+                   failures == [] and any("SKIPPED" in r[3] for r in rows)))
+    with_avx2 = {"simd_speedup_x": 1.0, "simd_avx2_available": 1}
+    failures, _ = compare(with_avx2, simd_base, DEFAULT_TOLERANCE_PCT)
+    checks.append(("requires-gated metric enforced with capability",
+                   len(failures) == 1))
+    missing_cap = {"simd_speedup_x": 1.0}
+    failures, rows = compare(missing_cap, simd_base, DEFAULT_TOLERANCE_PCT)
+    checks.append(("missing capability key counts as absent",
+                   failures == [] and any("SKIPPED" in r[3] for r in rows)))
 
     # Zero baselines: equal is fine, any growth is a regression.
     zeros = {"metrics": {"dropped": {"value": 0, "better": "lower"}}}

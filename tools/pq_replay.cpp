@@ -9,6 +9,7 @@
 //             [--archive-dir dir] [--archive-fsync none|segment|block]
 //             [--archive-segment-bytes N]
 //             [--metrics-out metrics.json] [--metrics-prom metrics.prom]
+//             [--simd auto|avx2|scalar] [--print-simd]
 //
 // Multi-port traces are replayed through one PortPipeline shard per egress
 // port; `--threads N` drains the shards on a worker pool and `--batch N`
@@ -33,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/simd/dispatch.h"
 #include "common/thread_pin.h"
 #include "control/metrics_export.h"
 #include "control/register_records.h"
@@ -92,6 +94,27 @@ pq::sim::EgressContext to_context(const pq::wire::TelemetryRecord& r) {
 
 int main(int argc, char** argv) {
   using namespace pq;
+  // SIMD dispatch resolves before any engine object exists; --print-simd is
+  // a bare probe (no trace needed), so it is handled ahead of usage checks.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--print-simd") == 0) {
+      std::printf("compiled: scalar%s\n",
+                  simd::compiled(simd::Level::kAvx2) ? " avx2" : "");
+      std::printf("cpu: %s\n", simd::cpu_supports(simd::Level::kAvx2)
+                                    ? "avx2"
+                                    : "scalar");
+      std::printf("landed: %s\n", simd::to_string(simd::configure()));
+      return 0;
+    }
+  }
+  if (const char* req = arg_str(argc, argv, "--simd", nullptr)) {
+    const auto parsed = simd::parse_request(req);
+    if (!parsed) {
+      std::fprintf(stderr, "unknown --simd '%s' (auto|avx2|scalar)\n", req);
+      return 2;
+    }
+    simd::configure(*parsed);
+  }
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: pq_replay <trace.pqt> [--victim worst|<id>] "
@@ -100,7 +123,8 @@ int main(int argc, char** argv) {
                  "[--save-records out.pqr] [--archive-dir dir] "
                  "[--archive-fsync none|segment|block] "
                  "[--archive-segment-bytes N] "
-                 "[--metrics-out out.json] [--metrics-prom out.prom]\n");
+                 "[--metrics-out out.json] [--metrics-prom out.prom] "
+                 "[--simd auto|avx2|scalar] [--print-simd]\n");
     return 2;
   }
 
@@ -267,6 +291,9 @@ int main(int argc, char** argv) {
 
   const auto top =
       static_cast<std::size_t>(arg_double(argc, argv, "--top", 8));
+  std::printf("simd: %s (requested %s)\n",
+              simd::to_string(simd::active_level()),
+              simd::to_string(simd::active_request()));
   std::printf("trace: %zu records over %.2f ms on %zu port%s "
               "(%u threads)\n",
               records.size(),

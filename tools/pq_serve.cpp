@@ -18,7 +18,7 @@
 //            [--watchdog-ms N] [--flush-every-ms N] [--poll-sleep-us N]
 //            [--faults plan.json]
 //            [--alpha A] [--k K] [--T N] [--m0 M] [--max-depth CELLS]
-//            [--salvage]
+//            [--salvage] [--simd auto|avx2|scalar] [--print-simd]
 //
 // Lifecycle: SIGTERM/SIGINT triggers a graceful drain (queued records
 // absorbed, archive footers written, final metrics dumped, exit 0); a
@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd/dispatch.h"
 #include "serve/daemon.h"
 #include "serve/fault_config.h"
 
@@ -87,6 +88,25 @@ std::vector<std::uint32_t> parse_ports(const char* list) {
 
 int main(int argc, char** argv) {
   using namespace pq;
+
+  // SIMD dispatch resolves before the daemon spins up any shard thread;
+  // --print-simd is a bare probe and exits without needing --ports.
+  if (arg_flag(argc, argv, "--print-simd")) {
+    std::printf("compiled: scalar%s\n",
+                simd::compiled(simd::Level::kAvx2) ? " avx2" : "");
+    std::printf("cpu: %s\n",
+                simd::cpu_supports(simd::Level::kAvx2) ? "avx2" : "scalar");
+    std::printf("landed: %s\n", simd::to_string(simd::configure()));
+    return 0;
+  }
+  if (const char* req = arg_str(argc, argv, "--simd", nullptr)) {
+    const auto parsed = simd::parse_request(req);
+    if (!parsed) {
+      std::fprintf(stderr, "unknown --simd '%s' (auto|avx2|scalar)\n", req);
+      return 2;
+    }
+    simd::configure(*parsed);
+  }
 
   serve::DaemonConfig dc;
   dc.ports = parse_ports(arg_str(argc, argv, "--ports", nullptr));
@@ -180,8 +200,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(rec.stats.recoveries),
                 rec.stats.recoveries == 1 ? "y" : "ies");
   }
-  std::printf("pq_serve: %zu shard(s) up\n",
-              daemon->supervisor().num_shards());
+  std::printf("pq_serve: %zu shard(s) up, simd %s (requested %s)\n",
+              daemon->supervisor().num_shards(),
+              simd::to_string(simd::active_level()),
+              simd::to_string(simd::active_request()));
   std::fflush(stdout);
 
   struct sigaction sa{};
