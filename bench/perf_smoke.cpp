@@ -48,6 +48,7 @@
 #include "control/metrics_export.h"
 #include "control/sharded_analysis.h"
 #include "store/archive.h"
+#include "store/archive_reader.h"
 #include "traffic/distributions.h"
 #include "traffic/trace_gen.h"
 #include "wire/telemetry.h"
@@ -144,6 +145,11 @@ sim::EgressContext to_context(const wire::TelemetryRecord& r) {
 struct ReplayOutcome {
   double best_pps = 0.0;        ///< best of the timed repetitions
   std::string metrics_json;     ///< deterministic view (IncludeTimings::kNo)
+  /// Archive-attached reps only: what the stream would have occupied as v1
+  /// frames vs what the v2 writer actually appended. Their ratio is the
+  /// compression the baseline gates as archive_bytes_ratio_x.
+  std::uint64_t archive_logical_bytes = 0;
+  std::uint64_t archive_physical_bytes = 0;
 };
 
 /// Stages each shard's egress stream as fixed-size SoA chunks, the batched
@@ -180,7 +186,8 @@ ReplayOutcome run_replay(
     const std::vector<std::vector<sim::EgressContext>>& shard_ctxs,
     const std::vector<std::vector<sim::PacketBatch>>& shard_chunks,
     const core::PipelineConfig& pcfg, std::uint32_t batch, int reps,
-    const std::string& archive_dir = {}) {
+    const std::string& archive_dir = {}, bool keep_archive = false,
+    const control::AnalysisConfig& acfg = {}) {
   ReplayOutcome out;
   std::size_t total = 0;
   for (const auto& v : shard_ctxs) total += v.size();
@@ -189,7 +196,7 @@ ReplayOutcome run_replay(
     for (std::uint32_t p = 0; p < shard_ctxs.size(); ++p) {
       pipeline.enable_port(p);
     }
-    control::ShardedAnalysis analysis(pipeline, {});
+    control::ShardedAnalysis analysis(pipeline, acfg);
     // With an archive dir, every shard streams its telemetry through a
     // pq::store writer during the timed loop (fsync none) — the archiving
     // cost lands inside the measured section, which is the point.
@@ -229,8 +236,12 @@ ReplayOutcome run_replay(
     }
     if (archive) {
       archive->close();
-      std::error_code ec;
-      std::filesystem::remove_all(archive_dir, ec);  // fresh dir per rep
+      out.archive_logical_bytes = archive->stats().logical_bytes;
+      out.archive_physical_bytes = archive->stats().bytes_appended;
+      if (!keep_archive) {
+        std::error_code ec;
+        std::filesystem::remove_all(archive_dir, ec);  // fresh dir per rep
+      }
     }
   }
   return out;
@@ -375,6 +386,57 @@ int main(int argc, char** argv) {
     archived.metrics_json = a.metrics_json;
     forced_scalar.metrics_json = v.metrics_json;
   }
+  // Archive v2 metrics: one more archived rep, kept on disk this time, is
+  // (a) the compression measurement — WriterStats tracks both the physical
+  // bytes appended and what the same stream costs as v1 frames — and
+  // (b) the corpus for the indexed `--as-of` seek latency: an ArchiveReader
+  // recovers it and answers time-window queries at horizons spread across
+  // the span, exact quantiles over per-query wall clock.
+  // Poll fast enough that each port checkpoints dozens of times: delta
+  // compression only engages between same-kind blocks sharing a segment,
+  // and a steady checkpoint cadence is exactly the daemon's steady state.
+  // The monitor runs at a coarser granularity here so the stream is
+  // dominated by window checkpoints — the structure delta coding targets;
+  // the per-1-cell monitor ladder churns almost fully between polls and
+  // would only measure that churn, not the codec.
+  control::AnalysisConfig seek_acfg;
+  seek_acfg.poll_period_ns = 200'000;  // fixed, so the ratio is span-independent
+  core::PipelineConfig seek_pcfg = replay_cfg;
+  seek_pcfg.monitor.granularity_cells = 128;
+  const ReplayOutcome kept =
+      run_replay(shard_ctxs, shard_chunks, seek_pcfg, batch, 1, archive_dir,
+                 true, seek_acfg);
+  const double archive_bytes_ratio =
+      kept.archive_physical_bytes > 0
+          ? static_cast<double>(kept.archive_logical_bytes) /
+                static_cast<double>(kept.archive_physical_bytes)
+          : 0.0;
+  std::vector<double> seek_ns;
+  {
+    store::ArchiveReader reader(archive_dir);
+    constexpr int kSeeksPerPort = 50;
+    for (const std::uint32_t port : reader.ports()) {
+      for (int i = 0; i < kSeeksPerPort; ++i) {
+        const Timestamp as_of =
+            span / 8 + (span / kSeeksPerPort) * static_cast<Timestamp>(i);
+        const auto q0 = std::chrono::steady_clock::now();
+        const auto counts = reader.query_time_windows(
+            port, span / 8, span - span / 8, 0, as_of);
+        const auto q1 = std::chrono::steady_clock::now();
+        seek_ns.push_back(
+            std::chrono::duration<double, std::nano>(q1 - q0).count());
+        if (counts.size() == static_cast<std::size_t>(-1)) {
+          std::printf("impossible\n");
+        }
+      }
+    }
+    if (reader.seek_stats().seeks == 0) {
+      std::fprintf(stderr, "FAIL: as-of queries never used the seek index\n");
+      return 1;
+    }
+  }
+  const double seek_p50 = exact_quantile(seek_ns, 0.50);
+  const double seek_p99 = exact_quantile(seek_ns, 0.99);
   {
     std::error_code ec;
     std::filesystem::remove_all(archive_scratch, ec);
@@ -422,6 +484,12 @@ int main(int argc, char** argv) {
   std::printf("  archive    %.2f Mpps with pq::store attached "
               "(%.2fx of no-archive)\n",
               archived.best_pps / 1e6, archive_ratio);
+  std::printf("  archive v2 %.2fx compression (%lu logical -> %lu physical "
+              "bytes), as-of seek p50 %.1f us p99 %.1f us (%zu seeks)\n",
+              archive_bytes_ratio,
+              static_cast<unsigned long>(kept.archive_logical_bytes),
+              static_cast<unsigned long>(kept.archive_physical_bytes),
+              seek_p50 / 1e3, seek_p99 / 1e3, seek_ns.size());
   std::printf("  simd       %s landed, %.2f Mpps forced-scalar dispatch "
               "(%.2fx, deterministic counters identical)\n",
               simd::to_string(native_level), forced_scalar.best_pps / 1e6,
@@ -443,6 +511,9 @@ int main(int argc, char** argv) {
                  "  \"replay_speedup_x\": %.3f,\n"
                  "  \"replay_pps_archive\": %.0f,\n"
                  "  \"replay_archive_ratio_x\": %.3f,\n"
+                 "  \"archive_bytes_ratio_x\": %.3f,\n"
+                 "  \"query_seek_p50_ns\": %.0f,\n"
+                 "  \"query_seek_p99_ns\": %.0f,\n"
                  "  \"simd_speedup_x\": %.3f,\n"
                  "  \"simd_avx2_available\": %d,\n"
                  "  \"query_p50_ns\": %.0f,\n"
@@ -458,6 +529,7 @@ int main(int argc, char** argv) {
                  "}\n",
                  throughput_pps, scalar.best_pps, batched.best_pps,
                  replay_speedup, archived.best_pps, archive_ratio,
+                 archive_bytes_ratio, seek_p50, seek_p99,
                  simd_speedup, simd_avx2_available ? 1 : 0, p50, p99,
                  static_cast<unsigned long>(rss_kb), run_ms, packets.size(),
                  static_cast<unsigned long>(dequeued),

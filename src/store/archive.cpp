@@ -14,6 +14,7 @@
 #include "control/sharded_analysis.h"
 #include "core/port_pipeline.h"
 #include "faults/sharded_faults.h"
+#include "store/block_codec_v2.h"
 #include "wire/bytes.h"
 
 namespace pq::store {
@@ -57,10 +58,20 @@ bool is_valid(BlockKind kind) {
   return false;
 }
 
+const char* to_string(BlockDecodeStatus status) {
+  switch (status) {
+    case BlockDecodeStatus::kOk: return "ok";
+    case BlockDecodeStatus::kBadEncodingTag: return "bad-encoding-tag";
+    case BlockDecodeStatus::kMissingDeltaBase: return "missing-delta-base";
+    case BlockDecodeStatus::kCorruptDelta: return "corrupt-delta";
+  }
+  return "unknown";
+}
+
 void encode_segment_header(std::vector<std::uint8_t>& buf,
                            const SegmentHeader& header) {
   wire::put_u32(buf, kSegmentMagic);
-  wire::put_u16(buf, kFormatVersion);
+  wire::put_u16(buf, header.version);
   wire::put_u16(buf, 0);  // reserved
   wire::put_u32(buf, header.port);
   wire::put_u32(buf, header.segment_index);
@@ -79,7 +90,9 @@ bool decode_segment_header(std::span<const std::uint8_t> data,
                            SegmentHeader& out, std::size_t& consumed) {
   wire::ByteReader r(data);
   if (r.u32() != kSegmentMagic) return false;
-  if (r.u16() != kFormatVersion) return false;
+  const std::uint16_t version = r.u16();
+  if (version != kFormatVersionV1 && version != kFormatVersionV2) return false;
+  out.version = version;
   r.u16();  // reserved
   out.port = r.u32();
   out.segment_index = r.u32();
@@ -114,8 +127,33 @@ std::vector<std::uint8_t> encode_block(BlockKind kind, std::uint32_t partition,
   return buf;
 }
 
+std::vector<TimeIndexSample> build_time_index(
+    const std::vector<IndexEntry>& entries, std::uint32_t stride) {
+  std::vector<TimeIndexSample> samples;
+  if (entries.empty() || stride == 0) return samples;
+  const std::size_t n = entries.size();
+  // suffix minima first, sampled positions only.
+  std::vector<std::uint64_t> suffix_min(n);
+  std::uint64_t running = entries[n - 1].t_hi;
+  for (std::size_t i = n; i-- > 0;) {
+    running = std::min(running, entries[i].t_hi);
+    suffix_min[i] = running;
+  }
+  std::uint64_t prefix_max = 0;
+  std::size_t next_sample = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix_max = std::max(prefix_max, entries[i].t_hi);
+    if (i == next_sample) {
+      samples.push_back({i, prefix_max, suffix_min[i]});
+      next_sample += stride;
+    }
+  }
+  return samples;
+}
+
 std::vector<std::uint8_t> encode_footer(std::uint64_t blocks_bytes,
-                                        const std::vector<IndexEntry>& index) {
+                                        const std::vector<IndexEntry>& index,
+                                        std::uint16_t version) {
   std::vector<std::uint8_t> buf;
   wire::put_u32(buf, kFooterMagic);
   wire::put_u64(buf, blocks_bytes);
@@ -127,6 +165,16 @@ std::vector<std::uint8_t> encode_footer(std::uint64_t blocks_bytes,
     wire::put_u64(buf, e.t_hi);
     wire::put_u64(buf, e.offset);
     wire::put_u32(buf, e.length);
+  }
+  if (version >= kFormatVersionV2) {
+    const auto samples = build_time_index(index, kSeekIndexStride);
+    wire::put_u32(buf, kSeekIndexStride);
+    wire::put_u64(buf, samples.size());
+    for (const auto& s : samples) {
+      wire::put_u64(buf, s.ordinal);
+      wire::put_u64(buf, s.prefix_max_t_hi);
+      wire::put_u64(buf, s.suffix_min_t_hi);
+    }
   }
   wire::put_u32(buf, crc32(buf.data(), buf.size()));
   // Trailer: footer length (magic through crc) + end magic, so the footer
@@ -186,6 +234,22 @@ SegmentScan scan_segment_bytes(std::span<const std::uint8_t> data,
       return false;
     }
     r.skip(count * 33);  // index entries: 1+4+8+8+8+4 bytes each
+    if (scan.header.version >= kFormatVersionV2) {
+      // The sparse time index must match what this scan would build — the
+      // footer only ever *confirms*, it is never trusted over the scan.
+      const std::uint32_t stride = r.u32();
+      std::uint64_t sample_count = 0;
+      if (!r.ok() || stride == 0) return false;
+      sample_count = r.u64();
+      const auto expected = build_time_index(scan.entries, stride);
+      if (!r.ok() || sample_count != expected.size()) return false;
+      for (const auto& s : expected) {
+        if (r.u64() != s.ordinal || r.u64() != s.prefix_max_t_hi ||
+            r.u64() != s.suffix_min_t_hi) {
+          return false;
+        }
+      }
+    }
     const std::size_t crc_off = r.offset();
     const std::uint32_t stored = r.u32();
     if (!r.ok() || r.offset() != footer.size()) return false;
@@ -236,6 +300,17 @@ ArchiveWriter::ArchiveWriter(std::uint32_t port,
       opts_(std::move(opts)),
       write_faults_(write_faults),
       t_set_(core::TtsLayout(params).set_period_ns()) {
+  if (opts_.format_version != kFormatVersionV1 &&
+      opts_.format_version != kFormatVersionV2) {
+    throw std::runtime_error("pq::store: unsupported archive format version " +
+                             std::to_string(opts_.format_version));
+  }
+  // The header is fixed-width, so its size is a constant the enqueue-time
+  // rollover plan can rely on before any segment exists.
+  std::vector<std::uint8_t> probe;
+  encode_segment_header(
+      probe, {port_, 0, params_, monitor_levels_, opts_.format_version});
+  fixed_header_bytes_ = probe.size();
   if (opts_.resume) resume_from_disk();
 }
 
@@ -305,22 +380,75 @@ void ArchiveWriter::enqueue(BlockKind kind, std::uint32_t partition,
                             std::uint64_t t_lo, std::uint64_t t_hi,
                             std::span<const std::uint8_t> payload) {
   if (dead_ || closed_) return;
+  const bool v2 = opts_.format_version >= kFormatVersionV2;
+  const std::pair<std::uint8_t, std::uint32_t> key{
+      static_cast<std::uint8_t>(kind), partition};
+
   PendingBlock block;
-  block.frame = encode_block(kind, partition, t_lo, t_hi, payload);
+  block.logical_bytes = kBlockOverheadBytes + payload.size();
+  std::vector<std::uint8_t> enc;
+  if (v2) {
+    std::vector<std::uint8_t> body;
+    const auto prev = delta_prev_.find(key);
+    if (planned_open_ && prev != delta_prev_.end() &&
+        encode_delta_payload(kind, prev->second, payload, body) &&
+        body.size() < payload.size()) {
+      enc.reserve(body.size() + 1);
+      enc.push_back(kEncodingDelta);
+      enc.insert(enc.end(), body.begin(), body.end());
+      block.is_delta = true;
+    } else {
+      enc.reserve(payload.size() + 1);
+      enc.push_back(kEncodingRaw);
+      enc.insert(enc.end(), payload.begin(), payload.end());
+    }
+  }
+  block.frame = encode_block(kind, partition, t_lo, t_hi,
+                             v2 ? std::span<const std::uint8_t>(enc)
+                                : payload);
+
+  // Rollover is planned here, mirroring the append-side arithmetic over
+  // queued-but-unwritten frames, because a block that opens a segment must
+  // be a keyframe (delta bases never cross segment boundaries).
+  block.opens_segment =
+      !planned_open_ ||
+      (planned_block_bytes_ > 0 &&
+       fixed_header_bytes_ + planned_block_bytes_ + block.frame.size() >
+           opts_.segment_bytes);
+  if (block.opens_segment && block.is_delta) {
+    enc.clear();
+    enc.push_back(kEncodingRaw);
+    enc.insert(enc.end(), payload.begin(), payload.end());
+    block.is_delta = false;
+    block.frame = encode_block(kind, partition, t_lo, t_hi, enc);
+  }
   block.meta = {kind, partition, t_lo, t_hi, 0,
                 static_cast<std::uint32_t>(block.frame.size())};
+
   if (queued_bytes_ + block.frame.size() > opts_.queue_bytes) {
     if (opts_.queue == QueuePolicy::kDropNewest) {
+      // Plan and delta bases stay untouched: the persisted stream simply
+      // never contains this block.
       ++stats_.blocks_dropped;
       return;
     }
     flush();  // backpressure: the producer stalls while the queue drains
   }
-  queued_bytes_ += block.frame.size();
+  const std::uint64_t frame_bytes = block.frame.size();
+  queued_bytes_ += frame_bytes;
   if (queued_bytes_ > stats_.queue_peak_bytes) {
     stats_.queue_peak_bytes = queued_bytes_;
   }
   queue_.push_back(std::move(block));
+  if (queue_.back().opens_segment) {
+    planned_block_bytes_ = 0;
+    if (v2) delta_prev_.clear();
+  }
+  planned_open_ = true;
+  planned_block_bytes_ += frame_bytes;
+  if (v2 && kind != BlockKind::kDqCapture) {
+    delta_prev_[key].assign(payload.begin(), payload.end());
+  }
   if (queued_bytes_ >= opts_.flush_watermark_bytes) flush();
 }
 
@@ -348,9 +476,7 @@ void ArchiveWriter::append_block(PendingBlock& block) {
   if (dead_) return;
   if (file_ == nullptr) {
     open_segment();
-  } else if (segment_block_bytes_ > 0 &&
-             header_bytes_ + segment_block_bytes_ + block.frame.size() >
-                 opts_.segment_bytes) {
+  } else if (block.opens_segment) {
     close_segment();
     open_segment();
   }
@@ -381,6 +507,14 @@ void ArchiveWriter::append_block(PendingBlock& block) {
   segment_block_bytes_ += block.frame.size();
   ++stats_.blocks_appended;
   stats_.bytes_appended += block.frame.size();
+  stats_.logical_bytes += block.logical_bytes;
+  if (opts_.format_version >= kFormatVersionV2) {
+    if (block.is_delta) {
+      ++stats_.blocks_delta;
+    } else {
+      ++stats_.blocks_raw;
+    }
+  }
   if (opts_.fsync == FsyncPolicy::kPerBlock) sync_file();
 }
 
@@ -430,7 +564,8 @@ void ArchiveWriter::resume_from_disk() {
     if (ec) break;
     std::FILE* f = std::fopen(segments[i].second.c_str(), "ab");
     if (f == nullptr) break;
-    const auto footer = encode_footer(scan.blocks_bytes, scan.entries);
+    const auto footer =
+        encode_footer(scan.blocks_bytes, scan.entries, scan.header.version);
     const bool ok =
         std::fwrite(footer.data(), 1, footer.size(), f) == footer.size();
     if (opts_.fsync != FsyncPolicy::kNone) {
@@ -484,8 +619,8 @@ void ArchiveWriter::open_segment() {
     throw std::runtime_error("pq::store: cannot open " + path);
   }
   std::vector<std::uint8_t> header;
-  encode_segment_header(
-      header, {port_, next_segment_index_, params_, monitor_levels_});
+  encode_segment_header(header, {port_, next_segment_index_, params_,
+                                 monitor_levels_, opts_.format_version});
   if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
     throw std::runtime_error("pq::store: segment header write failed");
   }
@@ -499,7 +634,8 @@ void ArchiveWriter::open_segment() {
 
 void ArchiveWriter::close_segment() {
   if (file_ == nullptr) return;
-  const auto footer = encode_footer(segment_block_bytes_, segment_index_);
+  const auto footer =
+      encode_footer(segment_block_bytes_, segment_index_, opts_.format_version);
   if (std::fwrite(footer.data(), 1, footer.size(), file_) != footer.size()) {
     throw std::runtime_error("pq::store: segment footer write failed");
   }
@@ -589,6 +725,9 @@ WriterStats Archive::stats() const {
     sum.torn_writes += s.torn_writes;
     sum.segments_retired += s.segments_retired;
     sum.tail_repairs += s.tail_repairs;
+    sum.logical_bytes += s.logical_bytes;
+    sum.blocks_delta += s.blocks_delta;
+    sum.blocks_raw += s.blocks_raw;
   }
   return sum;
 }
@@ -623,6 +762,20 @@ void export_writer_metrics(obs::MetricsRegistry& reg, const WriterStats& s) {
   reg.gauge("pq_store_queue_peak_bytes", obs::GaugeMode::kMax,
             "append-queue fill high-watermark in bytes")
       .set_max(s.queue_peak_bytes);
+  reg.counter("pq_store_logical_bytes_total",
+              "uncompressed (v1-frame) bytes of the appended stream")
+      .inc(s.logical_bytes);
+  reg.counter("pq_store_blocks_delta_total",
+              "v2 blocks written delta-compressed")
+      .inc(s.blocks_delta);
+  reg.counter("pq_store_blocks_raw_total",
+              "v2 blocks written raw (keyframes and fallbacks)")
+      .inc(s.blocks_raw);
+  if (s.bytes_appended > 0) {
+    reg.gauge("pq_store_compression_ratio_milli", obs::GaugeMode::kMax,
+              "logical/physical archive byte ratio x1000")
+        .set_max(s.logical_bytes * 1000 / s.bytes_appended);
+  }
 }
 
 }  // namespace pq::store

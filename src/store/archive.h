@@ -90,6 +90,12 @@ class ArchiveWriter final : public control::TelemetrySink {
   struct PendingBlock {
     IndexEntry meta;  ///< offset filled in at write time
     std::vector<std::uint8_t> frame;
+    /// Segment rollover is decided at enqueue time (the delta encoder must
+    /// know whether this block keyframes a fresh segment before the frame
+    /// is built); append_block only executes the recorded decision.
+    bool opens_segment = false;
+    bool is_delta = false;
+    std::uint64_t logical_bytes = 0;  ///< uncompressed (v1) frame size
   };
 
   void enqueue(BlockKind kind, std::uint32_t partition, std::uint64_t t_lo,
@@ -120,6 +126,18 @@ class ArchiveWriter final : public control::TelemetrySink {
   std::uint64_t header_bytes_ = 0;
   std::uint64_t segment_block_bytes_ = 0;
   std::vector<IndexEntry> segment_index_;
+
+  /// Enqueue-time mirror of the append-side segment accounting, so the
+  /// rollover decision (and therefore the keyframe decision) can be made
+  /// before the frame is queued. Tracks only blocks actually queued, so
+  /// drop-newest never desynchronizes the plan from the disk state.
+  std::uint64_t fixed_header_bytes_ = 0;
+  std::uint64_t planned_block_bytes_ = 0;
+  bool planned_open_ = false;
+  /// v2 delta bases: last queued logical payload per (kind, partition),
+  /// cleared at every planned segment boundary (per-segment keyframes).
+  std::map<std::pair<std::uint8_t, std::uint32_t>, std::vector<std::uint8_t>>
+      delta_prev_;
 
   std::vector<PendingBlock> queue_;
   std::uint64_t queued_bytes_ = 0;

@@ -31,7 +31,18 @@ inline constexpr std::uint32_t kSegmentMagic = 0x50515341;  // "PQSA"
 inline constexpr std::uint32_t kBlockMagic = 0x50514231;    // "PQB1"
 inline constexpr std::uint32_t kFooterMagic = 0x50514654;   // "PQFT"
 inline constexpr std::uint32_t kEndMagic = 0x50514531;      // "PQE1"
-inline constexpr std::uint16_t kFormatVersion = 1;
+/// v1: payloads are the logical snapshot bytes verbatim. v2: payloads carry
+/// an encoding tag + delta/varint compression (block_codec_v2.h) and the
+/// footer grows a sparse time index. Readers dispatch per segment, so
+/// mixed-version chains (v1 head, v2 tail after an upgrade — or the reverse
+/// after compaction recodes cold segments) read seamlessly.
+inline constexpr std::uint16_t kFormatVersionV1 = 1;
+inline constexpr std::uint16_t kFormatVersionV2 = 2;
+inline constexpr std::uint16_t kFormatVersion = kFormatVersionV1;  // legacy alias
+/// Default sampling stride of the sparse time index (one sample every N
+/// blocks). Coarse enough to stay tiny, fine enough that an `--as-of` seek
+/// touches O(log n) samples + at most one stride of per-block checks.
+inline constexpr std::uint32_t kSeekIndexStride = 32;
 
 /// What one block carries. Values are stable on-disk identifiers.
 enum class BlockKind : std::uint8_t {
@@ -66,7 +77,39 @@ struct SegmentHeader {
   std::uint32_t segment_index = 0;
   core::TimeWindowParams window_params;
   std::uint32_t monitor_levels = 0;
+  std::uint16_t version = kFormatVersionV1;
 };
+
+/// One sample of the sparse time index: at block ordinal `ordinal` (within
+/// the indexed span, in append order), the running max of t_hi over
+/// [0, ordinal] and the running min of t_hi over [ordinal, n). Both are
+/// monotone across samples, so an `--as-of T` query binary-searches them to
+/// bulk-include the prefix that is entirely <= T and bulk-exclude the
+/// suffix that is entirely > T; only the O(stride) blocks in between need a
+/// per-block comparison. Never assumes t_hi itself is sorted.
+struct TimeIndexSample {
+  std::uint64_t ordinal = 0;
+  std::uint64_t prefix_max_t_hi = 0;
+  std::uint64_t suffix_min_t_hi = 0;
+};
+
+/// Builds the sparse index over `entries` (samples at ordinals 0, stride,
+/// 2*stride, ...). Deterministic; shared by the writer's footer, the
+/// reader's in-memory per-port index and the footer cross-check.
+std::vector<TimeIndexSample> build_time_index(
+    const std::vector<IndexEntry>& entries, std::uint32_t stride);
+
+/// Why a CRC-valid v2 block failed to decode back to its logical payload.
+/// Reported per port by the reader; identical across recovery worker
+/// counts (the parallel-recovery determinism contract).
+enum class BlockDecodeStatus : std::uint8_t {
+  kOk = 0,
+  kBadEncodingTag,   ///< first payload byte is neither raw nor delta
+  kMissingDeltaBase, ///< delta block with no prior same-(kind,partition) block
+  kCorruptDelta,     ///< delta body malformed (truncated varint, bad counts)
+};
+
+const char* to_string(BlockDecodeStatus status);
 
 /// Header/frame/footer codecs shared by ArchiveWriter and ArchiveReader.
 void encode_segment_header(std::vector<std::uint8_t>& buf,
@@ -83,11 +126,13 @@ std::vector<std::uint8_t> encode_block(BlockKind kind, std::uint32_t partition,
 
 /// Segment footer written on clean close: magic, blocks_bytes u64 (bytes of
 /// block frames between header and footer), entry count u64, entries,
+/// [v2: index stride u32, sample count u64, sparse time index samples],
 /// crc32, footer length u32, end magic. The trailing length + end magic make
 /// the footer locatable from EOF; readers cross-check it against their own
 /// sequential scan.
 std::vector<std::uint8_t> encode_footer(std::uint64_t blocks_bytes,
-                                        const std::vector<IndexEntry>& index);
+                                        const std::vector<IndexEntry>& index,
+                                        std::uint16_t version);
 
 /// How durable each append is. kNone relies on the OS page cache (fastest;
 /// crash-consistency of *completed* writes is still guaranteed by the CRC
@@ -131,6 +176,11 @@ struct ArchiveOptions {
   /// repair keeps exactly the prefix ArchiveReader would have recovered, so
   /// restart never changes what queries can see.
   bool resume = false;
+  /// On-disk segment format for newly opened segments. v2 (the default)
+  /// delta-compresses payloads and writes a sparse time index; v1 writes
+  /// logical payloads verbatim (kept for fixtures and downgrade paths).
+  /// Readers handle both, including mixed chains.
+  std::uint16_t format_version = kFormatVersionV2;
 };
 
 /// Writer-side counters, summed across per-port writers by Archive::stats.
@@ -146,6 +196,12 @@ struct WriterStats {
   std::uint64_t torn_writes = 0;        ///< injected crashes (faults/)
   std::uint64_t segments_retired = 0;   ///< deleted by the retention policy
   std::uint64_t tail_repairs = 0;       ///< torn tails repaired on resume
+  /// What the same stream would have occupied uncompressed (v1 frame
+  /// bytes). logical_bytes / bytes_appended is the compression ratio the
+  /// perf_smoke baseline gates as archive_bytes_ratio_x.
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t blocks_delta = 0;  ///< v2 blocks that delta-compressed
+  std::uint64_t blocks_raw = 0;    ///< v2 keyframes + raw fallbacks
 };
 
 /// Reader-side counters from the recovery scan.
@@ -155,6 +211,9 @@ struct ReaderStats {
   std::uint64_t recoveries = 0;    ///< segments that needed tail truncation
   std::uint64_t blocks_recovered = 0;
   std::uint64_t bytes_truncated = 0;  ///< torn/corrupt bytes discarded
+  /// CRC-valid v2 blocks whose payload failed to decode back to logical
+  /// bytes (typed per-port detail in RecoveredPort::decode_error).
+  std::uint64_t decode_errors = 0;
 };
 
 /// One segment file's trust-nothing scan result, shared by the reader's

@@ -4,11 +4,22 @@
 // blocks sequentially, keeps exactly the longest valid prefix of each
 // port's stream and truncates everything after the first torn or corrupt
 // byte (the footer, when present and consistent with the scan, only
-// confirms a clean close — it is never used to skip verification). Queries
+// confirms a clean close — it is never used to skip verification). v2
+// segment payloads are decoded back to their logical (v1) bytes during the
+// scan, so RecoveredBlock::payload — and everything downstream of it:
+// logical_content(), the pq_query `blocks` listing, the pq_offline
+// byte-match contract — is independent of the on-disk format. A CRC-valid
+// block that fails to decode surfaces as a typed per-port error and ends
+// that port's prefix, exactly like physical damage.
+//
+// Ports can be scanned in parallel (ReaderOptions::threads): each worker
+// owns whole port chains and the results are merged in ascending port
+// order, so the outcome is byte-identical to the sequential scan. Queries
 // then run through the same offline execution path as a one-shot records
-// bundle (control/register_records.h), so a query against an archive is
-// byte-identical to the same query against pq_replay --save-records output
-// over the surviving span.
+// bundle (control/register_records.h); `--as-of` seeks use the sparse time
+// index (O(log n) probes + one stride of per-block checks) unless
+// ReaderOptions::use_seek_index forces the linear path — both paths select
+// exactly the blocks with t_hi <= as_of.
 #pragma once
 
 #include <cstdint>
@@ -23,13 +34,34 @@
 
 namespace pq::store {
 
-/// One CRC-verified block, in the writer's append order.
+/// One CRC-verified block, in the writer's append order. `payload` is
+/// always the logical (v1) snapshot bytes, whatever the segment format.
 struct RecoveredBlock {
   BlockKind kind = BlockKind::kWindowSnapshot;
   std::uint32_t partition = 0;
   std::uint64_t t_lo = 0;
   std::uint64_t t_hi = 0;
   std::vector<std::uint8_t> payload;
+};
+
+/// Per-segment detail surfaced by `pq_query info`.
+struct SegmentInfo {
+  std::uint32_t index = 0;
+  std::uint16_t version = kFormatVersionV1;
+  std::uint64_t blocks = 0;
+  std::uint64_t bytes = 0;  ///< valid bytes kept (header + surviving frames)
+  bool footer_ok = false;
+  std::uint64_t index_samples = 0;  ///< sparse time-index samples
+  std::uint64_t t_lo_min = 0;
+  std::uint64_t t_hi_max = 0;
+};
+
+/// Typed decode failure: which block of which segment ended the port's
+/// prefix, and why. Identical whatever the recovery worker count.
+struct DecodeErrorInfo {
+  BlockDecodeStatus status = BlockDecodeStatus::kOk;
+  std::uint32_t segment_index = 0;
+  std::uint64_t block_ordinal = 0;  ///< index into RecoveredPort::blocks
 };
 
 /// One port's surviving stream: the first segment's header (the register
@@ -40,6 +72,32 @@ struct RecoveredPort {
   SegmentHeader header;
   std::uint32_t last_index = 0;  ///< newest successfully scanned segment
   std::vector<RecoveredBlock> blocks;
+  std::vector<SegmentInfo> segments;
+  DecodeErrorInfo decode_error;
+  /// Partition counts over ALL recovered blocks (as_of-independent, so
+  /// to_records never needs the full-stream pass the seek index bypasses).
+  std::uint32_t window_parts = 1;
+  std::uint32_t monitor_parts = 1;
+  /// Port-wide sparse time index over `blocks` (archive_format.h).
+  std::vector<TimeIndexSample> seek_index;
+};
+
+struct ReaderOptions {
+  /// Worker threads for the recovery scan; each worker scans whole port
+  /// chains. 0 or 1 = sequential. The result is byte-identical either way.
+  unsigned threads = 1;
+  /// When false, `--as-of` queries linearly test every block instead of
+  /// cutting with the sparse time index (the differential-test oracle).
+  bool use_seek_index = true;
+  /// Sampling stride for the in-memory per-port index (0 = default).
+  std::uint32_t seek_index_stride = kSeekIndexStride;
+};
+
+/// Seek-path counters (per reader, across queries).
+struct SeekStats {
+  std::uint64_t seeks = 0;            ///< indexed as-of cuts performed
+  std::uint64_t probes = 0;           ///< binary-search sample comparisons
+  std::uint64_t blocks_bypassed = 0;  ///< blocks never tested per-block
 };
 
 class ArchiveReader {
@@ -48,6 +106,7 @@ class ArchiveReader {
   /// data — damage only shrinks the recovered prefix and is counted in
   /// stats(). Throws std::runtime_error only if `dir` itself is unreadable.
   explicit ArchiveReader(const std::string& dir);
+  ArchiveReader(const std::string& dir, ReaderOptions opts);
 
   /// Recovered ports in ascending order.
   std::vector<std::uint32_t> ports() const;
@@ -86,29 +145,31 @@ class ArchiveReader {
   std::vector<control::DqCapture> dq_captures(std::uint32_t port) const;
 
   /// Canonical byte encoding of everything recovered (ports ascending,
-  /// blocks in append order, payload bytes verbatim). This is the archive's
-  /// determinism surface: byte-identical across thread counts and batch
-  /// sizes, and segment-size independent.
+  /// blocks in append order, logical payload bytes). This is the archive's
+  /// determinism surface: byte-identical across thread counts, batch
+  /// sizes, segment sizes, on-disk format versions and recovery worker
+  /// counts.
   std::vector<std::uint8_t> logical_content() const;
 
   const ReaderStats& stats() const { return stats_; }
+  /// Query-side counters. The reader is not thread-safe for concurrent
+  /// queries (counters are plain; recovered data itself is immutable).
+  const SeekStats& seek_stats() const { return seek_stats_; }
 
  private:
-  void scan_port(std::uint32_t port,
-                 const std::vector<std::string>& segment_files);
-  /// Scans one segment; returns true if it closed cleanly (valid footer
-  /// consistent with the scan), false if the port must stop here. A null
-  /// `expected_index` marks the first file of the chain: any header index
-  /// is accepted (retention may have pruned the head) and anchors the
-  /// sequence.
-  bool scan_segment(std::uint32_t port, const std::string& path,
-                    const std::uint32_t* expected_index, RecoveredPort& out);
+  /// Computes [bulk_end, stop): blocks [0, bulk_end) are all <= as_of,
+  /// blocks [stop, n) are all > as_of, the middle needs per-block checks.
+  void seek_cut(const RecoveredPort& rec, Timestamp as_of,
+                std::size_t& bulk_end, std::size_t& stop) const;
 
+  ReaderOptions opts_;
   std::map<std::uint32_t, RecoveredPort> ports_;
   ReaderStats stats_;
+  mutable SeekStats seek_stats_;
 };
 
 /// Flattens reader counters into a registry (pq_store_reader_* namespace).
 void export_reader_metrics(obs::MetricsRegistry& reg, const ReaderStats& s);
+void export_seek_metrics(obs::MetricsRegistry& reg, const SeekStats& s);
 
 }  // namespace pq::store

@@ -1,0 +1,60 @@
+// Delta + varint payload codec for v2 archive segments.
+//
+// A v2 block frame is identical to v1 on the outside (same CRC-framed
+// overhead, archive_format.h) but its payload starts with one encoding tag
+// byte:
+//
+//   [kEncodingRaw]   the v1 logical payload verbatim
+//   [kEncodingDelta] a row-delta against the previous block of the same
+//                    (kind, partition) *within the same segment*
+//
+// A delta body stores the snapshot header fields as zig-zag varint
+// differences, then walks the cell/entry rows of both snapshots in
+// lockstep: runs of unchanged rows collapse into one varint skip count,
+// changed rows re-encode as zig-zag varint field deltas against the row at
+// the same position in the previous snapshot (zero baseline when the
+// previous row was empty). Register snapshots are near-identical from poll
+// to poll, so the common block shrinks to a few bytes per changed cell.
+//
+// Delta bases reset at every segment boundary (the first block of each
+// (kind, partition) in a segment is written raw), which keeps segments
+// self-contained: retention can drop old segments and the compactor can
+// rewrite one segment in isolation without ever stranding a delta chain.
+// Structure changes (a calibration resizing the register file) and
+// dq-captures fall back to raw — the encoder refuses, it never guesses.
+//
+// Both directions are total functions over untrusted bytes: the decoder
+// bounds-checks every varint and count and returns false on any
+// malformation, so a CRC-valid but undecodable block surfaces as a typed
+// recovery error instead of garbage snapshots.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "store/archive_format.h"
+
+namespace pq::store {
+
+/// First payload byte of every block in a v2 segment.
+inline constexpr std::uint8_t kEncodingRaw = 0;
+inline constexpr std::uint8_t kEncodingDelta = 1;
+
+/// Encodes `cur` as a delta body against `prev` (both v1 logical payloads
+/// of the same kind). Returns false — leaving `out` unspecified — when the
+/// kind never deltas (dq-captures), the snapshots' structure differs, or
+/// either payload fails to parse; the caller then writes the payload raw.
+bool encode_delta_payload(BlockKind kind,
+                          std::span<const std::uint8_t> prev,
+                          std::span<const std::uint8_t> cur,
+                          std::vector<std::uint8_t>& out);
+
+/// Reconstructs the v1 logical payload from a delta `body` and the previous
+/// block's logical payload. Returns false on any malformed input.
+bool decode_delta_payload(BlockKind kind,
+                          std::span<const std::uint8_t> prev,
+                          std::span<const std::uint8_t> body,
+                          std::vector<std::uint8_t>& out);
+
+}  // namespace pq::store

@@ -1,0 +1,62 @@
+// LEB128 varints and zig-zag signed varints for the v2 archive block
+// payloads (block_codec_v2.h). Little machinery, deliberately separate from
+// wire/bytes.h: the fixed-width big-endian wire codec is a compatibility
+// surface shared with the data plane, while varints exist only inside v2
+// segment payloads and may never leak into protocol frames.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wire/bytes.h"
+
+namespace pq::store {
+
+inline void put_varint(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  while (v >= 0x80) {
+    buf.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Reads one varint; returns false on truncation or a non-canonical
+/// over-long encoding (more than 10 bytes). Failure leaves `out`
+/// unspecified and the reader positioned after the bytes it consumed.
+inline bool get_varint(wire::ByteReader& r, std::uint64_t& out) {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 70; shift += 7) {
+    const std::uint8_t byte = r.u8();
+    if (!r.ok()) return false;
+    if (shift == 63 && (byte & 0xFE) != 0) return false;  // overflows u64
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+inline void put_svarint(std::vector<std::uint8_t>& buf, std::int64_t v) {
+  put_varint(buf, zigzag_encode(v));
+}
+
+inline bool get_svarint(wire::ByteReader& r, std::int64_t& out) {
+  std::uint64_t raw = 0;
+  if (!get_varint(r, raw)) return false;
+  out = zigzag_decode(raw);
+  return true;
+}
+
+}  // namespace pq::store

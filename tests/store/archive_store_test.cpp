@@ -160,6 +160,10 @@ TEST(ArchiveStore, SegmentsRollAtCapacityAndAllCarryFooters) {
   opts.dir = dir.path();
   opts.segment_bytes = 8 * 1024;  // force several rolls
   opts.fsync = store::FsyncPolicy::kPerSegment;
+  // Pin the uncompressed format: this test asserts roll cadence from v1
+  // frame sizes. The v2 cadence (delta frames shrink, keyframes reset per
+  // segment) has its own test below.
+  opts.format_version = store::kFormatVersionV1;
   std::uint64_t appended = 0;
   {
     store::ArchiveWriter w(1, test_params(), 8, opts);
@@ -177,6 +181,45 @@ TEST(ArchiveStore, SegmentsRollAtCapacityAndAllCarryFooters) {
   EXPECT_EQ(r.stats().recoveries, 0u);
   EXPECT_EQ(r.stats().blocks_recovered, appended);
   EXPECT_EQ(r.to_records(1).window_snapshots[0].size(), 40u);
+}
+
+TEST(ArchiveStore, V2SegmentsRollWithPerSegmentKeyframes) {
+  const TempDir dir;
+  store::ArchiveOptions opts;
+  opts.dir = dir.path();
+  opts.segment_bytes = 4 * 1024;
+  opts.fsync = store::FsyncPolicy::kPerSegment;
+  std::uint64_t appended = 0;
+  std::uint64_t raw_blocks = 0;
+  {
+    store::ArchiveWriter w(1, test_params(), 8, opts);
+    for (std::uint32_t i = 0; i < 40; ++i) {
+      w.on_window_snapshot(0, make_window_snapshot(10'000 * (i + 1), i + 1));
+    }
+    w.close();
+    appended = w.stats().blocks_appended;
+    raw_blocks = w.stats().blocks_raw;
+    EXPECT_GT(w.stats().segments_opened, 2u);
+    EXPECT_EQ(w.stats().segments_opened, w.stats().segments_closed);
+    // Compression must actually engage...
+    EXPECT_GT(w.stats().blocks_delta, 0u);
+    EXPECT_GT(w.stats().logical_bytes, w.stats().bytes_appended);
+    // ...and every segment must re-key: one raw block per segment minimum,
+    // or a torn cold segment could never decode on its own.
+    EXPECT_GE(raw_blocks, w.stats().segments_opened);
+  }
+  store::ArchiveReader r(dir.path());
+  EXPECT_EQ(r.stats().footer_hits, r.stats().segments_opened);
+  EXPECT_EQ(r.stats().recoveries, 0u);
+  EXPECT_EQ(r.stats().decode_errors, 0u);
+  EXPECT_EQ(r.stats().blocks_recovered, appended);
+  EXPECT_EQ(r.to_records(1).window_snapshots[0].size(), 40u);
+  // Every segment advertises the v2 format and a sparse time index.
+  for (const auto& seg : r.recovered().at(1).segments) {
+    EXPECT_EQ(seg.version, store::kFormatVersionV2);
+    EXPECT_TRUE(seg.footer_ok);
+    EXPECT_GE(seg.index_samples, 1u);
+  }
 }
 
 TEST(ArchiveStore, DropNewestPolicyCountsAndBoundsTheQueue) {

@@ -8,7 +8,13 @@
 //   pq_query <archive-dir> monitor <port> <t_ns>
 //   pq_query <archive-dir> blocks <port>
 //   pq_query <archive-dir> info
-//   (any mode) [--strict] [--as-of T_ns]
+//   (any mode) [--strict] [--as-of T_ns] [--threads N] [--full-scan]
+//
+// `--threads N` recovers port chains on N workers; the recovered state is
+// byte-identical to the sequential scan (whole-port jobs, merged in port
+// order). `--full-scan` disables the sparse time index for `--as-of`
+// queries, forcing the per-block linear cut — the differential-test oracle
+// for the indexed seek path.
 //
 // `--as-of T` answers from only the blocks with t_hi <= T — the archive as
 // it stood at time T. Calibration is newest-wins, so a later checkpoint
@@ -54,16 +60,21 @@ int main(int argc, char** argv) {
   }
   bool strict = false;
   auto as_of = std::numeric_limits<Timestamp>::max();
+  store::ReaderOptions ropts;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict") == 0) strict = true;
+    if (std::strcmp(argv[i], "--full-scan") == 0) ropts.use_seek_index = false;
     if (std::strcmp(argv[i], "--as-of") == 0 && i + 1 < argc) {
       as_of = static_cast<Timestamp>(std::atoll(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      ropts.threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
     }
   }
 
   std::unique_ptr<store::ArchiveReader> reader;
   try {
-    reader = std::make_unique<store::ArchiveReader>(argv[1]);
+    reader = std::make_unique<store::ArchiveReader>(argv[1], ropts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cannot read %s: %s\n", argv[1], e.what());
     return 1;
@@ -101,6 +112,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.segments_opened));
     std::printf("  bytes truncated by recovery: %llu\n",
                 static_cast<unsigned long long>(stats.bytes_truncated));
+    if (stats.decode_errors > 0) {
+      std::printf("  blocks refused by logical decode: %llu\n",
+                  static_cast<unsigned long long>(stats.decode_errors));
+    }
     for (const auto port : reader->ports()) {
       const auto& rec = reader->recovered().at(port);
       const auto records = reader->to_records(port);
@@ -113,6 +128,24 @@ int main(int argc, char** argv) {
                       ? std::size_t{0}
                       : records.window_snapshots[0].size(),
                   reader->dq_captures(port).size(), records.z0);
+      for (const auto& seg : rec.segments) {
+        std::printf("    seg %06u v%u: %llu block(s), %llu byte(s), "
+                    "span [%llu, %llu], %llu index sample(s), %s\n",
+                    seg.index, seg.version,
+                    static_cast<unsigned long long>(seg.blocks),
+                    static_cast<unsigned long long>(seg.bytes),
+                    static_cast<unsigned long long>(seg.t_lo_min),
+                    static_cast<unsigned long long>(seg.t_hi_max),
+                    static_cast<unsigned long long>(seg.index_samples),
+                    seg.footer_ok ? "footer ok" : "torn");
+      }
+      if (rec.decode_error.status != store::BlockDecodeStatus::kOk) {
+        std::printf("    decode error: %s at seg %06u block %llu\n",
+                    to_string(rec.decode_error.status),
+                    rec.decode_error.segment_index,
+                    static_cast<unsigned long long>(
+                        rec.decode_error.block_ordinal));
+      }
     }
     return finish();
   }

@@ -7,7 +7,7 @@
 //             [--threads N] [--batch N] [--pin-threads]
 //             [--save-records out.pqr]
 //             [--archive-dir dir] [--archive-fsync none|segment|block]
-//             [--archive-segment-bytes N]
+//             [--archive-segment-bytes N] [--archive-format 1|2]
 //             [--metrics-out metrics.json] [--metrics-prom metrics.prom]
 //             [--simd auto|avx2|scalar] [--print-simd]
 //
@@ -122,7 +122,7 @@ int main(int argc, char** argv) {
                  "[--salvage] [--threads N] [--batch N] [--pin-threads] "
                  "[--save-records out.pqr] [--archive-dir dir] "
                  "[--archive-fsync none|segment|block] "
-                 "[--archive-segment-bytes N] "
+                 "[--archive-segment-bytes N] [--archive-format 1|2] "
                  "[--metrics-out out.json] [--metrics-prom out.prom] "
                  "[--simd auto|avx2|scalar] [--print-simd]\n");
     return 2;
@@ -179,6 +179,9 @@ int main(int argc, char** argv) {
     aopts.segment_bytes = static_cast<std::uint64_t>(arg_double(
         argc, argv, "--archive-segment-bytes",
         static_cast<double>(aopts.segment_bytes)));
+    aopts.format_version = static_cast<std::uint16_t>(arg_double(
+        argc, argv, "--archive-format",
+        static_cast<double>(aopts.format_version)));
     const char* fsync = arg_str(argc, argv, "--archive-fsync", "none");
     if (std::strcmp(fsync, "block") == 0) {
       aopts.fsync = store::FsyncPolicy::kPerBlock;

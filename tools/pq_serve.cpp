@@ -13,6 +13,8 @@
 //            [--pin-threads]
 //            [--archive-dir DIR] [--retain-segments N]
 //            [--archive-segment-bytes N] [--archive-fsync none|segment|block]
+//            [--archive-format 1|2] [--recovery-threads N]
+//            [--compact-every-ms N] [--compact-keep-newest N]
 //            [--query-sock PATH] [--metrics-sock PATH]
 //            [--metrics-out FILE] [--metrics-every-ms N]
 //            [--watchdog-ms N] [--flush-every-ms N] [--poll-sleep-us N]
@@ -159,6 +161,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --archive-fsync '%s'\n", fsync);
     return 2;
   }
+  dc.archive_format = static_cast<std::uint16_t>(arg_double(
+      argc, argv, "--archive-format", store::kFormatVersionV2));
+  if (dc.archive_format != store::kFormatVersionV1 &&
+      dc.archive_format != store::kFormatVersionV2) {
+    std::fprintf(stderr, "--archive-format must be 1 or 2\n");
+    return 2;
+  }
+  dc.recovery_threads = static_cast<unsigned>(
+      arg_double(argc, argv, "--recovery-threads", 0));
+  dc.compact_every_ms = static_cast<std::uint32_t>(
+      arg_double(argc, argv, "--compact-every-ms", 0));
+  dc.compact_keep_newest = static_cast<std::uint32_t>(
+      arg_double(argc, argv, "--compact-keep-newest", 1));
 
   dc.query_socket = arg_str(argc, argv, "--query-sock", "");
   dc.metrics_socket = arg_str(argc, argv, "--metrics-sock", "");
