@@ -73,6 +73,10 @@ std::uint64_t flow_signature(const FlowId& f) {
   return mix64(a ^ mix64(b));
 }
 
+std::uint64_t ecmp_signature(const FlowId& f) {
+  return mix64(flow_signature(f) ^ kEcmpHashSeed);
+}
+
 std::string to_string(const FlowId& f) {
   auto ip = [](std::uint32_t v) {
     return std::to_string((v >> 24) & 0xff) + '.' +

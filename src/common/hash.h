@@ -28,6 +28,23 @@ void mix64_batch(const std::uint64_t* in, std::uint64_t* out, std::size_t n);
 void flow_signature_batch(const FlowId* flows, std::uint64_t* out,
                           std::size_t n);
 
+/// Seed separating the network-layer ECMP path hash from the PrintQueue
+/// flow hash. flow_signature() is deliberately unseeded — it is the
+/// register-cell identity the data plane stores and every archived snapshot
+/// depends on — so the path hash re-mixes it with this constant instead of
+/// reusing it. If the two hashes were identical, flows that collide in a
+/// PrintQueue cell would also always share an ECMP path (and vice versa),
+/// correlating sketch error with routing skew; the extra mix64 round makes
+/// the pair behave as independent functions (regression-tested in
+/// tests/common/hash_test.cpp).
+inline constexpr std::uint64_t kEcmpHashSeed = 0xd6e8feb86659fd93ull;
+
+/// The ECMP path-selection hash over a 5-tuple: mix64(flow_signature ^
+/// kEcmpHashSeed). Reduce modulo the equal-cost set size to pick a path
+/// (net::Topology::next_port). Stable across runs and hosts by design —
+/// scenario generators rely on it to place flows on chosen paths.
+std::uint64_t ecmp_signature(const FlowId& f);
+
 /// FNV-1a over an arbitrary byte range; used for wire-format checksumming of
 /// trace files (not for sketch indexing, where mix64 is preferred).
 std::uint64_t fnv1a(const void* data, std::size_t len);

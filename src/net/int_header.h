@@ -1,0 +1,67 @@
+// Per-packet in-band telemetry accumulated hop by hop, modeled on an INT
+// stack: each switch a packet traverses appends one IntHop with the Table 1
+// metadata it observed there. The stack is bounded to a configurable hop
+// budget K (the headroom real INT reserves in the packet); deeper paths keep
+// counting hops but stop recording and set the overflow flag, so analysis
+// can tell "path was deeper than the telemetry" from "path ended here".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pq::net {
+
+/// One hop's worth of telemetry: where the packet queued and what it saw.
+struct IntHop {
+  std::uint32_t switch_id = 0;
+  std::uint32_t egress_port = 0;
+  std::uint32_t enq_qdepth = 0;   ///< port depth in cells at enqueue
+  Timestamp enq_timestamp = 0;
+  Timestamp deq_timestamp = 0;
+  /// The coarse time-window index (deq >> m0) this dequeue landed in at the
+  /// switch — the key PrintQueue's time-window query buckets by, so the
+  /// analysis can go from a hop straight to the window to interrogate.
+  std::uint64_t tts_window = 0;
+
+  Duration queue_delay() const { return deq_timestamp - enq_timestamp; }
+};
+
+/// What finally happened to the packet.
+enum class PacketFate : std::uint8_t {
+  kInFlight = 0,   ///< still traversing (only seen mid-run)
+  kDelivered = 1,  ///< dequeued at the destination host's attach port
+  kDropped = 2,    ///< tail-dropped at some hop (last recorded hop, if room)
+  kTtlExceeded = 3 ///< exceeded max_ttl hops (routing bug backstop)
+};
+
+/// The accumulated stack for one packet. `hop_count` counts every hop taken;
+/// `hops` records the first K of them.
+struct IntHeader {
+  std::uint64_t packet_id = 0;
+  FlowId flow;
+  std::uint32_t src_host = 0;
+  std::uint32_t dst_host = 0;
+  Timestamp injected_at = 0;   ///< arrival at the first switch
+  Timestamp delivered_at = 0;  ///< final dequeue (0 unless delivered/dropped)
+  PacketFate fate = PacketFate::kInFlight;
+  std::uint32_t hop_count = 0;
+  bool overflow = false;       ///< true when hop_count exceeded the budget
+  std::vector<IntHop> hops;
+
+  /// Appends a hop if the budget allows; always advances hop_count.
+  void push_hop(const IntHop& hop, std::uint32_t max_hops) {
+    ++hop_count;
+    if (hops.size() < max_hops) {
+      hops.push_back(hop);
+    } else {
+      overflow = true;
+    }
+  }
+
+  /// End-to-end delay through the fabric (meaningful once delivered).
+  Duration total_delay() const { return delivered_at - injected_at; }
+};
+
+}  // namespace pq::net

@@ -1,0 +1,181 @@
+// Multi-switch topology model for network-wide PrintQueue (docs/NETWORK.md).
+//
+// A Topology is a static description of the fabric: switches (each a set of
+// sim::PortConfig egress ports), unidirectional links with a propagation
+// delay, hosts attached to edge ports, and per-destination routing tables
+// whose multi-port entries are equal-cost sets resolved per flow with the
+// ECMP hash (common/hash.h ecmp_signature — independently seeded from the
+// PrintQueue flow hash, so path choice never correlates with sketch
+// placement).
+//
+// Topologies load from JSON (load_topology / load_topology_file, strict
+// validation with typed TopologyError messages), serialize back with
+// to_json (round-trip tested), and two generators build the standard data
+// center fabrics: make_leaf_spine and make_fat_tree. configs/mesh3.json is
+// the hand-written mesh example.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/egress_port.h"
+
+namespace pq::net {
+
+/// Any structural problem with a topology: unknown references, duplicate
+/// ids, zero-delay links, unroutable or looping routes. The message names
+/// the offending element.
+class TopologyError : public std::runtime_error {
+ public:
+  explicit TopologyError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One switch: an id (== its index in Topology::switches) and its egress
+/// ports. Port ids must equal their index — the engine's forwarding hint is
+/// the port *index*, and keeping the two identical removes a whole class of
+/// off-by-one routing bugs.
+struct SwitchConfig {
+  std::uint32_t id = 0;
+  std::string name;
+  std::vector<sim::PortConfig> ports;
+};
+
+/// A unidirectional wire from one switch's egress port to another switch's
+/// ingress. `delay_ns` must be positive: it is the conservative-simulation
+/// lookahead (NetworkEngine's GVT epoch never exceeds the smallest link
+/// delay, which is what makes hop-by-hop composition deterministic).
+struct LinkConfig {
+  std::uint32_t from_switch = 0;
+  std::uint32_t from_port = 0;
+  std::uint32_t to_switch = 0;
+  Duration delay_ns = 1000;
+};
+
+/// A host: the traffic source/sink attached to one switch egress port (the
+/// switch's downlink to it). Hosts inject packets directly into their
+/// attach switch; a packet is delivered when it dequeues at the attach
+/// port. `ip` is the routing key — generators and scenarios build flows
+/// whose dst_ip is the receiver host's ip.
+struct HostConfig {
+  std::uint32_t id = 0;
+  std::uint32_t attach_switch = 0;
+  std::uint32_t attach_port = 0;
+  std::uint32_t ip = 0;
+};
+
+/// One routing entry: at `sw`, packets for `dst_host` leave through one of
+/// `ports` (an equal-cost set, hashed per flow).
+struct RouteEntry {
+  std::uint32_t sw = 0;
+  std::uint32_t dst_host = 0;
+  std::vector<std::uint32_t> ports;
+};
+
+/// Default host addressing used by the generators: 11.0.h_hi.h_lo.
+constexpr std::uint32_t default_host_ip(std::uint32_t host_id) {
+  return 0x0b000000u | (host_id & 0xffffu);
+}
+
+struct Topology {
+  std::string name;
+  std::vector<SwitchConfig> switches;
+  std::vector<HostConfig> hosts;
+  std::vector<LinkConfig> links;
+  std::vector<RouteEntry> routes;
+
+  // --- Derived lookups (valid after validate()) ---
+
+  /// The link leaving (sw, port), or nullptr when none (edge/unused port).
+  const LinkConfig* link_at(std::uint32_t sw, std::uint32_t port) const;
+
+  /// The host attached to (sw, port), or nullptr.
+  const HostConfig* host_at(std::uint32_t sw, std::uint32_t port) const;
+
+  /// Host id owning `ip`, or nullopt.
+  std::optional<std::uint32_t> host_by_ip(std::uint32_t ip) const;
+
+  /// The equal-cost port set at `sw` for `dst_host` (empty = no route).
+  const std::vector<std::uint32_t>& route_ports(std::uint32_t sw,
+                                                std::uint32_t dst_host) const;
+
+  /// ECMP selection: hashes the flow over the equal-cost set. Throws
+  /// TopologyError when there is no route.
+  std::uint32_t next_port(std::uint32_t sw, std::uint32_t dst_host,
+                          const FlowId& flow) const;
+
+  /// Smallest link delay — the GVT lookahead bound. nullopt when the
+  /// topology has no links (single-switch topologies have infinite
+  /// lookahead: one epoch covers everything).
+  std::optional<Duration> min_link_delay() const;
+
+  /// Checks structural invariants and builds the derived lookup tables.
+  /// Throws TopologyError naming the first violation:
+  ///   - switch/host ids must equal their indices; port ids likewise
+  ///   - links must reference existing switches/ports, at most one link
+  ///     per egress port, never a port that also has a host, delay > 0
+  ///   - hosts must attach to existing unlinked ports, unique ips,
+  ///     at most one host per port
+  ///   - every route must reference existing elements with a non-empty,
+  ///     duplicate-free port set; each routed port must carry a link or be
+  ///     the destination host's attach port
+  ///   - per destination host, following any route choice must reach the
+  ///     host without revisiting a switch (no routing loops, checked by
+  ///     DFS over the per-destination next-switch graph)
+  void validate();
+
+ private:
+  // index tables built by validate(): per switch, port -> link/host index
+  std::vector<std::vector<std::int32_t>> port_link_;
+  std::vector<std::vector<std::int32_t>> port_host_;
+  // [sw][host] -> route index (or -1)
+  std::vector<std::vector<std::int32_t>> route_index_;
+};
+
+// --- JSON (docs/NETWORK.md has the schema) ---
+
+/// Parses and validates a topology from JSON text. Throws TopologyError on
+/// malformed JSON, unknown keys, or any validation failure.
+Topology load_topology(const std::string& json_text);
+Topology load_topology_file(const std::string& path);
+
+/// Canonical JSON serialization; load_topology(to_json(t)) reproduces `t`
+/// field-for-field (round-trip tested).
+std::string to_json(const Topology& t);
+
+// --- Generators ---
+
+/// Two-tier Clos fabric: `leaves` leaf switches each with `hosts_per_leaf`
+/// host ports plus one uplink per spine; spines connect every leaf.
+/// Cross-rack routes ECMP over all spines. Port layout at a leaf: ports
+/// [0, hosts_per_leaf) are host downlinks, port hosts_per_leaf + s is the
+/// uplink to spine s. A spine's port l is the downlink to leaf l.
+struct LeafSpineParams {
+  std::uint32_t leaves = 2;
+  std::uint32_t spines = 2;
+  std::uint32_t hosts_per_leaf = 2;
+  double host_gbps = 10.0;
+  double fabric_gbps = 40.0;
+  Duration link_delay_ns = 1000;
+  std::uint32_t capacity_cells = 25000;
+};
+Topology make_leaf_spine(const LeafSpineParams& p);
+
+/// k-ary fat tree (k even): k pods of k/2 edge + k/2 aggregation switches,
+/// (k/2)^2 cores, k^3/4 hosts. Up paths ECMP at the edge and aggregation
+/// tiers; down paths are deterministic. Switch ids: edges first
+/// (pod-major), then aggregations, then cores.
+struct FatTreeParams {
+  std::uint32_t k = 4;
+  double host_gbps = 10.0;
+  double fabric_gbps = 40.0;
+  Duration link_delay_ns = 1000;
+  std::uint32_t capacity_cells = 25000;
+};
+Topology make_fat_tree(const FatTreeParams& p);
+
+}  // namespace pq::net

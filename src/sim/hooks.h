@@ -156,6 +156,27 @@ class EgressHook {
   }
 };
 
+/// Accumulates every egress context it sees, in dequeue order — the ingress
+/// re-enqueue seam for multi-switch composition (src/net/): the network
+/// engine attaches one collector per transport port, advances the port to a
+/// global-virtual-time horizon, then drains the collected departures and
+/// re-offers each packet at the next hop at deq_timestamp + link delay.
+/// EgressContext carries everything needed to reconstruct the Packet for
+/// the next hop (flow, size, priority, id), which a TelemetryRecord does
+/// not (no priority), so the seam collects contexts rather than records.
+class DepartureCollector final : public EgressHook {
+ public:
+  void on_egress(const EgressContext& ctx) override { out_.push_back(ctx); }
+
+  /// Departures collected since the last take(), in dequeue order.
+  const std::vector<EgressContext>& pending() const { return out_; }
+  std::vector<EgressContext> take() { return std::move(out_); }
+  void clear() { out_.clear(); }
+
+ private:
+  std::vector<EgressContext> out_;
+};
+
 /// An egress hook that forwards to another hook, optionally rewriting the
 /// context first. This is the attach seam for fault injectors (clock skew,
 /// trigger storms — see src/faults/) and for any future shim that needs to

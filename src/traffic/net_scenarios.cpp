@@ -1,0 +1,215 @@
+#include "traffic/net_scenarios.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+
+namespace pq::traffic {
+
+std::vector<Packet> paced_flow(const FlowId& flow, Timestamp start,
+                               Duration duration_ns, double gbps,
+                               std::uint32_t packet_bytes) {
+  const Duration gap = tx_delay_ns(packet_bytes, gbps);
+  std::vector<Packet> out;
+  out.reserve(duration_ns / gap + 1);
+  for (Timestamp t = start; t < start + duration_ns; t += gap) {
+    Packet p;
+    p.flow = flow;
+    p.size_bytes = packet_bytes;
+    p.arrival_ns = t;
+    out.push_back(p);
+  }
+  return out;
+}
+
+FlowId flow_on_path(const net::Topology& topo, std::uint32_t sw,
+                    std::uint32_t dst_host, FlowId base,
+                    std::uint32_t want_port) {
+  for (std::uint32_t off = 0; off < 65535; ++off) {
+    FlowId f = base;
+    f.src_port = static_cast<std::uint16_t>(
+        1 + (static_cast<std::uint32_t>(base.src_port) + off - 1) % 65535);
+    if (topo.next_port(sw, dst_host, f) == want_port) return f;
+  }
+  throw std::runtime_error("flow_on_path: no src_port maps to port " +
+                           std::to_string(want_port) + " at switch " +
+                           std::to_string(sw));
+}
+
+namespace {
+
+/// Groups per-host packet lists into sorted injections.
+std::vector<net::Injection> to_injections(
+    std::map<std::uint32_t, std::vector<Packet>> by_host) {
+  std::vector<net::Injection> out;
+  out.reserve(by_host.size());
+  for (auto& [host, packets] : by_host) {
+    std::stable_sort(packets.begin(), packets.end(),
+                     [](const Packet& a, const Packet& b) {
+                       return a.arrival_ns < b.arrival_ns;
+                     });
+    out.push_back(net::Injection{host, std::move(packets)});
+  }
+  return out;
+}
+
+}  // namespace
+
+NetScenario cross_rack_incast(const net::Topology& topo,
+                              const CrossRackIncastConfig& cfg) {
+  if (cfg.receiver_host >= topo.hosts.size()) {
+    throw std::runtime_error("cross_rack_incast: unknown receiver host");
+  }
+  if (cfg.senders == 0) {
+    throw std::runtime_error("cross_rack_incast: needs at least one sender");
+  }
+  const net::HostConfig& receiver = topo.hosts[cfg.receiver_host];
+
+  // Aggressors (and the victim) come from other racks when possible, so
+  // their packets cross the fabric before piling onto the receiver's
+  // downlink; same-rack hosts are the fallback for tiny topologies.
+  std::vector<std::uint32_t> cross_rack;
+  for (const net::HostConfig& h : topo.hosts) {
+    if (h.id != receiver.id && h.attach_switch != receiver.attach_switch) {
+      cross_rack.push_back(h.id);
+    }
+  }
+  std::vector<std::uint32_t> candidates = cross_rack;
+  for (const net::HostConfig& h : topo.hosts) {
+    if (h.id != receiver.id && h.attach_switch == receiver.attach_switch) {
+      candidates.push_back(h.id);
+    }
+  }
+  if (candidates.empty()) {
+    throw std::runtime_error("cross_rack_incast: topology has no sender host");
+  }
+
+  Rng rng(cfg.seed);
+  NetScenario sc;
+  sc.expected_culprit_switch = receiver.attach_switch;
+  sc.expected_culprit_port = receiver.attach_port;
+
+  std::map<std::uint32_t, std::vector<Packet>> by_host;
+  for (std::uint32_t i = 0; i < cfg.senders; ++i) {
+    const std::uint32_t host = candidates[i % candidates.size()];
+    FlowId flow;
+    flow.src_ip = topo.hosts[host].ip;
+    flow.dst_ip = receiver.ip;
+    flow.src_port = static_cast<std::uint16_t>(20000 + i);
+    flow.dst_port = 5001;
+    flow.proto = 6;
+    sc.culprit_flows.push_back(flow);
+    const Timestamp start = cfg.start_ns + rng.uniform_below(2000);
+    auto pkts = paced_flow(flow, start, cfg.duration_ns, cfg.sender_gbps,
+                           cfg.packet_bytes);
+    auto& bucket = by_host[host];
+    bucket.insert(bucket.end(), pkts.begin(), pkts.end());
+  }
+
+  // The victim: a sparse cross-rack flow sharing the congested downlink (a
+  // shared sender host is fine — the victim is a distinct flow).
+  const std::vector<std::uint32_t>& victim_pool =
+      cross_rack.empty() ? candidates : cross_rack;
+  const std::uint32_t victim_host =
+      victim_pool[cfg.senders % victim_pool.size()];
+  FlowId victim;
+  victim.src_ip = topo.hosts[victim_host].ip;
+  victim.dst_ip = receiver.ip;
+  victim.src_port = 30000;
+  victim.dst_port = 5002;
+  victim.proto = 6;
+  sc.victim = victim;
+  auto victim_pkts = paced_flow(victim, cfg.start_ns, cfg.duration_ns,
+                                cfg.victim_gbps, cfg.victim_packet_bytes);
+  auto& bucket = by_host[victim_host];
+  bucket.insert(bucket.end(), victim_pkts.begin(), victim_pkts.end());
+
+  sc.injections = to_injections(std::move(by_host));
+  return sc;
+}
+
+NetScenario ecmp_imbalance(const net::Topology& topo,
+                           const EcmpImbalanceConfig& cfg) {
+  if (cfg.src_host >= topo.hosts.size() ||
+      cfg.dst_host >= topo.hosts.size() || cfg.src_host == cfg.dst_host) {
+    throw std::runtime_error("ecmp_imbalance: bad host pair");
+  }
+  const net::HostConfig& src = topo.hosts[cfg.src_host];
+  const std::vector<std::uint32_t>& set =
+      topo.route_ports(src.attach_switch, cfg.dst_host);
+  if (set.size() < 2) {
+    throw std::runtime_error(
+        "ecmp_imbalance: route at the source edge has no ECMP fan-out "
+        "(pick hosts in different racks)");
+  }
+  const std::uint32_t loaded_port = set[0];
+
+  // Spread destinations across the anchor's whole rack: the aggressors all
+  // hash onto one uplink but fan out to different receivers past it, so the
+  // loaded uplink — not any single receiver downlink — is the bottleneck.
+  const std::uint32_t dst_rack = topo.hosts[cfg.dst_host].attach_switch;
+  std::vector<std::uint32_t> dsts;
+  for (const net::HostConfig& h : topo.hosts) {
+    if (h.attach_switch == dst_rack) dsts.push_back(h.id);
+  }
+  for (const std::uint32_t d : dsts) {
+    const std::vector<std::uint32_t>& dset =
+        topo.route_ports(src.attach_switch, d);
+    if (std::find(dset.begin(), dset.end(), loaded_port) == dset.end()) {
+      throw std::runtime_error(
+          "ecmp_imbalance: destination rack is not uniformly reachable "
+          "through the loaded uplink");
+    }
+  }
+
+  NetScenario sc;
+  sc.expected_culprit_switch = src.attach_switch;
+  sc.expected_culprit_port = loaded_port;
+
+  Rng rng(cfg.seed);
+  std::map<std::uint32_t, std::vector<Packet>> by_host;
+  auto& bucket = by_host[cfg.src_host];
+  for (std::uint32_t i = 0; i < cfg.flows; ++i) {
+    const std::uint32_t dst = dsts[i % dsts.size()];
+    FlowId base;
+    base.src_ip = src.ip;
+    base.dst_ip = topo.hosts[dst].ip;
+    base.src_port = static_cast<std::uint16_t>(15000 + 97 * i);
+    base.dst_port = 5001;
+    base.proto = 6;
+    FlowId flow =
+        flow_on_path(topo, src.attach_switch, dst, base, loaded_port);
+    // The search can converge two bases onto one src_port; re-seed past the
+    // collision so every aggressor is a distinct flow.
+    while (std::find(sc.culprit_flows.begin(), sc.culprit_flows.end(), flow) !=
+           sc.culprit_flows.end()) {
+      base.src_port = static_cast<std::uint16_t>(flow.src_port + 1);
+      flow = flow_on_path(topo, src.attach_switch, dst, base, loaded_port);
+    }
+    sc.culprit_flows.push_back(flow);
+    const Timestamp start = cfg.start_ns + rng.uniform_below(2000);
+    auto pkts = paced_flow(flow, start, cfg.duration_ns, cfg.flow_gbps,
+                           cfg.packet_bytes);
+    bucket.insert(bucket.end(), pkts.begin(), pkts.end());
+  }
+
+  FlowId vbase;
+  vbase.src_ip = src.ip;
+  vbase.dst_ip = topo.hosts[cfg.dst_host].ip;
+  vbase.src_port = 40000;
+  vbase.dst_port = 5002;
+  vbase.proto = 6;
+  sc.victim = flow_on_path(topo, src.attach_switch, cfg.dst_host, vbase,
+                           loaded_port);
+  auto victim_pkts = paced_flow(sc.victim, cfg.start_ns, cfg.duration_ns,
+                                cfg.victim_gbps, cfg.victim_packet_bytes);
+  bucket.insert(bucket.end(), victim_pkts.begin(), victim_pkts.end());
+
+  sc.injections = to_injections(std::move(by_host));
+  return sc;
+}
+
+}  // namespace pq::traffic

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <bit>
 #include <set>
 #include <unordered_set>
@@ -61,6 +62,49 @@ TEST(FlowSignature, OrderOfEndpointsMatters) {
   FlowId b = a;
   std::swap(b.src_ip, b.dst_ip);
   EXPECT_NE(flow_signature(a), flow_signature(b));
+}
+
+TEST(EcmpSignature, IsDeterministicAndDistinctFromFlowSignature) {
+  const FlowId f = make_flow(17);
+  EXPECT_EQ(ecmp_signature(f), ecmp_signature(f));
+  // Same tuple, different hash function — equality would mean path choice
+  // mirrors sketch placement.
+  EXPECT_NE(ecmp_signature(f), flow_signature(f));
+}
+
+TEST(EcmpSignature, IndependentOfFlowSignatureBuckets) {
+  // The regression the kEcmpHashSeed exists to prevent: flows that collide
+  // in a small flow_signature register index must NOT systematically share
+  // an ECMP path. Bucket 200k flows by their low-9-bit flow hash (the
+  // time-window register index at k=9), then check each such cohort still
+  // spreads over a 4-way equal-cost set. A correlated hash pair would put
+  // every cohort member on one path and break the attribution scenarios'
+  // path diversity.
+  constexpr std::uint32_t kCohortBits = 9;
+  constexpr std::uint64_t kPaths = 4;
+  std::vector<std::array<std::uint32_t, kPaths>> spread(1u << kCohortBits,
+                                                        {0, 0, 0, 0});
+  for (std::uint32_t i = 0; i < 200000; ++i) {
+    const FlowId f = make_flow(i);
+    const auto cohort = flow_signature(f) & ((1u << kCohortBits) - 1);
+    ++spread[cohort][ecmp_signature(f) % kPaths];
+  }
+  for (std::size_t cohort = 0; cohort < spread.size(); ++cohort) {
+    std::uint32_t total = 0;
+    std::uint32_t used = 0;
+    for (const auto n : spread[cohort]) {
+      total += n;
+      used += n > 0 ? 1 : 0;
+    }
+    // ~390 flows per cohort; with independent hashes every cohort uses all
+    // four paths, and no path starves below a loose fairness bound.
+    ASSERT_GT(total, 100u);
+    EXPECT_EQ(used, kPaths) << "cohort " << cohort << " collapsed onto "
+                            << used << " path(s)";
+    for (const auto n : spread[cohort]) {
+      EXPECT_GT(n, total / 16) << "cohort " << cohort;
+    }
+  }
 }
 
 TEST(FlowIdToString, RendersTuple) {

@@ -175,21 +175,16 @@ struct RunSpec {
   bool pin_threads = false;
 };
 
-inline RunResult run_once(const std::vector<Packet>& packets,
-                          const RunSpec& spec) {
-  auto cfg = system_config(spec.with_faults, spec.ports);
-  if (spec.epoch_ns.has_value()) cfg.epoch_ns = *spec.epoch_ns;
-  control::ShardedSystem sys(std::move(cfg));
-  const TempDir archive_dir;
-  store::Archive archive(harness_archive_options(archive_dir.path()));
-  archive.attach(sys.pipeline(), sys.analysis());
-  auto opts = sys.default_run_options(spec.threads, spec.batch);
-  opts.pin_threads = spec.pin_threads;
-  sys.run(packets, opts);
-  archive.close();
-
+/// Flattens a finished system to the full comparison surface. Factored out
+/// of run_once() so other drivers of a ShardedSystem — in particular the
+/// NetworkEngine's per-switch nodes (tests/net/network_differential_test) —
+/// can assert byte-identity against a standalone run over the exact same
+/// surface instead of a hand-picked subset. `archive_dir` is the directory
+/// the (already closed) archive was written to.
+inline RunResult collect_result(control::ShardedSystem& sys,
+                                const std::string& archive_dir) {
   RunResult r;
-  r.archive_bytes = store::ArchiveReader(archive_dir.path()).logical_content();
+  r.archive_bytes = store::ArchiveReader(archive_dir).logical_content();
   for (std::uint32_t s = 0; s < sys.pipeline().num_shards(); ++s) {
     auto& pipe = sys.pipeline().shard(s).pipeline();
     encode_windows(r.registers, pipe.windows());
@@ -227,6 +222,21 @@ inline RunResult run_once(const std::vector<Packet>& packets,
   r.metrics_json = control::collect_system_metrics(sys).to_json(
       obs::IncludeTimings::kNo);
   return r;
+}
+
+inline RunResult run_once(const std::vector<Packet>& packets,
+                          const RunSpec& spec) {
+  auto cfg = system_config(spec.with_faults, spec.ports);
+  if (spec.epoch_ns.has_value()) cfg.epoch_ns = *spec.epoch_ns;
+  control::ShardedSystem sys(std::move(cfg));
+  const TempDir archive_dir;
+  store::Archive archive(harness_archive_options(archive_dir.path()));
+  archive.attach(sys.pipeline(), sys.analysis());
+  auto opts = sys.default_run_options(spec.threads, spec.batch);
+  opts.pin_threads = spec.pin_threads;
+  sys.run(packets, opts);
+  archive.close();
+  return collect_result(sys, archive_dir.path());
 }
 
 /// Legacy signature used by the original 8-port sweeps.

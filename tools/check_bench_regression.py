@@ -24,8 +24,13 @@ report without failing on it. "requires": "<key>" gates the metric only
 when the named key is present and non-zero in the current results — used
 for gates that only make sense on capable hosts, e.g. simd_speedup_x
 requires simd_avx2_available (a runner without AVX2 reports SKIPPED
-instead of failing). Improvements never fail; they are reported so the
-baseline can be refreshed (see docs/OBSERVABILITY.md).
+instead of failing). "min_floor": <value> adds an ABSOLUTE lower bound on
+top of the relative check — the metric fails when it drops below the
+floor no matter what the baseline value or tolerance say. Floors are for
+correctness-flavoured metrics (attribution precision, delivery counts)
+where "within 15% of the recorded baseline" is not a meaningful promise
+but "never below 0.8" is. Improvements never fail; they are reported so
+the baseline can be refreshed (see docs/OBSERVABILITY.md).
 
 Usage:
     check_bench_regression.py CURRENT.json BASELINE.json [--tolerance PCT]
@@ -72,7 +77,15 @@ def compare(current, baseline, tolerance_pct):
         # Positive `worse_pct` = moved in the regressing direction.
         worse_pct = -delta_pct if better == "higher" else delta_pct
 
-        if worse_pct > tol:
+        floor = spec.get("min_floor")
+        if floor is not None and cur_value < float(floor):
+            verdict = "FAIL (below floor)" if gated else "WARN (ungated)"
+            if gated:
+                failures.append(
+                    f"{name}: {cur_value:.6g} below absolute floor "
+                    f"{float(floor):.6g}"
+                )
+        elif worse_pct > tol:
             verdict = "FAIL" if gated else "WARN (ungated)"
             if gated:
                 failures.append(
@@ -213,6 +226,29 @@ def self_test():
     failures, rows = compare(missing_cap, simd_base, DEFAULT_TOLERANCE_PCT)
     checks.append(("missing capability key counts as absent",
                    failures == [] and any("SKIPPED" in r[3] for r in rows)))
+
+    # Absolute floors: relative tolerance alone never trips, the floor does.
+    floored = {
+        "metrics": {
+            "hop_attribution_precision": {
+                "value": 0.95, "better": "higher",
+                "tolerance_pct": 100, "min_floor": 0.8,
+            },
+        }
+    }
+    failures, _ = compare({"hop_attribution_precision": 0.85}, floored,
+                          DEFAULT_TOLERANCE_PCT)
+    checks.append(("above-floor value passes", failures == []))
+    failures, rows = compare({"hop_attribution_precision": 0.5}, floored,
+                             DEFAULT_TOLERANCE_PCT)
+    checks.append((
+        "below-floor value fails despite loose tolerance",
+        len(failures) == 1 and "below absolute floor" in failures[0],
+    ))
+    checks.append((
+        "floor failure is reported as such",
+        any("below floor" in r[3] for r in rows),
+    ))
 
     # Zero baselines: equal is fine, any growth is a regression.
     zeros = {"metrics": {"dropped": {"value": 0, "better": "lower"}}}

@@ -12,13 +12,24 @@
 // tails (append_record_frame) instead of the one-shot trace bundle;
 // `--port P` rewrites every record's egress port (the simulated port is
 // single-ported; serving tests want distinct port IDs).
+//
+// The `topology` kind is the network-wide variant (docs/NETWORK.md): it
+// builds a leaf-spine fabric and writes one trace file PER SOURCE HOST
+// (<output>.host<N>.pqt) of pre-switch arrivals — egress_port carries the
+// source host id and deq_timedelta is zero — whose 5-tuples are
+// source-port-searched so consecutive flows from each host ECMP-hash onto
+// distinct spine paths (traffic::flow_on_path).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "net/topology.h"
 #include "sim/egress_port.h"
 #include "traffic/case_study.h"
+#include "traffic/net_scenarios.h"
 #include "traffic/scenarios.h"
 #include "traffic/trace_gen.h"
 #include "wire/trace_io.h"
@@ -29,7 +40,10 @@ namespace {
   std::fprintf(stderr,
                "usage: pq_gentrace <uw|ws|dm|burst|casestudy> <output.pqt>\n"
                "                   [--ms N] [--seed S] [--rate GBPS]\n"
-               "                   [--buffer CELLS] [--stream] [--port P]\n");
+               "                   [--buffer CELLS] [--stream] [--port P]\n"
+               "       pq_gentrace topology <output-prefix>\n"
+               "                   [--ms N] [--leaves L] [--spines S]\n"
+               "                   [--hosts H] [--flows F] [--gbps G]\n");
   std::exit(2);
 }
 
@@ -49,6 +63,72 @@ bool arg_flag(int argc, char** argv, const char* name) {
 
 }  // namespace
 
+namespace {
+
+/// The `topology` kind: per-source-host arrival traces over a leaf-spine
+/// fabric, flows pinned to distinct ECMP paths.
+int run_topology_mode(int argc, char** argv, const std::string& out_prefix,
+                      pq::Duration duration) {
+  using namespace pq;
+  net::LeafSpineParams lsp;
+  lsp.leaves =
+      static_cast<std::uint32_t>(arg_double(argc, argv, "--leaves", 2.0));
+  lsp.spines =
+      static_cast<std::uint32_t>(arg_double(argc, argv, "--spines", 2.0));
+  lsp.hosts_per_leaf =
+      static_cast<std::uint32_t>(arg_double(argc, argv, "--hosts", 2.0));
+  const net::Topology topo = net::make_leaf_spine(lsp);
+  const auto flows_per_host =
+      static_cast<std::uint32_t>(arg_double(argc, argv, "--flows", 4.0));
+  const double gbps = arg_double(argc, argv, "--gbps", 0.5);
+
+  for (const net::HostConfig& src : topo.hosts) {
+    std::vector<wire::TelemetryRecord> records;
+    std::uint64_t next_id = 0;
+    for (std::uint32_t f = 0; f < flows_per_host; ++f) {
+      // A cross-rack destination, cycling over the other racks' hosts.
+      std::uint32_t dst = (src.id + 1 + f) % topo.hosts.size();
+      while (topo.hosts[dst].attach_switch == src.attach_switch) {
+        dst = (dst + 1) % topo.hosts.size();
+      }
+      // Pin consecutive flows to distinct members of the equal-cost set.
+      const auto& set = topo.route_ports(src.attach_switch, dst);
+      FlowId base;
+      base.src_ip = src.ip;
+      base.dst_ip = topo.hosts[dst].ip;
+      base.src_port = static_cast<std::uint16_t>(10000 + 131 * f);
+      base.dst_port = 5001;
+      base.proto = 6;
+      const FlowId flow =
+          traffic::flow_on_path(topo, src.attach_switch, dst, base,
+                                set[f % set.size()]);
+      for (const Packet& pkt :
+           traffic::paced_flow(flow, 0, duration, gbps, kMtuBytes)) {
+        wire::TelemetryRecord r;
+        r.flow = pkt.flow;
+        r.egress_port = src.id;  // source-host marker, not a switch port
+        r.size_bytes = pkt.size_bytes;
+        r.enq_timestamp = pkt.arrival_ns;
+        r.packet_id = next_id++;
+        records.push_back(r);
+      }
+    }
+    std::sort(records.begin(), records.end(),
+              [](const wire::TelemetryRecord& a,
+                 const wire::TelemetryRecord& b) {
+                return a.enq_timestamp < b.enq_timestamp;
+              });
+    const std::string path =
+        out_prefix + ".host" + std::to_string(src.id) + ".pqt";
+    wire::write_trace_file(path, records);
+    std::printf("%s: %zu arrivals, %u flows on %u-spine ECMP\n", path.c_str(),
+                records.size(), flows_per_host, lsp.spines);
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace pq;
   if (argc < 3) usage();
@@ -58,6 +138,10 @@ int main(int argc, char** argv) {
   const auto seed =
       static_cast<std::uint64_t>(arg_double(argc, argv, "--seed", 1.0));
   const auto duration = static_cast<Duration>(ms * 1e6);
+
+  if (kind == "topology") {
+    return run_topology_mode(argc, argv, out_path, duration);
+  }
 
   sim::PortConfig port_cfg;
   port_cfg.line_rate_gbps = arg_double(argc, argv, "--rate", 10.0);
